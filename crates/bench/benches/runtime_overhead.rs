@@ -1,0 +1,81 @@
+//! Criterion: the adaptive runtime's per-check overhead — the paper's
+//! claim that the linear regression + KNN machinery is "lightweight"
+//! compared to the projection it steers (§6.2 discussion).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sfn_nn::{LayerSpec, NetworkSpec};
+use sfn_quality::mlp::{MlpTrainConfig, SuccessPredictor};
+use sfn_quality::{feature_vector, MlpVariant};
+use sfn_quality::{generate_samples, ExecutionRecord, ModelRecords, SampleConfig};
+use sfn_runtime::{CumDivNormTracker, KnnDatabase};
+
+fn spec() -> NetworkSpec {
+    NetworkSpec::new(vec![
+        LayerSpec::Conv2d { in_ch: 2, out_ch: 16, kernel: 3, residual: false },
+        LayerSpec::ReLU,
+        LayerSpec::Conv2d { in_ch: 16, out_ch: 1, kernel: 1, residual: false },
+    ])
+}
+
+fn trained_predictor() -> SuccessPredictor {
+    let records = vec![ModelRecords {
+        model_id: 0,
+        name: "M0".into(),
+        spec: spec(),
+        records: (0..64)
+            .map(|p| ExecutionRecord {
+                problem: p,
+                quality_loss: 0.01 + 0.0005 * (p % 13) as f64,
+                time: 1.0 + 0.01 * (p % 7) as f64,
+            })
+            .collect(),
+    }];
+    let samples = generate_samples(
+        &records,
+        &SampleConfig {
+            per_model: 64,
+            seed: 1,
+        },
+    );
+    SuccessPredictor::train(
+        MlpVariant::Mlp3,
+        &samples,
+        &MlpTrainConfig {
+            steps: 50,
+            ..Default::default()
+        },
+    )
+    .0
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    // CumDivNorm regression-based extrapolation.
+    let mut tracker = CumDivNormTracker::new();
+    for i in 0..64 {
+        tracker.push(1.0 + 0.01 * i as f64);
+    }
+    c.bench_function("cumdivnorm_predict_final", |b| {
+        b.iter(|| tracker.predict_final(5, 128))
+    });
+
+    // KNN lookup in a paper-sized database (5 models x 128 problems).
+    let db = KnnDatabase::new((0..640).map(|i| (i as f64, i as f64 * 1e-4)).collect());
+    c.bench_function("knn_predict_k4_640pairs", |b| b.iter(|| db.predict(317.5)));
+
+    // Eq. 6 featurisation + MLP forward (the offline selection path).
+    let s = spec();
+    c.bench_function("feature_vector_48", |b| b.iter(|| feature_vector(&s, 0.013, 6.64)));
+    let mut predictor = trained_predictor();
+    c.bench_function("mlp3_predict", |b| b.iter(|| predictor.predict(&s, 0.013, 6.64)));
+
+    // A full scheduler decision: regression + KNN.
+    c.bench_function("scheduler_decision", |b| {
+        b.iter(|| {
+            let cdn = tracker.predict_final(5, 128).unwrap_or(0.0);
+            db.predict(cdn)
+        })
+    });
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Ablation: adaptive Algorithm 2 vs static single-model policies.
+
+fn main() {
+    let env = sfn_bench::bench_env();
+    println!("== Ablation: scheduling policies ==\n");
+    println!("{}", sfn_bench::experiments::sensitivity::scheduler_ablation(&env));
+}

@@ -1,0 +1,11 @@
+//! Ablation: the Algorithm 2 "close to q" tolerance band.
+
+fn main() {
+    let env = sfn_bench::bench_env();
+    println!("== Ablation: scheduler tolerance band ==\n");
+    let out = sfn_bench::experiments::sensitivity::tolerance_ablation(
+        &env,
+        &[0.05, 0.15, 0.30, 0.60],
+    );
+    println!("{out}");
+}

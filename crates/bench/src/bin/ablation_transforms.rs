@@ -1,0 +1,9 @@
+//! §4 sensitivity study: transformation hyper-parameter ablations
+//! (layers pruned, pooling insertions, dropout rate, narrow fraction).
+
+fn main() {
+    let env = sfn_bench::bench_env();
+    println!("== Ablation: §4 transformation parameters ==\n");
+    let rows = sfn_bench::experiments::sensitivity::transformation_ablation(&env);
+    println!("{}", sfn_bench::experiments::sensitivity::render_ablation(&rows));
+}

@@ -1,0 +1,9 @@
+//! Figure 10: per-candidate speedups (each model run solo) and
+//! Smart-fluidnet.
+
+fn main() {
+    let env = sfn_bench::bench_env();
+    println!("== Figure 10: candidate speedups ==\n");
+    let c = sfn_bench::experiments::candidates::candidate_runs(&env);
+    println!("{}", c.render_figure10());
+}

@@ -1,0 +1,9 @@
+//! Figure 11: quality-loss box-plots of every candidate, the Tompson
+//! baseline and Smart-fluidnet.
+
+fn main() {
+    let env = sfn_bench::bench_env();
+    println!("== Figure 11: candidate quality box-plots ==\n");
+    let c = sfn_bench::experiments::candidates::candidate_runs(&env);
+    println!("{}", c.render_figure11());
+}

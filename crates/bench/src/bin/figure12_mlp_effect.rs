@@ -1,0 +1,8 @@
+//! Figure 12: success rate with vs without the MLP controller.
+
+fn main() {
+    let env = sfn_bench::bench_env();
+    println!("== Figure 12: effect of the MLP controller ==\n");
+    let s = sfn_bench::experiments::sweep::sweep(&env);
+    println!("{}", s.render_figure12());
+}

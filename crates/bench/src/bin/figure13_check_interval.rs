@@ -1,0 +1,8 @@
+//! Figure 13: impact of the check interval on the success rate.
+
+fn main() {
+    let env = sfn_bench::bench_env();
+    println!("== Figure 13: check-interval sensitivity ==\n");
+    let out = sfn_bench::experiments::sensitivity::figure13(&env, &[5, 10, 15, 20]);
+    println!("{out}");
+}

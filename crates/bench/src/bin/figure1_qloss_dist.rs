@@ -1,0 +1,9 @@
+//! Figure 1: distribution of quality loss for the Tompson model with
+//! different input problems.
+
+fn main() {
+    let env = sfn_bench::bench_env();
+    println!("== Figure 1: Tompson quality-loss distribution ==\n");
+    let f = sfn_bench::experiments::baseline::figure1(&env);
+    println!("{}", f.render());
+}

@@ -1,0 +1,8 @@
+//! Figure 3: scatter of quality loss and time cost for every generated
+//! model, with the Pareto-selected candidates marked.
+
+fn main() {
+    let env = sfn_bench::bench_env();
+    println!("== Figure 3: model scatter + Pareto candidates ==\n");
+    println!("{}", sfn_bench::experiments::construction::figure3(&env));
+}

@@ -1,0 +1,9 @@
+//! Figure 8: speedup of Tompson and Smart-fluidnet over PCG across
+//! grid sizes.
+
+fn main() {
+    let env = sfn_bench::bench_env();
+    println!("== Figure 8: speedup vs grid size ==\n");
+    let s = sfn_bench::experiments::sweep::sweep(&env);
+    println!("{}", s.render_figure8());
+}

@@ -1,0 +1,8 @@
+//! Figure 9: variation of quality loss with grid size (box-plots).
+
+fn main() {
+    let env = sfn_bench::bench_env();
+    println!("== Figure 9: quality-loss box-plots vs grid size ==\n");
+    let s = sfn_bench::experiments::sweep::sweep(&env);
+    println!("{}", s.render_figure9());
+}

@@ -1,0 +1,55 @@
+//! Runs every experiment in sequence — the one-command reproduction of
+//! the paper's evaluation section. Set `SFN_QUICK=1` for a smoke run.
+
+fn main() {
+    let env = sfn_bench::bench_env();
+    use sfn_bench::experiments as ex;
+
+    println!("########## Smart-fluidnet evaluation reproduction ##########");
+    println!(
+        "offline: grid {}², {} eval problems, {} steps; sweep grids {:?}\n",
+        env.offline.eval_grid, env.offline.eval_problems, env.steps, env.grids
+    );
+
+    println!("== Table 1 ==\n{}\n", ex::baseline::table1(&env).render());
+    println!("== Figure 1 ==\n{}\n", ex::baseline::figure1(&env).render());
+    println!("== Figure 3 ==\n{}\n", ex::construction::figure3(&env));
+    println!(
+        "== Figure 5 ==\n{}\n",
+        ex::construction::figure5(&env, env.offline.mlp_steps).render()
+    );
+    let trace = ex::runtime_metric::trace_problem(&env, 0, env.steps);
+    let (rp, rs, pairs) =
+        ex::runtime_metric::correlations(&env, env.problems_per_grid.max(4), env.steps);
+    println!(
+        "== Figure 6 ==\n{}\nr_p = {rp:.2} (paper 0.61), r_s = {rs:.2} (paper 0.79), {pairs} pairs\n",
+        trace.render()
+    );
+    let sweep = ex::sweep::sweep(&env);
+    println!("== Figure 8 ==\n{}\n", sweep.render_figure8());
+    println!("== Figure 9 ==\n{}\n", sweep.render_figure9());
+    println!("== Table 2 ==\n{}\n", sweep.render_table2());
+    println!("== Figure 12 ==\n{}\n", sweep.render_figure12());
+    let cand = ex::candidates::candidate_runs(&env);
+    println!("== Figure 10 ==\n{}\n", cand.render_figure10());
+    println!("== Figure 11 ==\n{}\n", cand.render_figure11());
+    println!("== Table 3 ==\n{}\n", cand.render_table3());
+    println!(
+        "== Figure 13 ==\n{}\n",
+        ex::sensitivity::figure13(&env, &[5, 10, 15, 20])
+    );
+    let rows = ex::resources::table4(&env, 64);
+    println!("== Table 4 ==\n{}\n", ex::resources::render_table4(&rows, 64));
+    println!(
+        "== Ablation: transformation parameters ==\n{}\n",
+        ex::sensitivity::render_ablation(&ex::sensitivity::transformation_ablation(&env))
+    );
+    println!(
+        "== Ablation: scheduling policies ==\n{}\n",
+        ex::sensitivity::scheduler_ablation(&env)
+    );
+    println!(
+        "== Ablation: tolerance band ==\n{}",
+        ex::sensitivity::tolerance_ablation(&env, &[0.05, 0.15, 0.30, 0.60])
+    );
+}

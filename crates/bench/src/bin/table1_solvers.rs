@@ -1,0 +1,13 @@
+//! Table 1: execution time and simulation quality loss of the three
+//! methods for solving the Poisson equation (PCG, Tompson, Yang).
+
+fn main() {
+    let env = sfn_bench::bench_env();
+    println!("== Table 1: Poisson-solve methods ==");
+    println!(
+        "(grid {0}x{0}, {1} steps, {2} problems)\n",
+        env.offline.eval_grid, env.steps, env.offline.eval_problems
+    );
+    let t = sfn_bench::experiments::baseline::table1(&env);
+    println!("{}", t.render());
+}

@@ -1,0 +1,9 @@
+//! Table 2: percentage of input problems whose simulation reaches the
+//! quality requirement.
+
+fn main() {
+    let env = sfn_bench::bench_env();
+    println!("== Table 2: success rates per grid size ==\n");
+    let s = sfn_bench::experiments::sweep::sweep(&env);
+    println!("{}", s.render_table2());
+}

@@ -1,0 +1,9 @@
+//! Table 3: execution-time distribution over the models the adaptive
+//! runtime actually used.
+
+fn main() {
+    let env = sfn_bench::bench_env();
+    println!("== Table 3: runtime time distribution ==\n");
+    let c = sfn_bench::experiments::candidates::candidate_runs(&env);
+    println!("{}", c.render_table3());
+}

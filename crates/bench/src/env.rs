@@ -1,0 +1,95 @@
+//! Shared benchmark environment: the cached offline pipeline plus the
+//! experiment scale knobs.
+
+use smart_fluidnet_core::{OfflineConfig, SmartFluidnet};
+
+/// One benchmark session's configuration and offline artifacts.
+pub struct BenchEnv {
+    /// The trained Smart-fluidnet pipeline (cached on disk).
+    pub framework: SmartFluidnet,
+    /// The offline configuration used to build it.
+    pub offline: OfflineConfig,
+    /// Grid sizes for the grid-sweep experiments (Figures 8/9, Tables
+    /// 2, Figure 12). Our CPU-scale stand-ins for the paper's
+    /// 128²…1024².
+    pub grids: Vec<usize>,
+    /// Problems per grid in sweep experiments.
+    pub problems_per_grid: usize,
+    /// Simulation steps per problem (the paper runs 128).
+    pub steps: usize,
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+impl BenchEnv {
+    /// Builds (or loads from cache) the standard benchmark environment.
+    pub fn standard() -> Self {
+        let offline = OfflineConfig::default().from_env();
+        let framework = SmartFluidnet::build_cached(&offline);
+        Self::with_framework(framework, offline)
+    }
+
+    /// A seconds-scale environment for smoke-testing the harness.
+    pub fn quick() -> Self {
+        let offline = OfflineConfig::quick().from_env();
+        let framework = SmartFluidnet::build_cached(&offline);
+        let mut env = Self::with_framework(framework, offline);
+        env.grids = vec![16, 24];
+        env.problems_per_grid = env_usize("SFN_BENCH_PROBLEMS", 2);
+        env.steps = env_usize("SFN_BENCH_STEPS", 16);
+        env
+    }
+
+    fn with_framework(framework: SmartFluidnet, offline: OfflineConfig) -> Self {
+        let grids = std::env::var("SFN_BENCH_GRIDS")
+            .ok()
+            .map(|s| {
+                s.split(',')
+                    .filter_map(|t| t.trim().parse().ok())
+                    .collect::<Vec<usize>>()
+            })
+            .filter(|v| !v.is_empty())
+            .unwrap_or_else(|| vec![16, 24, 32, 48, 64]);
+        Self {
+            framework,
+            offline,
+            grids,
+            problems_per_grid: env_usize("SFN_BENCH_PROBLEMS", 4),
+            steps: env_usize("SFN_BENCH_STEPS", 32),
+        }
+    }
+
+    /// The paper's grid label corresponding to our `i`-th sweep grid
+    /// (for side-by-side reporting).
+    pub fn paper_grid_label(i: usize) -> &'static str {
+        ["128*128", "256*256", "512*512", "768*768", "1024*1024"]
+            .get(i)
+            .copied()
+            .unwrap_or("-")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_env_builds() {
+        let env = BenchEnv::quick();
+        assert!(!env.grids.is_empty());
+        assert!(env.steps >= 8);
+        assert!(!env.framework.artifacts().selected.is_empty());
+    }
+
+    #[test]
+    fn grid_labels_cover_five_paper_sizes() {
+        assert_eq!(BenchEnv::paper_grid_label(0), "128*128");
+        assert_eq!(BenchEnv::paper_grid_label(4), "1024*1024");
+        assert_eq!(BenchEnv::paper_grid_label(9), "-");
+    }
+}

@@ -1,0 +1,142 @@
+//! Table 1 (solver comparison) and Figure 1 (quality-loss
+//! distribution of the Tompson model).
+
+use crate::env::BenchEnv;
+use crate::runners::{problems_at, references_for, run_fixed, yang_baseline, RunRecord};
+use rayon::prelude::*;
+use sfn_stats::{Histogram, Summary, TextTable};
+
+/// Table 1 rows: per-method mean projection seconds and quality loss.
+pub struct Table1 {
+    /// `(method, mean seconds, mean quality loss or None for PCG)`.
+    pub rows: Vec<(String, f64, Option<f64>)>,
+}
+
+/// Runs Table 1: PCG vs the Tompson-style base model vs the
+/// Yang-style baseline, over the standard evaluation problems.
+pub fn table1(env: &BenchEnv) -> Table1 {
+    let grid = env.offline.eval_grid;
+    let steps = env.steps;
+    let problems = problems_at(grid, env.offline.eval_problems);
+    let references = references_for(&problems, steps);
+    let pcg_secs: f64 =
+        references.iter().map(|r| r.1).sum::<f64>() / references.len() as f64;
+
+    let art = env.framework.artifacts();
+    let tompson = &art.measurements[art.base_index].saved;
+    let yang = yang_baseline(&env.offline);
+
+    let run_model = |saved: &sfn_nn::network::SavedModel, name: &str| -> (f64, f64) {
+        let recs: Vec<RunRecord> = problems
+            .par_iter()
+            .zip(&references)
+            .map(|(p, (reference, _))| run_fixed(saved, name, p, steps, reference))
+            .collect();
+        let n = recs.len() as f64;
+        (
+            recs.iter().map(|r| r.secs).sum::<f64>() / n,
+            recs.iter().map(|r| r.qloss).sum::<f64>() / n,
+        )
+    };
+    let (t_secs, t_q) = run_model(tompson, "tompson");
+    let (y_secs, y_q) = run_model(&yang, "yang");
+
+    Table1 {
+        rows: vec![
+            ("PCG".into(), pcg_secs, None),
+            ("Tompson".into(), t_secs, Some(t_q)),
+            ("Yang".into(), y_secs, Some(y_q)),
+        ],
+    }
+}
+
+impl Table1 {
+    /// Renders with the paper's numbers alongside.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new([
+            "Method",
+            "Exec time (s, ours)",
+            "Avg quality loss (ours)",
+            "Paper exec (ms)",
+            "Paper qloss",
+        ]);
+        let paper = [
+            ("PCG", "2.34e8", "--"),
+            ("Tompson", "7.19e4", "1.3e-2"),
+            ("Yang", "3.20e4", "4.9e-2"),
+        ];
+        for ((name, secs, q), (pn, pt, pq)) in self.rows.iter().zip(paper) {
+            assert_eq!(name, pn);
+            t.row([
+                name.clone(),
+                format!("{secs:.4}"),
+                q.map(|v| format!("{v:.4}")).unwrap_or_else(|| "--".into()),
+                pt.to_string(),
+                pq.to_string(),
+            ]);
+        }
+        t.render()
+    }
+}
+
+/// Figure 1: the distribution of the Tompson model's quality loss over
+/// the input problems, as an 18-bin histogram (plus the §2.3 headline:
+/// the fraction of problems missing the 0.01-style requirement).
+pub struct Figure1 {
+    /// The histogram over quality losses.
+    pub histogram: Histogram,
+    /// Raw per-problem losses.
+    pub losses: Vec<f64>,
+    /// Mean loss (the requirement used throughout §7).
+    pub mean: f64,
+}
+
+/// Runs Figure 1 over `problems_per_grid × |grids|`-ish problems at the
+/// evaluation grid (more problems = smoother histogram; scale with
+/// `SFN_EVAL_PROBLEMS`).
+pub fn figure1(env: &BenchEnv) -> Figure1 {
+    let grid = env.offline.eval_grid;
+    let steps = env.steps;
+    let count = env.offline.eval_problems.max(8);
+    let problems = problems_at(grid, count);
+    let references = references_for(&problems, steps);
+    let art = env.framework.artifacts();
+    let tompson = &art.measurements[art.base_index].saved;
+    let losses: Vec<f64> = problems
+        .par_iter()
+        .zip(&references)
+        .map(|(p, (reference, _))| run_fixed(tompson, "tompson", p, steps, reference).qloss)
+        .collect();
+    let max = losses.iter().cloned().fold(0.0f64, f64::max).max(1e-9);
+    let mut histogram = Histogram::new(0.0, max * 1.001, 18);
+    histogram.extend(losses.iter().copied());
+    let mean = Summary::from_data(&losses).map(|s| s.mean).unwrap_or(0.0);
+    Figure1 {
+        histogram,
+        losses,
+        mean,
+    }
+}
+
+impl Figure1 {
+    /// Renders the histogram rows (bin centre, proportion) plus the
+    /// §2.3-style unsatisfied fraction at the mean requirement.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(["Qloss bin centre", "Proportion of inputs"]);
+        let props = self.histogram.proportions();
+        for (i, p) in props.iter().enumerate() {
+            t.row([
+                format!("{:.4}", self.histogram.bin_center(i)),
+                format!("{:.1}%", p * 100.0),
+            ]);
+        }
+        let below = self.histogram.fraction_below(self.mean);
+        format!(
+            "{}\nmean quality loss (the derived requirement): {:.4}\n\
+             inputs that CANNOT meet q = mean: {:.1}%  (paper, q = 0.01: 65.42%)",
+            t.render(),
+            self.mean,
+            (1.0 - below) * 100.0
+        )
+    }
+}

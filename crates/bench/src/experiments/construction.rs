@@ -1,0 +1,143 @@
+//! Figure 3 (model scatter + Pareto front) and Figure 5 (MLP
+//! training-loss curves).
+
+use crate::env::BenchEnv;
+use sfn_quality::mlp::{MlpTrainConfig, SuccessPredictor};
+use sfn_quality::{generate_samples, ExecutionRecord, MlpVariant, ModelRecords, SampleConfig};
+use sfn_stats::TextTable;
+
+/// Figure 3: every generated model's (time cost, quality loss), with
+/// the Pareto-selected candidates flagged — the red/green scatter.
+pub fn figure3(env: &BenchEnv) -> String {
+    let art = env.framework.artifacts();
+    let mut t = TextTable::new([
+        "Model",
+        "Origin",
+        "Time cost (s)",
+        "Quality loss",
+        "Selected",
+    ]);
+    let origin = |id: usize| -> String {
+        match &art.family[id].origin {
+            sfn_modelgen::Origin::Base => "base".into(),
+            sfn_modelgen::Origin::Search => "search".into(),
+            sfn_modelgen::Origin::Shallow { .. } => "shallow".into(),
+            sfn_modelgen::Origin::Narrow { .. } => "narrow".into(),
+            sfn_modelgen::Origin::Pooling { .. } => "pooling".into(),
+            sfn_modelgen::Origin::Dropout { .. } => "dropout".into(),
+        }
+    };
+    let mut rows: Vec<_> = art.measurements.iter().enumerate().collect();
+    rows.sort_by(|a, b| a.1.time_cost.total_cmp(&b.1.time_cost));
+    for (idx, m) in rows {
+        let selected = art.candidate_indices.contains(&idx);
+        t.row([
+            m.name.clone(),
+            origin(m.id),
+            format!("{:.4}", m.time_cost),
+            format!("{:.4}", m.quality_loss),
+            if selected { "PARETO".into() } else { String::new() },
+        ]);
+    }
+    format!(
+        "{}\n{} models generated, {} Pareto candidates (paper: 133 models -> 14 candidates)",
+        t.render(),
+        art.measurements.len(),
+        art.candidate_indices.len()
+    )
+}
+
+/// Figure 5: training-loss curves of MLP1–MLP5 on identical samples.
+pub struct Figure5 {
+    /// `(variant name, sampled loss curve)` — curves sampled every
+    /// `stride` steps for printing.
+    pub curves: Vec<(String, Vec<f64>)>,
+    /// Final loss per variant.
+    pub finals: Vec<(String, f64)>,
+}
+
+/// Trains all five topologies on the artifact's execution records.
+pub fn figure5(env: &BenchEnv, steps: usize) -> Figure5 {
+    let art = env.framework.artifacts();
+    // Rebuild the records the pipeline used.
+    let records: Vec<ModelRecords> = art
+        .candidate_indices
+        .iter()
+        .map(|&idx| {
+            let m = &art.measurements[idx];
+            ModelRecords {
+                model_id: m.id,
+                name: m.name.clone(),
+                spec: m.saved.spec.clone(),
+                records: m
+                    .per_problem
+                    .iter()
+                    .enumerate()
+                    .map(|(p, &(q, t))| ExecutionRecord {
+                        problem: p,
+                        quality_loss: q,
+                        time: t,
+                    })
+                    .collect(),
+            }
+        })
+        .collect();
+    let samples = generate_samples(
+        &records,
+        &SampleConfig {
+            per_model: env.offline.mlp_samples_per_model,
+            seed: env.offline.seed ^ 0x11,
+        },
+    );
+    let mut curves = Vec::new();
+    let mut finals = Vec::new();
+    for variant in MlpVariant::ALL {
+        let (_, curve) = SuccessPredictor::train(
+            variant,
+            &samples,
+            &MlpTrainConfig {
+                steps,
+                seed: env.offline.seed ^ 0x22,
+                ..Default::default()
+            },
+        );
+        let stride = (curve.len() / 25).max(1);
+        let sampled: Vec<f64> = curve.iter().step_by(stride).copied().collect();
+        finals.push((variant.name().to_string(), *curve.last().unwrap()));
+        curves.push((variant.name().to_string(), sampled));
+    }
+    Figure5 { curves, finals }
+}
+
+impl Figure5 {
+    /// Renders the loss series as aligned columns.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(
+            std::iter::once("step-sample".to_string())
+                .chain(self.curves.iter().map(|c| c.0.clone())),
+        );
+        let len = self.curves.iter().map(|c| c.1.len()).max().unwrap_or(0);
+        for i in 0..len {
+            let mut row = vec![format!("{i}")];
+            for (_, c) in &self.curves {
+                row.push(
+                    c.get(i)
+                        .map(|v| format!("{v:.4}"))
+                        .unwrap_or_default(),
+                );
+            }
+            t.row(row);
+        }
+        let finals: Vec<String> = self
+            .finals
+            .iter()
+            .map(|(n, v)| format!("{n}={v:.4}"))
+            .collect();
+        format!(
+            "{}\nfinal losses: {}\n(paper: MLP3 converges fastest with the lowest loss; \
+             deeper MLP4/5 give no significant advantage)",
+            t.render(),
+            finals.join("  ")
+        )
+    }
+}

@@ -1,0 +1,19 @@
+//! Experiment implementations, one module per table/figure group.
+//!
+//! | module | paper artifacts |
+//! |---|---|
+//! | [`baseline`] | Table 1, Figure 1 |
+//! | [`construction`] | Figure 3, Figure 5 |
+//! | [`runtime_metric`] | Figure 6 |
+//! | [`sweep`] | Figure 8, Figure 9, Table 2, Figure 12 |
+//! | [`candidates`] | Figure 10, Figure 11, Table 3 |
+//! | [`sensitivity`] | Figure 13, §4 sensitivity-study ablations |
+//! | [`resources`] | Table 4 |
+
+pub mod baseline;
+pub mod candidates;
+pub mod construction;
+pub mod resources;
+pub mod runtime_metric;
+pub mod sensitivity;
+pub mod sweep;

@@ -1,0 +1,41 @@
+//! Benchmark harness regenerating every table and figure of the SC '19
+//! evaluation (§2.3 and §7).
+//!
+//! Each experiment has a binary (`cargo run -p sfn-bench --release
+//! --bin <name>`) that prints the same rows/series the paper reports,
+//! plus the paper's own numbers for comparison; Criterion benches
+//! (`cargo bench -p sfn-bench`) time the underlying primitives.
+//!
+//! Scale knobs (environment variables, all optional):
+//!
+//! | variable | meaning | default |
+//! |---|---|---|
+//! | `SFN_EVAL_PROBLEMS` | problems per experiment | 16 |
+//! | `SFN_BENCH_PROBLEMS` | problems per *grid* in sweep experiments | 6 |
+//! | `SFN_BENCH_STEPS` | simulation steps per problem | 48 |
+//! | `SFN_BENCH_GRIDS` | comma-separated grid sizes | `24,32,48,64,96` |
+//! | `SFN_TRAIN_EPOCHS` | offline training epochs per model | 30 |
+//!
+//! The paper's absolute numbers came from a Titan X GPU against a CPU
+//! PCG at grids up to 1024²; ours come from one CPU at reduced scale.
+//! Absolute magnitudes therefore differ by construction — the harness
+//! reproduces the *shape*: who wins, roughly by how much, and where
+//! the crossovers fall. See EXPERIMENTS.md for the side-by-side.
+
+#![warn(missing_docs)]
+
+pub mod env;
+pub mod experiments;
+pub mod runners;
+
+pub use env::BenchEnv;
+
+/// The environment every experiment binary uses: quick (seconds-scale)
+/// when `SFN_QUICK=1`, the standard scale otherwise.
+pub fn bench_env() -> BenchEnv {
+    if std::env::var("SFN_QUICK").map(|v| v == "1").unwrap_or(false) {
+        BenchEnv::quick()
+    } else {
+        BenchEnv::standard()
+    }
+}

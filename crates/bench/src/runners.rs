@@ -1,0 +1,185 @@
+//! Shared run primitives for the experiment binaries.
+
+use rayon::prelude::*;
+use sfn_grid::Field2;
+use sfn_nn::network::SavedModel;
+use sfn_nn::Network;
+use sfn_runtime::{RunOutcome, RuntimeConfig};
+use sfn_sim::{quality_loss, ExactProjector};
+use sfn_solver::{MicPreconditioner, PcgSolver};
+use sfn_surrogate::{
+    train_projection_model, yang_default, NeuralProjector, ProjectionDataset, TrainConfig,
+};
+use sfn_workload::{InputProblem, ProblemSet};
+use smart_fluidnet_core::{OfflineConfig, SmartFluidnet};
+
+/// One simulation run's bench-relevant outcome.
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
+pub struct RunRecord {
+    /// Quality loss (Eq. 3) against the PCG reference.
+    pub qloss: f64,
+    /// Seconds spent in the pressure projection.
+    pub secs: f64,
+    /// Whether the adaptive runtime fell back to PCG.
+    pub restarted: bool,
+}
+
+/// The standard exact projector (MICCG(0), the paper's baseline).
+pub fn pcg_projector() -> ExactProjector<PcgSolver<MicPreconditioner>> {
+    ExactProjector::labelled(
+        PcgSolver::new(MicPreconditioner::default(), 1e-6, 200_000),
+        "pcg",
+    )
+}
+
+/// Runs the PCG reference, returning the final density and projection
+/// seconds.
+pub fn run_reference(problem: &InputProblem, steps: usize) -> (Field2, f64) {
+    let mut sim = problem.simulation();
+    let mut proj = pcg_projector();
+    let stats = sim.run(steps, &mut proj);
+    let secs = stats.iter().map(|s| s.projection_time.as_secs_f64()).sum();
+    (sim.density().clone(), secs)
+}
+
+/// Runs a fixed neural model over one problem.
+pub fn run_fixed(
+    saved: &SavedModel,
+    name: &str,
+    problem: &InputProblem,
+    steps: usize,
+    reference: &Field2,
+) -> RunRecord {
+    let net = Network::load(saved, 0).expect("model snapshot loads");
+    let mut proj = NeuralProjector::new(net, name.to_string());
+    let mut sim = problem.simulation();
+    let stats = sim.run(steps, &mut proj);
+    let secs = stats.iter().map(|s| s.projection_time.as_secs_f64()).sum();
+    let qloss = if sim.is_healthy() {
+        quality_loss(sim.density(), reference)
+    } else {
+        f64::INFINITY
+    };
+    RunRecord {
+        qloss,
+        secs,
+        restarted: false,
+    }
+}
+
+/// Runs the adaptive Smart-fluidnet runtime over one problem.
+pub fn run_smart(
+    fw: &SmartFluidnet,
+    problem: &InputProblem,
+    steps: usize,
+    reference: &Field2,
+    config: Option<RuntimeConfig>,
+) -> (RunRecord, RunOutcome) {
+    let cfg = config.unwrap_or(RuntimeConfig {
+        total_steps: steps,
+        quality_target: fw.requirement().0,
+        ..Default::default()
+    });
+    let mut rt = fw.runtime_with(RuntimeConfig {
+        total_steps: steps,
+        ..cfg
+    });
+    let out = rt.run(problem.simulation());
+    let secs: f64 = out.time_per_model.iter().sum();
+    let record = RunRecord {
+        qloss: quality_loss(&out.density, reference),
+        // A restart pays the full PCG projection cost on top of the
+        // wasted neural attempts.
+        secs: secs + out.restart_time,
+        restarted: out.restarted,
+    };
+    (record, out)
+}
+
+/// Evaluation problems at a grid size.
+pub fn problems_at(grid: usize, count: usize) -> Vec<InputProblem> {
+    ProblemSet::evaluation(grid, count).iter().collect()
+}
+
+/// Runs PCG references for a problem list in parallel.
+pub fn references_for(problems: &[InputProblem], steps: usize) -> Vec<(Field2, f64)> {
+    problems
+        .par_iter()
+        .map(|p| run_reference(p, steps))
+        .collect()
+}
+
+/// Trains (and caches) the Yang-style baseline on the same dataset the
+/// pipeline used, for Table 1.
+pub fn yang_baseline(cfg: &OfflineConfig) -> SavedModel {
+    let path = smart_fluidnet_core::OfflineArtifacts::cache_path(&format!(
+        "yang-{}",
+        cfg.cache_key()
+    ));
+    if let Ok(bytes) = std::fs::read(&path) {
+        if let Ok(saved) = serde_json::from_slice::<SavedModel>(&bytes) {
+            return saved;
+        }
+    }
+    let set = ProblemSet::training(cfg.train_grid, cfg.train_problems);
+    let dataset = ProjectionDataset::generate(&set, cfg.train_steps, cfg.capture_every);
+    let (mut net, _) = train_projection_model(
+        &yang_default(),
+        &dataset,
+        &TrainConfig {
+            epochs: cfg.train_epochs,
+            learning_rate: cfg.learning_rate,
+            seed: cfg.seed ^ 0xFA46,
+            ..Default::default()
+        },
+    );
+    let saved = net.save();
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).ok();
+    }
+    if let Ok(json) = serde_json::to_vec(&saved) {
+        std::fs::write(&path, json).ok();
+    }
+    saved
+}
+
+/// A realistic pressure right-hand side: the divergence after a few
+/// buoyancy steps (used by the Criterion benches so solver timings see
+/// representative spectra, not white noise).
+pub fn representative_divergence(grid: usize) -> (sfn_grid::CellFlags, Field2) {
+    let problem = ProblemSet::evaluation(grid, 1).problem(0);
+    let mut sim = problem.simulation();
+    let mut proj = pcg_projector();
+    sim.run(4, &mut proj);
+    // One more un-projected force step to get a non-trivial divergence.
+    let flags = sim.flags().clone();
+    let mut vel = sim.velocity().clone();
+    sfn_sim::forces::add_buoyancy(&mut vel, sim.density(), &flags, 1.0, 0.5);
+    let div = vel.divergence(&flags);
+    (flags, div)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_and_fixed_runs_work() {
+        let problems = problems_at(16, 1);
+        let (reference, secs) = run_reference(&problems[0], 8);
+        assert!(secs > 0.0);
+        assert!(reference.all_finite());
+        let mut net = Network::from_spec(&yang_default(), 1).unwrap();
+        let saved = net.save();
+        let rec = run_fixed(&saved, "yang", &problems[0], 8, &reference);
+        assert!(rec.qloss.is_finite());
+        assert!(rec.secs > 0.0);
+    }
+
+    #[test]
+    fn representative_divergence_is_nontrivial() {
+        let (flags, div) = representative_divergence(16);
+        assert_eq!(flags.nx(), 16);
+        assert!(div.max_abs() > 1e-9, "divergence {:.3e}", div.max_abs());
+    }
+}

@@ -1,0 +1,96 @@
+//! Serialisable offline artifacts with a simple file cache.
+
+use serde::{Deserialize, Serialize};
+use sfn_modelgen::{GeneratedModel, ModelMeasurement};
+use sfn_nn::network::SavedModel;
+use sfn_quality::MlpVariant;
+use sfn_runtime::CandidateModel;
+use std::path::{Path, PathBuf};
+
+/// Everything the offline phase produces; enough to reconstruct the
+/// online runtime without re-training.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OfflineArtifacts {
+    /// The §4 model family (architectures + provenance).
+    pub family: Vec<GeneratedModel>,
+    /// Trained + measured family members (same order as `family`).
+    pub measurements: Vec<ModelMeasurement>,
+    /// Indices into `measurements` forming the Pareto front (the
+    /// paper's "model candidates").
+    pub candidate_indices: Vec<usize>,
+    /// The trained success-rate MLP.
+    pub mlp: SavedModel,
+    /// Which MLP topology was trained.
+    pub mlp_variant: MlpVariant,
+    /// Training-loss curve of the MLP (Figure 5 series for the chosen
+    /// variant).
+    pub mlp_loss_curve: Vec<f64>,
+    /// Runtime-ready candidates selected by Eq. 8, in selection order
+    /// (highest predicted success rate first).
+    pub selected: Vec<CandidateModel>,
+    /// The KNN database pairs `(CumDivNorm_final, Q_loss)`.
+    pub knn_pairs: Vec<(f64, f64)>,
+    /// The derived requirement `U(q, t)` (Tompson-baseline quality and
+    /// time, per §7.1/§7.2).
+    pub requirement: (f64, f64),
+    /// Mean PCG projection time per simulation at the evaluation grid
+    /// (the Eq. 8 fallback `T′`).
+    pub fallback_time: f64,
+    /// Index (into `measurements`) of the base Tompson model.
+    pub base_index: usize,
+}
+
+impl OfflineArtifacts {
+    /// Default cache location for a config key:
+    /// `<workspace>/target/sfn-artifacts/<key>.json`, overridable with
+    /// `SFN_ARTIFACT_DIR`. Anchored to the workspace (not the process
+    /// CWD) so every binary shares one cache.
+    pub fn cache_path(key: &str) -> PathBuf {
+        let dir = if let Ok(d) = std::env::var("SFN_ARTIFACT_DIR") {
+            PathBuf::from(d)
+        } else if let Ok(d) = std::env::var("CARGO_TARGET_DIR") {
+            Path::new(&d).join("sfn-artifacts")
+        } else {
+            // crates/core -> workspace root -> target/.
+            Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../../target/sfn-artifacts")
+        };
+        dir.join(format!("{key}.json"))
+    }
+
+    /// Saves to a JSON file, creating parent directories.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let json = serde_json::to_vec(self).map_err(std::io::Error::other)?;
+        std::fs::write(path, json)
+    }
+
+    /// Loads from a JSON file.
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        let bytes = std::fs::read(path)?;
+        serde_json::from_slice(&bytes).map_err(std::io::Error::other)
+    }
+
+    /// The Pareto candidates' measurements, fastest first.
+    pub fn candidates(&self) -> Vec<&ModelMeasurement> {
+        self.candidate_indices
+            .iter()
+            .map(|&i| &self.measurements[i])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_path_is_keyed() {
+        let a = OfflineArtifacts::cache_path("abc");
+        let b = OfflineArtifacts::cache_path("def");
+        assert_ne!(a, b);
+        assert!(a.to_string_lossy().contains("sfn-artifacts"));
+    }
+}

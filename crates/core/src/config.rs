@@ -1,0 +1,175 @@
+//! Offline-pipeline configuration.
+
+use serde::{Deserialize, Serialize};
+use sfn_modelgen::{FamilyConfig, SearchConfig};
+
+/// Everything the offline phase needs. The paper-scale values (20,480
+/// problems, 128 steps, grids to 1024²) are impractical on a laptop;
+/// [`OfflineConfig::default`] targets minutes of CPU time and
+/// [`OfflineConfig::quick`] seconds (for tests). All counts scale up
+/// cleanly via the public fields or `SFN_*` environment variables (see
+/// [`OfflineConfig::from_env`]).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct OfflineConfig {
+    /// Grid size for surrogate training data.
+    pub train_grid: usize,
+    /// Training problems for dataset generation.
+    pub train_problems: usize,
+    /// Steps simulated per training problem.
+    pub train_steps: usize,
+    /// Capture one sample every this many steps.
+    pub capture_every: usize,
+    /// §4 family-generation schedule.
+    pub family: FamilyConfig,
+    /// Auto-Keras-substitute search budget.
+    pub search: SearchConfig,
+    /// Per-model training epochs (root models; warm-started children
+    /// get [`OfflineConfig::child_epochs`]).
+    pub train_epochs: usize,
+    /// Fine-tuning epochs for weight-inherited children; `0` disables
+    /// inheritance and trains everything from scratch.
+    pub child_epochs: usize,
+    /// Per-model training learning rate.
+    pub learning_rate: f64,
+    /// Grid size of the measurement/evaluation problems.
+    pub eval_grid: usize,
+    /// Number of measurement problems.
+    pub eval_problems: usize,
+    /// Steps per measurement simulation.
+    pub eval_steps: usize,
+    /// Small problems used to build the KNN database (paper: 128).
+    pub knn_problems: usize,
+    /// Grid size of the KNN problems ("small input problems").
+    pub knn_grid: usize,
+    /// MLP training steps.
+    pub mlp_steps: usize,
+    /// Requirement samples per model when training the MLP.
+    pub mlp_samples_per_model: usize,
+    /// Global seed.
+    pub seed: u64,
+}
+
+impl Default for OfflineConfig {
+    fn default() -> Self {
+        Self {
+            train_grid: 24,
+            train_problems: 4,
+            train_steps: 16,
+            capture_every: 2,
+            family: FamilyConfig::default(),
+            search: SearchConfig::default(),
+            train_epochs: 30,
+            child_epochs: 8,
+            learning_rate: 1e-2,
+            eval_grid: 24,
+            eval_problems: 8,
+            eval_steps: 24,
+            knn_problems: 16,
+            knn_grid: 16,
+            mlp_steps: 1200,
+            mlp_samples_per_model: 256,
+            seed: 0x51AB_F00D,
+        }
+    }
+}
+
+impl OfflineConfig {
+    /// A seconds-scale configuration for unit/integration tests.
+    pub fn quick() -> Self {
+        Self {
+            train_grid: 16,
+            train_problems: 3,
+            train_steps: 8,
+            capture_every: 2,
+            family: FamilyConfig::reduced(),
+            search: SearchConfig::fast(),
+            train_epochs: 60,
+            child_epochs: 20,
+            learning_rate: 1e-2,
+            eval_grid: 16,
+            eval_problems: 4,
+            eval_steps: 16,
+            knn_problems: 12,
+            knn_grid: 16,
+            mlp_steps: 400,
+            mlp_samples_per_model: 128,
+            seed: 0x51AB_F00D,
+        }
+    }
+
+    /// Applies `SFN_TRAIN_PROBLEMS`, `SFN_EVAL_PROBLEMS`,
+    /// `SFN_EVAL_GRID`, `SFN_EVAL_STEPS`, `SFN_TRAIN_EPOCHS`,
+    /// `SFN_KNN_PROBLEMS` and `SFN_SEED` environment overrides — the
+    /// scale knobs the bench harness documents.
+    pub fn from_env(mut self) -> Self {
+        fn get(name: &str) -> Option<usize> {
+            std::env::var(name).ok()?.parse().ok()
+        }
+        if let Some(v) = get("SFN_TRAIN_PROBLEMS") {
+            self.train_problems = v.max(1);
+        }
+        if let Some(v) = get("SFN_EVAL_PROBLEMS") {
+            self.eval_problems = v.max(1);
+        }
+        if let Some(v) = get("SFN_EVAL_GRID") {
+            self.eval_grid = v.max(8);
+        }
+        if let Some(v) = get("SFN_EVAL_STEPS") {
+            self.eval_steps = v.max(8);
+        }
+        if let Some(v) = get("SFN_TRAIN_EPOCHS") {
+            self.train_epochs = v.max(1);
+        }
+        if let Some(v) = get("SFN_KNN_PROBLEMS") {
+            self.knn_problems = v.max(2);
+        }
+        if let Some(v) = get("SFN_SEED") {
+            self.seed = v as u64;
+        }
+        self
+    }
+
+    /// A stable cache key for artifact reuse: every field that affects
+    /// the offline result participates.
+    pub fn cache_key(&self) -> String {
+        // FNV-1a over the debug rendering: stable within a build, cheap,
+        // and collision-safe enough for a local artifact cache.
+        let repr = format!("{self:?}");
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in repr.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        format!("{h:016x}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_is_smaller_than_default() {
+        let q = OfflineConfig::quick();
+        let d = OfflineConfig::default();
+        assert!(q.train_problems <= d.train_problems);
+        assert!(q.family.expected_size() < d.family.expected_size());
+    }
+
+    #[test]
+    fn cache_key_differs_per_config() {
+        let a = OfflineConfig::quick();
+        let mut b = OfflineConfig::quick();
+        b.seed += 1;
+        assert_ne!(a.cache_key(), b.cache_key());
+        assert_eq!(a.cache_key(), OfflineConfig::quick().cache_key());
+    }
+
+    #[test]
+    fn env_overrides_apply() {
+        std::env::set_var("SFN_EVAL_PROBLEMS", "99");
+        let c = OfflineConfig::quick().from_env();
+        std::env::remove_var("SFN_EVAL_PROBLEMS");
+        assert_eq!(c.eval_problems, 99);
+    }
+}

@@ -1,0 +1,28 @@
+//! Smart-fluidnet — the paper's primary contribution.
+//!
+//! This crate wires the whole framework of Figure 2 together:
+//!
+//! * the **offline phase** ([`pipeline`]): take an existing neural
+//!   network (the Tompson-style base model), construct the §4 model
+//!   family by transformation, train every member, keep the
+//!   Pareto-optimal candidates, collect execution records, train the
+//!   §5 success-rate MLP, apply the Eq. 8 selection rule, and build
+//!   the §6.1 KNN quality database from small problems;
+//! * the **online phase** ([`framework::SmartFluidnet`]): given an
+//!   input problem and a requirement `U(q, t)`, run the simulation
+//!   under the §6.2 quality-aware model-switch runtime.
+//!
+//! Offline artifacts are serialisable ([`artifacts`]) so experiments
+//! can reuse a trained pipeline instead of rebuilding it.
+
+#![warn(missing_docs)]
+
+pub mod artifacts;
+pub mod config;
+pub mod framework;
+pub mod pipeline;
+
+pub use artifacts::OfflineArtifacts;
+pub use config::OfflineConfig;
+pub use framework::SmartFluidnet;
+pub use pipeline::build_offline;

@@ -1,0 +1,222 @@
+//! Exact Euclidean distance transform to the nearest solid cell.
+//!
+//! Eq. 5 of the paper weights the divergence of each fluid cell by
+//! `w_i = max(1, k − d_i)`, where `d_i` is 0 for solid cells and the
+//! minimum Euclidean distance to the nearest solid cell otherwise. We
+//! compute `d` with the Felzenszwalb–Huttenlocher separable distance
+//! transform, which is exact and O(n) per dimension.
+
+use crate::{CellFlags, Field2};
+
+const INF: f64 = 1e20;
+
+/// 1-D squared-distance transform (lower envelope of parabolas).
+///
+/// `f` holds squared distances sampled on a line; returns the exact
+/// squared Euclidean distance transform along that line.
+#[allow(clippy::needless_range_loop)] // index-centric by construction
+fn dt1d(f: &[f64]) -> Vec<f64> {
+    let n = f.len();
+    let mut d = vec![0.0; n];
+    let mut v = vec![0usize; n]; // parabola apex positions
+    let mut z = vec![0.0f64; n + 1]; // boundaries between parabolas
+    let mut k = 0usize;
+    v[0] = 0;
+    z[0] = -INF;
+    z[1] = INF;
+    for q in 1..n {
+        // Intersection of parabola from q with parabola from v[k].
+        let mut s;
+        loop {
+            let p = v[k];
+            s = ((f[q] + (q * q) as f64) - (f[p] + (p * p) as f64)) / (2.0 * (q as f64 - p as f64));
+            if s <= z[k] {
+                if k == 0 {
+                    break;
+                }
+                k -= 1;
+            } else {
+                break;
+            }
+        }
+        // If s <= z[k] with k == 0 we overwrite the first parabola.
+        if s <= z[k] && k == 0 {
+            v[0] = q;
+            z[0] = -INF;
+            z[1] = INF;
+            k = 0;
+            continue;
+        }
+        k += 1;
+        v[k] = q;
+        z[k] = s;
+        z[k + 1] = INF;
+    }
+    k = 0;
+    for q in 0..n {
+        while z[k + 1] < q as f64 {
+            k += 1;
+        }
+        let dq = q as f64 - v[k] as f64;
+        d[q] = dq * dq + f[v[k]];
+    }
+    d
+}
+
+/// Exact Euclidean distance (in cell units, centre-to-centre) from each
+/// cell to the nearest solid cell. Solid cells get distance 0.
+///
+/// If the grid contains no solid cells at all, every distance is a large
+/// sentinel (`> max(nx, ny)`), which under `w = max(1, k − d)` cleanly
+/// degrades to uniform weight 1.
+pub fn distance_field(flags: &CellFlags) -> Field2 {
+    let (nx, ny) = (flags.nx(), flags.ny());
+    // Squared distance initialised to 0 at solids, INF elsewhere.
+    let mut sq = Field2::from_fn(nx, ny, |i, j| if flags.is_solid(i, j) { 0.0 } else { INF });
+    // Transform columns.
+    for i in 0..nx {
+        let col: Vec<f64> = (0..ny).map(|j| sq.at(i, j)).collect();
+        let d = dt1d(&col);
+        for (j, &v) in d.iter().enumerate() {
+            sq.set(i, j, v);
+        }
+    }
+    // Transform rows.
+    for j in 0..ny {
+        let row: Vec<f64> = (0..nx).map(|i| sq.at(i, j)).collect();
+        let d = dt1d(&row);
+        for (i, &v) in d.iter().enumerate() {
+            sq.set(i, j, v);
+        }
+    }
+    Field2::from_fn(nx, ny, |i, j| sq.at(i, j).sqrt().min(INF.sqrt()))
+}
+
+/// The DivNorm weight field of Eq. 5: `w = max(1, k − d)`.
+///
+/// `k` emphasises cells near geometry boundaries; the paper does not fix
+/// a value, we default to 3 elsewhere in the workspace.
+pub fn divnorm_weights(flags: &CellFlags, k: f64) -> Field2 {
+    let d = distance_field(flags);
+    Field2::from_fn(flags.nx(), flags.ny(), |i, j| (k - d.at(i, j)).max(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CellType;
+
+    /// Brute-force reference: O(n²) nearest-solid search.
+    fn brute_force(flags: &CellFlags) -> Field2 {
+        let (nx, ny) = (flags.nx(), flags.ny());
+        Field2::from_fn(nx, ny, |i, j| {
+            let mut best = INF.sqrt();
+            for sj in 0..ny {
+                for si in 0..nx {
+                    if flags.is_solid(si, sj) {
+                        let dx = i as f64 - si as f64;
+                        let dy = j as f64 - sj as f64;
+                        best = best.min((dx * dx + dy * dy).sqrt());
+                    }
+                }
+            }
+            best
+        })
+    }
+
+    #[test]
+    fn solid_cells_have_zero_distance() {
+        let mut f = CellFlags::all_fluid(8, 8);
+        f.set(3, 4, CellType::Solid);
+        let d = distance_field(&f);
+        assert_eq!(d.at(3, 4), 0.0);
+    }
+
+    #[test]
+    fn single_solid_matches_euclidean() {
+        let mut f = CellFlags::all_fluid(9, 7);
+        f.set(4, 3, CellType::Solid);
+        let d = distance_field(&f);
+        for j in 0..7 {
+            for i in 0..9 {
+                let dx = i as f64 - 4.0;
+                let dy = j as f64 - 3.0;
+                let want = (dx * dx + dy * dy).sqrt();
+                assert!(
+                    (d.at(i, j) - want).abs() < 1e-9,
+                    "({i},{j}): {} vs {want}",
+                    d.at(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_geometry() {
+        let mut f = CellFlags::smoke_box(16, 12);
+        f.add_solid_disc(8.0, 6.0, 2.5);
+        f.set(13, 9, CellType::Solid);
+        let fast = distance_field(&f);
+        let slow = brute_force(&f);
+        for j in 0..12 {
+            for i in 0..16 {
+                assert!(
+                    (fast.at(i, j) - slow.at(i, j)).abs() < 1e-9,
+                    "mismatch at ({i},{j}): {} vs {}",
+                    fast.at(i, j),
+                    slow.at(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_solid_cells_degrades_gracefully() {
+        let f = CellFlags::all_fluid(6, 6);
+        let w = divnorm_weights(&f, 3.0);
+        for j in 0..6 {
+            for i in 0..6 {
+                assert_eq!(w.at(i, j), 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn weights_emphasise_boundaries() {
+        let f = CellFlags::closed_box(10, 10);
+        let w = divnorm_weights(&f, 3.0);
+        // Cell adjacent to the wall: d = 1 -> w = 2.
+        assert_eq!(w.at(1, 5), 2.0);
+        // Centre cell: d = 4.something? wall at i=0 => d=4.5? centre (5,5)
+        // to wall cell (0,5) distance 5; nearest wall distance is 4 cells
+        // away at (5,0)? All borders are wall, min distance = 4 -> w = 1.
+        assert_eq!(w.at(5, 5), 1.0);
+        // Solid cells themselves: d = 0 -> w = k.
+        assert_eq!(w.at(0, 0), 3.0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn transform_equals_brute_force(seed in 0u64..200) {
+            // Pseudo-random sparse geometry from the seed.
+            let mut f = CellFlags::all_fluid(12, 10);
+            let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+            let mut any = false;
+            for _ in 0..5 {
+                s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+                let i = (s % 12) as usize;
+                let j = ((s >> 8) % 10) as usize;
+                f.set(i, j, CellType::Solid);
+                any = true;
+            }
+            proptest::prop_assume!(any);
+            let fast = distance_field(&f);
+            let slow = brute_force(&f);
+            for j in 0..10 {
+                for i in 0..12 {
+                    proptest::prop_assert!((fast.at(i, j) - slow.at(i, j)).abs() < 1e-9);
+                }
+            }
+        }
+    }
+}

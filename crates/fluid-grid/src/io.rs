@@ -1,0 +1,164 @@
+//! Field import/export: PGM images (for eyeballing smoke frames) and
+//! CSV (for external plotting of the bench series).
+
+use crate::{CellFlags, Field2};
+use std::io::Write;
+use std::path::Path;
+
+/// Writes a field as a binary 8-bit PGM image, mapping `[lo, hi]` to
+/// `[0, 255]` (values outside are clamped). Row 0 of the image is the
+/// *top* of the domain (grid `j = h-1`), matching image conventions.
+pub fn write_pgm(field: &Field2, lo: f64, hi: f64, path: &Path) -> std::io::Result<()> {
+    assert!(hi > lo, "invalid value range");
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut out = Vec::with_capacity(field.len() + 64);
+    write!(out, "P5\n{} {}\n255\n", field.w(), field.h())?;
+    for j in (0..field.h()).rev() {
+        for i in 0..field.w() {
+            let t = ((field.at(i, j) - lo) / (hi - lo)).clamp(0.0, 1.0);
+            out.push((t * 255.0).round() as u8);
+        }
+    }
+    std::fs::write(path, out)
+}
+
+/// Writes a field as a PGM with solid cells rendered mid-grey, giving
+/// quick-look smoke frames with visible geometry.
+pub fn write_pgm_with_geometry(
+    field: &Field2,
+    flags: &CellFlags,
+    lo: f64,
+    hi: f64,
+    path: &Path,
+) -> std::io::Result<()> {
+    assert!(hi > lo, "invalid value range");
+    assert_eq!((flags.nx(), flags.ny()), (field.w(), field.h()), "shape");
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut out = Vec::with_capacity(field.len() + 64);
+    write!(out, "P5\n{} {}\n255\n", field.w(), field.h())?;
+    for j in (0..field.h()).rev() {
+        for i in 0..field.w() {
+            if flags.is_solid(i, j) {
+                out.push(128);
+            } else {
+                let t = ((field.at(i, j) - lo) / (hi - lo)).clamp(0.0, 1.0);
+                out.push((t * 255.0).round() as u8);
+            }
+        }
+    }
+    std::fs::write(path, out)
+}
+
+/// Writes a field as CSV (one row per grid row, `j = 0` first).
+pub fn write_csv(field: &Field2, path: &Path) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut s = String::with_capacity(field.len() * 8);
+    for j in 0..field.h() {
+        for i in 0..field.w() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("{}", field.at(i, j)));
+        }
+        s.push('\n');
+    }
+    std::fs::write(path, s)
+}
+
+/// Reads a CSV written by [`write_csv`] back into a field.
+pub fn read_csv(path: &Path) -> std::io::Result<Field2> {
+    let text = std::fs::read_to_string(path)?;
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let row: Result<Vec<f64>, _> = line.split(',').map(|t| t.trim().parse()).collect();
+        rows.push(row.map_err(|e| std::io::Error::other(format!("bad CSV number: {e}")))?);
+    }
+    if rows.is_empty() {
+        return Err(std::io::Error::other("empty CSV"));
+    }
+    let w = rows[0].len();
+    if rows.iter().any(|r| r.len() != w) {
+        return Err(std::io::Error::other("ragged CSV rows"));
+    }
+    let h = rows.len();
+    let mut data = Vec::with_capacity(w * h);
+    for row in rows {
+        data.extend(row);
+    }
+    Ok(Field2::from_vec(w, h, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join("sfn-io-tests").join(name)
+    }
+
+    #[test]
+    fn pgm_header_and_size() {
+        let f = Field2::from_fn(4, 3, |i, j| (i + j) as f64);
+        let p = tmp("a.pgm");
+        write_pgm(&f, 0.0, 5.0, &p).unwrap();
+        let bytes = std::fs::read(&p).unwrap();
+        assert!(bytes.starts_with(b"P5\n4 3\n255\n"));
+        assert_eq!(bytes.len(), b"P5\n4 3\n255\n".len() + 12);
+    }
+
+    #[test]
+    fn pgm_flips_vertically_and_clamps() {
+        let mut f = Field2::new(2, 2);
+        f.set(0, 1, 99.0); // top-left of the domain
+        let p = tmp("b.pgm");
+        write_pgm(&f, 0.0, 1.0, &p).unwrap();
+        let bytes = std::fs::read(&p).unwrap();
+        let pixels = &bytes[bytes.len() - 4..];
+        // First pixel row = domain top: clamped 255 then 0.
+        assert_eq!(pixels, &[255, 0, 0, 0]);
+    }
+
+    #[test]
+    fn geometry_renders_grey() {
+        let f = Field2::new(3, 3);
+        let mut flags = crate::CellFlags::all_fluid(3, 3);
+        flags.set(1, 1, crate::CellType::Solid);
+        let p = tmp("c.pgm");
+        write_pgm_with_geometry(&f, &flags, 0.0, 1.0, &p).unwrap();
+        let bytes = std::fs::read(&p).unwrap();
+        let pixels = &bytes[bytes.len() - 9..];
+        assert_eq!(pixels[4], 128); // centre pixel
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let f = Field2::from_fn(5, 4, |i, j| i as f64 * 1.5 - j as f64 / 3.0);
+        let p = tmp("d.csv");
+        write_csv(&f, &p).unwrap();
+        let back = read_csv(&p).unwrap();
+        assert_eq!(back.w(), 5);
+        assert_eq!(back.h(), 4);
+        for (a, b) in f.data().iter().zip(back.data()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn read_csv_rejects_garbage() {
+        let p = tmp("e.csv");
+        std::fs::create_dir_all(p.parent().unwrap()).unwrap();
+        std::fs::write(&p, "1,2\n3\n").unwrap();
+        assert!(read_csv(&p).is_err());
+        std::fs::write(&p, "1,x\n").unwrap();
+        assert!(read_csv(&p).is_err());
+    }
+}

@@ -1,0 +1,122 @@
+//! Physical diagnostics of a running simulation: mass, kinetic energy,
+//! momentum and divergence norms — the quantities a fluid solver is
+//! sanity-checked against.
+
+use sfn_grid::{CellFlags, Field2, MacGrid};
+use serde::{Deserialize, Serialize};
+
+/// One step's physical diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Diagnostics {
+    /// Total smoke mass `Σ ρ` over fluid cells.
+    pub smoke_mass: f64,
+    /// Kinetic energy `½ Σ (u² + v²)` over faces.
+    pub kinetic_energy: f64,
+    /// Net momentum (x, y) from face velocities.
+    pub momentum: (f64, f64),
+    /// Maximum |∇·u| over fluid cells.
+    pub max_divergence: f64,
+    /// ℓ₂ norm of the divergence over fluid cells.
+    pub divergence_l2: f64,
+    /// CFL number: `max |u| · dt / dx` (caller supplies dt/dx).
+    pub cfl: f64,
+}
+
+/// Computes all diagnostics for a state.
+pub fn diagnostics(vel: &MacGrid, density: &Field2, flags: &CellFlags, dt: f64) -> Diagnostics {
+    let mut smoke_mass = 0.0;
+    for j in 0..flags.ny() {
+        for i in 0..flags.nx() {
+            if flags.is_fluid(i, j) {
+                smoke_mass += density.at(i, j);
+            }
+        }
+    }
+    let mut ke = 0.0;
+    let mut px = 0.0;
+    for &u in vel.u.data() {
+        ke += 0.5 * u * u;
+        px += u;
+    }
+    let mut py = 0.0;
+    for &v in vel.v.data() {
+        ke += 0.5 * v * v;
+        py += v;
+    }
+    let div = vel.divergence(flags);
+    let mut l2 = 0.0;
+    for j in 0..flags.ny() {
+        for i in 0..flags.nx() {
+            if flags.is_fluid(i, j) {
+                let d = div.at(i, j);
+                l2 += d * d;
+            }
+        }
+    }
+    Diagnostics {
+        smoke_mass,
+        kinetic_energy: ke,
+        momentum: (px, py),
+        max_divergence: div.max_abs(),
+        divergence_l2: l2.sqrt(),
+        cfl: vel.max_speed() * dt / vel.dx(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::projection::ExactProjector;
+    use crate::{SimConfig, Simulation};
+    use sfn_solver::{MicPreconditioner, PcgSolver};
+
+    #[test]
+    fn still_fluid_has_trivial_diagnostics() {
+        let flags = CellFlags::smoke_box(8, 8);
+        let vel = MacGrid::new(8, 8, 1.0);
+        let density = Field2::new(8, 8);
+        let d = diagnostics(&vel, &density, &flags, 0.5);
+        assert_eq!(d.smoke_mass, 0.0);
+        assert_eq!(d.kinetic_energy, 0.0);
+        assert_eq!(d.max_divergence, 0.0);
+        assert_eq!(d.cfl, 0.0);
+    }
+
+    #[test]
+    fn uniform_flow_energy_and_momentum() {
+        let flags = CellFlags::all_fluid(4, 4);
+        let mut vel = MacGrid::new(4, 4, 1.0);
+        vel.u.fill(2.0); // 5x4 = 20 faces
+        let density = Field2::new(4, 4);
+        let d = diagnostics(&vel, &density, &flags, 0.5);
+        assert!((d.kinetic_energy - 0.5 * 4.0 * 20.0).abs() < 1e-12);
+        assert!((d.momentum.0 - 40.0).abs() < 1e-12);
+        assert_eq!(d.momentum.1, 0.0);
+        assert!((d.cfl - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projected_plume_keeps_divergence_small_and_mass_growing() {
+        let n = 24;
+        let cfg = SimConfig::plume(n);
+        let mut sim = Simulation::new(cfg, CellFlags::smoke_box(n, n));
+        let mut proj = ExactProjector::labelled(
+            PcgSolver::new(MicPreconditioner::default(), 1e-7, 100_000),
+            "pcg",
+        );
+        let mut last_mass = 0.0;
+        for step in 0..12 {
+            sim.step(&mut proj);
+            let d = diagnostics(sim.velocity(), sim.density(), sim.flags(), cfg.dt);
+            assert!(
+                d.max_divergence < 1e-5,
+                "step {step}: divergence {}",
+                d.max_divergence
+            );
+            assert!(d.smoke_mass >= last_mass, "source must not lose mass");
+            last_mass = d.smoke_mass;
+            assert!(d.cfl < 5.0, "runaway velocities: CFL {}", d.cfl);
+        }
+        assert!(last_mass > 0.0);
+    }
+}

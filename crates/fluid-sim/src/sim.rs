@@ -1,0 +1,311 @@
+//! The time-stepping loop of Algorithm 1.
+//!
+//! Each step performs, in order:
+//!
+//! 1. **Advection** — density and velocity are traced through the
+//!    current velocity field (`u_A = advect(u_n, Δt, q)`).
+//! 2. **Sources & body forces** — the smoke inlet stamps density; the
+//!    buoyancy force (and optional vorticity confinement) produce the
+//!    tentative velocity `u_B = u_A + Δt·f`.
+//! 3. **Pressure projection** — `∇·u_B` is handed to the pluggable
+//!    [`PressureProjector`]; the returned pressure is subtracted,
+//!    `u_{n+1} = u_B − Δt(1/ρ)∇p`.
+//!
+//! After projection the step records the `DivNorm` of Eq. 5, which the
+//! adaptive runtime accumulates into `CumDivNorm`.
+
+use crate::advect::{advect_scalar, advect_scalar_cubic, advect_scalar_maccormack, advect_velocity};
+use crate::config::AdvectionScheme;
+use crate::forces::{add_buoyancy, add_vorticity_confinement};
+use crate::metrics::div_norm;
+use crate::projection::PressureProjector;
+use crate::SimConfig;
+use sfn_grid::{distance::divnorm_weights, CellFlags, Field2, MacGrid};
+use std::time::Duration;
+
+/// Per-step telemetry.
+#[derive(Debug, Clone)]
+pub struct StepStats {
+    /// Step index (0-based; the value *after* this step ran is `step+1`
+    /// completed steps).
+    pub step: usize,
+    /// `DivNorm` of the projected velocity (Eq. 5).
+    pub div_norm: f64,
+    /// Inner-solver iterations of the projection backend.
+    pub solver_iterations: usize,
+    /// Whether the projection backend converged.
+    pub converged: bool,
+    /// FLOPs of the projection solve.
+    pub projection_flops: u64,
+    /// Wall time of the projection solve.
+    pub projection_time: Duration,
+    /// Maximum velocity magnitude after the step (CFL diagnostics).
+    pub max_speed: f64,
+}
+
+/// One running smoke simulation.
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    config: SimConfig,
+    flags: CellFlags,
+    vel: MacGrid,
+    density: Field2,
+    weights: Field2,
+    steps_done: usize,
+}
+
+impl Simulation {
+    /// Creates a simulation over the given geometry. The flags must
+    /// match the configured grid size.
+    pub fn new(config: SimConfig, flags: CellFlags) -> Self {
+        config.validate().expect("invalid SimConfig");
+        assert_eq!(
+            (flags.nx(), flags.ny()),
+            (config.nx, config.ny),
+            "flags must match config grid size"
+        );
+        let weights = divnorm_weights(&flags, config.divnorm_k);
+        let mut vel = MacGrid::new(config.nx, config.ny, config.dx);
+        vel.enforce_solid_boundaries(&flags);
+        Self {
+            config,
+            density: Field2::new(flags.nx(), flags.ny()),
+            weights,
+            flags,
+            vel,
+            steps_done: 0,
+        }
+    }
+
+    /// Creates a simulation with a prescribed initial velocity (the
+    /// workload generator's turbulent field). The velocity is projected
+    /// onto solids immediately.
+    pub fn with_initial_velocity(config: SimConfig, flags: CellFlags, mut vel: MacGrid) -> Self {
+        assert_eq!(
+            (vel.nx(), vel.ny()),
+            (config.nx, config.ny),
+            "velocity must match config grid size"
+        );
+        vel.enforce_solid_boundaries(&flags);
+        let mut sim = Self::new(config, flags);
+        sim.vel = vel;
+        sim
+    }
+
+    /// The simulation configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Cell flags (geometry).
+    pub fn flags(&self) -> &CellFlags {
+        &self.flags
+    }
+
+    /// Current velocity field.
+    pub fn velocity(&self) -> &MacGrid {
+        &self.vel
+    }
+
+    /// Current smoke density matrix (the rendered frame of §2.1).
+    pub fn density(&self) -> &Field2 {
+        &self.density
+    }
+
+    /// Cached DivNorm weight field (Eq. 5).
+    pub fn weights(&self) -> &Field2 {
+        &self.weights
+    }
+
+    /// Number of completed steps.
+    pub fn steps_done(&self) -> usize {
+        self.steps_done
+    }
+
+    /// Advances the simulation one time step using `projector` for the
+    /// pressure solve.
+    pub fn step(&mut self, projector: &mut dyn PressureProjector) -> StepStats {
+        let cfg = self.config;
+
+        // 1. Advection.
+        self.density = match cfg.advection {
+            AdvectionScheme::SemiLagrangian => {
+                advect_scalar(&self.vel, &self.density, &self.flags, cfg.dt)
+            }
+            AdvectionScheme::Cubic => {
+                advect_scalar_cubic(&self.vel, &self.density, &self.flags, cfg.dt)
+            }
+            AdvectionScheme::MacCormack => {
+                advect_scalar_maccormack(&self.vel, &self.density, &self.flags, cfg.dt)
+            }
+        };
+        self.vel = advect_velocity(&self.vel, cfg.dt);
+        self.vel.enforce_solid_boundaries(&self.flags);
+
+        // 2. Sources and body forces.
+        cfg.source.apply(&mut self.density, &mut self.vel, &self.flags);
+        add_buoyancy(&mut self.vel, &self.density, &self.flags, cfg.buoyancy, cfg.dt);
+        if cfg.vorticity_epsilon > 0.0 {
+            add_vorticity_confinement(&mut self.vel, &self.flags, cfg.vorticity_epsilon, cfg.dt);
+        }
+        self.vel.enforce_solid_boundaries(&self.flags);
+
+        // 3. Pressure projection.
+        let div = self.vel.divergence(&self.flags);
+        let outcome = projector.solve_pressure(&div, &self.flags, cfg.dx, cfg.dt);
+        let scale = cfg.dt / (cfg.rho * cfg.dx);
+        self.vel
+            .subtract_pressure_gradient(&outcome.pressure, &self.flags, scale);
+        self.vel.enforce_solid_boundaries(&self.flags);
+
+        let dn = div_norm(&self.vel, &self.flags, &self.weights);
+        let stats = StepStats {
+            step: self.steps_done,
+            div_norm: dn,
+            solver_iterations: outcome.iterations,
+            converged: outcome.converged,
+            projection_flops: outcome.flops,
+            projection_time: outcome.wall_time,
+            max_speed: self.vel.max_speed(),
+        };
+        self.steps_done += 1;
+        stats
+    }
+
+    /// Runs `n` steps, returning the per-step stats.
+    pub fn run(&mut self, n: usize, projector: &mut dyn PressureProjector) -> Vec<StepStats> {
+        (0..n).map(|_| self.step(projector)).collect()
+    }
+
+    /// True if every state field is finite (failure-injection guard).
+    pub fn is_healthy(&self) -> bool {
+        self.vel.all_finite() && self.density.all_finite()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::projection::ExactProjector;
+    use sfn_solver::{MicPreconditioner, PcgSolver};
+
+    fn pcg_projector() -> ExactProjector<PcgSolver<MicPreconditioner>> {
+        ExactProjector::labelled(
+            PcgSolver::new(MicPreconditioner::default(), 1e-7, 20_000),
+            "pcg",
+        )
+    }
+
+    #[test]
+    fn plume_rises_over_time() {
+        let n = 32;
+        let cfg = SimConfig::plume(n);
+        let flags = CellFlags::smoke_box(n, n);
+        let mut sim = Simulation::new(cfg, flags);
+        let mut proj = pcg_projector();
+        sim.run(64, &mut proj);
+        assert!(sim.is_healthy());
+        // Smoke must have risen above the inlet: some density in the
+        // upper half of the domain.
+        let mut upper = 0.0;
+        for j in n / 2..n {
+            for i in 0..n {
+                upper += sim.density().at(i, j);
+            }
+        }
+        assert!(upper > 1.0, "no smoke reached the upper half: {upper}");
+    }
+
+    #[test]
+    fn exact_projection_keeps_divnorm_tiny() {
+        let n = 24;
+        let cfg = SimConfig::plume(n);
+        let flags = CellFlags::smoke_box(n, n);
+        let mut sim = Simulation::new(cfg, flags);
+        let mut proj = pcg_projector();
+        let stats = sim.run(10, &mut proj);
+        for s in &stats {
+            assert!(
+                s.div_norm < 1e-6,
+                "step {}: DivNorm {} too large for exact solve",
+                s.step,
+                s.div_norm
+            );
+            assert!(s.converged);
+        }
+    }
+
+    #[test]
+    fn density_stays_bounded() {
+        // Semi-Lagrangian + clamped source keeps density in [0, 1].
+        let n = 24;
+        let cfg = SimConfig::plume(n);
+        let flags = CellFlags::smoke_box(n, n);
+        let mut sim = Simulation::new(cfg, flags);
+        let mut proj = pcg_projector();
+        sim.run(40, &mut proj);
+        for &d in sim.density().data() {
+            assert!((0.0..=1.0 + 1e-9).contains(&d), "density {d} out of range");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let n = 16;
+        let cfg = SimConfig::plume(n);
+        let run = || {
+            let flags = CellFlags::smoke_box(n, n);
+            let mut sim = Simulation::new(cfg, flags);
+            let mut proj = pcg_projector();
+            sim.run(10, &mut proj);
+            sim.density().clone()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn obstacle_blocks_smoke() {
+        let n = 32;
+        let cfg = SimConfig::plume(n);
+        let mut flags = CellFlags::smoke_box(n, n);
+        // A wide plate right above the inlet.
+        flags.add_solid_box(8.0, 18.0, 24.0, 20.0);
+        let mut sim = Simulation::new(cfg, flags);
+        let mut proj = pcg_projector();
+        sim.run(30, &mut proj);
+        assert!(sim.is_healthy());
+        // No smoke inside the plate.
+        for j in 18..20 {
+            for i in 8..24 {
+                assert_eq!(sim.density().at(i, j), 0.0, "smoke inside solid at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn step_stats_sequence() {
+        let n = 16;
+        let cfg = SimConfig::plume(n);
+        let flags = CellFlags::smoke_box(n, n);
+        let mut sim = Simulation::new(cfg, flags);
+        let mut proj = pcg_projector();
+        let stats = sim.run(5, &mut proj);
+        let steps: Vec<usize> = stats.iter().map(|s| s.step).collect();
+        assert_eq!(steps, vec![0, 1, 2, 3, 4]);
+        assert_eq!(sim.steps_done(), 5);
+        assert!(stats.iter().all(|s| s.projection_flops > 0 || s.solver_iterations == 0));
+    }
+
+    #[test]
+    fn vorticity_confinement_runs_stably() {
+        let n = 24;
+        let mut cfg = SimConfig::plume(n);
+        cfg.vorticity_epsilon = 2.0;
+        cfg.advection = crate::config::AdvectionScheme::MacCormack;
+        let flags = CellFlags::smoke_box(n, n);
+        let mut sim = Simulation::new(cfg, flags);
+        let mut proj = pcg_projector();
+        sim.run(25, &mut proj);
+        assert!(sim.is_healthy());
+    }
+}

@@ -1,0 +1,172 @@
+//! Damped Jacobi iteration — a cheap baseline solver and the smoother
+//! used inside the multigrid V-cycle.
+
+use crate::laplace::PoissonProblem;
+use crate::{PoissonSolver, SolveStats};
+use sfn_grid::{CellType, Field2};
+
+/// Damped Jacobi: `x ← x + ω D⁻¹ (b − A x)`.
+#[derive(Debug, Clone, Copy)]
+pub struct JacobiSolver {
+    /// Damping factor ω (2/3 is optimal for high-frequency smoothing).
+    pub omega: f64,
+    /// Relative residual tolerance.
+    pub tolerance: f64,
+    /// Iteration budget.
+    pub max_iterations: usize,
+}
+
+impl JacobiSolver {
+    /// Creates a solver with damping `omega`.
+    pub fn new(omega: f64, tolerance: f64, max_iterations: usize) -> Self {
+        assert!(omega > 0.0 && omega <= 1.0, "omega in (0, 1]");
+        assert!(tolerance > 0.0, "tolerance must be positive");
+        Self {
+            omega,
+            tolerance,
+            max_iterations,
+        }
+    }
+
+    /// One damped-Jacobi sweep in place. Exposed for the multigrid
+    /// smoother. `scratch` must have the grid shape.
+    pub fn sweep(problem: &PoissonProblem<'_>, x: &mut Field2, b: &Field2, omega: f64, scratch: &mut Field2) {
+        let (nx, ny) = (problem.nx(), problem.ny());
+        let inv_dx2 = 1.0 / (problem.dx * problem.dx);
+        for j in 0..ny {
+            for i in 0..nx {
+                if !problem.flags.is_fluid(i, j) {
+                    scratch.set(i, j, 0.0);
+                    continue;
+                }
+                let deg = problem.degree(i, j);
+                if deg == 0.0 {
+                    // Isolated fluid cell fully enclosed by solids: the
+                    // pressure is indeterminate, keep it at zero.
+                    scratch.set(i, j, 0.0);
+                    continue;
+                }
+                let mut nb = 0.0;
+                for (di, dj) in [(1isize, 0isize), (-1, 0), (0, 1), (0, -1)] {
+                    let (ni, nj) = (i as isize + di, j as isize + dj);
+                    if problem.flags.at_or_solid(ni, nj) == CellType::Fluid {
+                        nb += x.at(ni as usize, nj as usize);
+                    }
+                }
+                // Solve row: deg·x − Σnb = b·dx² (after unscaling).
+                let x_new = (b.at(i, j) / inv_dx2 + nb) / deg;
+                scratch.set(i, j, (1.0 - omega) * x.at(i, j) + omega * x_new);
+            }
+        }
+        std::mem::swap(x, scratch);
+    }
+}
+
+impl Default for JacobiSolver {
+    fn default() -> Self {
+        Self::new(2.0 / 3.0, 1e-5, 10_000)
+    }
+}
+
+impl PoissonSolver for JacobiSolver {
+    fn solve(&self, problem: &PoissonProblem<'_>, b: &Field2) -> (Field2, SolveStats) {
+        let (nx, ny) = (problem.nx(), problem.ny());
+        assert_eq!((b.w(), b.h()), (nx, ny), "rhs shape");
+        let mut x = Field2::new(nx, ny);
+        let b_norm = problem.norm(b);
+        if b_norm == 0.0 {
+            return (x, SolveStats::trivial());
+        }
+        let mut scratch = Field2::new(nx, ny);
+        let mut r = Field2::new(nx, ny);
+        let sweep_flops = 9 * problem.unknowns() as u64;
+        let mut flops = 0u64;
+        let mut rel = 1.0;
+        for it in 1..=self.max_iterations {
+            JacobiSolver::sweep(problem, &mut x, b, self.omega, &mut scratch);
+            flops += sweep_flops;
+            // Check the residual every 8 sweeps (it costs a stencil).
+            if it % 8 == 0 || it == self.max_iterations {
+                problem.residual(&x, b, &mut r);
+                flops += problem.apply_flops();
+                rel = problem.norm(&r) / b_norm;
+                if rel <= self.tolerance {
+                    return (
+                        x,
+                        SolveStats {
+                            iterations: it,
+                            rel_residual: rel,
+                            converged: true,
+                            flops,
+                        },
+                    );
+                }
+            }
+        }
+        (
+            x,
+            SolveStats {
+                iterations: self.max_iterations,
+                rel_residual: rel,
+                converged: false,
+                flops,
+            },
+        )
+    }
+
+    fn name(&self) -> &'static str {
+        "jacobi"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfn_grid::CellFlags;
+
+    #[test]
+    fn converges_on_small_problem() {
+        let flags = CellFlags::smoke_box(12, 12);
+        let p = PoissonProblem::new(&flags, 1.0);
+        let mut b = Field2::new(12, 12);
+        b.set(6, 6, 1.0);
+        let s = JacobiSolver::new(2.0 / 3.0, 1e-7, 50_000);
+        let (x, stats) = s.solve(&p, &b);
+        assert!(stats.converged, "{stats:?}");
+        let mut r = Field2::new(12, 12);
+        p.residual(&x, &b, &mut r);
+        assert!(p.norm(&r) < 1e-6);
+    }
+
+    #[test]
+    fn needs_many_more_iterations_than_cg() {
+        use crate::pcg::CgSolver;
+        let flags = CellFlags::smoke_box(24, 24);
+        let p = PoissonProblem::new(&flags, 1.0);
+        let mut b = Field2::new(24, 24);
+        b.set(10, 12, 1.0);
+        b.set(15, 4, -0.5);
+        let j = JacobiSolver::new(2.0 / 3.0, 1e-6, 200_000);
+        let c = CgSolver::plain(1e-6, 10_000);
+        let (_, sj) = j.solve(&p, &b);
+        let (_, sc) = c.solve(&p, &b);
+        assert!(sj.converged && sc.converged);
+        assert!(sj.iterations > 4 * sc.iterations);
+    }
+
+    #[test]
+    fn isolated_fluid_cell_does_not_nan() {
+        // A 3x3 solid ring with one fluid cell inside.
+        let mut flags = CellFlags::all_fluid(5, 5);
+        for (i, j) in [(1, 1), (2, 1), (3, 1), (1, 2), (3, 2), (1, 3), (2, 3), (3, 3)] {
+            flags.set(i, j, sfn_grid::CellType::Solid);
+        }
+        let p = PoissonProblem::new(&flags, 1.0);
+        let mut b = Field2::new(5, 5);
+        b.set(2, 2, 1.0);
+        let s = JacobiSolver::default();
+        let (x, _) = s.solve(&p, &b);
+        assert!(x.all_finite());
+        assert_eq!(x.at(2, 2), 0.0);
+    }
+}

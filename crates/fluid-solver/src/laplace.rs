@@ -1,0 +1,299 @@
+//! The discrete pressure-Poisson operator (matrix-free 5-point stencil).
+//!
+//! For a fluid cell `(i, j)` the operator is
+//!
+//! ```text
+//! (A p)_ij = [ deg·p_ij − Σ_{fluid n} p_n ] / dx²
+//! ```
+//!
+//! where `deg` counts non-solid neighbours. Solid neighbours drop out
+//! (homogeneous Neumann: ∂p/∂n = 0), empty neighbours contribute to the
+//! diagonal but not the off-diagonal (Dirichlet: ghost pressure 0).
+//! `A` is symmetric positive (semi-)definite; it is strictly definite
+//! whenever at least one fluid cell touches an empty cell, and positive
+//! semi-definite with the constant null-space on fully closed domains —
+//! CG handles the latter as long as the right-hand side is compatible
+//! (which discrete divergence of a wall-bounded field always is).
+
+use sfn_grid::{CellFlags, CellType, Field2};
+
+/// The pressure-Poisson problem geometry: cell flags plus grid spacing.
+#[derive(Debug, Clone, Copy)]
+pub struct PoissonProblem<'a> {
+    /// Cell classification (fluid/solid/empty).
+    pub flags: &'a CellFlags,
+    /// Grid spacing.
+    pub dx: f64,
+}
+
+impl<'a> PoissonProblem<'a> {
+    /// Creates a problem over the given flags with spacing `dx`.
+    pub fn new(flags: &'a CellFlags, dx: f64) -> Self {
+        assert!(dx > 0.0 && dx.is_finite(), "dx must be positive");
+        Self { flags, dx }
+    }
+
+    /// Grid width in cells.
+    #[inline]
+    pub fn nx(&self) -> usize {
+        self.flags.nx()
+    }
+
+    /// Grid height in cells.
+    #[inline]
+    pub fn ny(&self) -> usize {
+        self.flags.ny()
+    }
+
+    /// Diagonal coefficient of the (unscaled by 1/dx²) matrix row for
+    /// cell `(i, j)`: the number of non-solid neighbours.
+    pub fn degree(&self, i: usize, j: usize) -> f64 {
+        let mut deg = 0.0;
+        for (di, dj) in [(1isize, 0isize), (-1, 0), (0, 1), (0, -1)] {
+            if self.flags.at_or_solid(i as isize + di, j as isize + dj) != CellType::Solid {
+                deg += 1.0;
+            }
+        }
+        deg
+    }
+
+    /// Applies the operator: `out = A x`. Non-fluid cells of `out` are
+    /// set to zero, and non-fluid entries of `x` are treated as zero.
+    pub fn apply(&self, x: &Field2, out: &mut Field2) {
+        let (nx, ny) = (self.nx(), self.ny());
+        assert_eq!((x.w(), x.h()), (nx, ny), "x shape");
+        assert_eq!((out.w(), out.h()), (nx, ny), "out shape");
+        let inv_dx2 = 1.0 / (self.dx * self.dx);
+        for j in 0..ny {
+            for i in 0..nx {
+                if !self.flags.is_fluid(i, j) {
+                    out.set(i, j, 0.0);
+                    continue;
+                }
+                let mut acc = self.degree(i, j) * x.at(i, j);
+                for (di, dj) in [(1isize, 0isize), (-1, 0), (0, 1), (0, -1)] {
+                    let (ni, nj) = (i as isize + di, j as isize + dj);
+                    if self.flags.at_or_solid(ni, nj) == CellType::Fluid {
+                        acc -= x.at(ni as usize, nj as usize);
+                    }
+                    // Empty neighbour: ghost pressure 0 contributes
+                    // nothing off-diagonal; solid neighbour: dropped.
+                }
+                out.set(i, j, acc * inv_dx2);
+            }
+        }
+    }
+
+    /// Residual `r = b − A x` restricted to fluid cells.
+    pub fn residual(&self, x: &Field2, b: &Field2, r: &mut Field2) {
+        self.apply(x, r);
+        for j in 0..self.ny() {
+            for i in 0..self.nx() {
+                if self.flags.is_fluid(i, j) {
+                    let v = b.at(i, j) - r.at(i, j);
+                    r.set(i, j, v);
+                } else {
+                    r.set(i, j, 0.0);
+                }
+            }
+        }
+    }
+
+    /// ℓ₂ norm over fluid cells.
+    pub fn norm(&self, x: &Field2) -> f64 {
+        let mut s = 0.0;
+        for j in 0..self.ny() {
+            for i in 0..self.nx() {
+                if self.flags.is_fluid(i, j) {
+                    let v = x.at(i, j);
+                    s += v * v;
+                }
+            }
+        }
+        s.sqrt()
+    }
+
+    /// Inner product over fluid cells.
+    pub fn dot(&self, a: &Field2, b: &Field2) -> f64 {
+        let mut s = 0.0;
+        for j in 0..self.ny() {
+            for i in 0..self.nx() {
+                if self.flags.is_fluid(i, j) {
+                    s += a.at(i, j) * b.at(i, j);
+                }
+            }
+        }
+        s
+    }
+
+    /// Number of fluid cells (system size).
+    pub fn unknowns(&self) -> usize {
+        self.flags.fluid_count()
+    }
+
+    /// Approximate FLOPs for one operator application
+    /// (stencil: ~10 flops per fluid cell).
+    pub fn apply_flops(&self) -> u64 {
+        10 * self.unknowns() as u64
+    }
+
+    /// True if the system is strictly positive definite (some fluid
+    /// cell has an empty neighbour, anchoring the pressure level).
+    pub fn is_definite(&self) -> bool {
+        let (nx, ny) = (self.nx(), self.ny());
+        for j in 0..ny {
+            for i in 0..nx {
+                if self.flags.is_fluid(i, j) {
+                    for (di, dj) in [(1isize, 0isize), (-1, 0), (0, 1), (0, -1)] {
+                        if self.flags.at_or_solid(i as isize + di, j as isize + dj)
+                            == CellType::Empty
+                        {
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfn_grid::CellFlags;
+
+    #[allow(clippy::needless_range_loop)]
+    fn dense_matrix(p: &PoissonProblem<'_>) -> Vec<Vec<f64>> {
+        // Build A column by column via apply on unit vectors.
+        let (nx, ny) = (p.nx(), p.ny());
+        let n = nx * ny;
+        let mut cols = vec![vec![0.0; n]; n];
+        let mut e = Field2::new(nx, ny);
+        let mut out = Field2::new(nx, ny);
+        for c in 0..n {
+            e.fill(0.0);
+            e.data_mut()[c] = 1.0;
+            p.apply(&e, &mut out);
+            for r in 0..n {
+                cols[c][r] = out.data()[r];
+            }
+        }
+        cols
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn operator_is_symmetric() {
+        let mut flags = CellFlags::smoke_box(8, 8);
+        flags.add_solid_disc(4.0, 4.0, 1.5);
+        let p = PoissonProblem::new(&flags, 1.0);
+        let a = dense_matrix(&p);
+        let n = a.len();
+        for c in 0..n {
+            for r in 0..n {
+                assert!(
+                    (a[c][r] - a[r][c]).abs() < 1e-12,
+                    "A[{r}][{c}] asymmetric: {} vs {}",
+                    a[c][r],
+                    a[r][c]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn operator_is_positive_semidefinite_on_random_vectors() {
+        let flags = CellFlags::closed_box(6, 6);
+        let p = PoissonProblem::new(&flags, 1.0);
+        let mut out = Field2::new(6, 6);
+        let mut state = 12345u64;
+        for _ in 0..20 {
+            let x = Field2::from_fn(6, 6, |_, _| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 1000) as f64 / 500.0 - 1.0
+            });
+            p.apply(&x, &mut out);
+            let q = p.dot(&x, &out);
+            assert!(q >= -1e-9, "x'Ax = {q} < 0");
+        }
+    }
+
+    #[test]
+    fn constant_vector_in_nullspace_of_closed_domain() {
+        let flags = CellFlags::closed_box(6, 6);
+        let p = PoissonProblem::new(&flags, 1.0);
+        let x = Field2::from_fn(6, 6, |_, _| 1.0);
+        let mut out = Field2::new(6, 6);
+        p.apply(&x, &mut out);
+        assert!(out.max_abs() < 1e-12, "closed domain must annihilate constants");
+        assert!(!p.is_definite());
+    }
+
+    #[test]
+    fn open_domain_is_definite() {
+        let flags = CellFlags::smoke_box(6, 6);
+        let p = PoissonProblem::new(&flags, 1.0);
+        assert!(p.is_definite());
+        // Constants are NOT in the nullspace: top fluid row sees empty.
+        let x = Field2::from_fn(6, 6, |_, _| 1.0);
+        let mut out = Field2::new(6, 6);
+        p.apply(&x, &mut out);
+        assert!(out.max_abs() > 0.0);
+    }
+
+    #[test]
+    fn interior_row_is_standard_five_point() {
+        let flags = CellFlags::all_fluid(5, 5);
+        let p = PoissonProblem::new(&flags, 0.5);
+        let mut x = Field2::new(5, 5);
+        x.set(2, 2, 1.0);
+        let mut out = Field2::new(5, 5);
+        p.apply(&x, &mut out);
+        let inv_dx2 = 4.0;
+        assert_eq!(out.at(2, 2), 4.0 * inv_dx2);
+        assert_eq!(out.at(1, 2), -inv_dx2);
+        assert_eq!(out.at(3, 2), -inv_dx2);
+        assert_eq!(out.at(2, 1), -inv_dx2);
+        assert_eq!(out.at(2, 3), -inv_dx2);
+        assert_eq!(out.at(0, 0), 3.0 * 0.0); // untouched corner
+    }
+
+    #[test]
+    fn solid_neighbour_reduces_degree() {
+        let mut flags = CellFlags::all_fluid(3, 3);
+        flags.set(0, 1, sfn_grid::CellType::Solid);
+        let p = PoissonProblem::new(&flags, 1.0);
+        // Cell (1,1): neighbours (0,1) solid, rest fluid -> degree 3.
+        assert_eq!(p.degree(1, 1), 3.0);
+        // Cell (1,0): bottom edge -> outside is solid -> degree 3.
+        assert_eq!(p.degree(1, 0), 3.0);
+    }
+
+    #[test]
+    fn empty_neighbour_keeps_degree_but_no_coupling() {
+        let mut flags = CellFlags::all_fluid(3, 3);
+        flags.set(1, 2, sfn_grid::CellType::Empty);
+        let p = PoissonProblem::new(&flags, 1.0);
+        assert_eq!(p.degree(1, 1), 4.0);
+        let mut x = Field2::new(3, 3);
+        x.set(1, 2, 5.0); // value in an empty cell must be ignored
+        let mut out = Field2::new(3, 3);
+        p.apply(&x, &mut out);
+        assert_eq!(out.at(1, 1), 0.0);
+    }
+
+    #[test]
+    fn residual_of_exact_solution_is_zero() {
+        let flags = CellFlags::smoke_box(6, 6);
+        let p = PoissonProblem::new(&flags, 1.0);
+        let x = Field2::from_fn(6, 6, |i, j| ((i * 3 + j * 7) % 5) as f64 * 0.1);
+        let mut b = Field2::new(6, 6);
+        p.apply(&x, &mut b);
+        let mut r = Field2::new(6, 6);
+        p.residual(&x, &b, &mut r);
+        assert!(p.norm(&r) < 1e-12);
+    }
+}

@@ -1,0 +1,429 @@
+//! Geometric multigrid V-cycle.
+//!
+//! Mantaflow "uses a multi-grid approach as a preprocessing step of the
+//! PCG method" (§2.1); we provide the V-cycle both as a standalone
+//! solver and as a PCG preconditioner. The hierarchy coarsens the cell
+//! flags 2×2 → 1 (a coarse cell is fluid if any child is fluid, empty
+//! if any child is empty, else solid), restricts residuals by
+//! full-weighting over fluid children, prolongates corrections by
+//! injection, and smooths with damped Jacobi.
+
+use crate::jacobi::JacobiSolver;
+use crate::laplace::PoissonProblem;
+use crate::pcg::{CgSolver, Preconditioner, PreparedPreconditioner};
+use crate::{PoissonSolver, SolveStats};
+use sfn_grid::{CellFlags, CellType, Field2};
+
+/// One level of the multigrid hierarchy: owned flags plus spacing.
+#[derive(Debug, Clone)]
+struct Level {
+    flags: CellFlags,
+    dx: f64,
+}
+
+/// The prepared hierarchy (level 0 = finest).
+#[derive(Debug, Clone)]
+pub struct MgHierarchy {
+    levels: Vec<Level>,
+    pre_smooth: usize,
+    post_smooth: usize,
+}
+
+/// Coarsens flags 2×2 → 1.
+fn coarsen_flags(fine: &CellFlags) -> CellFlags {
+    let cnx = fine.nx().div_ceil(2);
+    let cny = fine.ny().div_ceil(2);
+    let mut coarse = CellFlags::all_fluid(cnx, cny);
+    for cj in 0..cny {
+        for ci in 0..cnx {
+            let mut any_fluid = false;
+            let mut any_empty = false;
+            for dj in 0..2 {
+                for di in 0..2 {
+                    let (fi, fj) = (2 * ci + di, 2 * cj + dj);
+                    if fi < fine.nx() && fj < fine.ny() {
+                        match fine.at(fi, fj) {
+                            CellType::Fluid => any_fluid = true,
+                            CellType::Empty => any_empty = true,
+                            CellType::Solid => {}
+                        }
+                    }
+                }
+            }
+            // Empty (Dirichlet) children win so that the coarse system
+            // keeps the pressure anchor of the fine one; otherwise a
+            // fluid/empty mix would coarsen into an all-Neumann
+            // (singular) level.
+            let t = if any_empty {
+                CellType::Empty
+            } else if any_fluid {
+                CellType::Fluid
+            } else {
+                CellType::Solid
+            };
+            coarse.set(ci, cj, t);
+        }
+    }
+    coarse
+}
+
+impl MgHierarchy {
+    /// Builds the hierarchy down to a coarsest level of ~4 cells/side.
+    pub fn build(flags: &CellFlags, dx: f64, pre_smooth: usize, post_smooth: usize) -> Self {
+        let mut levels = vec![Level {
+            flags: flags.clone(),
+            dx,
+        }];
+        loop {
+            let last = levels.last().expect("non-empty");
+            if last.flags.nx() <= 4 || last.flags.ny() <= 4 {
+                break;
+            }
+            let coarse = coarsen_flags(&last.flags);
+            let cdx = last.dx * 2.0;
+            levels.push(Level {
+                flags: coarse,
+                dx: cdx,
+            });
+        }
+        Self {
+            levels,
+            pre_smooth,
+            post_smooth,
+        }
+    }
+
+    /// Number of levels (≥ 1).
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Restriction: coarse cell = (1/4) Σ fluid children.
+    ///
+    /// The weight is a *fixed* 1/4 (not 1/#children) so that the
+    /// restriction is exactly `(1/4)·Pᵀ` of the injection prolongation
+    /// everywhere, keeping the V-cycle symmetric — a requirement for
+    /// use as a CG preconditioner.
+    fn restrict(fine_flags: &CellFlags, fine: &Field2, coarse_flags: &CellFlags) -> Field2 {
+        Field2::from_fn(coarse_flags.nx(), coarse_flags.ny(), |ci, cj| {
+            if !coarse_flags.is_fluid(ci, cj) {
+                return 0.0;
+            }
+            let mut sum = 0.0;
+            for dj in 0..2 {
+                for di in 0..2 {
+                    let (fi, fj) = (2 * ci + di, 2 * cj + dj);
+                    if fi < fine_flags.nx() && fj < fine_flags.ny() && fine_flags.is_fluid(fi, fj)
+                    {
+                        sum += fine.at(fi, fj);
+                    }
+                }
+            }
+            sum * 0.25
+        })
+    }
+
+    /// Prolongation by injection: each fine fluid cell inherits its
+    /// coarse parent's correction.
+    fn prolong_add(fine_flags: &CellFlags, fine: &mut Field2, coarse: &Field2) {
+        for j in 0..fine_flags.ny() {
+            for i in 0..fine_flags.nx() {
+                if fine_flags.is_fluid(i, j) {
+                    let v = fine.at(i, j) + coarse.at(i / 2, j / 2);
+                    fine.set(i, j, v);
+                }
+            }
+        }
+    }
+
+    /// One V-cycle starting from `x` on level `lvl` for `A x = b`.
+    fn vcycle(&self, lvl: usize, x: &mut Field2, b: &Field2) {
+        let level = &self.levels[lvl];
+        let problem = PoissonProblem::new(&level.flags, level.dx);
+        let (nx, ny) = (problem.nx(), problem.ny());
+        let mut scratch = Field2::new(nx, ny);
+        if lvl + 1 == self.levels.len() {
+            // Coarsest level: solve (almost) exactly with CG. On a
+            // singular (all-Neumann) level, project the right-hand side
+            // onto the compatible subspace first.
+            let mut bc = b.clone();
+            if !problem.is_definite() {
+                let nf = problem.unknowns();
+                if nf > 0 {
+                    let mut mean = 0.0;
+                    for j in 0..ny {
+                        for i in 0..nx {
+                            if problem.flags.is_fluid(i, j) {
+                                mean += bc.at(i, j);
+                            }
+                        }
+                    }
+                    mean /= nf as f64;
+                    for j in 0..ny {
+                        for i in 0..nx {
+                            if problem.flags.is_fluid(i, j) {
+                                let v = bc.at(i, j) - mean;
+                                bc.set(i, j, v);
+                            }
+                        }
+                    }
+                }
+            }
+            let solver = CgSolver::plain(1e-10, 4 * nx * ny + 16);
+            let (sol, _) = solver.solve(&problem, &bc);
+            *x = sol;
+            return;
+        }
+        for _ in 0..self.pre_smooth {
+            JacobiSolver::sweep(&problem, x, b, 2.0 / 3.0, &mut scratch);
+        }
+        let mut r = Field2::new(nx, ny);
+        problem.residual(x, b, &mut r);
+        let coarse_flags = &self.levels[lvl + 1].flags;
+        let rc = Self::restrict(&level.flags, &r, coarse_flags);
+        let mut ec = Field2::new(coarse_flags.nx(), coarse_flags.ny());
+        self.vcycle(lvl + 1, &mut ec, &rc);
+        Self::prolong_add(&level.flags, x, &ec);
+        for _ in 0..self.post_smooth {
+            JacobiSolver::sweep(&problem, x, b, 2.0 / 3.0, &mut scratch);
+        }
+    }
+
+    /// FLOPs of a single V-cycle (geometric series over levels).
+    fn vcycle_flops(&self) -> u64 {
+        let mut total = 0u64;
+        for level in &self.levels {
+            let n = level.flags.fluid_count() as u64;
+            total += (self.pre_smooth + self.post_smooth) as u64 * 9 * n + 12 * n;
+        }
+        total
+    }
+}
+
+/// Standalone multigrid solver: V-cycles until the tolerance is met.
+#[derive(Debug, Clone, Copy)]
+pub struct MultigridSolver {
+    /// Pre-smoothing sweeps per level.
+    pub pre_smooth: usize,
+    /// Post-smoothing sweeps per level.
+    pub post_smooth: usize,
+    /// Relative residual tolerance.
+    pub tolerance: f64,
+    /// Maximum number of V-cycles.
+    pub max_cycles: usize,
+}
+
+impl Default for MultigridSolver {
+    fn default() -> Self {
+        Self {
+            pre_smooth: 2,
+            post_smooth: 2,
+            tolerance: 1e-5,
+            max_cycles: 200,
+        }
+    }
+}
+
+impl PoissonSolver for MultigridSolver {
+    fn solve(&self, problem: &PoissonProblem<'_>, b: &Field2) -> (Field2, SolveStats) {
+        let (nx, ny) = (problem.nx(), problem.ny());
+        assert_eq!((b.w(), b.h()), (nx, ny), "rhs shape");
+        let mut x = Field2::new(nx, ny);
+        let b_norm = problem.norm(b);
+        if b_norm == 0.0 {
+            return (x, SolveStats::trivial());
+        }
+        let hierarchy = MgHierarchy::build(problem.flags, problem.dx, self.pre_smooth, self.post_smooth);
+        let cycle_flops = hierarchy.vcycle_flops();
+        let mut flops = 0u64;
+        let mut r = Field2::new(nx, ny);
+        let mut rel = 1.0;
+        for it in 1..=self.max_cycles {
+            hierarchy.vcycle(0, &mut x, b);
+            flops += cycle_flops;
+            problem.residual(&x, b, &mut r);
+            flops += problem.apply_flops();
+            rel = problem.norm(&r) / b_norm;
+            if rel <= self.tolerance {
+                return (
+                    x,
+                    SolveStats {
+                        iterations: it,
+                        rel_residual: rel,
+                        converged: true,
+                        flops,
+                    },
+                );
+            }
+        }
+        (
+            x,
+            SolveStats {
+                iterations: self.max_cycles,
+                rel_residual: rel,
+                converged: false,
+                flops,
+            },
+        )
+    }
+
+    fn name(&self) -> &'static str {
+        "multigrid"
+    }
+}
+
+/// Multigrid as a PCG preconditioner: one V-cycle per application
+/// ("multi-grid as a preprocessing step of the PCG method").
+#[derive(Debug, Clone, Copy)]
+pub struct MgPreconditioner {
+    /// Pre-smoothing sweeps per level.
+    pub pre_smooth: usize,
+    /// Post-smoothing sweeps per level.
+    pub post_smooth: usize,
+}
+
+impl Default for MgPreconditioner {
+    fn default() -> Self {
+        Self {
+            pre_smooth: 1,
+            post_smooth: 1,
+        }
+    }
+}
+
+impl Preconditioner for MgPreconditioner {
+    type Prepared = MgHierarchy;
+
+    fn prepare(&self, problem: &PoissonProblem<'_>) -> MgHierarchy {
+        MgHierarchy::build(problem.flags, problem.dx, self.pre_smooth, self.post_smooth)
+    }
+
+    fn name(&self) -> &'static str {
+        "multigrid"
+    }
+}
+
+impl PreparedPreconditioner for MgHierarchy {
+    fn apply(&self, problem: &PoissonProblem<'_>, r: &Field2, z: &mut Field2) {
+        let mut x = Field2::new(problem.nx(), problem.ny());
+        self.vcycle(0, &mut x, r);
+        *z = x;
+    }
+
+    fn flops(&self, _problem: &PoissonProblem<'_>) -> u64 {
+        self.vcycle_flops()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pcg::PcgSolver;
+
+    fn random_rhs(flags: &CellFlags, seed: u64) -> Field2 {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        Field2::from_fn(flags.nx(), flags.ny(), |i, j| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            if flags.is_fluid(i, j) {
+                (state % 2000) as f64 / 1000.0 - 1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn flag_coarsening_rules() {
+        let mut fine = CellFlags::all_fluid(4, 4);
+        // Make one 2x2 block all solid, another mixed solid/empty.
+        for (i, j) in [(0, 0), (1, 0), (0, 1), (1, 1)] {
+            fine.set(i, j, CellType::Solid);
+        }
+        fine.set(2, 0, CellType::Solid);
+        fine.set(3, 0, CellType::Empty);
+        fine.set(2, 1, CellType::Solid);
+        fine.set(3, 1, CellType::Solid);
+        let coarse = coarsen_flags(&fine);
+        assert_eq!(coarse.nx(), 2);
+        assert_eq!(coarse.at(0, 0), CellType::Solid);
+        assert_eq!(coarse.at(1, 0), CellType::Empty);
+        assert_eq!(coarse.at(0, 1), CellType::Fluid);
+    }
+
+    #[test]
+    fn hierarchy_depth() {
+        let flags = CellFlags::smoke_box(64, 64);
+        let h = MgHierarchy::build(&flags, 1.0, 2, 2);
+        // 64 -> 32 -> 16 -> 8 -> 4 : five levels.
+        assert_eq!(h.depth(), 5);
+    }
+
+    #[test]
+    fn vcycle_contracts_residual() {
+        let flags = CellFlags::smoke_box(32, 32);
+        let problem = PoissonProblem::new(&flags, 1.0);
+        let b = random_rhs(&flags, 5);
+        let h = MgHierarchy::build(&flags, 1.0, 2, 2);
+        let mut x = Field2::new(32, 32);
+        let mut r = Field2::new(32, 32);
+        problem.residual(&x, &b, &mut r);
+        let r0 = problem.norm(&r);
+        h.vcycle(0, &mut x, &b);
+        problem.residual(&x, &b, &mut r);
+        let r1 = problem.norm(&r);
+        assert!(
+            r1 < 0.5 * r0,
+            "V-cycle should halve the residual: {r0} -> {r1}"
+        );
+    }
+
+    #[test]
+    fn multigrid_solver_converges() {
+        let mut flags = CellFlags::smoke_box(48, 48);
+        flags.add_solid_disc(20.0, 24.0, 5.0);
+        let problem = PoissonProblem::new(&flags, 1.0);
+        let b = random_rhs(&flags, 7);
+        let mg = MultigridSolver::default();
+        let (x, stats) = mg.solve(&problem, &b);
+        assert!(stats.converged, "{stats:?}");
+        assert!(stats.iterations < 60, "V-cycle count {}", stats.iterations);
+        let mut r = Field2::new(48, 48);
+        problem.residual(&x, &b, &mut r);
+        assert!(problem.norm(&r) / problem.norm(&b) < 1e-4);
+    }
+
+    #[test]
+    fn mg_preconditioned_pcg_converges_fast() {
+        let flags = CellFlags::smoke_box(64, 64);
+        let problem = PoissonProblem::new(&flags, 1.0);
+        let b = random_rhs(&flags, 13);
+        let solver = PcgSolver::new(MgPreconditioner::default(), 1e-8, 500);
+        let (x, stats) = solver.solve(&problem, &b);
+        assert!(stats.converged, "{stats:?}");
+        assert!(stats.iterations < 60, "{} iterations", stats.iterations);
+        let mut r = Field2::new(64, 64);
+        problem.residual(&x, &b, &mut r);
+        assert!(problem.norm(&r) / problem.norm(&b) < 1e-7);
+    }
+
+    #[test]
+    fn solution_matches_cg_reference() {
+        let flags = CellFlags::smoke_box(24, 24);
+        let problem = PoissonProblem::new(&flags, 1.0);
+        let b = random_rhs(&flags, 21);
+        let mg = MultigridSolver {
+            tolerance: 1e-10,
+            max_cycles: 500,
+            ..Default::default()
+        };
+        let cg = CgSolver::plain(1e-12, 20_000);
+        let (xm, sm) = mg.solve(&problem, &b);
+        let (xc, _) = cg.solve(&problem, &b);
+        assert!(sm.converged);
+        for (a, c) in xm.data().iter().zip(xc.data()) {
+            assert!((a - c).abs() < 1e-6, "{a} vs {c}");
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! (Preconditioned) conjugate-gradient solvers (Algorithm 1 lines 8–17).
+//!
+//! The PCG loop follows the paper's pseudo-code: initial guess 0,
+//! residual `r = b`, search direction `s = M⁻¹ r`, and the classic
+//! α/β updates until the residual meets the convergence criterion.
+//!
+//! Preconditioners are split into a cheap *factory* ([`Preconditioner`])
+//! and a per-problem *factorisation* ([`PreparedPreconditioner`]) so
+//! that setup work (e.g. the MIC(0) incomplete Cholesky factor) is done
+//! once per solve rather than once per iteration.
+
+use crate::laplace::PoissonProblem;
+use crate::{PoissonSolver, SolveStats};
+use sfn_grid::Field2;
+
+/// Factory for a preconditioner `M ≈ A`.
+pub trait Preconditioner {
+    /// The prepared (factorised) form.
+    type Prepared: PreparedPreconditioner;
+
+    /// Factorises the preconditioner for a concrete problem.
+    fn prepare(&self, problem: &PoissonProblem<'_>) -> Self::Prepared;
+
+    /// Name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// A factorised preconditioner, applied as `z = M⁻¹ r`.
+pub trait PreparedPreconditioner {
+    /// Applies the preconditioner to `r`, writing `z`.
+    fn apply(&self, problem: &PoissonProblem<'_>, r: &Field2, z: &mut Field2);
+
+    /// Approximate FLOPs per application.
+    fn flops(&self, problem: &PoissonProblem<'_>) -> u64;
+}
+
+/// The identity preconditioner: PCG degenerates to plain CG.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdentityPreconditioner;
+
+impl Preconditioner for IdentityPreconditioner {
+    type Prepared = IdentityPreconditioner;
+
+    fn prepare(&self, _problem: &PoissonProblem<'_>) -> Self {
+        *self
+    }
+
+    fn name(&self) -> &'static str {
+        "identity"
+    }
+}
+
+impl PreparedPreconditioner for IdentityPreconditioner {
+    fn apply(&self, _problem: &PoissonProblem<'_>, r: &Field2, z: &mut Field2) {
+        z.clone_from(r);
+    }
+
+    fn flops(&self, _problem: &PoissonProblem<'_>) -> u64 {
+        0
+    }
+}
+
+/// Conjugate gradients with a pluggable preconditioner.
+///
+/// Tolerance is on the *relative* ℓ₂ residual `‖r‖/‖b‖`. The solver is
+/// robust to the semi-definite closed-box case: a compatible `b` keeps
+/// the Krylov space orthogonal to the null-space.
+#[derive(Debug, Clone)]
+pub struct PcgSolver<M> {
+    /// Preconditioner factory.
+    pub preconditioner: M,
+    /// Relative residual tolerance.
+    pub tolerance: f64,
+    /// Iteration budget.
+    pub max_iterations: usize,
+}
+
+impl<M: Preconditioner> PcgSolver<M> {
+    /// Creates a solver with the given preconditioner, tolerance and
+    /// iteration budget.
+    pub fn new(preconditioner: M, tolerance: f64, max_iterations: usize) -> Self {
+        assert!(tolerance > 0.0, "tolerance must be positive");
+        assert!(max_iterations > 0, "need at least one iteration");
+        Self {
+            preconditioner,
+            tolerance,
+            max_iterations,
+        }
+    }
+}
+
+/// Plain CG: `PcgSolver` with the identity preconditioner.
+pub type CgSolver = PcgSolver<IdentityPreconditioner>;
+
+impl CgSolver {
+    /// Plain conjugate gradients with the given tolerance/budget.
+    pub fn plain(tolerance: f64, max_iterations: usize) -> Self {
+        PcgSolver::new(IdentityPreconditioner, tolerance, max_iterations)
+    }
+}
+
+impl<M: Preconditioner> PoissonSolver for PcgSolver<M> {
+    fn solve(&self, problem: &PoissonProblem<'_>, b: &Field2) -> (Field2, SolveStats) {
+        let (nx, ny) = (problem.nx(), problem.ny());
+        assert_eq!((b.w(), b.h()), (nx, ny), "rhs shape");
+        let mut x = Field2::new(nx, ny);
+        let b_norm = problem.norm(b);
+        if b_norm == 0.0 {
+            return (x, SolveStats::trivial());
+        }
+
+        let prepared = self.preconditioner.prepare(problem);
+        let n = problem.unknowns() as u64;
+        let apply_flops = problem.apply_flops();
+        let pre_flops = prepared.flops(problem);
+        // Per iteration: 1 A·s, 1 M⁻¹r, 2 dots, 3 axpys ≈ 2 flops/cell each.
+        let iter_flops = apply_flops + pre_flops + 2 * (2 * n) + 3 * (2 * n);
+        let mut flops = 0u64;
+
+        let mut r = b.clone();
+        let mut z = Field2::new(nx, ny);
+        prepared.apply(problem, &r, &mut z);
+        flops += pre_flops;
+        let mut s = z.clone();
+        let mut rz = problem.dot(&r, &z);
+        let mut as_ = Field2::new(nx, ny);
+
+        let mut rel = 1.0;
+        for it in 1..=self.max_iterations {
+            problem.apply(&s, &mut as_);
+            let s_as = problem.dot(&s, &as_);
+            if s_as <= 0.0 || !s_as.is_finite() {
+                // Hit the null-space or a numerical breakdown; stop with
+                // the current iterate.
+                return (
+                    x,
+                    SolveStats {
+                        iterations: it - 1,
+                        rel_residual: rel,
+                        converged: rel <= self.tolerance,
+                        flops,
+                    },
+                );
+            }
+            let alpha = rz / s_as;
+            x.add_scaled(&s, alpha);
+            r.add_scaled(&as_, -alpha);
+            flops += iter_flops;
+            rel = problem.norm(&r) / b_norm;
+            if rel <= self.tolerance {
+                return (
+                    x,
+                    SolveStats {
+                        iterations: it,
+                        rel_residual: rel,
+                        converged: true,
+                        flops,
+                    },
+                );
+            }
+            prepared.apply(problem, &r, &mut z);
+            let rz_new = problem.dot(&r, &z);
+            let beta = rz_new / rz;
+            rz = rz_new;
+            // s = z + beta * s
+            for (sv, &zv) in s.data_mut().iter_mut().zip(z.data()) {
+                *sv = zv + beta * *sv;
+            }
+        }
+        (
+            x,
+            SolveStats {
+                iterations: self.max_iterations,
+                rel_residual: rel,
+                converged: false,
+                flops,
+            },
+        )
+    }
+
+    fn name(&self) -> &'static str {
+        if self.preconditioner.name() == "identity" {
+            "cg"
+        } else {
+            "pcg"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfn_grid::CellFlags;
+
+    pub(crate) fn random_rhs(flags: &CellFlags, seed: u64) -> Field2 {
+        let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(7);
+        Field2::from_fn(flags.nx(), flags.ny(), |i, j| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            if flags.is_fluid(i, j) {
+                (state % 2000) as f64 / 1000.0 - 1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn cg_solves_open_box() {
+        let flags = CellFlags::smoke_box(16, 16);
+        let problem = PoissonProblem::new(&flags, 1.0);
+        let b = random_rhs(&flags, 3);
+        let solver = CgSolver::plain(1e-8, 2000);
+        let (x, stats) = solver.solve(&problem, &b);
+        assert!(stats.converged, "stats: {stats:?}");
+        let mut r = Field2::new(16, 16);
+        problem.residual(&x, &b, &mut r);
+        assert!(problem.norm(&r) / problem.norm(&b) < 1e-7);
+    }
+
+    #[test]
+    fn cg_handles_compatible_singular_system() {
+        // Closed box: A is semi-definite; make b compatible by removing
+        // the mean over fluid cells.
+        let flags = CellFlags::closed_box(12, 12);
+        let problem = PoissonProblem::new(&flags, 1.0);
+        let mut b = random_rhs(&flags, 11);
+        let nf = flags.fluid_count() as f64;
+        let mut mean = 0.0;
+        for j in 0..12 {
+            for i in 0..12 {
+                if flags.is_fluid(i, j) {
+                    mean += b.at(i, j);
+                }
+            }
+        }
+        mean /= nf;
+        for j in 0..12 {
+            for i in 0..12 {
+                if flags.is_fluid(i, j) {
+                    let v = b.at(i, j) - mean;
+                    b.set(i, j, v);
+                }
+            }
+        }
+        let solver = CgSolver::plain(1e-7, 4000);
+        let (x, stats) = solver.solve(&problem, &b);
+        assert!(stats.converged, "stats: {stats:?}");
+        let mut r = Field2::new(12, 12);
+        problem.residual(&x, &b, &mut r);
+        assert!(problem.norm(&r) / problem.norm(&b) < 1e-6);
+    }
+
+    #[test]
+    fn zero_rhs_is_trivial() {
+        let flags = CellFlags::smoke_box(8, 8);
+        let problem = PoissonProblem::new(&flags, 1.0);
+        let b = Field2::new(8, 8);
+        let solver = CgSolver::plain(1e-8, 100);
+        let (x, stats) = solver.solve(&problem, &b);
+        assert_eq!(stats.iterations, 0);
+        assert!(stats.converged);
+        assert_eq!(x.max_abs(), 0.0);
+    }
+
+    #[test]
+    fn solution_zero_on_non_fluid_cells() {
+        let mut flags = CellFlags::smoke_box(10, 10);
+        flags.add_solid_disc(5.0, 5.0, 2.0);
+        let problem = PoissonProblem::new(&flags, 1.0);
+        let b = random_rhs(&flags, 5);
+        let solver = CgSolver::plain(1e-8, 2000);
+        let (x, _) = solver.solve(&problem, &b);
+        for j in 0..10 {
+            for i in 0..10 {
+                if !flags.is_fluid(i, j) {
+                    assert_eq!(x.at(i, j), 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn iteration_budget_respected() {
+        let flags = CellFlags::smoke_box(32, 32);
+        let problem = PoissonProblem::new(&flags, 1.0);
+        let b = random_rhs(&flags, 17);
+        let solver = CgSolver::plain(1e-14, 3);
+        let (_, stats) = solver.solve(&problem, &b);
+        assert_eq!(stats.iterations, 3);
+        assert!(!stats.converged);
+        assert!(stats.flops > 0);
+    }
+
+    #[test]
+    fn respects_dx_scaling() {
+        // Solving with dx=0.5 scales A by 4; solution scales by 1/4
+        // relative to dx=1 for the same rhs.
+        let flags = CellFlags::smoke_box(8, 8);
+        let b = random_rhs(&flags, 23);
+        let p1 = PoissonProblem::new(&flags, 1.0);
+        let p2 = PoissonProblem::new(&flags, 0.5);
+        let solver = CgSolver::plain(1e-10, 2000);
+        let (x1, _) = solver.solve(&p1, &b);
+        let (x2, _) = solver.solve(&p2, &b);
+        for (a, b) in x1.data().iter().zip(x2.data()) {
+            assert!((a * 0.25 - b).abs() < 1e-7, "{a} vs {b}");
+        }
+    }
+}

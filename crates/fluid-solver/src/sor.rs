@@ -1,0 +1,178 @@
+//! Red-black Gauss-Seidel with successive over-relaxation (SOR).
+//!
+//! A classic mid-tier baseline between Jacobi and PCG. The red-black
+//! colouring makes each half-sweep embarrassingly parallel (even though
+//! this implementation stays sequential, matching the sequential MICCG
+//! baseline it is compared against).
+
+use crate::laplace::PoissonProblem;
+use crate::{PoissonSolver, SolveStats};
+use sfn_grid::{CellType, Field2};
+
+/// Red-black SOR: `x_ij ← (1−ω)·x_ij + ω·(b·dx² + Σ x_n)/deg`.
+#[derive(Debug, Clone, Copy)]
+pub struct SorSolver {
+    /// Over-relaxation factor ω ∈ (0, 2); 1.0 is plain Gauss-Seidel.
+    pub omega: f64,
+    /// Relative residual tolerance.
+    pub tolerance: f64,
+    /// Iteration budget (full red+black sweeps).
+    pub max_iterations: usize,
+}
+
+impl SorSolver {
+    /// Creates a solver; panics unless `omega ∈ (0, 2)`.
+    pub fn new(omega: f64, tolerance: f64, max_iterations: usize) -> Self {
+        assert!(omega > 0.0 && omega < 2.0, "omega in (0, 2)");
+        assert!(tolerance > 0.0, "tolerance must be positive");
+        Self {
+            omega,
+            tolerance,
+            max_iterations,
+        }
+    }
+
+    fn half_sweep(&self, problem: &PoissonProblem<'_>, x: &mut Field2, b: &Field2, colour: usize) {
+        let (nx, ny) = (problem.nx(), problem.ny());
+        let dx2 = problem.dx * problem.dx;
+        for j in 0..ny {
+            for i in 0..nx {
+                if (i + j) % 2 != colour || !problem.flags.is_fluid(i, j) {
+                    continue;
+                }
+                let deg = problem.degree(i, j);
+                if deg == 0.0 {
+                    continue;
+                }
+                let mut nb = 0.0;
+                for (di, dj) in [(1isize, 0isize), (-1, 0), (0, 1), (0, -1)] {
+                    let (ni, nj) = (i as isize + di, j as isize + dj);
+                    if problem.flags.at_or_solid(ni, nj) == CellType::Fluid {
+                        nb += x.at(ni as usize, nj as usize);
+                    }
+                }
+                let gs = (b.at(i, j) * dx2 + nb) / deg;
+                let v = (1.0 - self.omega) * x.at(i, j) + self.omega * gs;
+                x.set(i, j, v);
+            }
+        }
+    }
+}
+
+impl Default for SorSolver {
+    fn default() -> Self {
+        Self::new(1.7, 1e-5, 20_000)
+    }
+}
+
+impl PoissonSolver for SorSolver {
+    fn solve(&self, problem: &PoissonProblem<'_>, b: &Field2) -> (Field2, SolveStats) {
+        let (nx, ny) = (problem.nx(), problem.ny());
+        assert_eq!((b.w(), b.h()), (nx, ny), "rhs shape");
+        let mut x = Field2::new(nx, ny);
+        let b_norm = problem.norm(b);
+        if b_norm == 0.0 {
+            return (x, SolveStats::trivial());
+        }
+        let mut r = Field2::new(nx, ny);
+        let sweep_flops = 9 * problem.unknowns() as u64;
+        let mut flops = 0u64;
+        let mut rel = 1.0;
+        for it in 1..=self.max_iterations {
+            self.half_sweep(problem, &mut x, b, 0);
+            self.half_sweep(problem, &mut x, b, 1);
+            flops += sweep_flops;
+            if it % 4 == 0 || it == self.max_iterations {
+                problem.residual(&x, b, &mut r);
+                flops += problem.apply_flops();
+                rel = problem.norm(&r) / b_norm;
+                if rel <= self.tolerance {
+                    return (
+                        x,
+                        SolveStats {
+                            iterations: it,
+                            rel_residual: rel,
+                            converged: true,
+                            flops,
+                        },
+                    );
+                }
+            }
+        }
+        (
+            x,
+            SolveStats {
+                iterations: self.max_iterations,
+                rel_residual: rel,
+                converged: false,
+                flops,
+            },
+        )
+    }
+
+    fn name(&self) -> &'static str {
+        "sor"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jacobi::JacobiSolver;
+    use sfn_grid::CellFlags;
+
+    #[test]
+    fn converges_and_matches_reference() {
+        use crate::pcg::CgSolver;
+        let flags = CellFlags::smoke_box(16, 16);
+        let p = PoissonProblem::new(&flags, 1.0);
+        let mut b = Field2::new(16, 16);
+        b.set(8, 8, 1.0);
+        b.set(3, 12, -2.0);
+        let sor = SorSolver::new(1.7, 1e-9, 50_000);
+        let cg = CgSolver::plain(1e-11, 10_000);
+        let (xs, st) = sor.solve(&p, &b);
+        let (xc, _) = cg.solve(&p, &b);
+        assert!(st.converged);
+        for (a, c) in xs.data().iter().zip(xc.data()) {
+            assert!((a - c).abs() < 1e-6, "{a} vs {c}");
+        }
+    }
+
+    #[test]
+    fn sor_beats_jacobi() {
+        let flags = CellFlags::smoke_box(24, 24);
+        let p = PoissonProblem::new(&flags, 1.0);
+        let mut b = Field2::new(24, 24);
+        b.set(12, 12, 1.0);
+        let sor = SorSolver::new(1.7, 1e-6, 100_000);
+        let jac = JacobiSolver::new(2.0 / 3.0, 1e-6, 500_000);
+        let (_, ss) = sor.solve(&p, &b);
+        let (_, sj) = jac.solve(&p, &b);
+        assert!(ss.converged && sj.converged);
+        assert!(
+            ss.iterations * 4 < sj.iterations,
+            "SOR {} vs Jacobi {}",
+            ss.iterations,
+            sj.iterations
+        );
+    }
+
+    #[test]
+    fn omega_one_is_gauss_seidel() {
+        let flags = CellFlags::smoke_box(10, 10);
+        let p = PoissonProblem::new(&flags, 1.0);
+        let mut b = Field2::new(10, 10);
+        b.set(5, 5, 1.0);
+        let gs = SorSolver::new(1.0, 1e-8, 50_000);
+        let (x, stats) = gs.solve(&p, &b);
+        assert!(stats.converged);
+        assert!(x.all_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "omega in (0, 2)")]
+    fn rejects_unstable_omega() {
+        let _ = SorSolver::new(2.0, 1e-5, 10);
+    }
+}

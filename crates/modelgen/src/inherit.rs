@@ -1,0 +1,323 @@
+//! Weight inheritance across model transformations (network morphism).
+//!
+//! Auto-Keras — the system §4 extends — is built on *network morphisms*:
+//! architecture edits that carry the parent's weights over so the child
+//! starts near the parent's function instead of from scratch. The four
+//! Smart-fluidnet operations map onto weight transfers naturally:
+//!
+//! * `narrow`: keep the strongest output channels (by L1 norm) and the
+//!   matching input slices of the next layer;
+//! * `shallow`: drop the deleted layer's weights, splicing the
+//!   neighbours (input slices re-matched by channel count);
+//! * `pooling` / `dropout`: purely structural — every conv keeps its
+//!   weights verbatim.
+//!
+//! [`inherit_weights`] implements a general structural matcher: convs
+//! are aligned greedily in order, kernels are centre-cropped/padded
+//! when sizes differ, and channels are selected by parent strength.
+//! Anything unmatched keeps its fresh initialisation. The result is a
+//! warm start, not an exact morphism — a short fine-tune recovers the
+//! rest, which is exactly how the family training uses it.
+
+use sfn_nn::network::SavedModel;
+use sfn_nn::{LayerSpec, Network, NetworkSpec};
+
+/// Describes one conv layer's weight tensors inside a flat
+/// `SavedModel.weights` list.
+#[derive(Debug, Clone, Copy)]
+struct ConvSlot {
+    /// Index of the weight tensor in `weights` (bias follows at +1).
+    tensor: usize,
+    in_ch: usize,
+    out_ch: usize,
+    kernel: usize,
+}
+
+/// Collects the conv slots of a spec, in layer order, assuming the
+/// `Network::params` layout (each parameterised layer contributes
+/// weights then bias).
+fn conv_slots(spec: &NetworkSpec) -> Vec<ConvSlot> {
+    let mut slots = Vec::new();
+    let mut tensor = 0usize;
+    for layer in &spec.layers {
+        match *layer {
+            LayerSpec::Conv2d {
+                in_ch,
+                out_ch,
+                kernel,
+                ..
+            } => {
+                slots.push(ConvSlot {
+                    tensor,
+                    in_ch,
+                    out_ch,
+                    kernel,
+                });
+                tensor += 2;
+            }
+            LayerSpec::Dense { .. } => {
+                tensor += 2;
+            }
+            _ => {}
+        }
+    }
+    slots
+}
+
+/// Ranks the parent's output channels by L1 weight norm, strongest
+/// first — the channels `narrow` should keep.
+fn channel_ranking(weight: &[f32], in_ch: usize, kernel: usize, out_ch: usize) -> Vec<usize> {
+    let per_oc = in_ch * kernel * kernel;
+    let mut scores: Vec<(usize, f32)> = (0..out_ch)
+        .map(|oc| {
+            let s: f32 = weight[oc * per_oc..(oc + 1) * per_oc]
+                .iter()
+                .map(|v| v.abs())
+                .sum();
+            (oc, s)
+        })
+        .collect();
+    scores.sort_by(|a, b| b.1.total_cmp(&a.1));
+    scores.into_iter().map(|(oc, _)| oc).collect()
+}
+
+/// Copies parent conv weights into a child conv, selecting the given
+/// parent output channels and input channels, centre-aligning kernels.
+#[allow(clippy::too_many_arguments)]
+fn transfer_conv(
+    parent_w: &[f32],
+    parent: ConvSlot,
+    child_w: &mut [f32],
+    child: ConvSlot,
+    out_map: &[usize],
+    in_map: &[usize],
+) {
+    let pk = parent.kernel;
+    let ck = child.kernel;
+    // Centre offset when kernel sizes differ (3x3 into 5x5 etc.).
+    let off = if ck >= pk { (ck - pk) / 2 } else { 0 };
+    let poff = if pk > ck { (pk - ck) / 2 } else { 0 };
+    let copy_k = pk.min(ck);
+    for (c_oc, &p_oc) in out_map.iter().enumerate().take(child.out_ch) {
+        for (c_ic, &p_ic) in in_map.iter().enumerate().take(child.in_ch) {
+            if p_oc >= parent.out_ch || p_ic >= parent.in_ch {
+                continue;
+            }
+            for ky in 0..copy_k {
+                for kx in 0..copy_k {
+                    let p_idx =
+                        ((p_oc * parent.in_ch + p_ic) * pk + (ky + poff)) * pk + (kx + poff);
+                    let c_idx = ((c_oc * child.in_ch + c_ic) * ck + (ky + off)) * ck + (kx + off);
+                    child_w[c_idx] = parent_w[p_idx];
+                }
+            }
+        }
+    }
+}
+
+/// Warm-starts `child_spec` from a trained parent.
+///
+/// Returns a network whose conv layers carry the parent's weights where
+/// the architectures align (greedy in-order matching; extra child
+/// layers keep their fresh seed-`seed` initialisation). The caller
+/// fine-tunes the result.
+pub fn inherit_weights(parent: &SavedModel, child_spec: &NetworkSpec, seed: u64) -> Network {
+    let mut child = Network::from_spec(child_spec, seed).expect("valid child spec");
+    let parent_slots = conv_slots(&parent.spec);
+    let child_slots = conv_slots(child_spec);
+    if parent_slots.is_empty() || child_slots.is_empty() {
+        return child;
+    }
+
+    // Greedy alignment: first conv to first conv, last (head) to last,
+    // interior in order.
+    let pairs: Vec<(ConvSlot, ConvSlot)> = {
+        let n = child_slots.len().min(parent_slots.len());
+        let mut pairs = Vec::with_capacity(n);
+        for i in 0..n {
+            let c = child_slots[if i + 1 == n {
+                child_slots.len() - 1
+            } else {
+                i
+            }];
+            let p = parent_slots[if i + 1 == n {
+                parent_slots.len() - 1
+            } else {
+                i
+            }];
+            pairs.push((p, c));
+        }
+        pairs
+    };
+
+    // Track the child->parent channel map flowing between layers so a
+    // narrowed layer's survivors feed the next layer's input slices.
+    let mut in_map: Vec<usize> = (0..child_slots[0].in_ch).collect();
+    let mut views = child.params();
+    for (p, c) in pairs {
+        let parent_w = &parent.weights[p.tensor];
+        let parent_b = &parent.weights[p.tensor + 1];
+        // Identity map when widths match (keeps residual skips exact);
+        // strongest-channels selection only when actually narrowing.
+        let out_map: Vec<usize> = if c.out_ch >= p.out_ch {
+            (0..p.out_ch).collect()
+        } else {
+            channel_ranking(parent_w, p.in_ch, p.kernel, p.out_ch)
+                .into_iter()
+                .take(c.out_ch)
+                .collect()
+        };
+        // Pad the map if the child is wider than the parent.
+        let mut out_map_full = out_map.clone();
+        while out_map_full.len() < c.out_ch {
+            out_map_full.push(usize::MAX); // stays fresh
+        }
+        {
+            let w = &mut views[c.tensor];
+            transfer_conv(parent_w, p, w.values, c, &out_map_full, &in_map);
+        }
+        {
+            let b = &mut views[c.tensor + 1];
+            for (c_oc, &p_oc) in out_map_full.iter().enumerate().take(c.out_ch) {
+                if p_oc < parent_b.len() {
+                    b.values[c_oc] = parent_b[p_oc];
+                }
+            }
+        }
+        in_map = out_map_full;
+    }
+    drop(views);
+    child
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::{dropout, narrow, pooling, shallow};
+    use sfn_nn::Tensor;
+    use sfn_surrogate::tompson_spec;
+
+    fn trained_parent() -> SavedModel {
+        // A deterministic "trained" parent: weights with recognisable
+        // structure (not random) so transfer effects are observable.
+        let spec = tompson_spec(8);
+        let mut net = Network::from_spec(&spec, 3).unwrap();
+        for (k, view) in net.params().into_iter().enumerate() {
+            for (i, v) in view.values.iter_mut().enumerate() {
+                *v = ((k * 131 + i * 17) % 23) as f32 / 23.0 - 0.5;
+            }
+        }
+        net.save()
+    }
+
+    fn output_of(net: &mut Network) -> Tensor {
+        let x = Tensor::from_fn(1, 2, 16, 16, |_, c, h, w| {
+            ((c * 29 + h * 5 + w * 11) % 19) as f32 / 19.0 - 0.5
+        });
+        net.predict(&x)
+    }
+
+    #[test]
+    fn structural_ops_preserve_function_exactly() {
+        // Dropout insertion is a pure morphism in eval mode: identical
+        // outputs.
+        let parent = trained_parent();
+        let child_spec = dropout(&parent.spec, 1, 0.1).unwrap();
+        let mut child = inherit_weights(&parent, &child_spec, 9);
+        let mut orig = Network::load(&parent, 0).unwrap();
+        let a = output_of(&mut orig);
+        let b = output_of(&mut child);
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() < 1e-6, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn narrow_child_is_closer_than_fresh_init() {
+        let parent = trained_parent();
+        let child_spec = narrow(&parent.spec, 1, 0.25).unwrap();
+        let mut orig = Network::load(&parent, 0).unwrap();
+        let target = output_of(&mut orig);
+
+        let mut warm = inherit_weights(&parent, &child_spec, 9);
+        let mut cold = Network::from_spec(&child_spec, 9).unwrap();
+        let dist = |net: &mut Network| -> f32 {
+            let y = output_of(net);
+            y.data()
+                .iter()
+                .zip(target.data())
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum()
+        };
+        let dw = dist(&mut warm);
+        let dc = dist(&mut cold);
+        assert!(
+            dw < dc,
+            "warm start ({dw}) should be closer to the parent than fresh init ({dc})"
+        );
+    }
+
+    #[test]
+    fn shallow_child_loads_and_runs() {
+        let parent = trained_parent();
+        let child_spec = shallow(&parent.spec, 0).unwrap();
+        let mut child = inherit_weights(&parent, &child_spec, 5);
+        let y = output_of(&mut child);
+        assert!(y.all_finite());
+        assert_eq!(y.shape(), (1, 1, 16, 16));
+    }
+
+    #[test]
+    fn pooling_child_loads_and_runs() {
+        let parent = trained_parent();
+        let child_spec = pooling(&parent.spec, 1, false).unwrap();
+        let mut child = inherit_weights(&parent, &child_spec, 5);
+        let y = output_of(&mut child);
+        assert!(y.all_finite());
+        assert_eq!(y.shape(), (1, 1, 16, 16));
+    }
+
+    #[test]
+    fn kernel_resize_centre_aligns() {
+        // Parent 3x3 identity-ish kernel into a 5x5 child: the centre
+        // 3x3 must carry over.
+        let parent_spec = NetworkSpec::new(vec![LayerSpec::Conv2d {
+            in_ch: 1,
+            out_ch: 1,
+            kernel: 3,
+            residual: false,
+        }]);
+        let mut pnet = Network::from_spec(&parent_spec, 1).unwrap();
+        {
+            let mut views = pnet.params();
+            views[0].values.copy_from_slice(&[1., 2., 3., 4., 5., 6., 7., 8., 9.]);
+            views[1].values[0] = 0.25;
+        }
+        let parent = pnet.save();
+        let child_spec = NetworkSpec::new(vec![LayerSpec::Conv2d {
+            in_ch: 1,
+            out_ch: 1,
+            kernel: 5,
+            residual: false,
+        }]);
+        let mut child = inherit_weights(&parent, &child_spec, 7);
+        let views = child.params();
+        let w = &views[0].values;
+        // Centre 3x3 of the 5x5 kernel equals the parent.
+        let centre: Vec<f32> = (1..4)
+            .flat_map(|y| (1..4).map(move |x| w[y * 5 + x]))
+            .collect();
+        assert_eq!(centre, vec![1., 2., 3., 4., 5., 6., 7., 8., 9.]);
+        assert_eq!(views[1].values[0], 0.25);
+    }
+
+    #[test]
+    fn mismatched_depths_still_transfer_head() {
+        let parent = trained_parent();
+        // Chain several ops: much shorter child.
+        let s = shallow(&parent.spec, 0).unwrap();
+        let s = shallow(&s, 0).unwrap_or(s);
+        let mut child = inherit_weights(&parent, &s, 5);
+        assert!(output_of(&mut child).all_finite());
+    }
+}

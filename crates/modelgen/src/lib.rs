@@ -1,0 +1,30 @@
+//! Approximate-model construction (§4 of the paper).
+//!
+//! Given an input neural network (the Tompson-style base model), this
+//! crate generates the paper's 133-model family:
+//!
+//! 1. five *shallow* variants (Operation 1: delete a layer);
+//! 2. ten *narrow* variants of each (Operation 2: remove `|L|/10`
+//!    neurons) — 55 models;
+//! 3. a *pooling* variant of each (Operation 3) — 110 models;
+//! 4. eighteen *dropout* variants (Operation 4) — 128 models;
+//! 5. plus five accurate models from the Auto-Keras-substitute
+//!    architecture search — 133 models.
+//!
+//! Each generated model is trained on the shared projection dataset,
+//! its (time cost, quality loss) is measured, and the Pareto-optimal
+//! subset becomes the "model candidates" handed to the §5 MLP.
+
+#![warn(missing_docs)]
+
+pub mod evaluate;
+pub mod family;
+pub mod inherit;
+pub mod pareto;
+pub mod search;
+pub mod transform;
+
+pub use evaluate::{EvalContext, ModelMeasurement};
+pub use family::{generate_family, FamilyConfig, GeneratedModel, Origin};
+pub use pareto::select_candidates;
+pub use search::{architecture_search, SearchConfig};

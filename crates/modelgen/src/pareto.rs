@@ -1,0 +1,72 @@
+//! Pareto-optimal candidate selection (§4, Figure 3).
+//!
+//! "We select models that have the lowest time cost, the lowest
+//! quality loss, or both" — the Pareto front of the measured
+//! (time, loss) scatter. The selected models are the paper's 14
+//! "model candidates" passed to the §5 MLP.
+
+use crate::evaluate::ModelMeasurement;
+use sfn_stats::{pareto_front, ParetoPoint};
+
+/// Returns the indices (into `measurements`) of the Pareto-optimal
+/// models, ordered from fastest to slowest. Models whose simulation
+/// diverged (infinite quality loss) never qualify.
+pub fn select_candidates(measurements: &[ModelMeasurement]) -> Vec<usize> {
+    let points: Vec<ParetoPoint> = measurements
+        .iter()
+        .enumerate()
+        .map(|(idx, m)| ParetoPoint {
+            id: idx,
+            time: m.time_cost,
+            loss: m.quality_loss,
+        })
+        .collect();
+    pareto_front(&points).into_iter().map(|p| p.id).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfn_nn::network::SavedModel;
+    use sfn_nn::NetworkSpec;
+
+    fn m(id: usize, time: f64, loss: f64) -> ModelMeasurement {
+        ModelMeasurement {
+            id,
+            name: format!("M{id}"),
+            time_cost: time,
+            quality_loss: loss,
+            flops_per_step: 1,
+            saved: SavedModel {
+                spec: NetworkSpec::default(),
+                weights: vec![],
+            },
+            per_problem: vec![],
+        }
+    }
+
+    #[test]
+    fn keeps_only_non_dominated_models() {
+        let ms = vec![
+            m(0, 1.0, 0.03), // fastest
+            m(1, 2.0, 0.02),
+            m(2, 3.0, 0.01), // most accurate
+            m(3, 2.5, 0.025), // dominated by 1
+            m(4, 4.0, 0.02), // dominated by 1 and 2
+        ];
+        assert_eq!(select_candidates(&ms), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn diverged_models_never_selected() {
+        let ms = vec![m(0, 0.5, f64::INFINITY), m(1, 1.0, 0.02)];
+        assert_eq!(select_candidates(&ms), vec![1]);
+    }
+
+    #[test]
+    fn front_ordered_by_time() {
+        let ms = vec![m(0, 3.0, 0.01), m(1, 1.0, 0.05), m(2, 2.0, 0.02)];
+        let sel = select_candidates(&ms);
+        assert_eq!(sel, vec![1, 2, 0]);
+    }
+}

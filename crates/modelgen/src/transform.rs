@@ -1,0 +1,338 @@
+//! The four §4 model-transformation operations on [`NetworkSpec`]s.
+//!
+//! All operations preserve the surrogate contract: 2 input channels,
+//! 1 output channel, spatial shape preserved (pool/unpool inserted in
+//! matched pairs). After structural edits the channel chain is
+//! repaired by [`fix_channels`], and residual flags that became
+//! invalid are cleared.
+
+use sfn_nn::{LayerSpec, NetworkSpec};
+
+/// Repairs the conv/dense channel chain for the given input channel
+/// count: every conv's `in_ch` is set to the running channel count,
+/// residual flags are dropped where `in_ch != out_ch`, and the final
+/// conv is forced to a single output channel.
+pub fn fix_channels(spec: &mut NetworkSpec, input_ch: usize) {
+    let mut ch = input_ch;
+    let last_conv = spec
+        .layers
+        .iter()
+        .rposition(|l| matches!(l, LayerSpec::Conv2d { .. }));
+    for (idx, layer) in spec.layers.iter_mut().enumerate() {
+        match layer {
+            LayerSpec::Conv2d {
+                in_ch,
+                out_ch,
+                residual,
+                ..
+            } => {
+                *in_ch = ch;
+                if Some(idx) == last_conv {
+                    *out_ch = 1;
+                }
+                if *in_ch != *out_ch {
+                    *residual = false;
+                }
+                ch = *out_ch;
+            }
+            LayerSpec::Dense { inputs: _, outputs } => {
+                // Dense layers do not appear in the conv surrogates, but
+                // keep the walk total for robustness.
+                ch = *outputs;
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Operation 1 — `shallow(G, L)`: deletes the `which`-th *intermediate*
+/// convolution (never the first or the output head) together with its
+/// following activation, then repairs the chain.
+///
+/// Returns `None` when the spec has no removable intermediate conv.
+pub fn shallow(spec: &NetworkSpec, which: usize) -> Option<NetworkSpec> {
+    let conv_positions: Vec<usize> = spec
+        .layers
+        .iter()
+        .enumerate()
+        .filter_map(|(i, l)| matches!(l, LayerSpec::Conv2d { .. }).then_some(i))
+        .collect();
+    // Intermediate convs: exclude the first (input adapter) and last (head).
+    if conv_positions.len() < 3 {
+        return None;
+    }
+    let removable = &conv_positions[1..conv_positions.len() - 1];
+    if removable.is_empty() {
+        return None;
+    }
+    let target = removable[which % removable.len()];
+    let mut layers = spec.layers.clone();
+    // Remove the conv and, if present, the directly following activation.
+    let remove_next = matches!(
+        layers.get(target + 1),
+        Some(LayerSpec::ReLU) | Some(LayerSpec::Sigmoid) | Some(LayerSpec::Tanh)
+    );
+    if remove_next {
+        layers.remove(target + 1);
+    }
+    layers.remove(target);
+    let mut out = NetworkSpec::new(layers);
+    fix_channels(&mut out, 2);
+    Some(out)
+}
+
+/// Operation 2 — `narrow(G, L, r)`: reduces the output channels of the
+/// `which`-th intermediate conv by `fraction` (the paper uses
+/// `r = |L| / 10`), keeping at least 2 channels.
+///
+/// Returns `None` if no intermediate conv exists.
+pub fn narrow(spec: &NetworkSpec, which: usize, fraction: f64) -> Option<NetworkSpec> {
+    assert!((0.0..1.0).contains(&fraction), "fraction in [0, 1)");
+    let conv_positions: Vec<usize> = spec
+        .layers
+        .iter()
+        .enumerate()
+        .filter_map(|(i, l)| matches!(l, LayerSpec::Conv2d { .. }).then_some(i))
+        .collect();
+    if conv_positions.len() < 2 {
+        return None;
+    }
+    // Any conv but the head can be narrowed.
+    let narrowable = &conv_positions[..conv_positions.len() - 1];
+    let target = narrowable[which % narrowable.len()];
+    let mut layers = spec.layers.clone();
+    if let LayerSpec::Conv2d { out_ch, .. } = &mut layers[target] {
+        let r = ((*out_ch as f64 * fraction).ceil() as usize).max(1);
+        *out_ch = out_ch.saturating_sub(r).max(2);
+    }
+    let mut out = NetworkSpec::new(layers);
+    fix_channels(&mut out, 2);
+    Some(out)
+}
+
+/// Operation 3 — `pooling(G, L, m)`: inserts a matched
+/// `MaxPool{2}` / `Upsample{2}` pair so that the layers between
+/// `after` and the output head run at half resolution (discarding 75%
+/// of the neurons in those layers, the paper's "special case of m").
+///
+/// The pool is inserted after the `after`-th intermediate position and
+/// the upsample right before the head conv. Returns `None` when the
+/// spec is too short to host the pair.
+pub fn pooling(spec: &NetworkSpec, after: usize, average: bool) -> Option<NetworkSpec> {
+    let conv_positions: Vec<usize> = spec
+        .layers
+        .iter()
+        .enumerate()
+        .filter_map(|(i, l)| matches!(l, LayerSpec::Conv2d { .. }).then_some(i))
+        .collect();
+    if conv_positions.len() < 2 {
+        return None;
+    }
+    let head = *conv_positions.last().expect("non-empty");
+    // Insert the pool after one of the non-head convs' activation.
+    let insertable = &conv_positions[..conv_positions.len() - 1];
+    let conv_at = insertable[after % insertable.len()];
+    // Skip past the activation that follows the conv, if any.
+    let mut pool_pos = conv_at + 1;
+    if matches!(
+        spec.layers.get(pool_pos),
+        Some(LayerSpec::ReLU) | Some(LayerSpec::Sigmoid) | Some(LayerSpec::Tanh)
+    ) {
+        pool_pos += 1;
+    }
+    if pool_pos > head {
+        return None;
+    }
+    let mut layers = spec.layers.clone();
+    let pool = if average {
+        LayerSpec::AvgPool { size: 2 }
+    } else {
+        LayerSpec::MaxPool { size: 2 }
+    };
+    layers.insert(pool_pos, pool);
+    // The head moved one slot right; upsample goes right before it.
+    layers.insert(head + 1, LayerSpec::Upsample { factor: 2 });
+    let mut out = NetworkSpec::new(layers);
+    fix_channels(&mut out, 2);
+    Some(out)
+}
+
+/// Operation 4 — `dropout(G, L, p)`: inserts a dropout layer after the
+/// `which`-th intermediate conv's activation.
+pub fn dropout(spec: &NetworkSpec, which: usize, p: f64) -> Option<NetworkSpec> {
+    assert!((0.0..1.0).contains(&p), "p in [0, 1)");
+    let conv_positions: Vec<usize> = spec
+        .layers
+        .iter()
+        .enumerate()
+        .filter_map(|(i, l)| matches!(l, LayerSpec::Conv2d { .. }).then_some(i))
+        .collect();
+    if conv_positions.len() < 2 {
+        return None;
+    }
+    let insertable = &conv_positions[..conv_positions.len() - 1];
+    let conv_at = insertable[which % insertable.len()];
+    let mut pos = conv_at + 1;
+    if matches!(
+        spec.layers.get(pos),
+        Some(LayerSpec::ReLU) | Some(LayerSpec::Sigmoid) | Some(LayerSpec::Tanh)
+    ) {
+        pos += 1;
+    }
+    let mut layers = spec.layers.clone();
+    layers.insert(pos, LayerSpec::Dropout { p });
+    let mut out = NetworkSpec::new(layers);
+    fix_channels(&mut out, 2);
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfn_nn::flops::spec_flops;
+    use sfn_surrogate::tompson_spec;
+
+    const IN: (usize, usize, usize) = (2, 32, 32);
+
+    fn assert_valid_surrogate(spec: &NetworkSpec) {
+        let out = spec.output_shape(IN).expect("spec must validate");
+        assert_eq!(out, (1, 32, 32), "surrogate must preserve grid shape");
+    }
+
+    #[test]
+    fn shallow_removes_one_conv() {
+        let base = tompson_spec(8);
+        let base_convs = base
+            .layers
+            .iter()
+            .filter(|l| matches!(l, LayerSpec::Conv2d { .. }))
+            .count();
+        for which in 0..5 {
+            let s = shallow(&base, which).expect("shallow variant");
+            let convs = s
+                .layers
+                .iter()
+                .filter(|l| matches!(l, LayerSpec::Conv2d { .. }))
+                .count();
+            assert_eq!(convs, base_convs - 1);
+            assert_valid_surrogate(&s);
+            assert!(
+                spec_flops(&s, IN).unwrap() < spec_flops(&base, IN).unwrap(),
+                "shallow must reduce cost"
+            );
+        }
+    }
+
+    #[test]
+    fn narrow_reduces_channels_and_cost() {
+        let base = tompson_spec(16);
+        for which in 0..5 {
+            let s = narrow(&base, which, 0.1).expect("narrow variant");
+            assert_valid_surrogate(&s);
+            assert!(spec_flops(&s, IN).unwrap() < spec_flops(&base, IN).unwrap());
+        }
+    }
+
+    #[test]
+    fn narrow_never_below_two_channels() {
+        let mut spec = tompson_spec(8);
+        for _ in 0..20 {
+            spec = narrow(&spec, 1, 0.5).expect("narrow");
+            assert_valid_surrogate(&spec);
+        }
+        for l in &spec.layers {
+            if let LayerSpec::Conv2d { out_ch, .. } = l {
+                assert!(*out_ch >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn pooling_halves_interior_resolution() {
+        let base = tompson_spec(8);
+        let s = pooling(&base, 0, false).expect("pooling variant");
+        assert_valid_surrogate(&s);
+        assert!(
+            spec_flops(&s, IN).unwrap() < spec_flops(&base, IN).unwrap() / 2,
+            "pooling should cut cost by more than half"
+        );
+        // Pool and upsample appear exactly once each, in order.
+        let pool_idx = s
+            .layers
+            .iter()
+            .position(|l| matches!(l, LayerSpec::MaxPool { .. }))
+            .expect("has pool");
+        let up_idx = s
+            .layers
+            .iter()
+            .position(|l| matches!(l, LayerSpec::Upsample { .. }))
+            .expect("has upsample");
+        assert!(pool_idx < up_idx);
+    }
+
+    #[test]
+    fn pooling_average_variant() {
+        let base = tompson_spec(8);
+        let s = pooling(&base, 1, true).expect("avg pooling variant");
+        assert!(s
+            .layers
+            .iter()
+            .any(|l| matches!(l, LayerSpec::AvgPool { .. })));
+        assert_valid_surrogate(&s);
+    }
+
+    #[test]
+    fn dropout_inserts_layer_without_shape_change() {
+        let base = tompson_spec(8);
+        let s = dropout(&base, 2, 0.1).expect("dropout variant");
+        assert_valid_surrogate(&s);
+        assert_eq!(s.layers.len(), base.layers.len() + 1);
+        assert!(s.layers.iter().any(|l| matches!(l, LayerSpec::Dropout { p } if (*p - 0.1).abs() < 1e-12)));
+    }
+
+    #[test]
+    fn transforms_compose() {
+        // shallow ∘ narrow ∘ pooling ∘ dropout stays a valid surrogate.
+        let base = tompson_spec(16);
+        let s = shallow(&base, 1).unwrap();
+        let s = narrow(&s, 0, 0.1).unwrap();
+        let s = pooling(&s, 1, false).unwrap();
+        let s = dropout(&s, 0, 0.1).unwrap();
+        assert_valid_surrogate(&s);
+    }
+
+    #[test]
+    fn fix_channels_clears_invalid_residuals() {
+        let mut spec = NetworkSpec::new(vec![
+            LayerSpec::Conv2d { in_ch: 2, out_ch: 8, kernel: 3, residual: false },
+            LayerSpec::Conv2d { in_ch: 8, out_ch: 8, kernel: 3, residual: true },
+            LayerSpec::Conv2d { in_ch: 8, out_ch: 1, kernel: 3, residual: false },
+        ]);
+        // Narrow the first conv by hand, breaking the residual's match.
+        if let LayerSpec::Conv2d { out_ch, .. } = &mut spec.layers[0] {
+            *out_ch = 4;
+        }
+        fix_channels(&mut spec, 2);
+        assert!(spec.validate((2, 16, 16)).is_ok());
+        if let LayerSpec::Conv2d { in_ch, residual, .. } = spec.layers[1] {
+            assert_eq!(in_ch, 4);
+            assert!(!residual, "mismatched residual must be cleared");
+        } else {
+            panic!("expected conv");
+        }
+    }
+
+    #[test]
+    fn too_small_specs_return_none() {
+        let tiny = NetworkSpec::new(vec![LayerSpec::Conv2d {
+            in_ch: 2,
+            out_ch: 1,
+            kernel: 3,
+            residual: false,
+        }]);
+        assert!(shallow(&tiny, 0).is_none());
+        assert!(narrow(&tiny, 0, 0.1).is_none());
+        assert!(pooling(&tiny, 0, false).is_none());
+        assert!(dropout(&tiny, 0, 0.1).is_none());
+    }
+}

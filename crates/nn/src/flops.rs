@@ -1,0 +1,137 @@
+//! Spec-level FLOP and memory accounting (Table 4 of the paper reports
+//! FLOP-per-step and GPU memory per method; we compute the analogous
+//! numbers analytically from the architecture).
+
+use crate::spec::{LayerSpec, NetworkSpec, SpecError};
+
+/// Analytic FLOPs of one batch-1 forward pass of `spec` on an input of
+/// shape `(c, h, w)`. Multiply-accumulates count as 2 FLOPs, matching
+/// the convention of the paper's Table 4.
+pub fn spec_flops(spec: &NetworkSpec, input: (usize, usize, usize)) -> Result<u64, SpecError> {
+    let mut shape = input;
+    let mut total: u64 = 0;
+    for layer in &spec.layers {
+        let (c, h, w) = shape;
+        total += match *layer {
+            LayerSpec::Conv2d {
+                in_ch,
+                out_ch,
+                kernel,
+                residual,
+            } => {
+                let macs = (out_ch * in_ch * kernel * kernel * h * w) as u64;
+                2 * macs + if residual { (out_ch * h * w) as u64 } else { 0 }
+            }
+            LayerSpec::Dense { inputs, outputs } => 2 * (inputs * outputs) as u64,
+            LayerSpec::ReLU => (c * h * w) as u64,
+            LayerSpec::Sigmoid | LayerSpec::Tanh => 4 * (c * h * w) as u64,
+            LayerSpec::MaxPool { .. } | LayerSpec::AvgPool { .. } => (c * h * w) as u64,
+            LayerSpec::Upsample { factor } => (c * h * w * factor * factor) as u64,
+            LayerSpec::Dropout { .. } => (c * h * w) as u64,
+        };
+        shape = layer.output_shape(shape)?;
+    }
+    Ok(total)
+}
+
+/// Peak activation memory in bytes for a batch-1 forward pass: the sum
+/// of the two largest consecutive activation tensors (input + output of
+/// the widest layer), in f32.
+pub fn activation_bytes(spec: &NetworkSpec, input: (usize, usize, usize)) -> Result<u64, SpecError> {
+    let mut shapes = vec![input];
+    let mut shape = input;
+    for layer in &spec.layers {
+        shape = layer.output_shape(shape)?;
+        shapes.push(shape);
+    }
+    let mut peak = 0u64;
+    for pair in shapes.windows(2) {
+        let a = (pair[0].0 * pair[0].1 * pair[0].2) as u64;
+        let b = (pair[1].0 * pair[1].1 * pair[1].2) as u64;
+        peak = peak.max(4 * (a + b));
+    }
+    Ok(peak)
+}
+
+/// Total model memory: parameters plus peak activations, in bytes.
+pub fn model_bytes(spec: &NetworkSpec, input: (usize, usize, usize)) -> Result<u64, SpecError> {
+    Ok(4 * spec.param_count() as u64 + activation_bytes(spec, input)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Network;
+
+    fn spec() -> NetworkSpec {
+        NetworkSpec::new(vec![
+            LayerSpec::Conv2d { in_ch: 2, out_ch: 8, kernel: 3, residual: false },
+            LayerSpec::ReLU,
+            LayerSpec::MaxPool { size: 2 },
+            LayerSpec::Conv2d { in_ch: 8, out_ch: 8, kernel: 3, residual: true },
+            LayerSpec::Upsample { factor: 2 },
+            LayerSpec::Conv2d { in_ch: 8, out_ch: 1, kernel: 3, residual: false },
+        ])
+    }
+
+    #[test]
+    fn spec_flops_matches_network_flops() {
+        let s = spec();
+        let net = Network::from_spec(&s, 1).unwrap();
+        assert_eq!(spec_flops(&s, (2, 16, 16)).unwrap(), net.flops((2, 16, 16)));
+    }
+
+    #[test]
+    fn flops_scale_quadratically_with_resolution() {
+        let s = spec();
+        let f32_ = spec_flops(&s, (2, 32, 32)).unwrap();
+        let f64_ = spec_flops(&s, (2, 64, 64)).unwrap();
+        let ratio = f64_ as f64 / f32_ as f64;
+        assert!((ratio - 4.0).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn narrower_nets_cost_less() {
+        let wide = NetworkSpec::new(vec![LayerSpec::Conv2d {
+            in_ch: 2, out_ch: 16, kernel: 3, residual: false,
+        }]);
+        let narrow = NetworkSpec::new(vec![LayerSpec::Conv2d {
+            in_ch: 2, out_ch: 8, kernel: 3, residual: false,
+        }]);
+        assert!(
+            spec_flops(&narrow, (2, 32, 32)).unwrap() < spec_flops(&wide, (2, 32, 32)).unwrap()
+        );
+    }
+
+    #[test]
+    fn pooling_reduces_downstream_cost() {
+        let with_pool = NetworkSpec::new(vec![
+            LayerSpec::MaxPool { size: 2 },
+            LayerSpec::Conv2d { in_ch: 2, out_ch: 8, kernel: 3, residual: false },
+        ]);
+        let without = NetworkSpec::new(vec![LayerSpec::Conv2d {
+            in_ch: 2, out_ch: 8, kernel: 3, residual: false,
+        }]);
+        assert!(
+            spec_flops(&with_pool, (2, 32, 32)).unwrap()
+                < spec_flops(&without, (2, 32, 32)).unwrap() / 2
+        );
+    }
+
+    #[test]
+    fn memory_accounts_params_and_activations() {
+        let s = spec();
+        let m = model_bytes(&s, (2, 16, 16)).unwrap();
+        assert!(m > 4 * s.param_count() as u64);
+        assert_eq!(
+            m,
+            4 * s.param_count() as u64 + activation_bytes(&s, (2, 16, 16)).unwrap()
+        );
+    }
+
+    #[test]
+    fn invalid_shape_propagates_error() {
+        let s = spec();
+        assert!(spec_flops(&s, (3, 16, 16)).is_err());
+    }
+}

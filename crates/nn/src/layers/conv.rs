@@ -1,0 +1,538 @@
+//! 2-D convolution with same padding and stride 1.
+
+use crate::init::he_normal;
+use crate::layers::{Layer, ParamView};
+use crate::spec::LayerSpec;
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rayon::prelude::*;
+
+/// 2-D convolution (`OC×IC×K×K` weights, per-channel bias), stride 1,
+/// zero "same" padding. With `residual = true` the layer adds its input
+/// to its output (identity skip), which requires `in_ch == out_ch`.
+pub struct Conv2d {
+    in_ch: usize,
+    out_ch: usize,
+    kernel: usize,
+    residual: bool,
+    weight: Vec<f32>,
+    bias: Vec<f32>,
+    grad_weight: Vec<f32>,
+    grad_bias: Vec<f32>,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a conv layer with He-initialised weights.
+    ///
+    /// # Panics
+    /// Panics on zero channel counts, even kernels, or residual with
+    /// mismatched channels.
+    pub fn new(in_ch: usize, out_ch: usize, kernel: usize, residual: bool, rng: &mut StdRng) -> Self {
+        assert!(in_ch > 0 && out_ch > 0, "channels must be positive");
+        assert!(kernel % 2 == 1, "kernel must be odd for same padding");
+        assert!(!residual || in_ch == out_ch, "residual needs in_ch == out_ch");
+        let w_len = out_ch * in_ch * kernel * kernel;
+        Self {
+            in_ch,
+            out_ch,
+            kernel,
+            residual,
+            weight: he_normal(rng, in_ch * kernel * kernel, w_len),
+            bias: vec![0.0; out_ch],
+            grad_weight: vec![0.0; w_len],
+            grad_bias: vec![0.0; out_ch],
+            cached_input: None,
+        }
+    }
+
+    /// Builds a layer from explicit weights (deserialisation,
+    /// weight-inheriting model transformations).
+    pub fn from_weights(
+        in_ch: usize,
+        out_ch: usize,
+        kernel: usize,
+        residual: bool,
+        weight: Vec<f32>,
+        bias: Vec<f32>,
+    ) -> Self {
+        assert_eq!(weight.len(), out_ch * in_ch * kernel * kernel, "weight length");
+        assert_eq!(bias.len(), out_ch, "bias length");
+        assert!(!residual || in_ch == out_ch, "residual needs in_ch == out_ch");
+        let w_len = weight.len();
+        Self {
+            in_ch,
+            out_ch,
+            kernel,
+            residual,
+            weight,
+            bias,
+            grad_weight: vec![0.0; w_len],
+            grad_bias: vec![0.0; out_ch],
+            cached_input: None,
+        }
+    }
+
+    /// Weight slice in `OC×IC×K×K` order.
+    pub fn weight(&self) -> &[f32] {
+        &self.weight
+    }
+
+    /// Bias slice.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    #[inline]
+    fn w_at(&self, oc: usize, ic: usize, ky: usize, kx: usize) -> f32 {
+        self.weight[((oc * self.in_ch + ic) * self.kernel + ky) * self.kernel + kx]
+    }
+}
+
+impl Conv2d {
+    /// Direct 7-loop convolution (reference path, used for tiny
+    /// kernels where im2col overhead dominates).
+    fn forward_direct(&self, input: &Tensor, out: &mut Tensor) {
+        let (_, _, h, w) = input.shape();
+        let k = self.kernel;
+        let pad = k / 2;
+        let hw = h * w;
+        let in_ch = self.in_ch;
+        // Parallel over (sample, output-channel) planes.
+        out.data_mut()
+            .par_chunks_mut(hw)
+            .enumerate()
+            .for_each(|(plane, out_plane)| {
+                let nn = plane / self.out_ch;
+                let oc = plane % self.out_ch;
+                let b = self.bias[oc];
+                for op in out_plane.iter_mut() {
+                    *op = b;
+                }
+                for ic in 0..in_ch {
+                    let in_plane = input.plane(nn, ic);
+                    for ky in 0..k {
+                        let dy = ky as isize - pad as isize;
+                        for kx in 0..k {
+                            let dx = kx as isize - pad as isize;
+                            let wv = self.w_at(oc, ic, ky, kx);
+                            if wv == 0.0 {
+                                continue;
+                            }
+                            // Valid output rows for this tap.
+                            let y0 = (-dy).max(0) as usize;
+                            let y1 = (h as isize - dy).min(h as isize) as usize;
+                            let x0 = (-dx).max(0) as usize;
+                            let x1 = (w as isize - dx).min(w as isize) as usize;
+                            for y in y0..y1 {
+                                let iy = (y as isize + dy) as usize;
+                                let orow = y * w;
+                                let irow = iy * w;
+                                for x in x0..x1 {
+                                    let ix = (x as isize + dx) as usize;
+                                    out_plane[orow + x] += wv * in_plane[irow + ix];
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+    }
+
+    /// im2col + GEMM convolution (the fast path; see
+    /// [`crate::layers::gemm`]).
+    fn forward_gemm(&self, input: &Tensor, out: &mut Tensor) {
+        use crate::layers::gemm::{im2col, matmul, matmul_seq};
+        let (n, _, h, w) = input.shape();
+        let hw = h * w;
+        let ickk = self.in_ch * self.kernel * self.kernel;
+        let chw = self.in_ch * hw;
+        let ochw = self.out_ch * hw;
+        let weight = &self.weight;
+        let bias = &self.bias;
+        let kernel = self.kernel;
+        let in_ch = self.in_ch;
+        let out_ch = self.out_ch;
+        let add_bias = |chunk: &mut [f32]| {
+            for (oc, row) in chunk.chunks_mut(hw).enumerate() {
+                let b = bias[oc];
+                if b != 0.0 {
+                    for v in row {
+                        *v += b;
+                    }
+                }
+            }
+        };
+        if n >= 2 {
+            // Parallel over samples; each GEMM runs sequentially.
+            out.data_mut()
+                .par_chunks_mut(ochw)
+                .enumerate()
+                .for_each(|(nn, chunk)| {
+                    let mut cols = vec![0.0f32; ickk * hw];
+                    let sample = &input.data()[nn * chw..(nn + 1) * chw];
+                    im2col(sample, in_ch, h, w, kernel, &mut cols);
+                    matmul_seq(weight, out_ch, ickk, &cols, hw, chunk);
+                    add_bias(chunk);
+                });
+        } else {
+            let mut cols = vec![0.0f32; ickk * hw];
+            im2col(&input.data()[..chw], in_ch, h, w, kernel, &mut cols);
+            matmul(weight, out_ch, ickk, &cols, hw, out.data_mut());
+            add_bias(&mut out.data_mut()[..ochw]);
+        }
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
+        let (n, c, h, w) = input.shape();
+        assert_eq!(c, self.in_ch, "conv input channels");
+        let mut out = Tensor::zeros(n, self.out_ch, h, w);
+        // The GEMM lowering pays off once the reduction dimension is
+        // non-trivial; 1×1 convs and single-channel 3×3 stay direct.
+        if self.in_ch * self.kernel * self.kernel >= 16 {
+            self.forward_gemm(input, &mut out);
+        } else {
+            self.forward_direct(input, &mut out);
+        }
+        if self.residual {
+            out.add_scaled(input, 1.0);
+        }
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward before forward")
+            .clone();
+        let (n, _, h, w) = input.shape();
+        assert_eq!(grad_out.shape(), (n, self.out_ch, h, w), "grad shape");
+        let k = self.kernel;
+        let pad = k / 2;
+        let kk = k * k;
+        let in_ch = self.in_ch;
+        let out_ch = self.out_ch;
+
+        // Parameter gradients, parallel over output channels.
+        let per_oc = in_ch * kk;
+        self.grad_weight
+            .par_chunks_mut(per_oc)
+            .zip(self.grad_bias.par_iter_mut())
+            .enumerate()
+            .for_each(|(oc, (gw, gb))| {
+                *gb = 0.0;
+                for g in gw.iter_mut() {
+                    *g = 0.0;
+                }
+                for nn in 0..n {
+                    let go = grad_out.plane(nn, oc);
+                    for &g in go.iter() {
+                        *gb += g;
+                    }
+                    for ic in 0..in_ch {
+                        let ip = input.plane(nn, ic);
+                        for ky in 0..k {
+                            let dy = ky as isize - pad as isize;
+                            for kx in 0..k {
+                                let dx = kx as isize - pad as isize;
+                                let y0 = (-dy).max(0) as usize;
+                                let y1 = (h as isize - dy).min(h as isize) as usize;
+                                let x0 = (-dx).max(0) as usize;
+                                let x1 = (w as isize - dx).min(w as isize) as usize;
+                                let mut acc = 0.0f32;
+                                for y in y0..y1 {
+                                    let iy = (y as isize + dy) as usize;
+                                    let grow = y * w;
+                                    let irow = iy * w;
+                                    for x in x0..x1 {
+                                        let ix = (x as isize + dx) as usize;
+                                        acc += go[grow + x] * ip[irow + ix];
+                                    }
+                                }
+                                gw[ic * kk + ky * k + kx] += acc;
+                            }
+                        }
+                    }
+                }
+            });
+
+        // Input gradient: full correlation with flipped kernels,
+        // parallel over (sample, input-channel) planes.
+        let mut grad_in = Tensor::zeros(n, in_ch, h, w);
+        let hw = h * w;
+        let weight = &self.weight;
+        grad_in
+            .data_mut()
+            .par_chunks_mut(hw)
+            .enumerate()
+            .for_each(|(plane, gi_plane)| {
+                let nn = plane / in_ch;
+                let ic = plane % in_ch;
+                for oc in 0..out_ch {
+                    let go = grad_out.plane(nn, oc);
+                    for ky in 0..k {
+                        let dy = ky as isize - pad as isize;
+                        for kx in 0..k {
+                            let dx = kx as isize - pad as isize;
+                            let wv = weight[((oc * in_ch + ic) * k + ky) * k + kx];
+                            if wv == 0.0 {
+                                continue;
+                            }
+                            // grad_in[y][x] += w * grad_out[y-dy][x-dx]
+                            let y0 = dy.max(0) as usize;
+                            let y1 = (h as isize + dy).min(h as isize) as usize;
+                            let x0 = dx.max(0) as usize;
+                            let x1 = (w as isize + dx).min(w as isize) as usize;
+                            for y in y0..y1 {
+                                let gy = (y as isize - dy) as usize;
+                                let irow = y * w;
+                                let grow = gy * w;
+                                for x in x0..x1 {
+                                    let gx = (x as isize - dx) as usize;
+                                    gi_plane[irow + x] += wv * go[grow + gx];
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+        if self.residual {
+            grad_in.add_scaled(grad_out, 1.0);
+        }
+        grad_in
+    }
+
+    fn params(&mut self) -> Vec<ParamView<'_>> {
+        vec![
+            ParamView {
+                values: &mut self.weight,
+                grads: &mut self.grad_weight,
+            },
+            ParamView {
+                values: &mut self.bias,
+                grads: &mut self.grad_bias,
+            },
+        ]
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec::Conv2d {
+            in_ch: self.in_ch,
+            out_ch: self.out_ch,
+            kernel: self.kernel,
+            residual: self.residual,
+        }
+    }
+
+    fn flops(&self, input: (usize, usize, usize)) -> u64 {
+        let (_, h, w) = input;
+        let macs = (self.out_ch * self.in_ch * self.kernel * self.kernel * h * w) as u64;
+        2 * macs + if self.residual { (self.out_ch * h * w) as u64 } else { 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::rng_from_seed;
+
+    /// Naive reference convolution for cross-checking.
+    fn conv_ref(input: &Tensor, layer: &Conv2d) -> Tensor {
+        let (n, c, h, w) = input.shape();
+        let k = layer.kernel;
+        let pad = (k / 2) as isize;
+        let mut out = Tensor::zeros(n, layer.out_ch, h, w);
+        for nn in 0..n {
+            for oc in 0..layer.out_ch {
+                for y in 0..h {
+                    for x in 0..w {
+                        let mut acc = layer.bias[oc];
+                        for ic in 0..c {
+                            for ky in 0..k {
+                                for kx in 0..k {
+                                    let iy = y as isize + ky as isize - pad;
+                                    let ix = x as isize + kx as isize - pad;
+                                    if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < w
+                                    {
+                                        acc += layer.w_at(oc, ic, ky, kx)
+                                            * input.at(nn, ic, iy as usize, ix as usize);
+                                    }
+                                }
+                            }
+                        }
+                        if layer.residual {
+                            acc += input.at(nn, oc, y, x);
+                        }
+                        out.set(nn, oc, y, x, acc);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn forward_matches_naive_reference() {
+        let mut rng = rng_from_seed(1);
+        let mut layer = Conv2d::new(3, 4, 3, false, &mut rng);
+        let input = Tensor::from_fn(2, 3, 7, 6, |n, c, h, w| {
+            ((n * 37 + c * 17 + h * 5 + w * 3) % 13) as f32 / 6.0 - 1.0
+        });
+        let fast = layer.forward(&input, false);
+        let slow = conv_ref(&input, &layer);
+        for (a, b) in fast.data().iter().zip(slow.data()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn identity_kernel_preserves_input() {
+        let mut rng = rng_from_seed(2);
+        let mut layer = Conv2d::new(1, 1, 3, false, &mut rng);
+        layer.weight.fill(0.0);
+        layer.weight[4] = 1.0; // centre tap
+        let input = Tensor::from_fn(1, 1, 5, 5, |_, _, h, w| (h * 5 + w) as f32);
+        let out = layer.forward(&input, false);
+        for (a, b) in out.data().iter().zip(input.data()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn residual_adds_input() {
+        let mut rng = rng_from_seed(3);
+        let mut layer = Conv2d::new(2, 2, 3, true, &mut rng);
+        layer.weight.fill(0.0);
+        layer.bias.fill(0.0);
+        let input = Tensor::from_fn(1, 2, 4, 4, |_, c, h, w| (c * 16 + h * 4 + w) as f32);
+        let out = layer.forward(&input, false);
+        assert_eq!(out.data(), input.data());
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = rng_from_seed(4);
+        let mut layer = Conv2d::new(2, 3, 3, false, &mut rng);
+        let input = Tensor::from_fn(1, 2, 5, 5, |_, c, h, w| {
+            ((c * 11 + h * 3 + w * 7) % 9) as f32 / 4.0 - 1.0
+        });
+        // Loss = 0.5 Σ out² -> dL/dout = out.
+        let out = layer.forward(&input, true);
+        let grad_in = layer.backward(&out);
+
+        let loss = |layer: &mut Conv2d, input: &Tensor| -> f64 {
+            let o = layer.forward(input, true);
+            o.data().iter().map(|&v| 0.5 * (v as f64) * (v as f64)).sum()
+        };
+
+        // Check a sample of weight gradients.
+        let eps = 1e-2f32;
+        let saved_gw = layer.grad_weight.clone();
+        for &wi in &[0usize, 7, 13, 25, 40, 53] {
+            let orig = layer.weight[wi];
+            layer.weight[wi] = orig + eps;
+            let lp = loss(&mut layer, &input);
+            layer.weight[wi] = orig - eps;
+            let lm = loss(&mut layer, &input);
+            layer.weight[wi] = orig;
+            let fd = ((lp - lm) / (2.0 * eps as f64)) as f32;
+            let an = saved_gw[wi];
+            assert!(
+                (fd - an).abs() <= 1e-2 * fd.abs().max(an.abs()).max(1e-1),
+                "weight {wi}: fd {fd} vs analytic {an}"
+            );
+        }
+        // Check a sample of input gradients.
+        let mut input_m = input.clone();
+        for &ii in &[0usize, 12, 24, 37, 49] {
+            let orig = input_m.data()[ii];
+            input_m.data_mut()[ii] = orig + eps;
+            let lp = loss(&mut layer, &input_m);
+            input_m.data_mut()[ii] = orig - eps;
+            let lm = loss(&mut layer, &input_m);
+            input_m.data_mut()[ii] = orig;
+            let fd = ((lp - lm) / (2.0 * eps as f64)) as f32;
+            let an = grad_in.data()[ii];
+            assert!(
+                (fd - an).abs() <= 2e-2 * fd.abs().max(an.abs()).max(1e-1),
+                "input {ii}: fd {fd} vs analytic {an}"
+            );
+        }
+    }
+
+    #[test]
+    fn residual_gradient_passthrough() {
+        let mut rng = rng_from_seed(5);
+        let mut layer = Conv2d::new(2, 2, 3, true, &mut rng);
+        layer.weight.fill(0.0);
+        layer.bias.fill(0.0);
+        let input = Tensor::from_fn(1, 2, 4, 4, |_, c, h, w| (c + h + w) as f32 * 0.1);
+        let _ = layer.forward(&input, true);
+        let grad_out = Tensor::from_fn(1, 2, 4, 4, |_, c, h, w| (c * 16 + h * 4 + w) as f32);
+        let grad_in = layer.backward(&grad_out);
+        // With zero weights the only path is the skip: grad_in == grad_out.
+        assert_eq!(grad_in.data(), grad_out.data());
+    }
+
+    #[test]
+    fn flops_formula() {
+        let mut rng = rng_from_seed(6);
+        let layer = Conv2d::new(4, 8, 3, false, &mut rng);
+        // 2 * 8*4*9 * 16*16 = 147456
+        assert_eq!(layer.flops((4, 16, 16)), 2 * 8 * 4 * 9 * 256);
+    }
+
+    #[test]
+    fn gemm_and_direct_paths_agree() {
+        let mut rng = rng_from_seed(21);
+        // in_ch*k*k = 36 >= 16 -> gemm path in forward().
+        let layer = Conv2d::new(4, 5, 3, false, &mut rng);
+        let input = Tensor::from_fn(3, 4, 9, 7, |n, c, h, w| {
+            ((n * 41 + c * 13 + h * 5 + w * 3) % 17) as f32 / 8.0 - 1.0
+        });
+        let mut a = Tensor::zeros(3, 5, 9, 7);
+        let mut b = Tensor::zeros(3, 5, 9, 7);
+        layer.forward_direct(&input, &mut a);
+        layer.forward_gemm(&input, &mut b);
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn gemm_single_sample_path() {
+        let mut rng = rng_from_seed(22);
+        let layer = Conv2d::new(3, 4, 5, false, &mut rng);
+        let input = Tensor::from_fn(1, 3, 8, 8, |_, c, h, w| {
+            ((c * 7 + h * 3 + w) % 9) as f32 - 4.0
+        });
+        let mut a = Tensor::zeros(1, 4, 8, 8);
+        let mut b = Tensor::zeros(1, 4, 8, 8);
+        layer.forward_direct(&input, &mut a);
+        layer.forward_gemm(&input, &mut b);
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn batch_independence() {
+        // Forward of a batch equals per-sample forwards.
+        let mut rng = rng_from_seed(7);
+        let mut layer = Conv2d::new(2, 3, 5, false, &mut rng);
+        let batch = Tensor::from_fn(3, 2, 6, 6, |n, c, h, w| {
+            ((n * 31 + c * 7 + h * 3 + w) % 11) as f32 - 5.0
+        });
+        let full = layer.forward(&batch, false);
+        for s in 0..3 {
+            let single = layer.forward(&batch.sample(s), false);
+            for (a, b) in full.sample(s).data().iter().zip(single.data()) {
+                assert!((a - b).abs() < 1e-5);
+            }
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Inverted dropout (§4 Operation 4).
+//!
+//! "This operation, denoted as dropout(G, L, p), drops neurons at a
+//! layer L with a given probability p … useful to increase the
+//! generalization capability of the model." Inverted scaling keeps the
+//! expected activation unchanged, so evaluation mode is the identity.
+
+use crate::layers::{Layer, ParamView};
+use crate::spec::LayerSpec;
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Inverted dropout with drop probability `p`.
+pub struct Dropout {
+    p: f64,
+    rng: StdRng,
+    mask: Vec<f32>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with its own deterministic RNG stream.
+    ///
+    /// # Panics
+    /// Panics unless `p ∈ [0, 1)`.
+    pub fn new(p: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout p must be in [0, 1)");
+        Self {
+            p,
+            rng: StdRng::seed_from_u64(seed),
+            mask: Vec::new(),
+        }
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor, training: bool) -> Tensor {
+        if !training || self.p == 0.0 {
+            self.mask.clear();
+            return input.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = (1.0 / keep) as f32;
+        self.mask = (0..input.len())
+            .map(|_| {
+                if self.rng.random_range(0.0..1.0) < self.p {
+                    0.0
+                } else {
+                    scale
+                }
+            })
+            .collect();
+        let mut out = input.clone();
+        for (o, &m) in out.data_mut().iter_mut().zip(&self.mask) {
+            *o *= m;
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        if self.mask.is_empty() {
+            return grad_out.clone();
+        }
+        assert_eq!(self.mask.len(), grad_out.len(), "grad shape");
+        let mut grad_in = grad_out.clone();
+        for (g, &m) in grad_in.data_mut().iter_mut().zip(&self.mask) {
+            *g *= m;
+        }
+        grad_in
+    }
+
+    fn params(&mut self) -> Vec<ParamView<'_>> {
+        Vec::new()
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec::Dropout { p: self.p }
+    }
+
+    fn flops(&self, input: (usize, usize, usize)) -> u64 {
+        let (c, h, w) = input;
+        (c * h * w) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut d = Dropout::new(0.5, 1);
+        let x = Tensor::from_fn(1, 2, 3, 3, |_, c, h, w| (c + h + w) as f32);
+        let y = d.forward(&x, false);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn training_mode_drops_about_p() {
+        let mut d = Dropout::new(0.3, 2);
+        let x = Tensor::from_fn(1, 1, 100, 100, |_, _, _, _| 1.0);
+        let y = d.forward(&x, true);
+        let dropped = y.data().iter().filter(|&&v| v == 0.0).count();
+        let frac = dropped as f64 / y.len() as f64;
+        assert!((frac - 0.3).abs() < 0.03, "dropped fraction {frac}");
+        // Survivors are scaled by 1/(1-p).
+        let survivor = y.data().iter().copied().find(|&v| v != 0.0).unwrap();
+        assert!((survivor - 1.0 / 0.7).abs() < 1e-5);
+    }
+
+    #[test]
+    fn expectation_preserved() {
+        let mut d = Dropout::new(0.4, 3);
+        let x = Tensor::from_fn(1, 1, 64, 64, |_, _, _, _| 2.0);
+        let y = d.forward(&x, true);
+        let mean: f64 = y.data().iter().map(|&v| v as f64).sum::<f64>() / y.len() as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, 4);
+        let x = Tensor::from_fn(1, 1, 10, 10, |_, _, _, _| 1.0);
+        let y = d.forward(&x, true);
+        let g = x.map(|_| 1.0);
+        let gi = d.backward(&g);
+        // Gradient mask must match the forward mask exactly.
+        for (a, b) in y.data().iter().zip(gi.data()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn deterministic_stream() {
+        let run = || {
+            let mut d = Dropout::new(0.5, 7);
+            let x = Tensor::from_fn(1, 1, 8, 8, |_, _, _, _| 1.0);
+            let a = d.forward(&x, true);
+            let b = d.forward(&x, true);
+            (a, b)
+        };
+        let (a1, b1) = run();
+        let (a2, b2) = run();
+        assert_eq!(a1, a2);
+        assert_eq!(b1, b2);
+        // Consecutive calls use fresh masks.
+        assert_ne!(a1, b1);
+    }
+}

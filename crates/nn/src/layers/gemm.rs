@@ -1,0 +1,179 @@
+//! im2col + GEMM convolution kernels.
+//!
+//! Direct 7-deep convolution loops are simple but leave a lot of
+//! throughput on the table; the standard high-performance CPU route
+//! (and what cuDNN's IMPLICIT_GEMM algorithms do on GPU) is to lower
+//! the convolution to a matrix multiply:
+//!
+//! ```text
+//! weights  [OC × IC·K·K]  ×  im2col(input)  [IC·K·K × H·W]  =  out [OC × H·W]
+//! ```
+//!
+//! The GEMM runs in ikj order (row of A broadcast over a row of B),
+//! which vectorises the inner loop and streams both matrices — and is
+//! parallelised over output rows with rayon.
+
+use rayon::prelude::*;
+
+/// `out = a × b` for row-major `a: m×k`, `b: k×n`, `out: m×n`.
+///
+/// Parallel over output rows. `out` is overwritten.
+///
+/// # Panics
+/// Panics if the slice lengths do not match the dimensions.
+pub fn matmul(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "A shape");
+    assert_eq!(b.len(), k * n, "B shape");
+    assert_eq!(out.len(), m * n, "C shape");
+    out.par_chunks_mut(n).enumerate().for_each(|(i, row)| {
+        row.fill(0.0);
+        let arow = &a[i * k..(i + 1) * k];
+        for (l, &ail) in arow.iter().enumerate() {
+            if ail == 0.0 {
+                continue;
+            }
+            let brow = &b[l * n..(l + 1) * n];
+            for (c, &bv) in row.iter_mut().zip(brow) {
+                *c += ail * bv;
+            }
+        }
+    });
+}
+
+/// Sequential variant for use inside an outer parallel loop.
+pub fn matmul_seq(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "A shape");
+    assert_eq!(b.len(), k * n, "B shape");
+    assert_eq!(out.len(), m * n, "C shape");
+    for i in 0..m {
+        let row = &mut out[i * n..(i + 1) * n];
+        row.fill(0.0);
+        let arow = &a[i * k..(i + 1) * k];
+        for (l, &ail) in arow.iter().enumerate() {
+            if ail == 0.0 {
+                continue;
+            }
+            let brow = &b[l * n..(l + 1) * n];
+            for (c, &bv) in row.iter_mut().zip(brow) {
+                *c += ail * bv;
+            }
+        }
+    }
+}
+
+/// Lowers one sample's `ic × h × w` image (a contiguous slice) into the
+/// im2col matrix `[ic·kernel·kernel × h·w]` with zero same-padding,
+/// writing into `out` (which must have the exact size).
+pub fn im2col(
+    input: &[f32],
+    ic: usize,
+    h: usize,
+    w: usize,
+    kernel: usize,
+    out: &mut [f32],
+) {
+    let kk = kernel * kernel;
+    let pad = (kernel / 2) as isize;
+    assert_eq!(input.len(), ic * h * w, "input shape");
+    assert_eq!(out.len(), ic * kk * h * w, "im2col buffer shape");
+    let hw = h * w;
+    for c in 0..ic {
+        let plane = &input[c * hw..(c + 1) * hw];
+        for ky in 0..kernel {
+            let dy = ky as isize - pad;
+            for kx in 0..kernel {
+                let dx = kx as isize - pad;
+                let row = &mut out[((c * kk) + ky * kernel + kx) * hw..][..hw];
+                // Valid input window for this tap.
+                let y0 = (-dy).max(0) as usize;
+                let y1 = ((h as isize - dy).min(h as isize)).max(0) as usize;
+                let x0 = (-dx).max(0) as usize;
+                let x1 = ((w as isize - dx).min(w as isize)).max(0) as usize;
+                row.fill(0.0);
+                for y in y0..y1 {
+                    let iy = (y as isize + dy) as usize;
+                    let dst = &mut row[y * w + x0..y * w + x1];
+                    let src = &plane[iy * w + (x0 as isize + dx) as usize..];
+                    dst.copy_from_slice(&src[..x1 - x0]);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small_case() {
+        // [1 2; 3 4] x [5 6; 7 8] = [19 22; 43 50]
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [5.0, 6.0, 7.0, 8.0];
+        let mut c = [0.0; 4];
+        matmul(&a, 2, 2, &b, 2, &mut c);
+        assert_eq!(c, [19.0, 22.0, 43.0, 50.0]);
+        let mut c2 = [0.0; 4];
+        matmul_seq(&a, 2, 2, &b, 2, &mut c2);
+        assert_eq!(c, c2);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let n = 7;
+        let eye: Vec<f32> = (0..n * n)
+            .map(|i| if i / n == i % n { 1.0 } else { 0.0 })
+            .collect();
+        let b: Vec<f32> = (0..n * 5).map(|i| i as f32 * 0.3 - 2.0).collect();
+        let mut c = vec![0.0; n * 5];
+        matmul(&eye, n, n, &b, 5, &mut c);
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn matmul_matches_naive_reference() {
+        let (m, k, n) = (9, 13, 17);
+        let a: Vec<f32> = (0..m * k).map(|i| ((i * 31) % 11) as f32 - 5.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i * 17) % 7) as f32 - 3.0).collect();
+        let mut fast = vec![0.0; m * n];
+        matmul(&a, m, k, &b, n, &mut fast);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for l in 0..k {
+                    acc += a[i * k + l] * b[l * n + j];
+                }
+                assert!((fast[i * n + j] - acc).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn im2col_centre_tap_is_identity() {
+        let (ic, h, w, k) = (2usize, 4usize, 5usize, 3usize);
+        let input: Vec<f32> = (0..ic * h * w).map(|i| i as f32).collect();
+        let mut cols = vec![0.0; ic * k * k * h * w];
+        im2col(&input, ic, h, w, k, &mut cols);
+        // The centre tap row (ky=1, kx=1) of each channel equals the
+        // original plane.
+        let kk = k * k;
+        for c in 0..ic {
+            let row = &cols[(c * kk + 4) * h * w..][..h * w];
+            assert_eq!(row, &input[c * h * w..(c + 1) * h * w]);
+        }
+    }
+
+    #[test]
+    fn im2col_pads_with_zeros() {
+        let (ic, h, w, k) = (1usize, 3usize, 3usize, 3usize);
+        let input: Vec<f32> = (1..=9).map(|v| v as f32).collect();
+        let mut cols = vec![0.0; k * k * h * w];
+        im2col(&input, ic, h, w, k, &mut cols);
+        // Tap (ky=0, kx=0) shifts the image down-right: value at output
+        // (0,0) reads input (-1,-1) = padded 0.
+        let row = &cols[0..h * w];
+        assert_eq!(row[0], 0.0);
+        // Output (1,1) reads input (0,0) = 1.
+        assert_eq!(row[4], 1.0);
+    }
+}

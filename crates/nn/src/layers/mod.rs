@@ -1,0 +1,55 @@
+//! Neural-network layers with explicit forward/backward passes.
+//!
+//! Layers are stateful: `forward` caches whatever the matching
+//! `backward` needs (inputs, masks, argmax indices), and `backward`
+//! writes parameter gradients that the optimizer consumes via
+//! [`Layer::params`]. This mirrors the classic define-by-run layer
+//! libraries (Torch7's `nn`, which the paper's models were written in)
+//! rather than a tape-based autograd — simpler, and sufficient for
+//! sequential CNNs.
+
+pub mod activation;
+pub mod conv;
+pub mod dense;
+pub mod dropout;
+pub mod gemm;
+pub mod pool;
+
+pub use activation::{ReLU, Sigmoid, Tanh};
+pub use conv::Conv2d;
+pub use dense::Dense;
+pub use dropout::Dropout;
+pub use pool::{AvgPool, MaxPool, Upsample};
+
+use crate::spec::LayerSpec;
+use crate::tensor::Tensor;
+
+/// A mutable view of one parameter tensor and its gradient.
+pub struct ParamView<'a> {
+    /// Parameter values.
+    pub values: &'a mut [f32],
+    /// Gradient of the loss w.r.t. the values (same length).
+    pub grads: &'a mut [f32],
+}
+
+/// A differentiable layer.
+pub trait Layer: Send {
+    /// Forward pass. `training` enables dropout noise.
+    fn forward(&mut self, input: &Tensor, training: bool) -> Tensor;
+
+    /// Backward pass using state cached by the last `forward`; returns
+    /// the gradient w.r.t. the layer input and stores parameter
+    /// gradients internally.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Mutable access to all (parameter, gradient) pairs; empty for
+    /// parameterless layers.
+    fn params(&mut self) -> Vec<ParamView<'_>>;
+
+    /// The serialisable description of this layer.
+    fn spec(&self) -> LayerSpec;
+
+    /// Analytic FLOPs of one forward pass for a batch-1 input of shape
+    /// `(c, h, w)` (multiply-accumulate counted as 2 FLOPs).
+    fn flops(&self, input: (usize, usize, usize)) -> u64;
+}

@@ -1,0 +1,319 @@
+//! Pooling and unpooling layers.
+//!
+//! §4 Operation 3 down-samples layers with max or average pooling
+//! ("a special case of m is a 2×2 matrix which can discard 75% neurons
+//! in the intermediate layers"); nearest-neighbour upsampling is the
+//! matching "unpooling" that restores the spatial resolution so the
+//! surrogate's output keeps the grid shape.
+
+use crate::layers::{Layer, ParamView};
+use crate::spec::LayerSpec;
+use crate::tensor::Tensor;
+
+/// Max pooling with a square window and equal stride.
+pub struct MaxPool {
+    size: usize,
+    /// Flat input index of each output's argmax, for backward routing.
+    argmax: Vec<usize>,
+    in_shape: (usize, usize, usize, usize),
+}
+
+impl MaxPool {
+    /// Creates a max-pool layer with window/stride `size ≥ 2`.
+    pub fn new(size: usize) -> Self {
+        assert!(size >= 2, "pool size must be >= 2");
+        Self {
+            size,
+            argmax: Vec::new(),
+            in_shape: (0, 0, 0, 0),
+        }
+    }
+}
+
+impl Layer for MaxPool {
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
+        let (n, c, h, w) = input.shape();
+        let s = self.size;
+        assert!(h >= s && w >= s, "input {h}x{w} smaller than pool {s}");
+        let (oh, ow) = (h / s, w / s);
+        let mut out = Tensor::zeros(n, c, oh, ow);
+        self.argmax = vec![0; n * c * oh * ow];
+        self.in_shape = (n, c, h, w);
+        for nn in 0..n {
+            for cc in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for dy in 0..s {
+                            for dx in 0..s {
+                                let iy = oy * s + dy;
+                                let ix = ox * s + dx;
+                                let v = input.at(nn, cc, iy, ix);
+                                if v > best {
+                                    best = v;
+                                    best_idx = input.idx(nn, cc, iy, ix);
+                                }
+                            }
+                        }
+                        out.set(nn, cc, oy, ox, best);
+                        self.argmax[out.idx(nn, cc, oy, ox)] = best_idx;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (n, c, h, w) = self.in_shape;
+        assert!(n > 0, "backward before forward");
+        let mut grad_in = Tensor::zeros(n, c, h, w);
+        for (o, &src) in self.argmax.iter().enumerate() {
+            grad_in.data_mut()[src] += grad_out.data()[o];
+        }
+        grad_in
+    }
+
+    fn params(&mut self) -> Vec<ParamView<'_>> {
+        Vec::new()
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec::MaxPool { size: self.size }
+    }
+
+    fn flops(&self, input: (usize, usize, usize)) -> u64 {
+        let (c, h, w) = input;
+        (c * h * w) as u64
+    }
+}
+
+/// Average pooling with a square window and equal stride.
+pub struct AvgPool {
+    size: usize,
+    in_shape: (usize, usize, usize, usize),
+}
+
+impl AvgPool {
+    /// Creates an average-pool layer with window/stride `size ≥ 2`.
+    pub fn new(size: usize) -> Self {
+        assert!(size >= 2, "pool size must be >= 2");
+        Self {
+            size,
+            in_shape: (0, 0, 0, 0),
+        }
+    }
+}
+
+impl Layer for AvgPool {
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
+        let (n, c, h, w) = input.shape();
+        let s = self.size;
+        assert!(h >= s && w >= s, "input {h}x{w} smaller than pool {s}");
+        let (oh, ow) = (h / s, w / s);
+        self.in_shape = (n, c, h, w);
+        let inv = 1.0 / (s * s) as f32;
+        let mut out = Tensor::zeros(n, c, oh, ow);
+        for nn in 0..n {
+            for cc in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0;
+                        for dy in 0..s {
+                            for dx in 0..s {
+                                acc += input.at(nn, cc, oy * s + dy, ox * s + dx);
+                            }
+                        }
+                        out.set(nn, cc, oy, ox, acc * inv);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (n, c, h, w) = self.in_shape;
+        assert!(n > 0, "backward before forward");
+        let s = self.size;
+        let inv = 1.0 / (s * s) as f32;
+        let mut grad_in = Tensor::zeros(n, c, h, w);
+        let (_, _, oh, ow) = grad_out.shape();
+        for nn in 0..n {
+            for cc in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = grad_out.at(nn, cc, oy, ox) * inv;
+                        for dy in 0..s {
+                            for dx in 0..s {
+                                let i = grad_in.idx(nn, cc, oy * s + dy, ox * s + dx);
+                                grad_in.data_mut()[i] += g;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn params(&mut self) -> Vec<ParamView<'_>> {
+        Vec::new()
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec::AvgPool { size: self.size }
+    }
+
+    fn flops(&self, input: (usize, usize, usize)) -> u64 {
+        let (c, h, w) = input;
+        (c * h * w) as u64
+    }
+}
+
+/// Nearest-neighbour upsampling by an integer factor ("unpooling").
+pub struct Upsample {
+    factor: usize,
+    in_shape: (usize, usize, usize, usize),
+}
+
+impl Upsample {
+    /// Creates an upsample layer with `factor ≥ 2`.
+    pub fn new(factor: usize) -> Self {
+        assert!(factor >= 2, "upsample factor must be >= 2");
+        Self {
+            factor,
+            in_shape: (0, 0, 0, 0),
+        }
+    }
+}
+
+impl Layer for Upsample {
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
+        let (n, c, h, w) = input.shape();
+        let f = self.factor;
+        self.in_shape = (n, c, h, w);
+        Tensor::from_fn(n, c, h * f, w * f, |nn, cc, y, x| input.at(nn, cc, y / f, x / f))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (n, c, h, w) = self.in_shape;
+        assert!(n > 0, "backward before forward");
+        let f = self.factor;
+        let mut grad_in = Tensor::zeros(n, c, h, w);
+        let (_, _, gh, gw) = grad_out.shape();
+        for nn in 0..n {
+            for cc in 0..c {
+                for y in 0..gh {
+                    for x in 0..gw {
+                        let i = grad_in.idx(nn, cc, y / f, x / f);
+                        grad_in.data_mut()[i] += grad_out.at(nn, cc, y, x);
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn params(&mut self) -> Vec<ParamView<'_>> {
+        Vec::new()
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec::Upsample {
+            factor: self.factor,
+        }
+    }
+
+    fn flops(&self, input: (usize, usize, usize)) -> u64 {
+        let (c, h, w) = input;
+        (c * h * w * self.factor * self.factor) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_picks_maxima() {
+        let mut p = MaxPool::new(2);
+        let x = Tensor::from_vec(
+            1,
+            1,
+            4,
+            4,
+            vec![
+                1., 2., 5., 6., //
+                3., 4., 7., 8., //
+                9., 10., 13., 14., //
+                11., 12., 15., 16.,
+            ],
+        );
+        let y = p.forward(&x, false);
+        assert_eq!(y.shape(), (1, 1, 2, 2));
+        assert_eq!(y.data(), &[4., 8., 12., 16.]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let mut p = MaxPool::new(2);
+        let x = Tensor::from_vec(1, 1, 2, 2, vec![1., 9., 3., 4.]);
+        let _ = p.forward(&x, true);
+        let g = Tensor::from_vec(1, 1, 1, 1, vec![5.0]);
+        let gi = p.backward(&g);
+        assert_eq!(gi.data(), &[0., 5., 0., 0.]);
+    }
+
+    #[test]
+    fn avgpool_averages() {
+        let mut p = AvgPool::new(2);
+        let x = Tensor::from_vec(1, 1, 2, 2, vec![1., 2., 3., 6.]);
+        let y = p.forward(&x, false);
+        assert_eq!(y.data(), &[3.0]);
+        let g = Tensor::from_vec(1, 1, 1, 1, vec![4.0]);
+        let gi = p.backward(&g);
+        assert_eq!(gi.data(), &[1., 1., 1., 1.]);
+    }
+
+    #[test]
+    fn upsample_nearest() {
+        let mut u = Upsample::new(2);
+        let x = Tensor::from_vec(1, 1, 1, 2, vec![3.0, 7.0]);
+        let y = u.forward(&x, false);
+        assert_eq!(y.shape(), (1, 1, 2, 4));
+        assert_eq!(y.data(), &[3., 3., 7., 7., 3., 3., 7., 7.]);
+    }
+
+    #[test]
+    fn upsample_backward_sums_children() {
+        let mut u = Upsample::new(2);
+        let x = Tensor::from_vec(1, 1, 1, 1, vec![1.0]);
+        let _ = u.forward(&x, true);
+        let g = Tensor::from_vec(1, 1, 2, 2, vec![1., 2., 3., 4.]);
+        let gi = u.backward(&g);
+        assert_eq!(gi.data(), &[10.0]);
+    }
+
+    #[test]
+    fn pool_then_upsample_restores_shape() {
+        let mut p = MaxPool::new(2);
+        let mut u = Upsample::new(2);
+        let x = Tensor::from_fn(2, 3, 8, 8, |n, c, h, w| (n + c + h + w) as f32);
+        let y = u.forward(&p.forward(&x, false), false);
+        assert_eq!(y.shape(), x.shape());
+    }
+
+    #[test]
+    fn odd_sizes_truncate() {
+        let mut p = MaxPool::new(2);
+        let x = Tensor::from_fn(1, 1, 5, 5, |_, _, h, w| (h * 5 + w) as f32);
+        let y = p.forward(&x, false);
+        assert_eq!(y.shape(), (1, 1, 2, 2));
+        // Backward still produces the full input shape.
+        let g = Tensor::zeros(1, 1, 2, 2);
+        let gi = p.backward(&g);
+        assert_eq!(gi.shape(), (1, 1, 5, 5));
+    }
+}

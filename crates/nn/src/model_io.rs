@@ -1,0 +1,216 @@
+//! Compact binary model serialisation.
+//!
+//! JSON snapshots ([`crate::network::SavedModel`] via serde) are
+//! human-inspectable but ~5× larger than the weights themselves and
+//! slow to parse. This module provides a little-endian binary format
+//! for artifact caches:
+//!
+//! ```text
+//! magic "SFNM" | version u32 | spec_len u32 | spec JSON bytes
+//! | tensor_count u32 | { len u32 | f32 data... }* | fnv1a checksum u64
+//! ```
+//!
+//! The checksum covers everything before it, so truncation and
+//! bit-rot are detected at load time.
+
+use crate::network::SavedModel;
+use crate::spec::NetworkSpec;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: &[u8; 4] = b"SFNM";
+const VERSION: u32 = 1;
+
+/// Serialisation/deserialisation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelIoError(pub String);
+
+impl std::fmt::Display for ModelIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "model io error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ModelIoError {}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Encodes a snapshot to the binary format.
+pub fn encode(model: &SavedModel) -> Result<Bytes, ModelIoError> {
+    let spec_json =
+        serde_json::to_vec(&model.spec).map_err(|e| ModelIoError(format!("spec encode: {e}")))?;
+    let weight_bytes: usize = model.weights.iter().map(|w| 4 + 4 * w.len()).sum();
+    let mut buf = BytesMut::with_capacity(4 + 4 + 4 + spec_json.len() + 4 + weight_bytes + 8);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(
+        u32::try_from(spec_json.len()).map_err(|_| ModelIoError("spec too large".into()))?,
+    );
+    buf.put_slice(&spec_json);
+    buf.put_u32_le(
+        u32::try_from(model.weights.len()).map_err(|_| ModelIoError("too many tensors".into()))?,
+    );
+    for w in &model.weights {
+        buf.put_u32_le(u32::try_from(w.len()).map_err(|_| ModelIoError("tensor too large".into()))?);
+        for &v in w {
+            buf.put_f32_le(v);
+        }
+    }
+    let checksum = fnv1a(&buf);
+    buf.put_u64_le(checksum);
+    Ok(buf.freeze())
+}
+
+/// Decodes a snapshot from the binary format, verifying the checksum.
+pub fn decode(mut data: &[u8]) -> Result<SavedModel, ModelIoError> {
+    if data.len() < 4 + 4 + 4 + 4 + 8 {
+        return Err(ModelIoError("truncated header".into()));
+    }
+    let (body, tail) = data.split_at(data.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
+    if fnv1a(body) != stored {
+        return Err(ModelIoError("checksum mismatch".into()));
+    }
+    data = body;
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(ModelIoError("bad magic".into()));
+    }
+    let version = data.get_u32_le();
+    if version != VERSION {
+        return Err(ModelIoError(format!("unsupported version {version}")));
+    }
+    let spec_len = data.get_u32_le() as usize;
+    if data.remaining() < spec_len {
+        return Err(ModelIoError("truncated spec".into()));
+    }
+    let spec: NetworkSpec = serde_json::from_slice(&data[..spec_len])
+        .map_err(|e| ModelIoError(format!("spec decode: {e}")))?;
+    data.advance(spec_len);
+    if data.remaining() < 4 {
+        return Err(ModelIoError("truncated tensor count".into()));
+    }
+    let count = data.get_u32_le() as usize;
+    let mut weights = Vec::with_capacity(count);
+    for t in 0..count {
+        if data.remaining() < 4 {
+            return Err(ModelIoError(format!("truncated tensor {t} length")));
+        }
+        let len = data.get_u32_le() as usize;
+        if data.remaining() < 4 * len {
+            return Err(ModelIoError(format!("truncated tensor {t} data")));
+        }
+        let mut w = Vec::with_capacity(len);
+        for _ in 0..len {
+            w.push(data.get_f32_le());
+        }
+        weights.push(w);
+    }
+    if data.has_remaining() {
+        return Err(ModelIoError("trailing bytes".into()));
+    }
+    Ok(SavedModel { spec, weights })
+}
+
+/// Writes a snapshot to a file.
+pub fn save_binary(model: &SavedModel, path: &std::path::Path) -> std::io::Result<()> {
+    let bytes = encode(model).map_err(std::io::Error::other)?;
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, &bytes)
+}
+
+/// Reads a snapshot from a file.
+pub fn load_binary(path: &std::path::Path) -> std::io::Result<SavedModel> {
+    let bytes = std::fs::read(path)?;
+    decode(&bytes).map_err(std::io::Error::other)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Network;
+    use crate::spec::LayerSpec;
+    use crate::tensor::Tensor;
+
+    fn model() -> SavedModel {
+        let spec = NetworkSpec::new(vec![
+            LayerSpec::Conv2d { in_ch: 2, out_ch: 4, kernel: 3, residual: false },
+            LayerSpec::ReLU,
+            LayerSpec::Conv2d { in_ch: 4, out_ch: 1, kernel: 1, residual: false },
+        ]);
+        Network::from_spec(&spec, 42).unwrap().save()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let m = model();
+        let bytes = encode(&m).unwrap();
+        let back = decode(&bytes).unwrap();
+        assert_eq!(m.spec, back.spec);
+        assert_eq!(m.weights, back.weights);
+        // And the restored network computes identically.
+        let x = Tensor::from_fn(1, 2, 6, 6, |_, c, h, w| (c + h * w) as f32 * 0.1);
+        let mut a = Network::load(&m, 0).unwrap();
+        let mut b = Network::load(&back, 0).unwrap();
+        assert_eq!(a.predict(&x), b.predict(&x));
+    }
+
+    #[test]
+    fn binary_is_smaller_than_json() {
+        let m = model();
+        let bin = encode(&m).unwrap().len();
+        let json = serde_json::to_vec(&m).unwrap().len();
+        assert!(
+            bin * 2 < json,
+            "binary {bin} bytes should be well under JSON {json}"
+        );
+    }
+
+    #[test]
+    fn detects_corruption() {
+        let m = model();
+        let bytes = encode(&m).unwrap();
+        // Flip one weight byte.
+        let mut bad = bytes.to_vec();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0xFF;
+        assert!(matches!(decode(&bad), Err(e) if e.0.contains("checksum")));
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let m = model();
+        let bytes = encode(&m).unwrap();
+        for cut in [3usize, 10, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode(&bytes[..cut]).is_err(), "cut at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_magic_and_version() {
+        let m = model();
+        let bytes = encode(&m).unwrap().to_vec();
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] = b'X';
+        // Checksum covers the magic, so this reports a checksum error.
+        assert!(decode(&wrong_magic).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let m = model();
+        let path = std::env::temp_dir().join("sfn-model-io").join("m.sfnm");
+        save_binary(&m, &path).unwrap();
+        let back = load_binary(&path).unwrap();
+        assert_eq!(m.weights, back.weights);
+    }
+}

@@ -1,0 +1,207 @@
+//! MLP calibration assessment.
+//!
+//! The Eq. 8 selection rule treats the MLP output `r̂` as a
+//! *probability*; if the network is badly calibrated (says 0.9 when the
+//! empirical success rate is 0.5), the expected-time model selection is
+//! systematically wrong. This module measures calibration the standard
+//! way: bucket predictions, compare each bucket's mean prediction with
+//! the empirical success rate, and aggregate into the expected
+//! calibration error (ECE).
+
+use crate::mlp::SuccessPredictor;
+use crate::records::ModelRecords;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One calibration bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationBin {
+    /// Mean predicted probability of the bucket's members.
+    pub mean_predicted: f64,
+    /// Mean empirical success rate of the members.
+    pub mean_actual: f64,
+    /// Number of members.
+    pub count: usize,
+}
+
+/// A reliability diagram plus the scalar ECE.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CalibrationReport {
+    /// Equal-width buckets over predicted probability `[0, 1]`.
+    pub bins: Vec<CalibrationBin>,
+    /// Expected calibration error: count-weighted mean |pred − actual|.
+    pub ece: f64,
+    /// Total evaluated (model, requirement) pairs.
+    pub samples: usize,
+}
+
+/// Evaluates a predictor against held-out records over `per_model`
+/// random requirements per model (deterministic in `seed`).
+pub fn calibration_report(
+    predictor: &mut SuccessPredictor,
+    models: &[ModelRecords],
+    per_model: usize,
+    bins: usize,
+    seed: u64,
+) -> CalibrationReport {
+    assert!(bins >= 2, "need at least two buckets");
+    assert!(!models.is_empty(), "no models to calibrate against");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Requirement ranges from the pooled records (same scheme as
+    // training-sample generation).
+    let mut q_max: f64 = 0.0;
+    let mut t_max: f64 = 0.0;
+    for m in models {
+        for r in &m.records {
+            if r.quality_loss.is_finite() {
+                q_max = q_max.max(r.quality_loss);
+            }
+            t_max = t_max.max(r.time);
+        }
+    }
+    let q_hi = (q_max * 1.3).max(1e-6);
+    let t_hi = (t_max * 1.3).max(1e-9);
+
+    let mut pred_sum = vec![0.0; bins];
+    let mut act_sum = vec![0.0; bins];
+    let mut count = vec![0usize; bins];
+    let mut samples = 0usize;
+    for m in models {
+        for _ in 0..per_model {
+            let q = rng.random_range(0.0..q_hi);
+            let t = rng.random_range(0.0..t_hi);
+            let predicted = predictor.predict(&m.spec, q, t);
+            let actual = m.success_rate(q, t);
+            let b = ((predicted * bins as f64) as usize).min(bins - 1);
+            pred_sum[b] += predicted;
+            act_sum[b] += actual;
+            count[b] += 1;
+            samples += 1;
+        }
+    }
+    let mut out_bins = Vec::with_capacity(bins);
+    let mut ece = 0.0;
+    for b in 0..bins {
+        let c = count[b];
+        let (mp, ma) = if c > 0 {
+            (pred_sum[b] / c as f64, act_sum[b] / c as f64)
+        } else {
+            (0.0, 0.0)
+        };
+        out_bins.push(CalibrationBin {
+            mean_predicted: mp,
+            mean_actual: ma,
+            count: c,
+        });
+        if c > 0 {
+            ece += (c as f64 / samples as f64) * (mp - ma).abs();
+        }
+    }
+    CalibrationReport {
+        bins: out_bins,
+        ece,
+        samples,
+    }
+}
+
+impl CalibrationReport {
+    /// Renders the reliability diagram as text rows.
+    pub fn render(&self) -> String {
+        let mut s = String::from("predicted | actual | n\n");
+        for b in &self.bins {
+            if b.count > 0 {
+                s.push_str(&format!(
+                    "  {:.2}    |  {:.2}  | {}\n",
+                    b.mean_predicted, b.mean_actual, b.count
+                ));
+            }
+        }
+        s.push_str(&format!("ECE = {:.4} over {} pairs", self.ece, self.samples));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mlp::{MlpTrainConfig, MlpVariant};
+    use crate::records::ExecutionRecord;
+    use crate::samples::{generate_samples, SampleConfig};
+    use sfn_nn::{LayerSpec, NetworkSpec};
+
+    fn records(id: usize, ch: usize, q0: f64, t0: f64) -> ModelRecords {
+        ModelRecords {
+            model_id: id,
+            name: format!("M{id}"),
+            spec: NetworkSpec::new(vec![
+                LayerSpec::Conv2d { in_ch: 2, out_ch: ch, kernel: 3, residual: false },
+                LayerSpec::ReLU,
+                LayerSpec::Conv2d { in_ch: ch, out_ch: 1, kernel: 1, residual: false },
+            ]),
+            records: (0..64)
+                .map(|p| ExecutionRecord {
+                    problem: p,
+                    quality_loss: q0 * (0.8 + 0.4 * ((p * 13 % 17) as f64 / 17.0)),
+                    time: t0 * (0.9 + 0.2 * ((p * 7 % 11) as f64 / 11.0)),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn trained_mlp_is_reasonably_calibrated() {
+        let models = vec![records(0, 16, 0.01, 1.0), records(1, 4, 0.04, 0.5)];
+        let samples = generate_samples(
+            &models,
+            &SampleConfig {
+                per_model: 400,
+                seed: 3,
+            },
+        );
+        let (mut p, _) = SuccessPredictor::train(
+            MlpVariant::Mlp3,
+            &samples,
+            &MlpTrainConfig {
+                steps: 800,
+                ..Default::default()
+            },
+        );
+        let report = calibration_report(&mut p, &models, 200, 10, 99);
+        assert_eq!(report.samples, 400);
+        assert!(
+            report.ece < 0.15,
+            "held-in ECE should be small: {}",
+            report.ece
+        );
+        // Bins are internally consistent.
+        let total: usize = report.bins.iter().map(|b| b.count).sum();
+        assert_eq!(total, 400);
+    }
+
+    #[test]
+    fn untrained_mlp_is_poorly_calibrated() {
+        let models = vec![records(0, 16, 0.01, 1.0)];
+        let samples = generate_samples(
+            &models,
+            &SampleConfig {
+                per_model: 8,
+                seed: 3,
+            },
+        );
+        // One training step = essentially random weights.
+        let (mut p, _) = SuccessPredictor::train(
+            MlpVariant::Mlp1,
+            &samples,
+            &MlpTrainConfig {
+                steps: 1,
+                ..Default::default()
+            },
+        );
+        let trained_models = vec![records(0, 16, 0.01, 1.0), records(1, 4, 0.04, 0.5)];
+        let report = calibration_report(&mut p, &trained_models, 200, 10, 7);
+        // Not asserting a lower bound too aggressively — just that the
+        // report is computable and ECE is a valid magnitude.
+        assert!((0.0..=1.0).contains(&report.ece));
+    }
+}

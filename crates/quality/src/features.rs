@@ -1,0 +1,106 @@
+//! The Eq. 6 feature vector.
+//!
+//! `F = (q, t, l_k, ker_k, chn_k, pool_k, unp_k, res_k)` — the user
+//! requirement plus per-layer architecture descriptors, 48 components
+//! in total (`3 + 5·9` in the paper's counting: `q`, `t`, the layer
+//! count, and five 9-slot vectors).
+
+use sfn_nn::NetworkSpec;
+
+/// Total feature-vector length.
+pub const FEATURE_LEN: usize = 48;
+
+/// Normalisation constants keeping every component roughly in `[0, 1]`
+/// for MLP conditioning: quality losses are a few percent, times a few
+/// seconds, channel counts tens.
+const Q_SCALE: f64 = 20.0; // q ≈ 0.05 -> 1.0
+const T_SCALE: f64 = 0.2; // t ≈ 5 s -> 1.0
+const LAYER_SCALE: f64 = 1.0 / 12.0;
+const KERNEL_SCALE: f64 = 1.0 / 5.0;
+const CHANNEL_SCALE: f64 = 1.0 / 32.0;
+const POOL_SCALE: f64 = 0.5;
+
+/// Builds the normalised 48-component feature vector for a model
+/// architecture under requirement `U(q, t)`.
+pub fn feature_vector(spec: &NetworkSpec, q: f64, t: f64) -> Vec<f64> {
+    let arch = spec.arch_features();
+    let mut v = Vec::with_capacity(FEATURE_LEN);
+    v.push(q * Q_SCALE);
+    v.push(t * T_SCALE);
+    v.push(arch.num_layers * LAYER_SCALE);
+    for x in arch.kernel {
+        v.push(x * KERNEL_SCALE);
+    }
+    for x in arch.channels {
+        v.push(x * CHANNEL_SCALE);
+    }
+    for x in arch.pool {
+        v.push(x * POOL_SCALE);
+    }
+    for x in arch.unpool {
+        v.push(x * POOL_SCALE);
+    }
+    for x in arch.residual {
+        v.push(x);
+    }
+    debug_assert_eq!(v.len(), FEATURE_LEN);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfn_nn::LayerSpec;
+
+    fn spec() -> NetworkSpec {
+        NetworkSpec::new(vec![
+            LayerSpec::Conv2d { in_ch: 2, out_ch: 16, kernel: 3, residual: false },
+            LayerSpec::ReLU,
+            LayerSpec::MaxPool { size: 2 },
+            LayerSpec::Conv2d { in_ch: 16, out_ch: 16, kernel: 3, residual: true },
+            LayerSpec::Upsample { factor: 2 },
+            LayerSpec::Conv2d { in_ch: 16, out_ch: 1, kernel: 1, residual: false },
+        ])
+    }
+
+    #[test]
+    fn has_48_components() {
+        assert_eq!(feature_vector(&spec(), 0.013, 6.64).len(), 48);
+    }
+
+    #[test]
+    fn requirement_occupies_first_two_slots() {
+        let a = feature_vector(&spec(), 0.01, 5.0);
+        let b = feature_vector(&spec(), 0.02, 5.0);
+        let c = feature_vector(&spec(), 0.01, 7.0);
+        assert_ne!(a[0], b[0]);
+        assert_eq!(a[1], b[1]);
+        assert_ne!(a[1], c[1]);
+        assert_eq!(&a[2..], &b[2..], "architecture part unchanged");
+    }
+
+    #[test]
+    fn distinguishes_architectures() {
+        let other = NetworkSpec::new(vec![LayerSpec::Conv2d {
+            in_ch: 2,
+            out_ch: 8,
+            kernel: 5,
+            residual: false,
+        }]);
+        assert_ne!(
+            feature_vector(&spec(), 0.01, 5.0),
+            feature_vector(&other, 0.01, 5.0)
+        );
+    }
+
+    #[test]
+    fn components_are_normalised() {
+        let v = feature_vector(&spec(), 0.05, 10.0);
+        for (i, x) in v.iter().enumerate() {
+            assert!(
+                (0.0..=2.5).contains(x),
+                "component {i} badly scaled: {x}"
+            );
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! MLP training-sample generation (§5.1 "Sample Generation").
+//!
+//! "Given a neural network NN_k, we generate a sample by randomly
+//! picking up a user requirement (q and t) … the ratio of those
+//! execution records [meeting it] to N is the label of the sample. By
+//! choosing different combinations of q and t, we can generate as many
+//! samples as possible."
+
+use crate::features::feature_vector;
+use crate::records::ModelRecords;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Sample-generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SampleConfig {
+    /// Requirement combinations drawn per model.
+    pub per_model: usize,
+    /// Seed for the random requirements.
+    pub seed: u64,
+}
+
+impl Default for SampleConfig {
+    fn default() -> Self {
+        Self {
+            per_model: 256,
+            seed: 0x5A3317E5,
+        }
+    }
+}
+
+/// One MLP training sample: 48 features and the success-rate label.
+#[derive(Debug, Clone)]
+pub struct MlpSample {
+    /// The Eq. 6 feature vector.
+    pub features: Vec<f64>,
+    /// Ground-truth success rate `r_{k,q,t}` in `[0, 1]`.
+    pub label: f64,
+}
+
+/// Draws requirement combinations spanning the observed quality/time
+/// ranges (so labels cover the whole `[0, 1]` spectrum) and labels them
+/// from the records.
+pub fn generate_samples(models: &[ModelRecords], cfg: &SampleConfig) -> Vec<MlpSample> {
+    assert!(!models.is_empty(), "need at least one model's records");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // Global ranges over all models, padded so some requirements are
+    // unsatisfiable and some trivially satisfiable.
+    let mut q_max: f64 = 0.0;
+    let mut t_max: f64 = 0.0;
+    for m in models {
+        for r in &m.records {
+            if r.quality_loss.is_finite() {
+                q_max = q_max.max(r.quality_loss);
+            }
+            t_max = t_max.max(r.time);
+        }
+    }
+    let q_hi = (q_max * 1.3).max(1e-6);
+    let t_hi = (t_max * 1.3).max(1e-9);
+    let mut samples = Vec::with_capacity(models.len() * cfg.per_model);
+    for m in models {
+        for _ in 0..cfg.per_model {
+            let q = rng.random_range(0.0..q_hi);
+            let t = rng.random_range(0.0..t_hi);
+            samples.push(MlpSample {
+                features: feature_vector(&m.spec, q, t),
+                label: m.success_rate(q, t),
+            });
+        }
+    }
+    samples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::ExecutionRecord;
+    use sfn_nn::{LayerSpec, NetworkSpec};
+
+    fn model(id: usize, quality: f64, time: f64) -> ModelRecords {
+        ModelRecords {
+            model_id: id,
+            name: format!("M{id}"),
+            spec: NetworkSpec::new(vec![LayerSpec::Conv2d {
+                in_ch: 2,
+                out_ch: 4 + id,
+                kernel: 3,
+                residual: false,
+            }]),
+            records: (0..32)
+                .map(|p| ExecutionRecord {
+                    problem: p,
+                    quality_loss: quality * (1.0 + 0.1 * (p % 5) as f64),
+                    time: time * (1.0 + 0.05 * (p % 3) as f64),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn generates_per_model_count() {
+        let models = vec![model(0, 0.01, 1.0), model(1, 0.03, 0.5)];
+        let cfg = SampleConfig {
+            per_model: 50,
+            seed: 1,
+        };
+        let samples = generate_samples(&models, &cfg);
+        assert_eq!(samples.len(), 100);
+        for s in &samples {
+            assert_eq!(s.features.len(), 48);
+            assert!((0.0..=1.0).contains(&s.label));
+        }
+    }
+
+    #[test]
+    fn labels_cover_the_unit_interval() {
+        let models = vec![model(0, 0.01, 1.0)];
+        let samples = generate_samples(&models, &SampleConfig::default());
+        let zeros = samples.iter().filter(|s| s.label == 0.0).count();
+        let ones = samples.iter().filter(|s| s.label == 1.0).count();
+        let mids = samples
+            .iter()
+            .filter(|s| s.label > 0.0 && s.label < 1.0)
+            .count();
+        assert!(zeros > 0, "no unsatisfiable requirements drawn");
+        assert!(ones > 0, "no trivially satisfiable requirements drawn");
+        assert!(mids > 0, "no partial success rates drawn");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let models = vec![model(0, 0.02, 2.0)];
+        let cfg = SampleConfig {
+            per_model: 10,
+            seed: 7,
+        };
+        let a = generate_samples(&models, &cfg);
+        let b = generate_samples(&models, &cfg);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.features, y.features);
+            assert_eq!(x.label, y.label);
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Quality-aware runtime design (§6 of the paper).
+//!
+//! During the simulation, the final quality loss is invisible — running
+//! PCG alongside would defeat the acceleration. The runtime instead:
+//!
+//! 1. accumulates the per-step `DivNorm` into **`CumDivNorm`**
+//!    (Eq. 9), whose growth rate stabilises after the first steps;
+//! 2. every check interval, fits a least-squares line to the recent
+//!    `CumDivNorm` values and extrapolates to the final time step
+//!    ([`cumdiv`]);
+//! 3. maps the predicted `CumDivNorm_final` to a quality loss with a
+//!    k-nearest-neighbour lookup in an offline database ([`knn`]);
+//! 4. compares the predicted loss with the user requirement and
+//!    switches between the candidate networks — or restarts with PCG —
+//!    per Algorithm 2 ([`scheduler`]).
+
+#![warn(missing_docs)]
+
+pub mod cumdiv;
+pub mod knn;
+pub mod scheduler;
+pub mod telemetry;
+
+pub use cumdiv::CumDivNormTracker;
+pub use knn::KnnDatabase;
+pub use scheduler::{CandidateModel, RunOutcome, RuntimeConfig, SchedulerEvent, SmartRuntime};
+pub use telemetry::RunSummary;

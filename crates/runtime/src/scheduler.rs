@@ -1,0 +1,486 @@
+//! The quality-aware model-switch algorithm (Algorithm 2).
+//!
+//! The runtime starts with the candidate the MLP rates most likely to
+//! meet the requirement, then at every check interval predicts the
+//! final quality loss (`CumDivNorm` regression → KNN lookup) and
+//! switches to a more accurate model when the prediction violates the
+//! requirement, to a faster one when there is comfortable slack, and
+//! restarts with PCG when no candidate can satisfy the requirement.
+
+use crate::cumdiv::CumDivNormTracker;
+use crate::knn::KnnDatabase;
+use serde::{Deserialize, Serialize};
+use sfn_grid::Field2;
+use sfn_nn::network::SavedModel;
+use sfn_nn::Network;
+use sfn_sim::{ExactProjector, Simulation};
+use sfn_solver::{MicPreconditioner, PcgSolver};
+use sfn_surrogate::NeuralProjector;
+use std::time::Instant;
+
+/// One candidate network with its offline statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CandidateModel {
+    /// Display name (`M7` style).
+    pub name: String,
+    /// Trained weights.
+    pub saved: SavedModel,
+    /// MLP-predicted probability of meeting the requirement.
+    pub probability: f64,
+    /// Offline mean execution time per simulation (seconds).
+    pub exec_time: f64,
+    /// Offline mean quality loss (accuracy rank; lower = better).
+    pub quality_loss: f64,
+}
+
+/// Scheduler parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RuntimeConfig {
+    /// The check interval `L` (paper default 5).
+    pub check_interval: usize,
+    /// Total simulation steps `N`.
+    pub total_steps: usize,
+    /// Quality requirement `q` (Eq. 3 loss target).
+    pub quality_target: f64,
+    /// Relative "close to q" band of Algorithm 2 line 9 (e.g. 0.15 =
+    /// predictions within ±15% of `q` keep the current model).
+    pub tolerance: f64,
+    /// Use MLP probabilities to pick the starting model (Figure 12's
+    /// "with MLP"); otherwise start from the fastest candidate and only
+    /// escalate, mimicking the paper's no-MLP baseline.
+    pub use_mlp: bool,
+    /// Enable Algorithm 2's model switching. With `false` the starting
+    /// model runs to completion unchecked — the "static" policy every
+    /// single-model baseline in the paper implicitly uses; exposed for
+    /// the scheduler ablation.
+    pub adaptive: bool,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            check_interval: 5,
+            total_steps: 64,
+            quality_target: 0.013,
+            tolerance: 0.15,
+            use_mlp: true,
+            adaptive: true,
+        }
+    }
+}
+
+/// A scheduling event, for telemetry and tests.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SchedulerEvent {
+    /// Switched models at `step` because the predicted loss crossed the
+    /// requirement.
+    Switch {
+        /// Simulation step of the decision.
+        step: usize,
+        /// Model before the switch.
+        from: String,
+        /// Model after the switch.
+        to: String,
+        /// Predicted final quality loss that triggered the decision.
+        predicted_loss: f64,
+    },
+    /// All candidates exhausted; restarted the whole run with PCG.
+    Restart {
+        /// Simulation step of the decision.
+        step: usize,
+        /// Predicted final quality loss that triggered the restart.
+        predicted_loss: f64,
+    },
+}
+
+/// The outcome of one scheduled simulation.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Final smoke density (the rendered frame).
+    pub density: Field2,
+    /// Scheduling events in order.
+    pub events: Vec<SchedulerEvent>,
+    /// Candidate names in scheduler order — the index space of
+    /// `time_per_model` and `steps_per_model`.
+    pub model_names: Vec<String>,
+    /// Seconds of projection time attributed to each candidate, by
+    /// candidate index (Table 3's time distribution).
+    pub time_per_model: Vec<f64>,
+    /// Steps executed by each candidate.
+    pub steps_per_model: Vec<usize>,
+    /// Every checkpoint's `(step, predicted final quality loss)` —
+    /// the runtime's internal belief trace, for diagnostics.
+    pub predictions: Vec<(usize, f64)>,
+    /// True if the run fell back to the original PCG simulation.
+    pub restarted: bool,
+    /// Projection seconds of the PCG restart (0 when not restarted) —
+    /// the price of a violated requirement.
+    pub restart_time: f64,
+    /// Total wall time of the run (including any restart).
+    pub wall_time: f64,
+    /// The `CumDivNorm` series of the final (surviving) run.
+    pub cum_div_norm: Vec<f64>,
+}
+
+/// The Algorithm 2 scheduler.
+pub struct SmartRuntime {
+    /// Candidates sorted from fastest/least-accurate to
+    /// slowest/most-accurate (by offline quality loss, descending).
+    candidates: Vec<CandidateModel>,
+    projectors: Vec<NeuralProjector>,
+    knn: KnnDatabase,
+    config: RuntimeConfig,
+}
+
+impl SmartRuntime {
+    /// Builds a runtime over the candidate set.
+    ///
+    /// # Panics
+    /// Panics if `candidates` is empty or a snapshot fails to load.
+    pub fn new(mut candidates: Vec<CandidateModel>, knn: KnnDatabase, config: RuntimeConfig) -> Self {
+        assert!(!candidates.is_empty(), "need at least one candidate");
+        assert!(config.check_interval >= 3, "check interval too small for the regression");
+        // Accuracy order: index 0 = least accurate (fastest end of the
+        // Pareto front), last = most accurate.
+        candidates.sort_by(|a, b| b.quality_loss.total_cmp(&a.quality_loss));
+        let projectors = candidates
+            .iter()
+            .map(|c| {
+                let net = Network::load(&c.saved, 0).expect("candidate snapshot must load");
+                NeuralProjector::new(net, c.name.clone())
+            })
+            .collect();
+        Self {
+            candidates,
+            projectors,
+            knn,
+            config,
+        }
+    }
+
+    /// The candidates in scheduler (accuracy) order.
+    pub fn candidates(&self) -> &[CandidateModel] {
+        &self.candidates
+    }
+
+    /// Index of the starting model per Algorithm 2 line 1 (highest MLP
+    /// probability) or the no-MLP baseline (fastest model).
+    fn start_index(&self) -> usize {
+        if self.config.use_mlp {
+            let mut best = 0;
+            for (i, c) in self.candidates.iter().enumerate() {
+                if c.probability > self.candidates[best].probability {
+                    best = i;
+                }
+            }
+            best
+        } else {
+            0 // least accurate = fastest end
+        }
+    }
+
+    /// Runs one simulation under the scheduler.
+    pub fn run(&mut self, mut sim: Simulation) -> RunOutcome {
+        let cfg = self.config;
+        let n_models = self.candidates.len();
+        let start = Instant::now();
+        let mut tracker = CumDivNormTracker::new();
+        let mut events = Vec::new();
+        let mut time_per_model = vec![0.0; n_models];
+        let mut steps_per_model = vec![0usize; n_models];
+        let mut predictions = Vec::new();
+        let mut current = self.start_index();
+        let fresh_sim = sim.clone();
+        let mut restarted = false;
+
+        // DivNorm (Eq. 5) is an un-normalised sum over cells; dividing
+        // by the cell count makes the KNN database — built offline on
+        // *small* problems (§6.1) — transfer across grid sizes.
+        let inv_cells = 1.0 / (sim.flags().nx() * sim.flags().ny()) as f64;
+
+        let mut step = 0usize;
+        while step < cfg.total_steps {
+            let stats = sim.step(&mut self.projectors[current]);
+            tracker.push(stats.div_norm * inv_cells);
+            time_per_model[current] += stats.projection_time.as_secs_f64();
+            steps_per_model[current] += 1;
+            step += 1;
+
+            // Failure injection guard: a surrogate that produced NaNs or
+            // blew the simulation up is treated as an immediate
+            // requirement violation.
+            let unhealthy = !sim.is_healthy() || !stats.div_norm.is_finite();
+
+            let at_checkpoint = cfg.adaptive
+                && step.is_multiple_of(cfg.check_interval)
+                && step < cfg.total_steps;
+            if !(at_checkpoint || unhealthy) {
+                continue;
+            }
+            let predicted_loss = if unhealthy {
+                f64::INFINITY
+            } else {
+                match tracker.predict_final(cfg.check_interval, cfg.total_steps) {
+                    Some(cdn) => self.knn.predict(cdn),
+                    None => continue, // still warming up
+                }
+            };
+            predictions.push((step, predicted_loss));
+
+            let hi = cfg.quality_target * (1.0 + cfg.tolerance);
+            let lo = cfg.quality_target * (1.0 - cfg.tolerance);
+            if predicted_loss > hi || unhealthy {
+                // Need more accuracy.
+                if current + 1 < n_models {
+                    events.push(SchedulerEvent::Switch {
+                        step,
+                        from: self.candidates[current].name.clone(),
+                        to: self.candidates[current + 1].name.clone(),
+                        predicted_loss,
+                    });
+                    current += 1;
+                } else {
+                    // Algorithm 2 line 16: restart with the PCG method.
+                    events.push(SchedulerEvent::Restart {
+                        step,
+                        predicted_loss,
+                    });
+                    restarted = true;
+                    break;
+                }
+            } else if predicted_loss < lo && cfg.use_mlp {
+                // Comfortable slack: move to a faster model.
+                if current > 0 {
+                    events.push(SchedulerEvent::Switch {
+                        step,
+                        from: self.candidates[current].name.clone(),
+                        to: self.candidates[current - 1].name.clone(),
+                        predicted_loss,
+                    });
+                    current -= 1;
+                }
+            }
+        }
+
+        let mut restart_time = 0.0;
+        let (density, cum) = if restarted {
+            let mut sim = fresh_sim;
+            let mut pcg = ExactProjector::labelled(
+                PcgSolver::new(MicPreconditioner::default(), 1e-7, 200_000),
+                "pcg",
+            );
+            let mut restart_tracker = CumDivNormTracker::new();
+            for _ in 0..cfg.total_steps {
+                let s = sim.step(&mut pcg);
+                restart_tracker.push(s.div_norm * inv_cells);
+                restart_time += s.projection_time.as_secs_f64();
+            }
+            (sim.density().clone(), restart_tracker.series().to_vec())
+        } else {
+            (sim.density().clone(), tracker.series().to_vec())
+        };
+
+        RunOutcome {
+            density,
+            events,
+            model_names: self.candidates.iter().map(|c| c.name.clone()).collect(),
+            time_per_model,
+            steps_per_model,
+            predictions,
+            restarted,
+            restart_time,
+            wall_time: start.elapsed().as_secs_f64(),
+            cum_div_norm: cum,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfn_grid::CellFlags;
+    use sfn_nn::Network;
+    use sfn_sim::SimConfig;
+    use sfn_surrogate::{tompson_spec, yang_spec};
+
+    fn candidate(name: &str, spec: &sfn_nn::NetworkSpec, seed: u64, prob: f64, q: f64, t: f64) -> CandidateModel {
+        let mut net = Network::from_spec(spec, seed).unwrap();
+        CandidateModel {
+            name: name.into(),
+            saved: net.save(),
+            probability: prob,
+            exec_time: t,
+            quality_loss: q,
+        }
+    }
+
+    fn knn() -> KnnDatabase {
+        // A plausible monotone CumDivNorm -> Qloss mapping.
+        KnnDatabase::new((0..64).map(|i| (i as f64 * 10.0, i as f64 * 0.001)).collect())
+    }
+
+    fn simulation(n: usize) -> Simulation {
+        Simulation::new(SimConfig::plume(n), CellFlags::smoke_box(n, n))
+    }
+
+    #[test]
+    fn starts_with_highest_probability_model() {
+        let c = vec![
+            candidate("fast", &yang_spec(2), 1, 0.6, 0.05, 0.1),
+            candidate("mid", &yang_spec(4), 2, 0.9, 0.03, 0.2),
+            candidate("slow", &tompson_spec(8), 3, 0.7, 0.01, 0.4),
+        ];
+        let rt = SmartRuntime::new(c, knn(), RuntimeConfig::default());
+        // Accuracy order: fast(0.05), mid(0.03), slow(0.01).
+        assert_eq!(rt.candidates()[rt.start_index()].name, "mid");
+    }
+
+    #[test]
+    fn no_mlp_starts_with_fastest() {
+        let c = vec![
+            candidate("fast", &yang_spec(2), 1, 0.6, 0.05, 0.1),
+            candidate("slow", &tompson_spec(8), 3, 0.9, 0.01, 0.4),
+        ];
+        let rt = SmartRuntime::new(
+            c,
+            knn(),
+            RuntimeConfig {
+                use_mlp: false,
+                ..Default::default()
+            },
+        );
+        assert_eq!(rt.candidates()[rt.start_index()].name, "fast");
+    }
+
+    #[test]
+    fn run_completes_and_accounts_time() {
+        let c = vec![
+            candidate("a", &yang_spec(2), 1, 0.8, 0.05, 0.1),
+            candidate("b", &yang_spec(4), 2, 0.7, 0.02, 0.2),
+        ];
+        let mut rt = SmartRuntime::new(
+            c,
+            knn(),
+            RuntimeConfig {
+                total_steps: 20,
+                quality_target: 1.0, // always satisfied -> no restart
+                ..Default::default()
+            },
+        );
+        let out = rt.run(simulation(16));
+        assert!(!out.restarted);
+        assert_eq!(out.steps_per_model.iter().sum::<usize>(), 20);
+        assert!(out.time_per_model.iter().sum::<f64>() > 0.0);
+        assert_eq!(out.cum_div_norm.len(), 20);
+        assert!(out.density.all_finite());
+    }
+
+    #[test]
+    fn impossible_target_restarts_with_pcg() {
+        let c = vec![
+            candidate("a", &yang_spec(2), 1, 0.8, 0.05, 0.1),
+            candidate("b", &yang_spec(4), 2, 0.7, 0.02, 0.2),
+        ];
+        let mut rt = SmartRuntime::new(
+            c,
+            knn(),
+            RuntimeConfig {
+                total_steps: 30,
+                quality_target: 1e-9, // untrained nets can never meet this
+                ..Default::default()
+            },
+        );
+        let out = rt.run(simulation(16));
+        assert!(out.restarted, "events: {:?}", out.events);
+        assert!(matches!(out.events.last(), Some(SchedulerEvent::Restart { .. })));
+        // The PCG fallback still produces a full, healthy run.
+        assert!(out.density.all_finite());
+        assert_eq!(out.cum_div_norm.len(), 30);
+        // PCG keeps DivNorm tiny.
+        assert!(*out.cum_div_norm.last().unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn escalates_through_models_before_restarting() {
+        let c = vec![
+            candidate("m0", &yang_spec(2), 1, 0.9, 0.05, 0.1),
+            candidate("m1", &yang_spec(3), 2, 0.8, 0.03, 0.2),
+            candidate("m2", &yang_spec(4), 3, 0.7, 0.01, 0.3),
+        ];
+        let mut rt = SmartRuntime::new(
+            c,
+            knn(),
+            RuntimeConfig {
+                total_steps: 40,
+                quality_target: 1e-9,
+                use_mlp: false, // start from the fastest
+                ..Default::default()
+            },
+        );
+        let out = rt.run(simulation(16));
+        let switches: Vec<(&String, &String)> = out
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                SchedulerEvent::Switch { from, to, .. } => Some((from, to)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(switches.len(), 2, "events: {:?}", out.events);
+        assert_eq!(switches[0].0, "m0");
+        assert_eq!(switches[1].1, "m2");
+        assert!(out.restarted);
+    }
+
+    #[test]
+    fn static_policy_never_switches() {
+        let c = vec![
+            candidate("a", &yang_spec(2), 1, 0.8, 0.05, 0.1),
+            candidate("b", &yang_spec(4), 2, 0.7, 0.02, 0.2),
+        ];
+        let mut rt = SmartRuntime::new(
+            c,
+            knn(),
+            RuntimeConfig {
+                total_steps: 20,
+                quality_target: 1e-9, // would force switches when adaptive
+                adaptive: false,
+                ..Default::default()
+            },
+        );
+        let out = rt.run(simulation(16));
+        assert!(out.events.is_empty(), "static policy produced {:?}", out.events);
+        assert!(!out.restarted);
+        // Only the starting model ran.
+        assert_eq!(out.steps_per_model.iter().filter(|&&s| s > 0).count(), 1);
+    }
+
+    #[test]
+    fn nan_surrogate_triggers_fallback() {
+        // A candidate whose weights are NaN: the health guard must kick
+        // in and the run must recover via PCG.
+        let mut net = Network::from_spec(&yang_spec(2), 1).unwrap();
+        for view in net.params() {
+            view.values.fill(f32::NAN);
+        }
+        let c = vec![CandidateModel {
+            name: "broken".into(),
+            saved: net.save(),
+            probability: 0.9,
+            exec_time: 0.1,
+            quality_loss: 0.02,
+        }];
+        let mut rt = SmartRuntime::new(
+            c,
+            knn(),
+            RuntimeConfig {
+                total_steps: 12,
+                quality_target: 0.05,
+                ..Default::default()
+            },
+        );
+        let out = rt.run(simulation(16));
+        assert!(out.restarted);
+        assert!(out.density.all_finite(), "PCG fallback must clean up");
+    }
+}

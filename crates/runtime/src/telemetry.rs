@@ -1,0 +1,129 @@
+//! Aggregation of many [`RunOutcome`]s — success rates, switching
+//! behaviour and time distributions (the §7.2/§7.3 summary statistics).
+
+use crate::scheduler::{RunOutcome, SchedulerEvent};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Aggregate statistics over a batch of adaptive runs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Number of runs aggregated.
+    pub runs: usize,
+    /// Runs that fell back to PCG.
+    pub restarts: usize,
+    /// Total model switches across runs.
+    pub switches: usize,
+    /// Mean switches per run.
+    pub mean_switches: f64,
+    /// Seconds of projection time per model name (the Table 3
+    /// distribution), normalised to fractions of the total.
+    pub time_share: BTreeMap<String, f64>,
+    /// Steps executed per model name.
+    pub steps_per_model: BTreeMap<String, usize>,
+    /// Mean wall time per run.
+    pub mean_wall_time: f64,
+}
+
+impl RunSummary {
+    /// Aggregates outcomes. Returns `None` for an empty batch.
+    pub fn from_outcomes(outcomes: &[RunOutcome]) -> Option<Self> {
+        if outcomes.is_empty() {
+            return None;
+        }
+        let mut time: BTreeMap<String, f64> = BTreeMap::new();
+        let mut steps: BTreeMap<String, usize> = BTreeMap::new();
+        let mut switches = 0usize;
+        let mut restarts = 0usize;
+        let mut wall = 0.0;
+        for out in outcomes {
+            for ((name, &secs), &s) in out
+                .model_names
+                .iter()
+                .zip(&out.time_per_model)
+                .zip(&out.steps_per_model)
+            {
+                *time.entry(name.clone()).or_insert(0.0) += secs;
+                *steps.entry(name.clone()).or_insert(0) += s;
+            }
+            switches += out
+                .events
+                .iter()
+                .filter(|e| matches!(e, SchedulerEvent::Switch { .. }))
+                .count();
+            restarts += usize::from(out.restarted);
+            wall += out.wall_time;
+        }
+        let total_time: f64 = time.values().sum();
+        let time_share = time
+            .into_iter()
+            .map(|(k, v)| (k, if total_time > 0.0 { v / total_time } else { 0.0 }))
+            .collect();
+        Some(Self {
+            runs: outcomes.len(),
+            restarts,
+            switches,
+            mean_switches: switches as f64 / outcomes.len() as f64,
+            time_share,
+            steps_per_model: steps,
+            mean_wall_time: wall / outcomes.len() as f64,
+        })
+    }
+
+    /// The model carrying the largest time share, if any time was spent.
+    pub fn dominant_model(&self) -> Option<(&str, f64)> {
+        self.time_share
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .filter(|(_, &share)| share > 0.0)
+            .map(|(k, &v)| (k.as_str(), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfn_grid::Field2;
+
+    fn outcome(names: &[&str], secs: &[f64], steps: &[usize], restarted: bool) -> RunOutcome {
+        RunOutcome {
+            density: Field2::new(2, 2),
+            events: vec![SchedulerEvent::Switch {
+                step: 5,
+                from: names[0].into(),
+                to: names[names.len() - 1].into(),
+                predicted_loss: 0.02,
+            }],
+            model_names: names.iter().map(|s| s.to_string()).collect(),
+            time_per_model: secs.to_vec(),
+            steps_per_model: steps.to_vec(),
+            predictions: vec![(5, 0.02)],
+            restarted,
+            restart_time: 0.0,
+            wall_time: 1.0,
+            cum_div_norm: vec![0.1, 0.2],
+        }
+    }
+
+    #[test]
+    fn aggregates_time_shares() {
+        let outs = vec![
+            outcome(&["A", "B"], &[1.0, 3.0], &[2, 6], false),
+            outcome(&["A", "B"], &[1.0, 0.0], &[2, 0], true),
+        ];
+        let s = RunSummary::from_outcomes(&outs).unwrap();
+        assert_eq!(s.runs, 2);
+        assert_eq!(s.restarts, 1);
+        assert_eq!(s.switches, 2);
+        assert!((s.time_share["A"] - 0.4).abs() < 1e-12);
+        assert!((s.time_share["B"] - 0.6).abs() < 1e-12);
+        assert_eq!(s.steps_per_model["A"], 4);
+        assert_eq!(s.dominant_model().unwrap().0, "B");
+        assert!((s.mean_wall_time - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_batch_is_none() {
+        assert!(RunSummary::from_outcomes(&[]).is_none());
+    }
+}

@@ -1,0 +1,166 @@
+//! Bootstrap confidence intervals.
+//!
+//! The evaluation's headline numbers (success rates, mean quality
+//! losses, speedup factors) come from finite problem samples; the bench
+//! harness reports percentile-bootstrap intervals alongside them so
+//! shape claims ("Smart above Tompson at every grid") can be checked
+//! against sampling noise.
+
+use serde::{Deserialize, Serialize};
+
+/// A percentile bootstrap confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// Point estimate (statistic on the full sample).
+    pub estimate: f64,
+    /// Lower percentile bound.
+    pub lo: f64,
+    /// Upper percentile bound.
+    pub hi: f64,
+    /// Confidence level, e.g. 0.95.
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// `true` if the interval excludes `value` (a crude significance
+    /// check).
+    pub fn excludes(&self, value: f64) -> bool {
+        value < self.lo || value > self.hi
+    }
+
+    /// Renders like `0.42 [0.35, 0.51]`.
+    pub fn render(&self) -> String {
+        format!("{:.4} [{:.4}, {:.4}]", self.estimate, self.lo, self.hi)
+    }
+}
+
+/// A tiny deterministic xorshift for resampling (no external RNG so the
+/// crate stays dependency-light).
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Percentile bootstrap for an arbitrary statistic.
+///
+/// Returns `None` for an empty sample. Deterministic in `seed`.
+pub fn bootstrap_ci(
+    data: &[f64],
+    statistic: impl Fn(&[f64]) -> f64,
+    resamples: usize,
+    level: f64,
+    seed: u64,
+) -> Option<ConfidenceInterval> {
+    if data.is_empty() || !(0.0..1.0).contains(&level) || resamples == 0 {
+        return None;
+    }
+    let estimate = statistic(data);
+    let mut rng = XorShift(seed | 1);
+    let mut stats = Vec::with_capacity(resamples);
+    let mut buf = vec![0.0; data.len()];
+    for _ in 0..resamples {
+        for b in buf.iter_mut() {
+            *b = data[rng.below(data.len())];
+        }
+        stats.push(statistic(&buf));
+    }
+    stats.sort_by(f64::total_cmp);
+    let alpha = (1.0 - level) / 2.0;
+    let pick = |p: f64| -> f64 {
+        let idx = ((stats.len() - 1) as f64 * p).round() as usize;
+        stats[idx]
+    };
+    Some(ConfidenceInterval {
+        estimate,
+        lo: pick(alpha),
+        hi: pick(1.0 - alpha),
+        level,
+    })
+}
+
+/// Bootstrap CI of the mean.
+pub fn mean_ci(data: &[f64], level: f64, seed: u64) -> Option<ConfidenceInterval> {
+    bootstrap_ci(
+        data,
+        |d| d.iter().sum::<f64>() / d.len() as f64,
+        1000,
+        level,
+        seed,
+    )
+}
+
+/// Bootstrap CI of a success proportion given boolean outcomes.
+pub fn proportion_ci(successes: &[bool], level: f64, seed: u64) -> Option<ConfidenceInterval> {
+    let data: Vec<f64> = successes.iter().map(|&b| f64::from(u8::from(b))).collect();
+    mean_ci(&data, level, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ci_brackets_the_true_mean() {
+        // N(≈5, small spread) sample: the CI must cover 5-ish.
+        let data: Vec<f64> = (0..200).map(|i| 5.0 + ((i * 37 % 100) as f64 - 50.0) / 100.0).collect();
+        let ci = mean_ci(&data, 0.95, 42).unwrap();
+        assert!(ci.lo <= ci.estimate && ci.estimate <= ci.hi);
+        assert!((ci.estimate - 5.0).abs() < 0.1);
+        assert!(ci.lo < 5.0 + 0.1 && ci.hi > 5.0 - 0.1);
+    }
+
+    #[test]
+    fn narrower_with_more_data() {
+        let small: Vec<f64> = (0..10).map(|i| (i % 5) as f64).collect();
+        let large: Vec<f64> = (0..1000).map(|i| (i % 5) as f64).collect();
+        let ci_s = mean_ci(&small, 0.95, 1).unwrap();
+        let ci_l = mean_ci(&large, 0.95, 1).unwrap();
+        assert!(ci_l.hi - ci_l.lo < ci_s.hi - ci_s.lo);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let data: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let a = mean_ci(&data, 0.9, 7).unwrap();
+        let b = mean_ci(&data, 0.9, 7).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn proportion_ci_in_unit_interval() {
+        let outcomes: Vec<bool> = (0..40).map(|i| i % 3 != 0).collect();
+        let ci = proportion_ci(&outcomes, 0.95, 3).unwrap();
+        assert!(ci.lo >= 0.0 && ci.hi <= 1.0);
+        assert!((ci.estimate - 26.0 / 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn excludes_works() {
+        let ci = ConfidenceInterval {
+            estimate: 0.5,
+            lo: 0.4,
+            hi: 0.6,
+            level: 0.95,
+        };
+        assert!(ci.excludes(0.3));
+        assert!(!ci.excludes(0.5));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(mean_ci(&[], 0.95, 1).is_none());
+        assert!(bootstrap_ci(&[1.0], |d| d[0], 0, 0.95, 1).is_none());
+    }
+}

@@ -1,0 +1,165 @@
+//! Box-plot summaries (Figures 9 and 11 of the paper).
+//!
+//! The paper's box-plots are bounded by the 25th and 75th percentiles,
+//! show the median as the central mark, and mark extreme outliers with
+//! `+`. We reproduce that with a Tukey-style five-number summary:
+//! whiskers at the most extreme data point within 1.5·IQR of the box.
+
+use serde::{Deserialize, Serialize};
+
+/// Five-number summary plus outliers, as drawn in a Tukey box-plot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoxplotSummary {
+    /// Smallest observation ≥ Q1 − 1.5·IQR (lower whisker).
+    pub whisker_lo: f64,
+    /// 25th percentile.
+    pub q1: f64,
+    /// 50th percentile.
+    pub median: f64,
+    /// 75th percentile.
+    pub q3: f64,
+    /// Largest observation ≤ Q3 + 1.5·IQR (upper whisker).
+    pub whisker_hi: f64,
+    /// Observations outside the whiskers (the `+` marks).
+    pub outliers: Vec<f64>,
+    /// Arithmetic mean (reported alongside in our tables).
+    pub mean: f64,
+    /// Number of observations.
+    pub n: usize,
+}
+
+impl BoxplotSummary {
+    /// Computes the summary from unsorted data.
+    ///
+    /// Returns `None` for empty input. NaNs are filtered out first.
+    pub fn from_data(data: &[f64]) -> Option<Self> {
+        let mut v: Vec<f64> = data.iter().copied().filter(|x| !x.is_nan()).collect();
+        if v.is_empty() {
+            return None;
+        }
+        v.sort_by(f64::total_cmp);
+        let q1 = percentile_sorted(&v, 25.0);
+        let median = percentile_sorted(&v, 50.0);
+        let q3 = percentile_sorted(&v, 75.0);
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+        let whisker_lo = v
+            .iter()
+            .copied()
+            .find(|&x| x >= lo_fence)
+            .unwrap_or(v[0]);
+        let whisker_hi = v
+            .iter()
+            .rev()
+            .copied()
+            .find(|&x| x <= hi_fence)
+            .unwrap_or(v[v.len() - 1]);
+        let outliers = v
+            .iter()
+            .copied()
+            .filter(|&x| x < lo_fence || x > hi_fence)
+            .collect();
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        Some(Self {
+            whisker_lo,
+            q1,
+            median,
+            q3,
+            whisker_hi,
+            outliers,
+            mean,
+            n: v.len(),
+        })
+    }
+
+    /// Interquartile range `q3 - q1` — the "variance" the paper eyeballs
+    /// when saying Smart-fluidnet's boxes are tighter than Tompson's.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+
+    /// One-line rendering like `min≤[q1|med|q3]≤max (+k outliers)`.
+    pub fn render(&self) -> String {
+        format!(
+            "{:.4} ≤ [{:.4} | {:.4} | {:.4}] ≤ {:.4}  (n={}, mean={:.4}, outliers={})",
+            self.whisker_lo,
+            self.q1,
+            self.median,
+            self.q3,
+            self.whisker_hi,
+            self.n,
+            self.mean,
+            self.outliers.len()
+        )
+    }
+}
+
+/// Linear-interpolation percentile (inclusive method) on sorted data.
+///
+/// `p` is in percent, clamped to `[0, 100]`.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    let p = p.clamp(0.0, 100.0);
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quartiles_of_small_sample() {
+        // 1..=5: q1=2, median=3, q3=4 with the inclusive method.
+        let s = BoxplotSummary::from_data(&[5.0, 3.0, 1.0, 4.0, 2.0]).unwrap();
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.q3, 4.0);
+        assert_eq!(s.whisker_lo, 1.0);
+        assert_eq!(s.whisker_hi, 5.0);
+        assert!(s.outliers.is_empty());
+    }
+
+    #[test]
+    fn detects_outliers() {
+        let mut data: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        data.push(1000.0);
+        let s = BoxplotSummary::from_data(&data).unwrap();
+        assert_eq!(s.outliers, vec![1000.0]);
+        assert!(s.whisker_hi <= 19.0);
+    }
+
+    #[test]
+    fn empty_and_nan_inputs() {
+        assert!(BoxplotSummary::from_data(&[]).is_none());
+        assert!(BoxplotSummary::from_data(&[f64::NAN]).is_none());
+        let s = BoxplotSummary::from_data(&[f64::NAN, 2.0]).unwrap();
+        assert_eq!(s.n, 1);
+        assert_eq!(s.median, 2.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile_sorted(&v, 0.0), 10.0);
+        assert_eq!(percentile_sorted(&v, 100.0), 40.0);
+        assert!((percentile_sorted(&v, 50.0) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_ordering_invariant() {
+        let data: Vec<f64> = (0..100).map(|i| ((i * 37) % 100) as f64).collect();
+        let s = BoxplotSummary::from_data(&data).unwrap();
+        assert!(s.whisker_lo <= s.q1);
+        assert!(s.q1 <= s.median);
+        assert!(s.median <= s.q3);
+        assert!(s.q3 <= s.whisker_hi);
+    }
+}

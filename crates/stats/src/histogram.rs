@@ -1,0 +1,188 @@
+//! Fixed-width histograms (used for Figure 1: quality-loss distribution).
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram with equally sized bins over `[lo, hi)`.
+///
+/// Values below `lo` land in the first bin, values at or above `hi` in
+/// the last bin (saturating clamp), so every observation is counted —
+/// matching how the paper's Figure 1 shows a bounded x-axis while still
+/// accounting for 100% of the inputs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `hi <= lo` or either bound is non-finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo.is_finite() && hi.is_finite() && hi > lo, "bad bounds");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Width of each bin.
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.counts.len() as f64
+    }
+
+    /// Records one observation. NaNs are ignored (and not counted).
+    pub fn add(&mut self, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        let idx = self.bin_index(value);
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Records every value from an iterator.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        for v in values {
+            self.add(v);
+        }
+    }
+
+    /// Bin index a value would fall in (with saturating clamp).
+    pub fn bin_index(&self, value: f64) -> usize {
+        let n = self.counts.len();
+        if value < self.lo {
+            return 0;
+        }
+        let t = (value - self.lo) / self.bin_width();
+        (t as usize).min(n - 1)
+    }
+
+    /// `[lo, hi)` edges of bin `i`.
+    pub fn bin_range(&self, i: usize) -> (f64, f64) {
+        let w = self.bin_width();
+        (self.lo + i as f64 * w, self.lo + (i + 1) as f64 * w)
+    }
+
+    /// Midpoint of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let (a, b) = self.bin_range(i);
+        0.5 * (a + b)
+    }
+
+    /// Raw counts per bin.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of recorded observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Proportion of observations in each bin (sums to 1 when non-empty).
+    pub fn proportions(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
+    }
+
+    /// Proportion of observations strictly below `threshold`.
+    ///
+    /// Used for statements like "65.42% of input problems cannot meet a
+    /// 0.01 quality requirement" (§2.3): `1 - fraction_below(q)`.
+    pub fn fraction_below(&self, threshold: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let mut below = 0u64;
+        for i in 0..self.counts.len() {
+            let (a, b) = self.bin_range(i);
+            if b <= threshold {
+                below += self.counts[i];
+            } else if a < threshold {
+                // Partial bin: assume uniform spread inside the bin.
+                let frac = (threshold - a) / (b - a);
+                below += (self.counts[i] as f64 * frac).round() as u64;
+            }
+        }
+        below as f64 / self.total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_land_in_expected_bins() {
+        let mut h = Histogram::new(0.0, 1.0, 10);
+        h.add(0.05); // bin 0
+        h.add(0.15); // bin 1
+        h.add(0.999); // bin 9
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[1], 1);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn out_of_range_values_clamp() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.add(-5.0);
+        h.add(7.0);
+        h.add(1.0); // hi is exclusive -> clamps into last bin
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[3], 2);
+    }
+
+    #[test]
+    fn nan_is_ignored() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(f64::NAN);
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn proportions_sum_to_one() {
+        let mut h = Histogram::new(0.0, 0.05, 18); // Figure 1 shape
+        h.extend((0..1000).map(|i| (i as f64) * 0.00005));
+        let s: f64 = h.proportions().iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_below_midpoint() {
+        let mut h = Histogram::new(0.0, 1.0, 10);
+        h.extend((0..100).map(|i| i as f64 / 100.0));
+        let f = h.fraction_below(0.5);
+        assert!((f - 0.5).abs() < 0.02, "{f}");
+    }
+
+    #[test]
+    fn bin_ranges_tile_the_domain() {
+        let h = Histogram::new(-2.0, 3.0, 5);
+        let mut edge = -2.0;
+        for i in 0..5 {
+            let (a, b) = h.bin_range(i);
+            assert!((a - edge).abs() < 1e-12);
+            edge = b;
+        }
+        assert!((edge - 3.0).abs() < 1e-12);
+    }
+}

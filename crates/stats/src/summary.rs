@@ -1,0 +1,99 @@
+//! Scalar descriptive statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean / standard deviation / min / max / median of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of (finite) observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n < 2).
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (linear interpolation).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Computes the summary, skipping NaNs. Returns `None` when no
+    /// finite observations remain.
+    pub fn from_data(data: &[f64]) -> Option<Self> {
+        let mut v: Vec<f64> = data.iter().copied().filter(|x| x.is_finite()).collect();
+        if v.is_empty() {
+            return None;
+        }
+        v.sort_by(f64::total_cmp);
+        let n = v.len();
+        let mean = v.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            v.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let median = crate::boxplot::percentile_sorted(&v, 50.0);
+        Some(Self {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min: v[0],
+            max: v[n - 1],
+            median,
+        })
+    }
+
+    /// Geometric mean of strictly positive data (the conventional way to
+    /// average speedups across workloads). Returns `None` if any value
+    /// is non-positive or the input is empty.
+    pub fn geo_mean(data: &[f64]) -> Option<f64> {
+        if data.is_empty() || data.iter().any(|&x| x <= 0.0 || !x.is_finite()) {
+            return None;
+        }
+        let log_sum: f64 = data.iter().map(|&x| x.ln()).sum();
+        Some((log_sum / data.len() as f64).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_summary() {
+        let s = Summary::from_data(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample std dev of this classic dataset is sqrt(32/7).
+        assert!((s.std_dev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.median - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_element() {
+        let s = Summary::from_data(&[3.25]).unwrap();
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 3.25);
+    }
+
+    #[test]
+    fn skips_non_finite() {
+        let s = Summary::from_data(&[1.0, f64::NAN, 3.0, f64::INFINITY]).unwrap();
+        assert_eq!(s.n, 2);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!(Summary::from_data(&[f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn geo_mean_of_speedups() {
+        let g = Summary::geo_mean(&[2.0, 8.0]).unwrap();
+        assert!((g - 4.0).abs() < 1e-12);
+        assert!(Summary::geo_mean(&[1.0, 0.0]).is_none());
+        assert!(Summary::geo_mean(&[]).is_none());
+    }
+}

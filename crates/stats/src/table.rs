@@ -1,0 +1,126 @@
+//! Plain-text table rendering for the bench harness output.
+//!
+//! The bench binaries print rows matching the paper's tables and figure
+//! series; this tiny renderer keeps them aligned and readable.
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Rows shorter than the header are padded with
+    /// empty cells; longer rows extend the table width.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with ASCII separators.
+    pub fn render(&self) -> String {
+        let ncols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; ncols];
+        let consider = |widths: &mut Vec<usize>, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        };
+        consider(&mut widths, &self.header);
+        for r in &self.rows {
+            consider(&mut widths, r);
+        }
+        let fmt_row = |cells: &[String]| {
+            let mut line = String::from("|");
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                let pad = w - cell.chars().count();
+                line.push(' ');
+                line.push_str(cell);
+                line.extend(std::iter::repeat_n(' ', pad));
+                line.push_str(" |");
+            }
+            line
+        };
+        let sep = {
+            let mut s = String::from("+");
+            for w in &widths {
+                s.extend(std::iter::repeat_n('-', w + 2));
+                s.push('+');
+            }
+            s
+        };
+        let mut out = String::new();
+        out.push_str(&sep);
+        out.push('\n');
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&sep);
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r));
+            out.push('\n');
+        }
+        out.push_str(&sep);
+        out
+    }
+}
+
+impl std::fmt::Display for TextTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(["method", "time", "loss"]);
+        t.row(["PCG", "2.34e8", "-"]);
+        t.row(["Tompson", "7.19e4", "1.3e-2"]);
+        let s = t.render();
+        assert!(s.contains("| method  |"));
+        assert!(s.contains("| Tompson |"));
+        // All lines have equal width.
+        let widths: Vec<usize> = s.lines().map(|l| l.chars().count()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn handles_ragged_rows() {
+        let mut t = TextTable::new(["a"]);
+        t.row(["1", "2", "3"]);
+        t.row(Vec::<String>::new());
+        let s = t.render();
+        assert_eq!(t.len(), 2);
+        assert!(s.lines().count() >= 5);
+    }
+}

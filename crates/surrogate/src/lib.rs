@@ -1,0 +1,34 @@
+//! Neural pressure-projection surrogates.
+//!
+//! Implements Eq. 4 of the paper: `p̂_t = f_conv(∇·u*_t, g_{t−1}; W)` —
+//! a convolutional network that replaces the PCG solve inside the
+//! Eulerian simulation — together with the unsupervised **DivNorm**
+//! training objective of Eq. 5 (the weighted L2 norm of the divergence
+//! of the *corrected* velocity), dataset generation from simulator
+//! runs, and a training harness.
+//!
+//! Two reference model families are provided:
+//!
+//! * [`models::tompson_spec`] — a 5-stage convolution+ReLU network,
+//!   our stand-in for Tompson et al.'s FluidNet (the "state-of-the-art
+//!   model" the paper compares against);
+//! * [`models::yang_spec`] — a small patch-style network standing in
+//!   for Yang et al.'s per-cell MLP: cheaper and less accurate,
+//!   matching its Table 1 characterisation.
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod divnorm_loss;
+pub mod models;
+pub mod projector;
+pub mod train;
+
+pub use dataset::{ProjectionDataset, Sample};
+pub use divnorm_loss::divnorm_loss_and_grad;
+pub use models::{tompson_default, tompson_spec, yang_default, yang_spec};
+pub use projector::NeuralProjector;
+pub use train::{
+    damp_output_layer, evaluate_divnorm, train_network, train_projection_model, TrainConfig,
+    TrainReport,
+};

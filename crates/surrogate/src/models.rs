@@ -1,0 +1,109 @@
+//! Reference surrogate architectures.
+
+use sfn_nn::{LayerSpec, NetworkSpec};
+
+/// Number of input channels of every projection surrogate: the scaled
+/// divergence field and the solid-occupancy geometry field (Eq. 4).
+pub const INPUT_CHANNELS: usize = 2;
+
+/// A Tompson-style network: "five stages of convolution and Rectified
+/// Linear Unit (ReLU) layers" mapping `(∇·u*, g)` to the pressure.
+///
+/// Like FluidNet, the trunk runs at reduced resolution (one 2× pooling
+/// / unpooling pair) so most of the FLOPs are spent where the receptive
+/// field grows fastest. `width` sets the trunk channel count (16
+/// reproduces the reference balance between accuracy and cost at our
+/// scale). The final 1×1 convolution is linear — pressure is signed.
+///
+/// Grids must be even (all grids in this workspace are multiples of 4).
+pub fn tompson_spec(width: usize) -> NetworkSpec {
+    assert!(width >= 4, "trunk width must be at least 4");
+    let half = width / 2;
+    NetworkSpec::new(vec![
+        LayerSpec::Conv2d { in_ch: INPUT_CHANNELS, out_ch: half, kernel: 3, residual: false },
+        LayerSpec::ReLU,
+        LayerSpec::MaxPool { size: 2 },
+        LayerSpec::Conv2d { in_ch: half, out_ch: width, kernel: 3, residual: false },
+        LayerSpec::ReLU,
+        LayerSpec::Conv2d { in_ch: width, out_ch: width, kernel: 3, residual: true },
+        LayerSpec::ReLU,
+        LayerSpec::Conv2d { in_ch: width, out_ch: width, kernel: 3, residual: true },
+        LayerSpec::ReLU,
+        LayerSpec::Upsample { factor: 2 },
+        LayerSpec::Conv2d { in_ch: width, out_ch: half, kernel: 3, residual: false },
+        LayerSpec::ReLU,
+        LayerSpec::Conv2d { in_ch: half, out_ch: 1, kernel: 1, residual: false },
+    ])
+}
+
+/// The default Tompson-style model used across the reproduction.
+pub fn tompson_default() -> NetworkSpec {
+    tompson_spec(16)
+}
+
+/// A Yang-style patch model: each cell's pressure is predicted from a
+/// local 5×5 neighbourhood — expressed as one 5×5 convolution plus a
+/// 1×1 head, which is mathematically a per-cell patch MLP applied
+/// convolutionally. Roughly half the cost of [`tompson_spec`] and
+/// noticeably less accurate, matching its role in Table 1.
+pub fn yang_spec(hidden: usize) -> NetworkSpec {
+    assert!(hidden >= 2, "hidden width must be at least 2");
+    NetworkSpec::new(vec![
+        LayerSpec::Conv2d { in_ch: INPUT_CHANNELS, out_ch: hidden, kernel: 5, residual: false },
+        LayerSpec::ReLU,
+        LayerSpec::Conv2d { in_ch: hidden, out_ch: 1, kernel: 1, residual: false },
+    ])
+}
+
+/// The default Yang-style model.
+pub fn yang_default() -> NetworkSpec {
+    yang_spec(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfn_nn::flops::spec_flops;
+
+    #[test]
+    fn tompson_preserves_grid_shape() {
+        let spec = tompson_default();
+        for n in [16usize, 32, 64, 128] {
+            assert_eq!(spec.output_shape((2, n, n)).unwrap(), (1, n, n));
+        }
+    }
+
+    #[test]
+    fn yang_preserves_grid_shape() {
+        let spec = yang_default();
+        assert_eq!(spec.output_shape((2, 48, 48)).unwrap(), (1, 48, 48));
+    }
+
+    #[test]
+    fn yang_is_cheaper_than_tompson() {
+        let t = spec_flops(&tompson_default(), (2, 64, 64)).unwrap();
+        let y = spec_flops(&yang_default(), (2, 64, 64)).unwrap();
+        assert!(
+            y * 2 < t,
+            "yang ({y}) should be <50% of tompson ({t})"
+        );
+    }
+
+    #[test]
+    fn tompson_has_five_conv_relu_stages() {
+        let spec = tompson_default();
+        let relus = spec
+            .layers
+            .iter()
+            .filter(|l| matches!(l, LayerSpec::ReLU))
+            .count();
+        assert_eq!(relus, 5, "five conv+ReLU stages per the paper");
+    }
+
+    #[test]
+    fn width_scales_cost() {
+        let narrow = spec_flops(&tompson_spec(8), (2, 32, 32)).unwrap();
+        let wide = spec_flops(&tompson_spec(16), (2, 32, 32)).unwrap();
+        assert!(narrow < wide);
+    }
+}

@@ -1,0 +1,104 @@
+//! Model zoo: generate the paper's §4 model family structurally (no
+//! training) and show the cost spectrum the four transformation
+//! operations create, plus the FLOP-based Pareto preview.
+//!
+//! ```sh
+//! cargo run --release --example model_zoo
+//! ```
+
+use smart_fluidnet::modelgen::{generate_family, FamilyConfig, Origin, SearchConfig};
+use smart_fluidnet::nn::flops::spec_flops;
+use smart_fluidnet::stats::TextTable;
+use smart_fluidnet::surrogate::{tompson_default, ProjectionDataset};
+use smart_fluidnet::workload::ProblemSet;
+
+fn origin_tag(o: &Origin) -> &'static str {
+    match o {
+        Origin::Base => "base",
+        Origin::Search => "search",
+        Origin::Shallow { .. } => "shallow",
+        Origin::Narrow { .. } => "narrow",
+        Origin::Pooling { .. } => "pooling",
+        Origin::Dropout { .. } => "dropout",
+    }
+}
+
+fn main() {
+    let base = tompson_default();
+    println!("base model: {}", base.render());
+    println!("parameters: {}", base.param_count());
+
+    // The full paper schedule (133-ish models); search disabled here to
+    // keep this example training-free.
+    let cfg = FamilyConfig {
+        search_models: 0,
+        ..Default::default()
+    };
+    let dataset = ProjectionDataset::generate(&ProblemSet::training(16, 1), 2, 1);
+    let family = generate_family(&base, &dataset, &SearchConfig::fast(), &cfg);
+    println!("\ngenerated {} models via the §4 schedule", family.len());
+
+    // Count per origin.
+    let mut counts = std::collections::BTreeMap::new();
+    for m in &family {
+        *counts.entry(origin_tag(&m.origin)).or_insert(0usize) += 1;
+    }
+    for (tag, n) in &counts {
+        println!("  {tag:<8} {n}");
+    }
+
+    // FLOP spectrum at the paper's smallest grid.
+    let input = (2usize, 128usize, 128usize);
+    let mut rows: Vec<(u64, &str, String, usize)> = family
+        .iter()
+        .map(|m| {
+            (
+                spec_flops(&m.spec, input).expect("valid spec"),
+                origin_tag(&m.origin),
+                m.name.clone(),
+                m.spec.param_count(),
+            )
+        })
+        .collect();
+    rows.sort_by_key(|r| r.0);
+
+    let mut table = TextTable::new(["model", "origin", "MFLOP/step @128²", "params"]);
+    // Cheapest five, the base, and the most expensive five.
+    let base_flops = spec_flops(&base, input).unwrap();
+    for (f, tag, name, params) in rows.iter().take(5) {
+        table.row([
+            name.clone(),
+            tag.to_string(),
+            format!("{:.1}", *f as f64 / 1e6),
+            params.to_string(),
+        ]);
+    }
+    table.row(["...".into(), String::new(), String::new(), String::new()]);
+    table.row([
+        "M0 (base)".into(),
+        "base".into(),
+        format!("{:.1}", base_flops as f64 / 1e6),
+        base.param_count().to_string(),
+    ]);
+    table.row(["...".into(), String::new(), String::new(), String::new()]);
+    for (f, tag, name, params) in rows.iter().rev().take(5).rev() {
+        table.row([
+            name.clone(),
+            tag.to_string(),
+            format!("{:.1}", *f as f64 / 1e6),
+            params.to_string(),
+        ]);
+    }
+    println!("\n{table}");
+
+    let min = rows.first().unwrap().0 as f64;
+    let max = rows.last().unwrap().0 as f64;
+    println!(
+        "cost spread: {:.1}x between the cheapest and the most expensive member",
+        max / min
+    );
+    println!(
+        "base sits at {:.1}% of the most expensive model's cost",
+        100.0 * base_flops as f64 / max
+    );
+}

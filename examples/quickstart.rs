@@ -1,0 +1,65 @@
+//! Quickstart: build the Smart-fluidnet offline pipeline (cached) and
+//! run one fluid-simulation problem under the adaptive runtime.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use smart_fluidnet::core::{OfflineConfig, SmartFluidnet};
+use smart_fluidnet::runtime::SchedulerEvent;
+use smart_fluidnet::workload::ProblemSet;
+
+fn main() {
+    // The offline phase: generate the model family from the base
+    // network, train every member, select Pareto candidates, train the
+    // success-rate MLP and build the KNN quality database. Artifacts
+    // are cached under target/sfn-artifacts, so the second run is
+    // instant.
+    println!("building Smart-fluidnet offline pipeline (cached)...");
+    let config = OfflineConfig::quick().from_env();
+    let framework = SmartFluidnet::build_cached(&config);
+
+    let (q, t) = framework.requirement();
+    println!("derived user requirement U(q, t): quality loss <= {q:.4}, time <= {t:.3}s");
+    println!("runtime model candidates:");
+    for c in &framework.artifacts().selected {
+        println!(
+            "  {:<4} P(meet U)={:.2}  offline qloss={:.4}  exec={:.4}s",
+            c.name, c.probability, c.quality_loss, c.exec_time
+        );
+    }
+
+    // The online phase: one turbulent smoke-plume problem.
+    let steps = 32;
+    let problem = ProblemSet::evaluation(config.eval_grid, 1).problem(0);
+    println!("\nrunning problem (grid {0}x{0}, {steps} steps)...", config.eval_grid);
+    let outcome = framework.run_problem(&problem, steps);
+
+    println!("final CumDivNorm: {:.3}", outcome.cum_div_norm.last().unwrap());
+    println!("restarted with PCG: {}", outcome.restarted);
+    for e in &outcome.events {
+        match e {
+            SchedulerEvent::Switch {
+                step,
+                from,
+                to,
+                predicted_loss,
+            } => println!("  step {step}: switch {from} -> {to} (predicted Qloss {predicted_loss:.4})"),
+            SchedulerEvent::Restart {
+                step,
+                predicted_loss,
+            } => println!("  step {step}: restart with PCG (predicted Qloss {predicted_loss:.4})"),
+        }
+    }
+    println!("\nprojection time per model:");
+    for (name, (&secs, &steps)) in outcome
+        .model_names
+        .iter()
+        .zip(outcome.time_per_model.iter().zip(&outcome.steps_per_model))
+    {
+        if steps > 0 {
+            println!("  {name:<4} {steps:>3} steps, {secs:.4}s");
+        }
+    }
+    println!("\ndone — smoke mass in final frame: {:.2}", outcome.density.sum());
+}

@@ -1,0 +1,31 @@
+//! # smart-fluidnet
+//!
+//! Facade crate for the Smart-fluidnet reproduction (SC '19: *Adaptive
+//! Neural Network-Based Approximation to Accelerate Eulerian Fluid
+//! Simulation*, Dong et al.).
+//!
+//! Re-exports the whole workspace under stable module names:
+//!
+//! * [`grid`] — MAC staggered-grid substrate
+//! * [`solver`] — Poisson solvers (Jacobi, SOR, CG, PCG/MIC(0), multigrid)
+//! * [`sim`] — Eulerian smoke simulation (mantaflow substitute)
+//! * [`nn`] — CPU CNN framework
+//! * [`surrogate`] — neural pressure-projection surrogates
+//! * [`modelgen`] — model transformation + Pareto candidate selection
+//! * [`quality`] — MLP-based offline output-quality control
+//! * [`runtime`] — quality-aware model-switch runtime
+//! * [`workload`] — seeded input-problem generation
+//! * [`stats`] — statistics utilities
+//! * [`core`] — the `SmartFluidnet` framework facade
+
+pub use sfn_grid as grid;
+pub use sfn_nn as nn;
+pub use sfn_sim as sim;
+pub use sfn_solver as solver;
+pub use sfn_stats as stats;
+pub use sfn_surrogate as surrogate;
+pub use sfn_modelgen as modelgen;
+pub use sfn_quality as quality;
+pub use sfn_runtime as runtime;
+pub use sfn_workload as workload;
+pub use smart_fluidnet_core as core;
