@@ -1,13 +1,18 @@
 //! Criterion: the adaptive runtime's per-check overhead — the paper's
 //! claim that the linear regression + KNN machinery is "lightweight"
-//! compared to the projection it steers (§6.2 discussion).
+//! compared to the projection it steers (§6.2 discussion) — plus the
+//! `sfn-obs` instrumentation overhead (disabled tracing must stay in
+//! the noise floor of a simulation step).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use sfn_grid::CellFlags;
 use sfn_nn::{LayerSpec, NetworkSpec};
 use sfn_quality::mlp::{MlpTrainConfig, SuccessPredictor};
 use sfn_quality::{feature_vector, MlpVariant};
 use sfn_quality::{generate_samples, ExecutionRecord, ModelRecords, SampleConfig};
 use sfn_runtime::{CumDivNormTracker, KnnDatabase};
+use sfn_sim::{ExactProjector, SimConfig, Simulation};
+use sfn_solver::{MicPreconditioner, PcgSolver};
 
 fn spec() -> NetworkSpec {
     NetworkSpec::new(vec![
@@ -77,5 +82,29 @@ fn bench_overhead(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_overhead);
+fn sim_step_pcg(b: &mut criterion::Bencher<'_>) {
+    let n = 24;
+    let mut sim = Simulation::new(SimConfig::plume(n), CellFlags::smoke_box(n, n));
+    let mut pcg = ExactProjector::labelled(
+        PcgSolver::new(MicPreconditioner::default(), 1e-5, 10_000),
+        "pcg",
+    );
+    b.iter(|| sim.step(&mut pcg));
+}
+
+/// The acceptance bar for the observability layer: with tracing and
+/// metrics disabled a fully instrumented simulation step (spans, solver
+/// counters, scheduler hooks) must cost within ~2% of the enabled run's
+/// bookkeeping-free path — compare these two Criterion entries.
+fn bench_step_overhead(c: &mut Criterion) {
+    sfn_obs::enable_metrics(false);
+    c.bench_function("sim_step_pcg_obs_disabled", sim_step_pcg);
+
+    sfn_obs::enable_metrics(true);
+    c.bench_function("sim_step_pcg_obs_enabled", sim_step_pcg);
+    sfn_obs::enable_metrics(false);
+    sfn_obs::reset();
+}
+
+criterion_group!(benches, bench_overhead, bench_step_overhead);
 criterion_main!(benches);

@@ -1,7 +1,55 @@
 //! Runs every experiment in sequence — the one-command reproduction of
 //! the paper's evaluation section. Set `SFN_QUICK=1` for a smoke run.
+//!
+//! Emits a machine-readable summary (per-figure wall time + status) to
+//! `SFN_SUMMARY_FILE` (default `run_all_summary.json`) so CI and batch
+//! sweeps can diff reproduction health without scraping stdout, and
+//! closes with the `sfn-obs` per-stage report.
+
+use serde::Serialize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// One experiment section's outcome, as written to the JSON summary.
+#[derive(Serialize)]
+struct FigureRecord {
+    name: &'static str,
+    secs: f64,
+    status: &'static str,
+}
+
+#[derive(Serialize)]
+struct RunAllSummary {
+    quick: bool,
+    sweep_grids: Vec<usize>,
+    steps: usize,
+    figures: Vec<FigureRecord>,
+    total_secs: f64,
+}
+
+/// Times one experiment section, shielding the rest of the reproduction
+/// from a panic inside it (a failed figure is recorded, not fatal).
+fn section(records: &mut Vec<FigureRecord>, name: &'static str, f: impl FnOnce()) {
+    let timer = sfn_obs::ScopedTimer::start("bench/run_all");
+    let status = match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(()) => "ok",
+        Err(_) => {
+            println!("== {name} ==\nFAILED (panicked; see stderr)\n");
+            "failed"
+        }
+    };
+    let secs = timer.stop().as_secs_f64();
+    sfn_obs::event(sfn_obs::Level::Info, "bench.figure")
+        .field_str("figure", name)
+        .field_f64("secs", secs)
+        .field_str("status", status)
+        .emit();
+    records.push(FigureRecord { name, secs, status });
+}
 
 fn main() {
+    sfn_obs::init();
+    sfn_obs::enable_metrics(true);
+    let total = sfn_obs::ScopedTimer::start("bench/total");
     let env = sfn_bench::bench_env();
     use sfn_bench::experiments as ex;
 
@@ -11,45 +59,123 @@ fn main() {
         env.offline.eval_grid, env.offline.eval_problems, env.steps, env.grids
     );
 
-    println!("== Table 1 ==\n{}\n", ex::baseline::table1(&env).render());
-    println!("== Figure 1 ==\n{}\n", ex::baseline::figure1(&env).render());
-    println!("== Figure 3 ==\n{}\n", ex::construction::figure3(&env));
-    println!(
-        "== Figure 5 ==\n{}\n",
-        ex::construction::figure5(&env, env.offline.mlp_steps).render()
-    );
-    let trace = ex::runtime_metric::trace_problem(&env, 0, env.steps);
-    let (rp, rs, pairs) =
-        ex::runtime_metric::correlations(&env, env.problems_per_grid.max(4), env.steps);
-    println!(
-        "== Figure 6 ==\n{}\nr_p = {rp:.2} (paper 0.61), r_s = {rs:.2} (paper 0.79), {pairs} pairs\n",
-        trace.render()
-    );
-    let sweep = ex::sweep::sweep(&env);
-    println!("== Figure 8 ==\n{}\n", sweep.render_figure8());
-    println!("== Figure 9 ==\n{}\n", sweep.render_figure9());
-    println!("== Table 2 ==\n{}\n", sweep.render_table2());
-    println!("== Figure 12 ==\n{}\n", sweep.render_figure12());
-    let cand = ex::candidates::candidate_runs(&env);
-    println!("== Figure 10 ==\n{}\n", cand.render_figure10());
-    println!("== Figure 11 ==\n{}\n", cand.render_figure11());
-    println!("== Table 3 ==\n{}\n", cand.render_table3());
-    println!(
-        "== Figure 13 ==\n{}\n",
-        ex::sensitivity::figure13(&env, &[5, 10, 15, 20])
-    );
-    let rows = ex::resources::table4(&env, 64);
-    println!("== Table 4 ==\n{}\n", ex::resources::render_table4(&rows, 64));
-    println!(
-        "== Ablation: transformation parameters ==\n{}\n",
-        ex::sensitivity::render_ablation(&ex::sensitivity::transformation_ablation(&env))
-    );
-    println!(
-        "== Ablation: scheduling policies ==\n{}\n",
-        ex::sensitivity::scheduler_ablation(&env)
-    );
-    println!(
-        "== Ablation: tolerance band ==\n{}",
-        ex::sensitivity::tolerance_ablation(&env, &[0.05, 0.15, 0.30, 0.60])
-    );
+    let mut recs = Vec::new();
+    section(&mut recs, "table1", || {
+        println!("== Table 1 ==\n{}\n", ex::baseline::table1(&env).render());
+    });
+    section(&mut recs, "figure1", || {
+        println!("== Figure 1 ==\n{}\n", ex::baseline::figure1(&env).render());
+    });
+    section(&mut recs, "figure3", || {
+        println!("== Figure 3 ==\n{}\n", ex::construction::figure3(&env));
+    });
+    section(&mut recs, "figure5", || {
+        println!(
+            "== Figure 5 ==\n{}\n",
+            ex::construction::figure5(&env, env.offline.mlp_steps).render()
+        );
+    });
+    section(&mut recs, "figure6", || {
+        let trace = ex::runtime_metric::trace_problem(&env, 0, env.steps);
+        let (rp, rs, pairs) =
+            ex::runtime_metric::correlations(&env, env.problems_per_grid.max(4), env.steps);
+        println!(
+            "== Figure 6 ==\n{}\nr_p = {rp:.2} (paper 0.61), r_s = {rs:.2} (paper 0.79), {pairs} pairs\n",
+            trace.render()
+        );
+    });
+
+    // The grid sweep feeds four renderings; compute it once, in its own
+    // timed section, then render (a failed sweep skips its figures).
+    let mut sweep = None;
+    section(&mut recs, "sweep", || sweep = Some(ex::sweep::sweep(&env)));
+    if let Some(sweep) = &sweep {
+        section(&mut recs, "figure8", || {
+            println!("== Figure 8 ==\n{}\n", sweep.render_figure8());
+        });
+        section(&mut recs, "figure9", || {
+            println!("== Figure 9 ==\n{}\n", sweep.render_figure9());
+        });
+        section(&mut recs, "table2", || {
+            println!("== Table 2 ==\n{}\n", sweep.render_table2());
+        });
+        section(&mut recs, "figure12", || {
+            println!("== Figure 12 ==\n{}\n", sweep.render_figure12());
+        });
+    }
+
+    let mut cand = None;
+    section(&mut recs, "candidates", || {
+        cand = Some(ex::candidates::candidate_runs(&env));
+    });
+    if let Some(cand) = &cand {
+        section(&mut recs, "figure10", || {
+            println!("== Figure 10 ==\n{}\n", cand.render_figure10());
+        });
+        section(&mut recs, "figure11", || {
+            println!("== Figure 11 ==\n{}\n", cand.render_figure11());
+        });
+        section(&mut recs, "table3", || {
+            println!("== Table 3 ==\n{}\n", cand.render_table3());
+        });
+    }
+
+    section(&mut recs, "figure13", || {
+        println!(
+            "== Figure 13 ==\n{}\n",
+            ex::sensitivity::figure13(&env, &[5, 10, 15, 20])
+        );
+    });
+    section(&mut recs, "table4", || {
+        let rows = ex::resources::table4(&env, 64);
+        println!("== Table 4 ==\n{}\n", ex::resources::render_table4(&rows, 64));
+    });
+    section(&mut recs, "ablation_transformation", || {
+        println!(
+            "== Ablation: transformation parameters ==\n{}\n",
+            ex::sensitivity::render_ablation(&ex::sensitivity::transformation_ablation(&env))
+        );
+    });
+    section(&mut recs, "ablation_scheduler", || {
+        println!(
+            "== Ablation: scheduling policies ==\n{}\n",
+            ex::sensitivity::scheduler_ablation(&env)
+        );
+    });
+    section(&mut recs, "ablation_tolerance", || {
+        println!(
+            "== Ablation: tolerance band ==\n{}",
+            ex::sensitivity::tolerance_ablation(&env, &[0.05, 0.15, 0.30, 0.60])
+        );
+    });
+
+    let summary = RunAllSummary {
+        quick: std::env::var("SFN_QUICK").is_ok(),
+        sweep_grids: env.grids.clone(),
+        steps: env.steps,
+        figures: recs,
+        total_secs: total.stop().as_secs_f64(),
+    };
+    let path =
+        std::env::var("SFN_SUMMARY_FILE").unwrap_or_else(|_| "run_all_summary.json".into());
+    match serde_json::to_string_pretty(&summary)
+        .map_err(std::io::Error::other)
+        .and_then(|json| std::fs::write(&path, json))
+    {
+        Ok(()) => println!("\nwrote summary to {path}"),
+        Err(e) => {
+            sfn_obs::event(sfn_obs::Level::Warn, "bench.summary_write_failed")
+                .field_str("path", &path)
+                .field_str("error", &e.to_string())
+                .emit();
+        }
+    }
+
+    println!("\n{}", sfn_obs::render_report());
+    sfn_obs::flush_trace();
+    let failed = summary.figures.iter().filter(|r| r.status == "failed").count();
+    if failed > 0 {
+        eprintln!("{failed} section(s) failed");
+        std::process::exit(1);
+    }
 }

@@ -20,10 +20,23 @@ pub struct BenchEnv {
 }
 
 fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    match std::env::var(name) {
+        Ok(v) => match v.trim().parse() {
+            Ok(n) => n,
+            Err(_) => {
+                // A malformed knob silently falling back to the default
+                // invalidates the experiment it was meant to scale — warn
+                // loudly, naming the variable.
+                sfn_obs::event(sfn_obs::Level::Warn, "env.invalid")
+                    .field_str("var", name)
+                    .field_str("value", &v)
+                    .field_u64("default", default as u64)
+                    .emit();
+                default
+            }
+        },
+        Err(_) => default,
+    }
 }
 
 impl BenchEnv {
@@ -50,7 +63,19 @@ impl BenchEnv {
             .ok()
             .map(|s| {
                 s.split(',')
-                    .filter_map(|t| t.trim().parse().ok())
+                    .filter_map(|t| {
+                        let t = t.trim();
+                        match t.parse::<usize>() {
+                            Ok(n) => Some(n),
+                            Err(_) => {
+                                sfn_obs::event(sfn_obs::Level::Warn, "env.invalid")
+                                    .field_str("var", "SFN_BENCH_GRIDS")
+                                    .field_str("value", t)
+                                    .emit();
+                                None
+                            }
+                        }
+                    })
                     .collect::<Vec<usize>>()
             })
             .filter(|v| !v.is_empty())
@@ -91,5 +116,26 @@ mod tests {
         assert_eq!(BenchEnv::paper_grid_label(0), "128*128");
         assert_eq!(BenchEnv::paper_grid_label(4), "1024*1024");
         assert_eq!(BenchEnv::paper_grid_label(9), "-");
+    }
+
+    #[test]
+    fn env_usize_parses_valid_values() {
+        // Uniquely named to avoid cross-test interference on process env.
+        std::env::set_var("SFN_TEST_ENV_USIZE_VALID", " 42 ");
+        assert_eq!(env_usize("SFN_TEST_ENV_USIZE_VALID", 7), 42);
+        std::env::remove_var("SFN_TEST_ENV_USIZE_VALID");
+    }
+
+    #[test]
+    fn env_usize_falls_back_on_malformed_value() {
+        std::env::set_var("SFN_TEST_ENV_USIZE_BAD", "not-a-number");
+        assert_eq!(env_usize("SFN_TEST_ENV_USIZE_BAD", 7), 7);
+        std::env::remove_var("SFN_TEST_ENV_USIZE_BAD");
+    }
+
+    #[test]
+    fn env_usize_unset_uses_default() {
+        std::env::remove_var("SFN_TEST_ENV_USIZE_UNSET");
+        assert_eq!(env_usize("SFN_TEST_ENV_USIZE_UNSET", 11), 11);
     }
 }

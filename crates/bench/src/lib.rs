@@ -15,6 +15,9 @@
 //! | `SFN_BENCH_STEPS` | simulation steps per problem | 48 |
 //! | `SFN_BENCH_GRIDS` | comma-separated grid sizes | `24,32,48,64,96` |
 //! | `SFN_TRAIN_EPOCHS` | offline training epochs per model | 30 |
+//! | `SFN_LOG` | observability verbosity (`off`/`error`/`warn`/`info`/`debug`/`trace`) | `warn` |
+//! | `SFN_TRACE_FILE` | JSONL structured-event sink (see `sfn-obs`) | unset |
+//! | `SFN_SUMMARY_FILE` | `run_all`'s machine-readable summary path | `run_all_summary.json` |
 //!
 //! The paper's absolute numbers came from a Titan X GPU against a CPU
 //! PCG at grids up to 1024²; ours come from one CPU at reduced scale.

@@ -93,6 +93,12 @@ pub fn run_smart(
         secs: secs + out.restart_time,
         restarted: out.restarted,
     };
+    sfn_obs::event(sfn_obs::Level::Debug, "bench.run")
+        .field_f64("qloss", record.qloss)
+        .field_f64("secs", record.secs)
+        .field_bool("restarted", record.restarted)
+        .field_u64("switches", out.events.len() as u64)
+        .emit();
     (record, out)
 }
 
@@ -137,8 +143,14 @@ pub fn yang_baseline(cfg: &OfflineConfig) -> SavedModel {
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir).ok();
     }
-    if let Ok(json) = serde_json::to_vec(&saved) {
-        std::fs::write(&path, json).ok();
+    let cached = serde_json::to_vec(&saved)
+        .map_err(std::io::Error::other)
+        .and_then(|json| std::fs::write(&path, json));
+    if let Err(e) = cached {
+        sfn_obs::event(sfn_obs::Level::Warn, "cache.write_failed")
+            .field_str("path", &path.display().to_string())
+            .field_str("error", &e.to_string())
+            .emit();
     }
     saved
 }

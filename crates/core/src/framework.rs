@@ -31,7 +31,10 @@ impl SmartFluidnet {
         }
         let artifacts = build_offline(cfg);
         if let Err(e) = artifacts.save(&path) {
-            eprintln!("warning: could not cache Smart-fluidnet artifacts: {e}");
+            sfn_obs::event(sfn_obs::Level::Warn, "cache.write_failed")
+                .field_str("path", &path.display().to_string())
+                .field_str("error", &e.to_string())
+                .emit();
         }
         Self { artifacts }
     }

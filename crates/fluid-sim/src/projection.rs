@@ -9,8 +9,9 @@
 //! models implement this trait.
 
 use sfn_grid::{CellFlags, Field2};
+use sfn_obs::ScopedTimer;
 use sfn_solver::{divergence_rhs, PoissonProblem, PoissonSolver};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// The result of one pressure solve.
 #[derive(Debug, Clone)]
@@ -91,14 +92,14 @@ impl<S: PoissonSolver> PressureProjector for ExactProjector<S> {
     ) -> ProjectionOutcome {
         let problem = PoissonProblem::new(flags, dx);
         let b = divergence_rhs(divergence, flags, dt);
-        let start = Instant::now();
+        let timer = ScopedTimer::start("projector/exact");
         let (pressure, stats) = self.solver.solve(&problem, &b);
         ProjectionOutcome {
             pressure,
             iterations: stats.iterations,
             converged: stats.converged,
             flops: stats.flops,
-            wall_time: start.elapsed(),
+            wall_time: timer.stop(),
         }
     }
 

@@ -16,12 +16,18 @@
 
 use crate::advect::{advect_scalar, advect_scalar_cubic, advect_scalar_maccormack, advect_velocity};
 use crate::config::AdvectionScheme;
+use crate::diagnostics::diagnostics;
 use crate::forces::{add_buoyancy, add_vorticity_confinement};
 use crate::metrics::div_norm;
 use crate::projection::PressureProjector;
 use crate::SimConfig;
 use sfn_grid::{distance::divnorm_weights, CellFlags, Field2, MacGrid};
+use sfn_obs::Level;
 use std::time::Duration;
+
+/// Steps between `sim.diagnostics` events when debug observability is
+/// on (diagnostics cost a divergence pass, so they are sampled).
+const DIAGNOSTICS_EVERY: usize = 8;
 
 /// Per-step telemetry.
 #[derive(Debug, Clone)]
@@ -52,6 +58,7 @@ pub struct Simulation {
     density: Field2,
     weights: Field2,
     steps_done: usize,
+    blowup_reported: bool,
 }
 
 impl Simulation {
@@ -74,6 +81,7 @@ impl Simulation {
             flags,
             vel,
             steps_done: 0,
+            blowup_reported: false,
         }
     }
 
@@ -128,37 +136,73 @@ impl Simulation {
         let cfg = self.config;
 
         // 1. Advection.
-        self.density = match cfg.advection {
-            AdvectionScheme::SemiLagrangian => {
-                advect_scalar(&self.vel, &self.density, &self.flags, cfg.dt)
-            }
-            AdvectionScheme::Cubic => {
-                advect_scalar_cubic(&self.vel, &self.density, &self.flags, cfg.dt)
-            }
-            AdvectionScheme::MacCormack => {
-                advect_scalar_maccormack(&self.vel, &self.density, &self.flags, cfg.dt)
-            }
-        };
-        self.vel = advect_velocity(&self.vel, cfg.dt);
-        self.vel.enforce_solid_boundaries(&self.flags);
+        {
+            let _span = sfn_obs::span!("step/advect");
+            self.density = match cfg.advection {
+                AdvectionScheme::SemiLagrangian => {
+                    advect_scalar(&self.vel, &self.density, &self.flags, cfg.dt)
+                }
+                AdvectionScheme::Cubic => {
+                    advect_scalar_cubic(&self.vel, &self.density, &self.flags, cfg.dt)
+                }
+                AdvectionScheme::MacCormack => {
+                    advect_scalar_maccormack(&self.vel, &self.density, &self.flags, cfg.dt)
+                }
+            };
+            self.vel = advect_velocity(&self.vel, cfg.dt);
+            self.vel.enforce_solid_boundaries(&self.flags);
+        }
 
         // 2. Sources and body forces.
-        cfg.source.apply(&mut self.density, &mut self.vel, &self.flags);
-        add_buoyancy(&mut self.vel, &self.density, &self.flags, cfg.buoyancy, cfg.dt);
-        if cfg.vorticity_epsilon > 0.0 {
-            add_vorticity_confinement(&mut self.vel, &self.flags, cfg.vorticity_epsilon, cfg.dt);
+        {
+            let _span = sfn_obs::span!("step/forces");
+            cfg.source.apply(&mut self.density, &mut self.vel, &self.flags);
+            add_buoyancy(&mut self.vel, &self.density, &self.flags, cfg.buoyancy, cfg.dt);
+            if cfg.vorticity_epsilon > 0.0 {
+                add_vorticity_confinement(&mut self.vel, &self.flags, cfg.vorticity_epsilon, cfg.dt);
+            }
+            self.vel.enforce_solid_boundaries(&self.flags);
         }
-        self.vel.enforce_solid_boundaries(&self.flags);
 
         // 3. Pressure projection.
-        let div = self.vel.divergence(&self.flags);
-        let outcome = projector.solve_pressure(&div, &self.flags, cfg.dx, cfg.dt);
-        let scale = cfg.dt / (cfg.rho * cfg.dx);
-        self.vel
-            .subtract_pressure_gradient(&outcome.pressure, &self.flags, scale);
-        self.vel.enforce_solid_boundaries(&self.flags);
+        let outcome = {
+            let _span = sfn_obs::span!("step/projection");
+            let div = self.vel.divergence(&self.flags);
+            let outcome = projector.solve_pressure(&div, &self.flags, cfg.dx, cfg.dt);
+            let scale = cfg.dt / (cfg.rho * cfg.dx);
+            self.vel
+                .subtract_pressure_gradient(&outcome.pressure, &self.flags, scale);
+            self.vel.enforce_solid_boundaries(&self.flags);
+            outcome
+        };
 
         let dn = div_norm(&self.vel, &self.flags, &self.weights);
+        let max_speed = self.vel.max_speed();
+
+        // Blow-up guard: a non-finite DivNorm or velocity means the
+        // projector destabilised the run; reported once per simulation.
+        if !self.blowup_reported && (!dn.is_finite() || !max_speed.is_finite()) {
+            self.blowup_reported = true;
+            sfn_obs::event(Level::Error, "sim.blowup")
+                .field_u64("step", self.steps_done as u64)
+                .field_f64("div_norm", dn)
+                .field_f64("max_speed", max_speed)
+                .field_str("projector", &projector.name())
+                .emit();
+        }
+
+        if self.steps_done % DIAGNOSTICS_EVERY == 0 && sfn_obs::event_enabled(Level::Debug) {
+            let d = diagnostics(&self.vel, &self.density, &self.flags, cfg.dt);
+            sfn_obs::event(Level::Debug, "sim.diagnostics")
+                .field_u64("step", self.steps_done as u64)
+                .field_f64("smoke_mass", d.smoke_mass)
+                .field_f64("kinetic_energy", d.kinetic_energy)
+                .field_f64("max_divergence", d.max_divergence)
+                .field_f64("divergence_l2", d.divergence_l2)
+                .field_f64("cfl", d.cfl)
+                .emit();
+        }
+
         let stats = StepStats {
             step: self.steps_done,
             div_norm: dn,
@@ -166,7 +210,7 @@ impl Simulation {
             converged: outcome.converged,
             projection_flops: outcome.flops,
             projection_time: outcome.wall_time,
-            max_speed: self.vel.max_speed(),
+            max_speed,
         };
         self.steps_done += 1;
         stats

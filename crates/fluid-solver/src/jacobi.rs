@@ -68,8 +68,8 @@ impl Default for JacobiSolver {
     }
 }
 
-impl PoissonSolver for JacobiSolver {
-    fn solve(&self, problem: &PoissonProblem<'_>, b: &Field2) -> (Field2, SolveStats) {
+impl JacobiSolver {
+    fn solve_inner(&self, problem: &PoissonProblem<'_>, b: &Field2) -> (Field2, SolveStats) {
         let (nx, ny) = (problem.nx(), problem.ny());
         assert_eq!((b.w(), b.h()), (nx, ny), "rhs shape");
         let mut x = Field2::new(nx, ny);
@@ -112,6 +112,14 @@ impl PoissonSolver for JacobiSolver {
                 flops,
             },
         )
+    }
+}
+
+impl PoissonSolver for JacobiSolver {
+    fn solve(&self, problem: &PoissonProblem<'_>, b: &Field2) -> (Field2, SolveStats) {
+        let (x, stats) = self.solve_inner(problem, b);
+        crate::observe_solve(self.name(), &stats);
+        (x, stats)
     }
 
     fn name(&self) -> &'static str {

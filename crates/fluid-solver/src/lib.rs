@@ -80,6 +80,36 @@ pub trait PoissonSolver {
     fn name(&self) -> &'static str;
 }
 
+/// Records one Poisson solve into the shared observability layer:
+/// per-solver iteration and residual metrics (counters + histograms)
+/// plus a `solver.solve` trace event — the raw material of the
+/// per-stage cost tables (Tables 3/4 of the paper).
+///
+/// Every [`PoissonSolver`] implementation calls this once per `solve`.
+/// With observability disabled (the default) the cost is two relaxed
+/// atomic loads.
+pub fn observe_solve(solver: &str, stats: &SolveStats) {
+    if sfn_obs::metrics_enabled() {
+        sfn_obs::counter_add(&format!("solver.{solver}.solves"), 1);
+        sfn_obs::counter_add(&format!("solver.{solver}.iterations"), stats.iterations as u64);
+        sfn_obs::histogram_record(
+            &format!("solver.{solver}.iterations"),
+            stats.iterations as f64,
+        );
+        sfn_obs::histogram_record(
+            &format!("solver.{solver}.rel_residual"),
+            stats.rel_residual,
+        );
+    }
+    sfn_obs::event(sfn_obs::Level::Trace, "solver.solve")
+        .field_str("solver", solver)
+        .field_u64("iterations", stats.iterations as u64)
+        .field_f64("rel_residual", stats.rel_residual)
+        .field_bool("converged", stats.converged)
+        .field_u64("flops", stats.flops)
+        .emit();
+}
+
 /// Builds the canonical right-hand side of the pressure equation from a
 /// velocity divergence: `b = −(1/Δt) ∇·u*` (Algorithm 1 line 7,
 /// rearranged for the positive-definite operator; see [`laplace`]).

@@ -224,8 +224,8 @@ impl Default for MultigridSolver {
     }
 }
 
-impl PoissonSolver for MultigridSolver {
-    fn solve(&self, problem: &PoissonProblem<'_>, b: &Field2) -> (Field2, SolveStats) {
+impl MultigridSolver {
+    fn solve_inner(&self, problem: &PoissonProblem<'_>, b: &Field2) -> (Field2, SolveStats) {
         let (nx, ny) = (problem.nx(), problem.ny());
         assert_eq!((b.w(), b.h()), (nx, ny), "rhs shape");
         let mut x = Field2::new(nx, ny);
@@ -265,6 +265,14 @@ impl PoissonSolver for MultigridSolver {
                 flops,
             },
         )
+    }
+}
+
+impl PoissonSolver for MultigridSolver {
+    fn solve(&self, problem: &PoissonProblem<'_>, b: &Field2) -> (Field2, SolveStats) {
+        let (x, stats) = self.solve_inner(problem, b);
+        crate::observe_solve(self.name(), &stats);
+        (x, stats)
     }
 
     fn name(&self) -> &'static str {

@@ -99,8 +99,8 @@ impl CgSolver {
     }
 }
 
-impl<M: Preconditioner> PoissonSolver for PcgSolver<M> {
-    fn solve(&self, problem: &PoissonProblem<'_>, b: &Field2) -> (Field2, SolveStats) {
+impl<M: Preconditioner> PcgSolver<M> {
+    fn solve_inner(&self, problem: &PoissonProblem<'_>, b: &Field2) -> (Field2, SolveStats) {
         let (nx, ny) = (problem.nx(), problem.ny());
         assert_eq!((b.w(), b.h()), (nx, ny), "rhs shape");
         let mut x = Field2::new(nx, ny);
@@ -176,6 +176,14 @@ impl<M: Preconditioner> PoissonSolver for PcgSolver<M> {
                 flops,
             },
         )
+    }
+}
+
+impl<M: Preconditioner> PoissonSolver for PcgSolver<M> {
+    fn solve(&self, problem: &PoissonProblem<'_>, b: &Field2) -> (Field2, SolveStats) {
+        let (x, stats) = self.solve_inner(problem, b);
+        crate::observe_solve(self.name(), &stats);
+        (x, stats)
     }
 
     fn name(&self) -> &'static str {

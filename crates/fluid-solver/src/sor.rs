@@ -65,8 +65,8 @@ impl Default for SorSolver {
     }
 }
 
-impl PoissonSolver for SorSolver {
-    fn solve(&self, problem: &PoissonProblem<'_>, b: &Field2) -> (Field2, SolveStats) {
+impl SorSolver {
+    fn solve_inner(&self, problem: &PoissonProblem<'_>, b: &Field2) -> (Field2, SolveStats) {
         let (nx, ny) = (problem.nx(), problem.ny());
         assert_eq!((b.w(), b.h()), (nx, ny), "rhs shape");
         let mut x = Field2::new(nx, ny);
@@ -108,6 +108,14 @@ impl PoissonSolver for SorSolver {
                 flops,
             },
         )
+    }
+}
+
+impl PoissonSolver for SorSolver {
+    fn solve(&self, problem: &PoissonProblem<'_>, b: &Field2) -> (Field2, SolveStats) {
+        let (x, stats) = self.solve_inner(problem, b);
+        crate::observe_solve(self.name(), &stats);
+        (x, stats)
     }
 
     fn name(&self) -> &'static str {

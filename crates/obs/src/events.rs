@@ -1,0 +1,303 @@
+//! Structured events: one JSONL record per event in the trace file
+//! (`SFN_TRACE_FILE`), plus a human-readable stderr line at or above
+//! the `SFN_LOG` verbosity.
+//!
+//! Schema of a trace line:
+//!
+//! ```json
+//! {"ts":12.345,"level":"info","kind":"scheduler.decision","step":20,...}
+//! ```
+//!
+//! `ts` is seconds since process start (monotonic), `level` the
+//! severity, `kind` a dotted event name; all further keys are
+//! event-specific fields.
+
+use crate::{json, Level};
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+static TRACING: AtomicBool = AtomicBool::new(false);
+
+type Sink = Option<Box<dyn Write + Send>>;
+
+fn sink() -> &'static Mutex<Sink> {
+    static SINK: OnceLock<Mutex<Sink>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(None))
+}
+
+fn lock_sink() -> MutexGuard<'static, Sink> {
+    sink().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// True if a JSONL trace sink is installed.
+pub fn tracing_enabled() -> bool {
+    crate::init();
+    tracing_enabled_raw()
+}
+
+pub(crate) fn tracing_enabled_raw() -> bool {
+    TRACING.load(Ordering::Relaxed)
+}
+
+/// Opens (creating/truncating) `path` as the JSONL trace sink.
+pub fn set_trace_file(path: &str) -> std::io::Result<()> {
+    let file = File::create(path)?;
+    set_trace_writer(Some(Box::new(BufWriter::new(file))));
+    Ok(())
+}
+
+/// Installs (or with `None` removes) the trace sink. Tests inject an
+/// in-memory writer here.
+pub fn set_trace_writer(writer: Sink) {
+    let mut guard = lock_sink();
+    // Flush whatever sink is being replaced so no records are lost.
+    if let Some(old) = guard.as_mut() {
+        let _ = old.flush();
+    }
+    TRACING.store(writer.is_some(), Ordering::Relaxed);
+    *guard = writer;
+}
+
+/// Flushes the trace sink (buffered file writers only write on flush or
+/// when their buffer fills).
+pub fn flush_trace() {
+    if let Some(w) = lock_sink().as_mut() {
+        let _ = w.flush();
+    }
+}
+
+fn write_trace_line(line: &str) {
+    if let Some(w) = lock_sink().as_mut() {
+        let _ = w.write_all(line.as_bytes());
+        let _ = w.write_all(b"\n");
+    }
+}
+
+/// Builder for one structured event; construct via [`event`]. When
+/// neither the trace sink nor the stderr logger would take the event,
+/// every method is a no-op on an empty builder (no allocation).
+#[must_use = "call .emit() to record the event"]
+pub struct EventBuilder {
+    json: Option<String>,
+    text: Option<String>,
+}
+
+/// Starts an event of `kind` at `level`.
+///
+/// ```
+/// use sfn_obs::Level;
+/// sfn_obs::event(Level::Info, "scheduler.decision")
+///     .field_u64("step", 20)
+///     .field_f64("predicted_loss", 0.012)
+///     .field_str("action", "keep")
+///     .emit();
+/// ```
+pub fn event(level: Level, kind: &str) -> EventBuilder {
+    crate::init();
+    let to_trace = tracing_enabled_raw() && level != Level::Off;
+    let to_log = crate::log_enabled_raw(level);
+    let json = to_trace.then(|| {
+        let mut s = String::with_capacity(160);
+        s.push_str("{\"ts\":");
+        json::push_f64(&mut s, crate::uptime());
+        s.push_str(",\"level\":\"");
+        s.push_str(level.as_str());
+        s.push_str("\",\"kind\":\"");
+        json::escape_into(&mut s, kind);
+        s.push('"');
+        s
+    });
+    let text = to_log.then(|| format!("[sfn {}] {}", level.as_str(), kind));
+    EventBuilder { json, text }
+}
+
+impl EventBuilder {
+    fn key(&mut self, key: &str) {
+        if let Some(j) = self.json.as_mut() {
+            j.push_str(",\"");
+            json::escape_into(j, key);
+            j.push_str("\":");
+        }
+    }
+
+    /// Adds a float field (`null` in JSON if non-finite).
+    pub fn field_f64(mut self, key: &str, v: f64) -> Self {
+        self.key(key);
+        if let Some(j) = self.json.as_mut() {
+            json::push_f64(j, v);
+        }
+        if let Some(t) = self.text.as_mut() {
+            let _ = write!(t, " {key}={v}");
+        }
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn field_u64(mut self, key: &str, v: u64) -> Self {
+        self.key(key);
+        if let Some(j) = self.json.as_mut() {
+            let _ = write!(j, "{v}");
+        }
+        if let Some(t) = self.text.as_mut() {
+            let _ = write!(t, " {key}={v}");
+        }
+        self
+    }
+
+    /// Adds a signed integer field.
+    pub fn field_i64(mut self, key: &str, v: i64) -> Self {
+        self.key(key);
+        if let Some(j) = self.json.as_mut() {
+            let _ = write!(j, "{v}");
+        }
+        if let Some(t) = self.text.as_mut() {
+            let _ = write!(t, " {key}={v}");
+        }
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn field_bool(mut self, key: &str, v: bool) -> Self {
+        self.key(key);
+        if let Some(j) = self.json.as_mut() {
+            j.push_str(if v { "true" } else { "false" });
+        }
+        if let Some(t) = self.text.as_mut() {
+            let _ = write!(t, " {key}={v}");
+        }
+        self
+    }
+
+    /// Adds a string field.
+    pub fn field_str(mut self, key: &str, v: &str) -> Self {
+        self.key(key);
+        if let Some(j) = self.json.as_mut() {
+            j.push('"');
+            json::escape_into(j, v);
+            j.push('"');
+        }
+        if let Some(t) = self.text.as_mut() {
+            let _ = write!(t, " {key}={v}");
+        }
+        self
+    }
+
+    /// Writes the event to the active outputs.
+    pub fn emit(self) {
+        if let Some(mut j) = self.json {
+            j.push('}');
+            write_trace_line(&j);
+        }
+        if let Some(t) = self.text {
+            eprintln!("{t}");
+        }
+    }
+}
+
+/// Logs a plain message at `level` (stderr + trace sink).
+pub fn log(level: Level, msg: &str) {
+    crate::init();
+    if crate::log_enabled_raw(level) {
+        eprintln!("[sfn {}] {msg}", level.as_str());
+    }
+    if tracing_enabled_raw() && level != Level::Off {
+        let mut s = String::with_capacity(96);
+        s.push_str("{\"ts\":");
+        json::push_f64(&mut s, crate::uptime());
+        s.push_str(",\"level\":\"");
+        s.push_str(level.as_str());
+        s.push_str("\",\"kind\":\"log\",\"msg\":\"");
+        json::escape_into(&mut s, msg);
+        s.push_str("\"}");
+        write_trace_line(&s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+    use std::sync::Arc;
+
+    #[derive(Clone)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl SharedBuf {
+        fn new() -> Self {
+            Self(Arc::new(Mutex::new(Vec::new())))
+        }
+
+        fn contents(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+        }
+    }
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn events_write_jsonl_records() {
+        let _guard = test_lock::hold();
+        let buf = SharedBuf::new();
+        set_trace_writer(Some(Box::new(buf.clone())));
+        event(Level::Info, "test.event")
+            .field_u64("step", 20)
+            .field_f64("predicted_loss", 0.0125)
+            .field_f64("bad", f64::NAN)
+            .field_bool("unhealthy", false)
+            .field_str("action", "switch \"up\"")
+            .emit();
+        log(Level::Trace, "hello trace");
+        flush_trace();
+        set_trace_writer(None);
+
+        let text = buf.contents();
+        let line = text
+            .lines()
+            .find(|l| l.contains("\"kind\":\"test.event\""))
+            .expect("event line present");
+        assert!(line.starts_with("{\"ts\":"), "{line}");
+        assert!(line.ends_with('}'), "{line}");
+        assert!(line.contains("\"level\":\"info\""), "{line}");
+        assert!(line.contains("\"step\":20"), "{line}");
+        assert!(line.contains("\"predicted_loss\":0.0125"), "{line}");
+        assert!(line.contains("\"bad\":null"), "{line}");
+        assert!(line.contains("\"unhealthy\":false"), "{line}");
+        assert!(line.contains("\"action\":\"switch \\\"up\\\"\""), "{line}");
+        assert!(
+            text.lines().any(|l| l.contains("\"kind\":\"log\"") && l.contains("hello trace")),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn disabled_events_build_nothing() {
+        let _guard = test_lock::hold();
+        set_trace_writer(None);
+        // Well below the default warn threshold.
+        let b = event(Level::Trace, "test.invisible").field_u64("x", 1);
+        assert!(b.json.is_none() && b.text.is_none());
+        b.emit();
+    }
+
+    #[test]
+    fn tracing_flag_follows_writer() {
+        let _guard = test_lock::hold();
+        assert!(!tracing_enabled());
+        set_trace_writer(Some(Box::new(SharedBuf::new())));
+        assert!(tracing_enabled());
+        set_trace_writer(None);
+        assert!(!tracing_enabled());
+    }
+}

@@ -1,0 +1,55 @@
+//! Minimal JSON string/number emission (this crate is dependency-free
+//! by design, so no serde).
+
+use std::fmt::Write as _;
+
+/// Appends `s` to `out` with JSON string escaping (no surrounding
+/// quotes).
+pub(crate) fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Appends a JSON number; non-finite values become `null` (JSON has no
+/// NaN/Infinity).
+pub(crate) fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        let mut s = String::new();
+        escape_into(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "a\\\"b\\\\c\\nd\\u0001");
+    }
+
+    #[test]
+    fn numbers_round_trip_and_nan_is_null() {
+        let mut s = String::new();
+        push_f64(&mut s, 0.013);
+        s.push(',');
+        push_f64(&mut s, f64::NAN);
+        s.push(',');
+        push_f64(&mut s, f64::INFINITY);
+        assert_eq!(s, "0.013,null,null");
+    }
+}

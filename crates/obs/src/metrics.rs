@@ -1,0 +1,365 @@
+//! Lock-free counters and histograms with a global named registry.
+//!
+//! The hot-path contract: when metrics are disabled,
+//! [`counter_add`] / [`histogram_record`] cost one relaxed atomic load.
+//! When enabled, the registry lookup takes a short mutex critical
+//! section (callers on truly hot loops can intern a handle once with
+//! [`counter`] / [`histogram`] and update it lock-free thereafter).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Adds `v`.
+    #[inline]
+    pub fn add(&self, v: u64) {
+        self.0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+const BUCKETS: usize = 64;
+
+/// A lock-free histogram over f64 samples with power-of-two buckets
+/// (bucket 0 collects values ≤ 0; bucket `i ≥ 1` collects
+/// `[2^(i−33), 2^(i−32))`, covering ~1e-10 … ~2e9).
+pub struct Histogram {
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+fn bucket_index(v: f64) -> usize {
+    if v <= 0.0 {
+        return 0;
+    }
+    let e = v.log2().floor() as i64;
+    (e + 33).clamp(1, BUCKETS as i64 - 1) as usize
+}
+
+/// Lower bound of bucket `i ≥ 1` (used for quantile estimates).
+fn bucket_floor(i: usize) -> f64 {
+    if i == 0 {
+        0.0
+    } else {
+        (i as f64 - 33.0).exp2()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Self {
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+        }
+    }
+
+    /// Records one sample. Non-finite samples count towards `count`
+    /// only (they carry no magnitude information).
+    pub fn record(&self, v: f64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        if !v.is_finite() {
+            return;
+        }
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        let _ = self
+            .sum_bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                Some((f64::from_bits(bits) + v).to_bits())
+            });
+        let _ = self
+            .min_bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                (v < f64::from_bits(bits)).then(|| v.to_bits())
+            });
+        let _ = self
+            .max_bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                (v > f64::from_bits(bits)).then(|| v.to_bits())
+            });
+    }
+
+    /// A point-in-time summary.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let sum = f64::from_bits(self.sum_bits.load(Ordering::Relaxed));
+        let min = f64::from_bits(self.min_bits.load(Ordering::Relaxed));
+        let max = f64::from_bits(self.max_bits.load(Ordering::Relaxed));
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let finite: u64 = counts.iter().sum();
+        let quantile = |q: f64| -> f64 {
+            if finite == 0 {
+                return f64::NAN;
+            }
+            let target = (q * finite as f64).ceil().max(1.0) as u64;
+            let mut seen = 0;
+            for (i, &c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= target {
+                    return bucket_floor(i);
+                }
+            }
+            max
+        };
+        HistogramSnapshot {
+            count,
+            sum,
+            min: if finite == 0 { f64::NAN } else { min },
+            max: if finite == 0 { f64::NAN } else { max },
+            p50: quantile(0.50),
+            p95: quantile(0.95),
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_bits.store(0, Ordering::Relaxed);
+        self.min_bits.store(f64::INFINITY.to_bits(), Ordering::Relaxed);
+        self.max_bits
+            .store(f64::NEG_INFINITY.to_bits(), Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Summary of a [`Histogram`] at one instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Samples recorded (including non-finite ones).
+    pub count: u64,
+    /// Sum of finite samples.
+    pub sum: f64,
+    /// Smallest finite sample (NaN when empty).
+    pub min: f64,
+    /// Largest finite sample (NaN when empty).
+    pub max: f64,
+    /// Median estimate at bucket resolution (a power-of-two lower
+    /// bound, so within 2× of the true median).
+    pub p50: f64,
+    /// 95th-percentile estimate at bucket resolution.
+    pub p95: f64,
+}
+
+impl HistogramSnapshot {
+    /// Mean of the finite samples (NaN when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+fn counters() -> &'static Mutex<BTreeMap<String, &'static Counter>> {
+    static MAP: OnceLock<Mutex<BTreeMap<String, &'static Counter>>> = OnceLock::new();
+    MAP.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn histograms() -> &'static Mutex<BTreeMap<String, &'static Histogram>> {
+    static MAP: OnceLock<Mutex<BTreeMap<String, &'static Histogram>>> = OnceLock::new();
+    MAP.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Interns and returns the counter `name`. The returned handle updates
+/// lock-free, so hot loops should call this once and reuse it.
+pub fn counter(name: &str) -> &'static Counter {
+    let mut map = lock(counters());
+    if let Some(c) = map.get(name) {
+        return c;
+    }
+    let c: &'static Counter = Box::leak(Box::new(Counter::new()));
+    map.insert(name.to_string(), c);
+    c
+}
+
+/// Adds `v` to counter `name` when metrics are enabled (single atomic
+/// load otherwise).
+#[inline]
+pub fn counter_add(name: &str, v: u64) {
+    if crate::metrics_enabled() {
+        counter(name).add(v);
+    }
+}
+
+/// Current value of counter `name` (0 if it was never touched).
+pub fn counter_value(name: &str) -> u64 {
+    lock(counters()).get(name).map(|c| c.get()).unwrap_or(0)
+}
+
+/// Interns and returns the histogram `name`.
+pub fn histogram(name: &str) -> &'static Histogram {
+    let mut map = lock(histograms());
+    if let Some(h) = map.get(name) {
+        return h;
+    }
+    let h: &'static Histogram = Box::leak(Box::new(Histogram::new()));
+    map.insert(name.to_string(), h);
+    h
+}
+
+/// Records `v` into histogram `name` when metrics are enabled.
+#[inline]
+pub fn histogram_record(name: &str, v: f64) {
+    if crate::metrics_enabled() {
+        histogram(name).record(v);
+    }
+}
+
+/// Snapshot of histogram `name`, if it exists.
+pub fn histogram_snapshot(name: &str) -> Option<HistogramSnapshot> {
+    lock(histograms()).get(name).map(|h| h.snapshot())
+}
+
+/// All counters, sorted by name.
+pub fn counters_snapshot() -> Vec<(String, u64)> {
+    lock(counters())
+        .iter()
+        .map(|(k, c)| (k.clone(), c.get()))
+        .collect()
+}
+
+/// All histograms, sorted by name.
+pub fn histograms_snapshot() -> Vec<(String, HistogramSnapshot)> {
+    lock(histograms())
+        .iter()
+        .map(|(k, h)| (k.clone(), h.snapshot()))
+        .collect()
+}
+
+pub(crate) fn reset_metrics() {
+    for c in lock(counters()).values() {
+        c.reset();
+    }
+    for h in lock(histograms()).values() {
+        h.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    #[test]
+    fn counter_updates_are_atomic_across_threads() {
+        let _guard = test_lock::hold();
+        crate::enable_metrics(true);
+        let threads = 8;
+        let per_thread = 10_000u64;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| {
+                    for _ in 0..per_thread {
+                        counter_add("test.metrics.concurrent_counter", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            counter_value("test.metrics.concurrent_counter"),
+            threads * per_thread
+        );
+        crate::enable_metrics(false);
+    }
+
+    #[test]
+    fn histogram_concurrent_updates_preserve_totals() {
+        let _guard = test_lock::hold();
+        crate::enable_metrics(true);
+        let threads = 4;
+        let n = 1000;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| {
+                    for i in 1..=n {
+                        histogram_record("test.metrics.concurrent_hist", i as f64);
+                    }
+                });
+            }
+        });
+        let snap = histogram_snapshot("test.metrics.concurrent_hist").unwrap();
+        assert_eq!(snap.count, (threads * n) as u64);
+        assert_eq!(snap.min, 1.0);
+        assert_eq!(snap.max, n as f64);
+        let expect_sum = threads as f64 * (n * (n + 1) / 2) as f64;
+        assert!((snap.sum - expect_sum).abs() < 1e-6, "sum {}", snap.sum);
+        assert!((snap.mean() - expect_sum / (threads * n) as f64).abs() < 1e-9);
+        // Median of 1..=1000 is ~500; the bucket estimate is its
+        // power-of-two floor.
+        assert!(snap.p50 >= 128.0 && snap.p50 <= 512.0, "p50 {}", snap.p50);
+        crate::enable_metrics(false);
+    }
+
+    #[test]
+    fn disabled_metrics_record_nothing() {
+        let _guard = test_lock::hold();
+        crate::enable_metrics(false);
+        counter_add("test.metrics.disabled_counter", 5);
+        histogram_record("test.metrics.disabled_hist", 1.0);
+        assert_eq!(counter_value("test.metrics.disabled_counter"), 0);
+        assert!(histogram_snapshot("test.metrics.disabled_hist").is_none());
+    }
+
+    #[test]
+    fn histogram_handles_nonfinite_and_nonpositive() {
+        let h = Histogram::new();
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(-3.0);
+        h.record(0.0);
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min, -3.0);
+        assert_eq!(s.max, 0.0);
+        assert_eq!(s.sum, -3.0);
+    }
+
+    #[test]
+    fn bucket_index_is_monotone() {
+        let mut last = 0;
+        for v in [1e-12, 1e-6, 0.1, 1.0, 2.0, 100.0, 1e6, 1e12] {
+            let i = bucket_index(v);
+            assert!(i >= last, "index not monotone at {v}");
+            last = i;
+        }
+        assert_eq!(bucket_index(-1.0), 0);
+        assert_eq!(bucket_index(1.5), bucket_index(1.9));
+        assert!(bucket_floor(bucket_index(6.64)) <= 6.64);
+    }
+}

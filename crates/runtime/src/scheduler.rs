@@ -13,10 +13,10 @@ use serde::{Deserialize, Serialize};
 use sfn_grid::Field2;
 use sfn_nn::network::SavedModel;
 use sfn_nn::Network;
+use sfn_obs::{Level, ScopedTimer};
 use sfn_sim::{ExactProjector, Simulation};
 use sfn_solver::{MicPreconditioner, PcgSolver};
 use sfn_surrogate::NeuralProjector;
-use std::time::Instant;
 
 /// One candidate network with its offline statistics.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -183,7 +183,7 @@ impl SmartRuntime {
     pub fn run(&mut self, mut sim: Simulation) -> RunOutcome {
         let cfg = self.config;
         let n_models = self.candidates.len();
-        let start = Instant::now();
+        let timer = ScopedTimer::start("runtime/run");
         let mut tracker = CumDivNormTracker::new();
         let mut events = Vec::new();
         let mut time_per_model = vec![0.0; n_models];
@@ -201,7 +201,9 @@ impl SmartRuntime {
         let mut step = 0usize;
         while step < cfg.total_steps {
             let stats = sim.step(&mut self.projectors[current]);
-            tracker.push(stats.div_norm * inv_cells);
+            let div_norm = stats.div_norm * inv_cells;
+            tracker.push(div_norm);
+            sfn_obs::histogram_record("runtime.div_norm", div_norm);
             time_per_model[current] += stats.projection_time.as_secs_f64();
             steps_per_model[current] += 1;
             step += 1;
@@ -229,9 +231,34 @@ impl SmartRuntime {
 
             let hi = cfg.quality_target * (1.0 + cfg.tolerance);
             let lo = cfg.quality_target * (1.0 - cfg.tolerance);
-            if predicted_loss > hi || unhealthy {
-                // Need more accuracy.
+            // Decide first, mutate after: the whole Algorithm 2 check is
+            // reported as exactly one structured event either way.
+            let action = if predicted_loss > hi || unhealthy {
                 if current + 1 < n_models {
+                    "switch_up"
+                } else {
+                    "restart" // Algorithm 2 line 16: fall back to PCG.
+                }
+            } else if predicted_loss < lo && cfg.use_mlp && current > 0 {
+                // Comfortable slack: move to a faster model.
+                "switch_down"
+            } else {
+                "keep"
+            };
+            sfn_obs::counter_add("scheduler.checks", 1);
+            sfn_obs::event(Level::Info, "scheduler.decision")
+                .field_u64("step", step as u64)
+                .field_str("model", &self.candidates[current].name)
+                .field_f64("predicted_loss", predicted_loss)
+                .field_f64("target", cfg.quality_target)
+                .field_f64("band_lo", lo)
+                .field_f64("band_hi", hi)
+                .field_bool("unhealthy", unhealthy)
+                .field_str("action", action)
+                .emit();
+            match action {
+                "switch_up" => {
+                    sfn_obs::counter_add("scheduler.switches", 1);
                     events.push(SchedulerEvent::Switch {
                         step,
                         from: self.candidates[current].name.clone(),
@@ -239,18 +266,9 @@ impl SmartRuntime {
                         predicted_loss,
                     });
                     current += 1;
-                } else {
-                    // Algorithm 2 line 16: restart with the PCG method.
-                    events.push(SchedulerEvent::Restart {
-                        step,
-                        predicted_loss,
-                    });
-                    restarted = true;
-                    break;
                 }
-            } else if predicted_loss < lo && cfg.use_mlp {
-                // Comfortable slack: move to a faster model.
-                if current > 0 {
+                "switch_down" => {
+                    sfn_obs::counter_add("scheduler.switches", 1);
                     events.push(SchedulerEvent::Switch {
                         step,
                         from: self.candidates[current].name.clone(),
@@ -259,11 +277,24 @@ impl SmartRuntime {
                     });
                     current -= 1;
                 }
+                "restart" => {
+                    sfn_obs::counter_add("scheduler.restarts", 1);
+                    events.push(SchedulerEvent::Restart {
+                        step,
+                        predicted_loss,
+                    });
+                    restarted = true;
+                }
+                _ => {}
+            }
+            if restarted {
+                break;
             }
         }
 
         let mut restart_time = 0.0;
         let (density, cum) = if restarted {
+            let _span = sfn_obs::span!("runtime/restart");
             let mut sim = fresh_sim;
             let mut pcg = ExactProjector::labelled(
                 PcgSolver::new(MicPreconditioner::default(), 1e-7, 200_000),
@@ -289,7 +320,7 @@ impl SmartRuntime {
             predictions,
             restarted,
             restart_time,
-            wall_time: start.elapsed().as_secs_f64(),
+            wall_time: timer.stop().as_secs_f64(),
             cum_div_norm: cum,
         }
     }

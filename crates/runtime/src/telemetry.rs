@@ -126,4 +126,26 @@ mod tests {
     fn empty_batch_is_none() {
         assert!(RunSummary::from_outcomes(&[]).is_none());
     }
+
+    #[test]
+    fn zero_time_batch_has_no_dominant_model() {
+        // All-zero projection time (e.g. mocked runs): shares collapse to
+        // zero and no model may be declared dominant.
+        let outs = vec![outcome(&["A", "B"], &[0.0, 0.0], &[3, 3], false)];
+        let s = RunSummary::from_outcomes(&outs).unwrap();
+        assert!(s.dominant_model().is_none());
+        assert!(s.time_share.values().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn time_shares_sum_to_one() {
+        let outs = vec![
+            outcome(&["A", "B", "C"], &[0.25, 1.5, 0.125], &[1, 5, 1], false),
+            outcome(&["A", "B", "C"], &[0.5, 0.0, 2.0], &[2, 0, 8], false),
+        ];
+        let s = RunSummary::from_outcomes(&outs).unwrap();
+        let total: f64 = s.time_share.values().sum();
+        assert!((total - 1.0).abs() < 1e-12, "shares sum to {total}");
+        assert!(s.time_share.values().all(|&v| (0.0..=1.0).contains(&v)));
+    }
 }

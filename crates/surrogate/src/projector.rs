@@ -3,8 +3,8 @@
 use crate::dataset::{build_input, output_to_pressure};
 use sfn_grid::{CellFlags, Field2};
 use sfn_nn::Network;
+use sfn_obs::ScopedTimer;
 use sfn_sim::{PressureProjector, ProjectionOutcome};
-use std::time::Instant;
 
 /// Wraps a trained [`Network`] as a [`PressureProjector`] (Eq. 4).
 ///
@@ -61,18 +61,21 @@ impl PressureProjector for NeuralProjector {
         _dx: f64,
         _dt: f64,
     ) -> ProjectionOutcome {
-        let start = Instant::now();
+        let timer = ScopedTimer::start("projector/nn");
         let occ = self.occupancy(flags);
         let (input, scale) = build_input(divergence, &occ);
         let output = self.network.predict(&input);
         let pressure = output_to_pressure(&output, scale, flags);
         let (_, _, h, w) = input.shape();
+        let flops = self.network.flops((2, h, w));
+        sfn_obs::counter_add("nn.inferences", 1);
+        sfn_obs::counter_add("nn.flops", flops);
         ProjectionOutcome {
             pressure,
             iterations: 0,
             converged: true,
-            flops: self.network.flops((2, h, w)),
-            wall_time: start.elapsed(),
+            flops,
+            wall_time: timer.stop(),
         }
     }
 

@@ -16,9 +16,11 @@
 //! * [`runtime`] — quality-aware model-switch runtime
 //! * [`workload`] — seeded input-problem generation
 //! * [`stats`] — statistics utilities
+//! * [`obs`] — observability: spans, metrics, JSONL event tracing
 //! * [`core`] — the `SmartFluidnet` framework facade
 
 pub use sfn_grid as grid;
+pub use sfn_obs as obs;
 pub use sfn_nn as nn;
 pub use sfn_sim as sim;
 pub use sfn_solver as solver;
