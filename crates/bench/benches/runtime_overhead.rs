@@ -64,7 +64,7 @@ fn bench_overhead(c: &mut Criterion) {
     });
 
     // KNN lookup in a paper-sized database (5 models x 128 problems).
-    let db = KnnDatabase::new((0..640).map(|i| (i as f64, i as f64 * 1e-4)).collect());
+    let db = KnnDatabase::new((0..640).map(|i| (i as f64, i as f64 * 1e-4)).collect()).unwrap();
     c.bench_function("knn_predict_k4_640pairs", |b| b.iter(|| db.predict(317.5)));
 
     // Eq. 6 featurisation + MLP forward (the offline selection path).

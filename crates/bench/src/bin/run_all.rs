@@ -5,6 +5,10 @@
 //! `SFN_SUMMARY_FILE` (default `run_all_summary.json`) so CI and batch
 //! sweeps can diff reproduction health without scraping stdout, and
 //! closes with the `sfn-obs` per-stage report.
+//!
+//! Set `SFN_FAULTS` to a fault schedule (see the `sfn-faults` crate) to
+//! run the whole reproduction under injected faults; the summary then
+//! carries a `faults` section with injected/recovered counts.
 
 use serde::Serialize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -17,12 +21,39 @@ struct FigureRecord {
     status: &'static str,
 }
 
+/// Fault-injection and self-healing tallies, from the `sfn-faults`
+/// counters (what was injected) and the `sfn-obs` runtime counters
+/// (what the runtime did about it).
+#[derive(Serialize)]
+struct FaultsSummary {
+    armed: bool,
+    injected: u64,
+    recovered: u64,
+    rollbacks: u64,
+    quarantines: u64,
+    degraded: u64,
+}
+
+impl FaultsSummary {
+    fn collect() -> Self {
+        Self {
+            armed: sfn_faults::active(),
+            injected: sfn_faults::injected_count(),
+            recovered: sfn_faults::recovered_count(),
+            rollbacks: sfn_obs::counter_value("runtime.rollbacks"),
+            quarantines: sfn_obs::counter_value("runtime.quarantines"),
+            degraded: sfn_obs::counter_value("runtime.degraded"),
+        }
+    }
+}
+
 #[derive(Serialize)]
 struct RunAllSummary {
     quick: bool,
     sweep_grids: Vec<usize>,
     steps: usize,
     figures: Vec<FigureRecord>,
+    faults: FaultsSummary,
     total_secs: f64,
 }
 
@@ -49,6 +80,7 @@ fn section(records: &mut Vec<FigureRecord>, name: &'static str, f: impl FnOnce()
 fn main() {
     sfn_obs::init();
     sfn_obs::enable_metrics(true);
+    sfn_faults::init_from_env();
     let total = sfn_obs::ScopedTimer::start("bench/total");
     let env = sfn_bench::bench_env();
     use sfn_bench::experiments as ex;
@@ -154,8 +186,19 @@ fn main() {
         sweep_grids: env.grids.clone(),
         steps: env.steps,
         figures: recs,
+        faults: FaultsSummary::collect(),
         total_secs: total.stop().as_secs_f64(),
     };
+    if summary.faults.armed {
+        println!(
+            "faults: {} injected, {} recovered, {} rollbacks, {} quarantines, {} degraded",
+            summary.faults.injected,
+            summary.faults.recovered,
+            summary.faults.rollbacks,
+            summary.faults.quarantines,
+            summary.faults.degraded
+        );
+    }
     let path =
         std::env::var("SFN_SUMMARY_FILE").unwrap_or_else(|_| "run_all_summary.json".into());
     match serde_json::to_string_pretty(&summary)

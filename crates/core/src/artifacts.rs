@@ -1,5 +1,6 @@
 //! Serialisable offline artifacts with a simple file cache.
 
+use crate::error::ArtifactError;
 use serde::{Deserialize, Serialize};
 use sfn_modelgen::{GeneratedModel, ModelMeasurement};
 use sfn_nn::network::SavedModel;
@@ -59,18 +60,70 @@ impl OfflineArtifacts {
     }
 
     /// Saves to a JSON file, creating parent directories.
-    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+    pub fn save(&self, path: &Path) -> Result<(), ArtifactError> {
+        let io = |source| ArtifactError::Io { path: path.to_path_buf(), source };
         if let Some(dir) = path.parent() {
-            std::fs::create_dir_all(dir)?;
+            std::fs::create_dir_all(dir).map_err(io)?;
         }
-        let json = serde_json::to_vec(self).map_err(std::io::Error::other)?;
-        std::fs::write(path, json)
+        let json = serde_json::to_vec(self).map_err(|e| ArtifactError::Malformed {
+            path: path.to_path_buf(),
+            detail: e.to_string(),
+        })?;
+        std::fs::write(path, json).map_err(io)
     }
 
-    /// Loads from a JSON file.
-    pub fn load(path: &Path) -> std::io::Result<Self> {
-        let bytes = std::fs::read(path)?;
-        serde_json::from_slice(&bytes).map_err(std::io::Error::other)
+    /// Loads from a JSON file and validates the structural invariants.
+    ///
+    /// A missing file comes back as a [`ArtifactError::is_not_found`]
+    /// I/O error (a cache miss); anything else signals corruption the
+    /// caller should answer with a rebuild.
+    pub fn load(path: &Path) -> Result<Self, ArtifactError> {
+        let mut bytes = std::fs::read(path).map_err(|source| ArtifactError::Io {
+            path: path.to_path_buf(),
+            source,
+        })?;
+        // Fault hook: bit-flip or truncate the artifact bytes on read.
+        sfn_faults::corrupt_bytes(&format!("artifact:{}", path.display()), &mut bytes);
+        let artifacts: Self =
+            serde_json::from_slice(&bytes).map_err(|e| ArtifactError::Malformed {
+                path: path.to_path_buf(),
+                detail: e.to_string(),
+            })?;
+        artifacts.validate()?;
+        Ok(artifacts)
+    }
+
+    /// Checks the structural invariants a deserialised (possibly
+    /// tampered) artifact file must satisfy before it may drive the
+    /// online runtime.
+    pub fn validate(&self) -> Result<(), ArtifactError> {
+        let invalid = |detail: String| Err(ArtifactError::Invalid { detail });
+        if self.measurements.len() != self.family.len() {
+            return invalid(format!(
+                "{} measurements for {} family members",
+                self.measurements.len(),
+                self.family.len()
+            ));
+        }
+        if let Some(&i) = self.candidate_indices.iter().find(|&&i| i >= self.measurements.len()) {
+            return invalid(format!("candidate index {i} out of range"));
+        }
+        if self.base_index >= self.measurements.len() {
+            return invalid(format!("base index {} out of range", self.base_index));
+        }
+        if self.selected.is_empty() {
+            return invalid("no selected candidates".into());
+        }
+        if self.knn_pairs.iter().any(|&(c, q)| !c.is_finite() || !q.is_finite()) {
+            return invalid("non-finite KNN pair".into());
+        }
+        if !self.requirement.0.is_finite() || !self.requirement.1.is_finite() {
+            return invalid(format!("non-finite requirement {:?}", self.requirement));
+        }
+        if !(self.fallback_time.is_finite() && self.fallback_time >= 0.0) {
+            return invalid(format!("bad fallback time {}", self.fallback_time));
+        }
+        Ok(())
     }
 
     /// The Pareto candidates' measurements, fastest first.
@@ -85,6 +138,21 @@ impl OfflineArtifacts {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn corrupt_or_missing_files_are_typed_errors() {
+        let dir = std::env::temp_dir().join("sfn-artifact-err-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.json");
+        std::fs::write(&path, b"{\"family\": [trunca").unwrap();
+        match OfflineArtifacts::load(&path) {
+            Err(ArtifactError::Malformed { .. }) => {}
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+        let missing = OfflineArtifacts::load(&dir.join("nope.json")).unwrap_err();
+        assert!(missing.is_not_found());
+        std::fs::remove_dir_all(&dir).ok();
+    }
 
     #[test]
     fn cache_path_is_keyed() {

@@ -1,0 +1,82 @@
+//! Typed artifact-cache errors — a corrupted or truncated artifact
+//! file must surface as a recoverable error the framework can answer
+//! with a rebuild, never as a panic or a silently-wrong runtime.
+
+use std::path::PathBuf;
+
+/// Why offline artifacts could not be loaded or are unusable.
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// The file could not be read or written.
+    Io {
+        /// The artifact path.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// The file was read but is not valid artifact JSON (truncated,
+    /// bit-flipped, wrong schema).
+    Malformed {
+        /// The artifact path.
+        path: PathBuf,
+        /// Parser diagnosis.
+        detail: String,
+    },
+    /// The artifacts parsed but violate a structural invariant
+    /// (out-of-range indices, non-finite statistics).
+    Invalid {
+        /// Which invariant failed.
+        detail: String,
+    },
+}
+
+impl ArtifactError {
+    /// True when the error is a plain missing-file cache miss rather
+    /// than corruption.
+    pub fn is_not_found(&self) -> bool {
+        matches!(self, Self::Io { source, .. } if source.kind() == std::io::ErrorKind::NotFound)
+    }
+}
+
+impl std::fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io { path, source } => {
+                write!(f, "artifact I/O error at {}: {source}", path.display())
+            }
+            Self::Malformed { path, detail } => {
+                write!(f, "malformed artifacts at {}: {detail}", path.display())
+            }
+            Self::Invalid { detail } => write!(f, "invalid artifacts: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn not_found_is_distinguished_from_corruption() {
+        let missing = ArtifactError::Io {
+            path: PathBuf::from("/nope"),
+            source: std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        };
+        assert!(missing.is_not_found());
+        let corrupt = ArtifactError::Malformed {
+            path: PathBuf::from("/x.json"),
+            detail: "EOF while parsing".into(),
+        };
+        assert!(!corrupt.is_not_found());
+        assert!(corrupt.to_string().contains("x.json"));
+    }
+}

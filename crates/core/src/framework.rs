@@ -3,7 +3,7 @@
 use crate::artifacts::OfflineArtifacts;
 use crate::config::OfflineConfig;
 use crate::pipeline::build_offline;
-use sfn_runtime::{KnnDatabase, RunOutcome, RuntimeConfig, SmartRuntime};
+use sfn_runtime::{KnnDatabase, RunOutcome, RuntimeConfig, RuntimeError, SmartRuntime};
 use sfn_sim::Simulation;
 use sfn_workload::InputProblem;
 
@@ -26,8 +26,20 @@ impl SmartFluidnet {
     /// so every table/figure shares one offline phase).
     pub fn build_cached(cfg: &OfflineConfig) -> Self {
         let path = OfflineArtifacts::cache_path(&cfg.cache_key());
-        if let Ok(artifacts) = OfflineArtifacts::load(&path) {
-            return Self { artifacts };
+        match OfflineArtifacts::load(&path) {
+            Ok(artifacts) => return Self { artifacts },
+            // A missing file is an ordinary cache miss; anything else
+            // is a corrupted cache — recover by rebuilding from
+            // scratch, which overwrites the bad file below.
+            Err(e) if !e.is_not_found() => {
+                sfn_obs::counter_add("artifacts.cache_rejected", 1);
+                sfn_obs::event(sfn_obs::Level::Warn, "cache.corrupt")
+                    .field_str("path", &path.display().to_string())
+                    .field_str("error", &e.to_string())
+                    .emit();
+                sfn_faults::note_recovery("artifact-cache");
+            }
+            Err(_) => {}
         }
         let artifacts = build_offline(cfg);
         if let Err(e) = artifacts.save(&path) {
@@ -66,10 +78,22 @@ impl SmartFluidnet {
 
     /// Creates a runtime with a custom configuration (check-interval
     /// sensitivity studies, explicit quality targets, no-MLP mode …).
+    ///
+    /// # Panics
+    /// Panics where [`SmartFluidnet::try_runtime_with`] would return an
+    /// error (validated artifacts never do).
     pub fn runtime_with(&self, config: RuntimeConfig) -> SmartRuntime {
-        SmartRuntime::new(
+        self.try_runtime_with(config).expect("runtime from artifacts")
+    }
+
+    /// Fallible variant of [`SmartFluidnet::runtime_with`]: a KNN
+    /// database or candidate set that cannot be constructed (possible
+    /// with hand-built or tampered artifacts) surfaces as a typed
+    /// [`RuntimeError`].
+    pub fn try_runtime_with(&self, config: RuntimeConfig) -> Result<SmartRuntime, RuntimeError> {
+        SmartRuntime::try_new(
             self.artifacts.selected.clone(),
-            KnnDatabase::new(self.artifacts.knn_pairs.clone()),
+            KnnDatabase::new(self.artifacts.knn_pairs.clone())?,
             config,
         )
     }

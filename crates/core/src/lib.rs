@@ -19,10 +19,12 @@
 
 pub mod artifacts;
 pub mod config;
+pub mod error;
 pub mod framework;
 pub mod pipeline;
 
 pub use artifacts::OfflineArtifacts;
+pub use error::ArtifactError;
 pub use config::OfflineConfig;
 pub use framework::SmartFluidnet;
 pub use pipeline::build_offline;

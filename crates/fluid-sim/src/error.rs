@@ -1,0 +1,51 @@
+//! Typed simulation-construction errors — the recoverable replacements
+//! for the `expect`/`assert_eq` panics on the [`crate::Simulation`]
+//! constructor paths.
+
+/// Why a [`crate::Simulation`] could not be constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The [`crate::SimConfig`] failed validation.
+    InvalidConfig(String),
+    /// The cell flags (or initial velocity) do not match the configured
+    /// grid size.
+    GeometryMismatch {
+        /// The `(nx, ny)` the configuration expects.
+        expected: (usize, usize),
+        /// The `(nx, ny)` actually supplied.
+        got: (usize, usize),
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InvalidConfig(why) => write!(f, "invalid SimConfig: {why}"),
+            Self::GeometryMismatch { expected, got } => write!(
+                f,
+                "geometry mismatch: config is {}x{}, got {}x{}",
+                expected.0, expected.1, got.0, got.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_carry_dimensions() {
+        let e = SimError::GeometryMismatch {
+            expected: (32, 32),
+            got: (16, 32),
+        };
+        let s = e.to_string();
+        assert!(s.contains("32x32") && s.contains("16x32"), "{s}");
+        assert!(SimError::InvalidConfig("dx must be positive".into())
+            .to_string()
+            .contains("dx"));
+    }
+}

@@ -17,6 +17,7 @@
 pub mod advect;
 pub mod config;
 pub mod diagnostics;
+pub mod error;
 pub mod forces;
 pub mod metrics;
 pub mod projection;
@@ -25,7 +26,8 @@ pub mod source;
 
 pub use config::{AdvectionScheme, SimConfig};
 pub use diagnostics::{diagnostics, Diagnostics};
+pub use error::SimError;
 pub use metrics::{div_norm, quality_loss};
 pub use projection::{ExactProjector, PressureProjector, ProjectionOutcome};
-pub use sim::{Simulation, StepStats};
+pub use sim::{SimSnapshot, Simulation, StepStats};
 pub use source::SmokeSource;

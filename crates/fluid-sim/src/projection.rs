@@ -60,6 +60,7 @@ pub trait PressureProjector {
 pub struct ExactProjector<S> {
     solver: S,
     label: &'static str,
+    solves: u64,
 }
 
 impl<S: PoissonSolver> ExactProjector<S> {
@@ -68,12 +69,13 @@ impl<S: PoissonSolver> ExactProjector<S> {
         Self {
             solver,
             label: "exact",
+            solves: 0,
         }
     }
 
     /// Wraps a Poisson solver with a custom report label.
     pub fn labelled(solver: S, label: &'static str) -> Self {
-        Self { solver, label }
+        Self { solver, label, solves: 0 }
     }
 
     /// Access to the wrapped solver.
@@ -93,7 +95,16 @@ impl<S: PoissonSolver> PressureProjector for ExactProjector<S> {
         let problem = PoissonProblem::new(flags, dx);
         let b = divergence_rhs(divergence, flags, dt);
         let timer = ScopedTimer::start("projector/exact");
-        let (pressure, stats) = self.solver.solve(&problem, &b);
+        let (mut pressure, mut stats) = self.solver.solve(&problem, &b);
+        // Fault hook: iteration starvation — the solver stopped short of
+        // its tolerance, leaving a fractional error in the pressure.
+        if let Some(error) = sfn_faults::starve_solver(self.label, self.solves) {
+            for p in pressure.data_mut() {
+                *p *= 1.0 - error;
+            }
+            stats.converged = false;
+        }
+        self.solves += 1;
         ProjectionOutcome {
             pressure,
             iterations: stats.iterations,
@@ -143,6 +154,45 @@ mod tests {
             "residual divergence {}",
             div_after.max_abs()
         );
+    }
+
+    #[test]
+    fn starvation_fault_degrades_convergence() {
+        // Target the fault at this test's unique label so concurrently
+        // running tests with other labels never see it.
+        let plan = sfn_faults::parse_plan(
+            r#"{"seed": 3, "faults": [
+                {"kind": "solver_starvation", "p": 1.0, "target": "starved"}]}"#,
+        )
+        .unwrap();
+        sfn_faults::install(Some(plan));
+        let nx = 16;
+        let flags = CellFlags::smoke_box(nx, nx);
+        let mut div = Field2::new(nx, nx);
+        div.set(8, 8, 1.0);
+        let mut proj = ExactProjector::labelled(
+            PcgSolver::new(MicPreconditioner::default(), 1e-9, 10_000),
+            "starved",
+        );
+        let starved = proj.solve_pressure(&div, &flags, 1.0, 0.1);
+        sfn_faults::install(None);
+        assert!(!starved.converged, "starved solve must report non-convergence");
+
+        let mut clean = ExactProjector::labelled(
+            PcgSolver::new(MicPreconditioner::default(), 1e-9, 10_000),
+            "starved",
+        );
+        let exact = clean.solve_pressure(&div, &flags, 1.0, 0.1);
+        assert!(exact.converged);
+        // The starved pressure really is off the exact solution.
+        let diff: f64 = exact
+            .pressure
+            .data()
+            .iter()
+            .zip(starved.pressure.data())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 0.0, "starvation must perturb the pressure");
     }
 
     #[test]

@@ -17,6 +17,7 @@
 use crate::advect::{advect_scalar, advect_scalar_cubic, advect_scalar_maccormack, advect_velocity};
 use crate::config::AdvectionScheme;
 use crate::diagnostics::diagnostics;
+use crate::error::SimError;
 use crate::forces::{add_buoyancy, add_vorticity_confinement};
 use crate::metrics::div_norm;
 use crate::projection::PressureProjector;
@@ -49,6 +50,27 @@ pub struct StepStats {
     pub max_speed: f64,
 }
 
+/// The evolving state of a [`Simulation`], captured for rollback.
+///
+/// Only the mutable state is stored — geometry, weights and config are
+/// immutable over a run and stay with the simulation. [`Simulation::restore`]
+/// from a snapshot is bit-identical: the same `f64` payloads, the same
+/// step counter, the same re-armed blow-up guard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimSnapshot {
+    vel: MacGrid,
+    density: Field2,
+    steps_done: usize,
+    blowup_reported: bool,
+}
+
+impl SimSnapshot {
+    /// The step count the snapshot was taken at.
+    pub fn steps_done(&self) -> usize {
+        self.steps_done
+    }
+}
+
 /// One running smoke simulation.
 #[derive(Debug, Clone)]
 pub struct Simulation {
@@ -64,17 +86,27 @@ pub struct Simulation {
 impl Simulation {
     /// Creates a simulation over the given geometry. The flags must
     /// match the configured grid size.
+    ///
+    /// # Panics
+    /// Panics where [`Simulation::try_new`] would return an error.
     pub fn new(config: SimConfig, flags: CellFlags) -> Self {
-        config.validate().expect("invalid SimConfig");
-        assert_eq!(
-            (flags.nx(), flags.ny()),
-            (config.nx, config.ny),
-            "flags must match config grid size"
-        );
+        Self::try_new(config, flags).expect("simulation construction failed")
+    }
+
+    /// Creates a simulation over the given geometry, surfacing invalid
+    /// configs and mismatched geometry as typed [`SimError`]s.
+    pub fn try_new(config: SimConfig, flags: CellFlags) -> Result<Self, SimError> {
+        config.validate().map_err(SimError::InvalidConfig)?;
+        if (flags.nx(), flags.ny()) != (config.nx, config.ny) {
+            return Err(SimError::GeometryMismatch {
+                expected: (config.nx, config.ny),
+                got: (flags.nx(), flags.ny()),
+            });
+        }
         let weights = divnorm_weights(&flags, config.divnorm_k);
         let mut vel = MacGrid::new(config.nx, config.ny, config.dx);
         vel.enforce_solid_boundaries(&flags);
-        Self {
+        Ok(Self {
             config,
             density: Field2::new(flags.nx(), flags.ny()),
             weights,
@@ -82,22 +114,86 @@ impl Simulation {
             vel,
             steps_done: 0,
             blowup_reported: false,
-        }
+        })
     }
 
     /// Creates a simulation with a prescribed initial velocity (the
     /// workload generator's turbulent field). The velocity is projected
     /// onto solids immediately.
-    pub fn with_initial_velocity(config: SimConfig, flags: CellFlags, mut vel: MacGrid) -> Self {
-        assert_eq!(
-            (vel.nx(), vel.ny()),
-            (config.nx, config.ny),
-            "velocity must match config grid size"
-        );
+    ///
+    /// # Panics
+    /// Panics where [`Simulation::try_with_initial_velocity`] would
+    /// return an error.
+    pub fn with_initial_velocity(config: SimConfig, flags: CellFlags, vel: MacGrid) -> Self {
+        Self::try_with_initial_velocity(config, flags, vel)
+            .expect("simulation construction failed")
+    }
+
+    /// Fallible variant of [`Simulation::with_initial_velocity`].
+    pub fn try_with_initial_velocity(
+        config: SimConfig,
+        flags: CellFlags,
+        mut vel: MacGrid,
+    ) -> Result<Self, SimError> {
+        if (vel.nx(), vel.ny()) != (config.nx, config.ny) {
+            return Err(SimError::GeometryMismatch {
+                expected: (config.nx, config.ny),
+                got: (vel.nx(), vel.ny()),
+            });
+        }
         vel.enforce_solid_boundaries(&flags);
-        let mut sim = Self::new(config, flags);
+        let mut sim = Self::try_new(config, flags)?;
         sim.vel = vel;
-        sim
+        Ok(sim)
+    }
+
+    /// Captures the mutable state for a later [`Simulation::restore`].
+    pub fn snapshot(&self) -> SimSnapshot {
+        SimSnapshot {
+            vel: self.vel.clone(),
+            density: self.density.clone(),
+            steps_done: self.steps_done,
+            blowup_reported: self.blowup_reported,
+        }
+    }
+
+    /// Rolls the mutable state back to a snapshot taken from *this*
+    /// simulation (same geometry). Restoration is bit-identical; the
+    /// immutable geometry, weights and config are untouched.
+    pub fn restore(&mut self, snap: &SimSnapshot) {
+        self.vel = snap.vel.clone();
+        self.density = snap.density.clone();
+        self.steps_done = snap.steps_done;
+        self.blowup_reported = snap.blowup_reported;
+    }
+
+    /// Replaces non-finite velocity components with `0.0` and clamps
+    /// magnitudes above `max_speed`, returning the number of repaired
+    /// components. A non-zero repair count re-arms the blow-up guard so
+    /// a later destabilisation is reported again.
+    pub fn clamp_and_report(&mut self, max_speed: f64) -> usize {
+        let mut repaired = 0usize;
+        for comp in [self.vel.u.data_mut(), self.vel.v.data_mut()] {
+            for v in comp {
+                if !v.is_finite() {
+                    *v = 0.0;
+                    repaired += 1;
+                } else if v.abs() > max_speed {
+                    *v = v.signum() * max_speed;
+                    repaired += 1;
+                }
+            }
+        }
+        if repaired > 0 {
+            self.vel.enforce_solid_boundaries(&self.flags);
+            self.blowup_reported = false;
+            sfn_obs::event(Level::Warn, "sim.sanitized")
+                .field_u64("step", self.steps_done as u64)
+                .field_u64("repaired", repaired as u64)
+                .field_f64("max_speed", max_speed)
+                .emit();
+        }
+        repaired
     }
 
     /// The simulation configuration.
@@ -338,6 +434,78 @@ mod tests {
         assert_eq!(steps, vec![0, 1, 2, 3, 4]);
         assert_eq!(sim.steps_done(), 5);
         assert!(stats.iter().all(|s| s.projection_flops > 0 || s.solver_iterations == 0));
+    }
+
+    #[test]
+    fn try_new_surfaces_typed_errors() {
+        let n = 16;
+        // Mismatched geometry.
+        let err = Simulation::try_new(SimConfig::plume(n), CellFlags::smoke_box(n, 2 * n))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            crate::error::SimError::GeometryMismatch { expected: (16, 16), got: (16, 32) }
+        );
+        // Invalid config.
+        let mut cfg = SimConfig::plume(n);
+        cfg.dx = -1.0;
+        assert!(matches!(
+            Simulation::try_new(cfg, CellFlags::smoke_box(n, n)),
+            Err(crate::error::SimError::InvalidConfig(_))
+        ));
+        // Mismatched initial velocity.
+        let cfg = SimConfig::plume(n);
+        let vel = sfn_grid::MacGrid::new(n, 2 * n, cfg.dx);
+        assert!(matches!(
+            Simulation::try_with_initial_velocity(cfg, CellFlags::smoke_box(n, n), vel),
+            Err(crate::error::SimError::GeometryMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn snapshot_restore_is_bit_identical() {
+        let n = 16;
+        let cfg = SimConfig::plume(n);
+        let flags = CellFlags::smoke_box(n, n);
+        let mut sim = Simulation::new(cfg, flags);
+        let mut proj = pcg_projector();
+        sim.run(6, &mut proj);
+
+        let snap = sim.snapshot();
+        assert_eq!(snap.steps_done(), 6);
+        // Run ahead, then roll back.
+        sim.run(5, &mut proj);
+        let ahead = sim.density().clone();
+        sim.restore(&snap);
+        assert_eq!(sim.steps_done(), 6);
+        assert_eq!(sim.snapshot(), snap, "restore must be bit-identical");
+
+        // Replaying the same steps from the restored state reproduces
+        // the exact same trajectory.
+        sim.run(5, &mut proj);
+        assert_eq!(*sim.density(), ahead);
+    }
+
+    #[test]
+    fn clamp_and_report_repairs_poisoned_velocity() {
+        let n = 16;
+        let mut sim = Simulation::new(SimConfig::plume(n), CellFlags::smoke_box(n, n));
+        let mut proj = pcg_projector();
+        sim.run(3, &mut proj);
+        assert_eq!(sim.clamp_and_report(1e3), 0, "healthy state needs no repair");
+
+        // Poison a few interior components.
+        sim.vel.u.set(5, 5, f64::NAN);
+        sim.vel.v.set(6, 6, f64::INFINITY);
+        sim.vel.u.set(7, 7, 1e9);
+        assert!(!sim.is_healthy());
+        let repaired = sim.clamp_and_report(1e3);
+        assert_eq!(repaired, 3);
+        assert!(sim.is_healthy(), "sanitized state must be finite");
+        assert!(sim.velocity().max_speed().is_finite());
+        // The simulation keeps running cleanly afterwards.
+        sim.run(2, &mut proj);
+        assert!(sim.is_healthy());
     }
 
     #[test]

@@ -165,6 +165,48 @@ mod tests {
     }
 
     #[test]
+    fn too_short_history_yields_none() {
+        // Shorter than the fit window (even past warm-up): no prediction
+        // — the scheduler treats this as "keep the current model".
+        let mut t = CumDivNormTracker::with_params(2, 2);
+        for _ in 0..4 {
+            t.push(1.0);
+        }
+        assert_eq!(t.predict_final(5, 100), None);
+        // A window whose usable part is < 2 points is degenerate too.
+        assert_eq!(t.predict_final(3, 100), None);
+    }
+
+    #[test]
+    fn all_zero_history_predicts_zero() {
+        // An exact projector produces DivNorm ~ 0 every step; the
+        // extrapolation must stay finite and pinned at zero rather than
+        // failing or inventing growth.
+        let mut t = CumDivNormTracker::new();
+        for _ in 0..10 {
+            t.push(0.0);
+        }
+        let p = t.predict_final(5, 128).expect("flat history still fits");
+        assert_eq!(p, 0.0);
+    }
+
+    #[test]
+    fn non_finite_divnorm_does_not_poison_the_series() {
+        // `push` clamps via f64::max(0.0), which maps NaN to 0.0 — a
+        // corrupted step cannot poison every later prediction.
+        let mut t = CumDivNormTracker::new();
+        for _ in 0..6 {
+            t.push(1.0);
+        }
+        t.push(f64::NAN);
+        for _ in 0..5 {
+            t.push(1.0);
+        }
+        let p = t.predict_final(5, 64).expect("prediction");
+        assert!(p.is_finite(), "prediction {p} not finite");
+    }
+
+    #[test]
     fn prediction_at_current_step_is_current_value() {
         let mut t = CumDivNormTracker::new();
         for _ in 0..12 {

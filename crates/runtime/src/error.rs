@@ -1,0 +1,68 @@
+//! Typed runtime errors — the recoverable replacements for the
+//! `expect`/`assert` panics the candidate-load and KNN paths used to
+//! carry.
+
+/// Why the quality-aware runtime could not be built or advanced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// Every supplied candidate was rejected (snapshot failed to load);
+    /// the rejects carry `(name, reason)` pairs for diagnosis.
+    NoUsableCandidates {
+        /// The `(candidate name, load-failure reason)` pairs.
+        rejected: Vec<(String, String)>,
+    },
+    /// A scheduler parameter is out of range.
+    InvalidConfig(String),
+    /// The KNN quality database was constructed without any pairs.
+    EmptyKnnDatabase,
+    /// A KNN pair carries a NaN/∞ key or value.
+    NonFiniteKnnPair {
+        /// Index of the offending pair in the input order.
+        index: usize,
+        /// The pair's `CumDivNorm_final` key.
+        key: f64,
+        /// The pair's `Q_loss` value.
+        value: f64,
+    },
+    /// `k = 0` was requested for the KNN lookup.
+    ZeroNeighbours,
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoUsableCandidates { rejected } => {
+                write!(f, "no usable candidate models ({} rejected", rejected.len())?;
+                if let Some((name, why)) = rejected.first() {
+                    write!(f, "; first: {name}: {why}")?;
+                }
+                write!(f, ")")
+            }
+            Self::InvalidConfig(why) => write!(f, "invalid runtime config: {why}"),
+            Self::EmptyKnnDatabase => write!(f, "KNN database cannot be empty"),
+            Self::NonFiniteKnnPair { index, key, value } => {
+                write!(f, "non-finite KNN pair #{index}: ({key}, {value})")
+            }
+            Self::ZeroNeighbours => write!(f, "KNN neighbour count k must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_carry_diagnosis() {
+        let e = RuntimeError::NoUsableCandidates {
+            rejected: vec![("M7".into(), "weights truncated".into())],
+        };
+        let s = e.to_string();
+        assert!(s.contains("M7") && s.contains("weights truncated"), "{s}");
+        assert!(RuntimeError::EmptyKnnDatabase.to_string().contains("empty"));
+        let nf = RuntimeError::NonFiniteKnnPair { index: 3, key: f64::NAN, value: 0.1 };
+        assert!(nf.to_string().contains("#3"));
+    }
+}

@@ -8,6 +8,7 @@
 //! choose k = 4. We organise all data pairs as a binary search tree,
 //! such that finding the four pairs is cheap."
 
+use crate::error::RuntimeError;
 use serde::{Deserialize, Serialize};
 
 /// The historical `(CumDivNorm_final, Q_loss)` database with O(log n)
@@ -22,23 +23,31 @@ pub struct KnnDatabase {
 
 impl KnnDatabase {
     /// Builds a database from unsorted pairs with the paper's `k = 4`.
-    pub fn new(pairs: Vec<(f64, f64)>) -> Self {
+    ///
+    /// Fails with a typed [`RuntimeError`] on an empty database or a
+    /// NaN/∞ pair — a corrupted offline artifact must surface as a
+    /// recoverable error, not a panic inside the online runtime.
+    pub fn new(pairs: Vec<(f64, f64)>) -> Result<Self, RuntimeError> {
         Self::with_k(pairs, 4)
     }
 
     /// Builds a database with an explicit `k`.
-    ///
-    /// # Panics
-    /// Panics if `k == 0` or `pairs` is empty, or any key is non-finite.
-    pub fn with_k(mut pairs: Vec<(f64, f64)>, k: usize) -> Self {
-        assert!(k > 0, "k must be positive");
-        assert!(!pairs.is_empty(), "KNN database cannot be empty");
-        assert!(
-            pairs.iter().all(|(c, q)| c.is_finite() && q.is_finite()),
-            "non-finite database entry"
-        );
+    pub fn with_k(mut pairs: Vec<(f64, f64)>, k: usize) -> Result<Self, RuntimeError> {
+        if k == 0 {
+            return Err(RuntimeError::ZeroNeighbours);
+        }
+        if pairs.is_empty() {
+            return Err(RuntimeError::EmptyKnnDatabase);
+        }
+        if let Some((index, &(key, value))) = pairs
+            .iter()
+            .enumerate()
+            .find(|(_, (c, q))| !c.is_finite() || !q.is_finite())
+        {
+            return Err(RuntimeError::NonFiniteKnnPair { index, key, value });
+        }
         pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
-        Self { pairs, k }
+        Ok(Self { pairs, k })
     }
 
     /// Number of stored pairs.
@@ -96,7 +105,7 @@ mod tests {
     fn papers_worked_example() {
         // §6.1: pairs (101, 0.09), (112, 0.11), (105, 0.10), (109, 0.11);
         // predicted CumDivNorm_final = 108 -> Q_loss = 0.1025.
-        let db = KnnDatabase::new(vec![(101.0, 0.09), (112.0, 0.11), (105.0, 0.10), (109.0, 0.11)]);
+        let db = KnnDatabase::new(vec![(101.0, 0.09), (112.0, 0.11), (105.0, 0.10), (109.0, 0.11)]).unwrap();
         let q = db.predict(108.0);
         assert!((q - 0.1025).abs() < 1e-12, "predicted {q}");
     }
@@ -106,21 +115,22 @@ mod tests {
         let db = KnnDatabase::with_k(
             vec![(0.0, 0.0), (1.0, 0.0), (100.0, 1.0), (101.0, 1.0), (102.0, 1.0)],
             2,
-        );
+        )
+        .unwrap();
         assert_eq!(db.predict(100.5), 1.0);
         assert_eq!(db.predict(0.5), 0.0);
     }
 
     #[test]
     fn k_larger_than_database_uses_everything() {
-        let db = KnnDatabase::with_k(vec![(1.0, 0.1), (2.0, 0.3)], 10);
+        let db = KnnDatabase::with_k(vec![(1.0, 0.1), (2.0, 0.3)], 10).unwrap();
         assert!((db.predict(1.5) - 0.2).abs() < 1e-12);
     }
 
     #[test]
     fn monotone_database_gives_monotone_predictions() {
         let pairs: Vec<(f64, f64)> = (0..50).map(|i| (i as f64, i as f64 * 0.001)).collect();
-        let db = KnnDatabase::new(pairs);
+        let db = KnnDatabase::new(pairs).unwrap();
         let mut prev = f64::NEG_INFINITY;
         for x in [0.0, 10.0, 20.0, 30.0, 45.0, 60.0] {
             let q = db.predict(x);
@@ -131,15 +141,26 @@ mod tests {
 
     #[test]
     fn extrapolation_clamps_to_extremes() {
-        let db = KnnDatabase::new(vec![(10.0, 0.01), (20.0, 0.02), (30.0, 0.03), (40.0, 0.04)]);
+        let db = KnnDatabase::new(vec![(10.0, 0.01), (20.0, 0.02), (30.0, 0.03), (40.0, 0.04)]).unwrap();
         // Far below: the 4 nearest are all of them -> mean 0.025.
         assert!((db.predict(-100.0) - 0.025).abs() < 1e-12);
         assert!((db.predict(1e9) - 0.025).abs() < 1e-12);
     }
 
     #[test]
-    #[should_panic(expected = "cannot be empty")]
-    fn empty_database_rejected() {
-        let _ = KnnDatabase::new(vec![]);
+    fn construction_failures_are_typed_errors() {
+        use crate::error::RuntimeError;
+        assert_eq!(KnnDatabase::new(vec![]).unwrap_err(), RuntimeError::EmptyKnnDatabase);
+        assert_eq!(
+            KnnDatabase::with_k(vec![(1.0, 0.1)], 0).unwrap_err(),
+            RuntimeError::ZeroNeighbours
+        );
+        match KnnDatabase::new(vec![(1.0, 0.1), (f64::NAN, 0.2)]).unwrap_err() {
+            RuntimeError::NonFiniteKnnPair { index, key, .. } => {
+                assert_eq!(index, 1);
+                assert!(key.is_nan());
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
     }
 }

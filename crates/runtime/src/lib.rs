@@ -16,12 +16,23 @@
 
 #![warn(missing_docs)]
 
+//! The scheduler is additionally *self-healing*: corrupted state rolls
+//! back to the last healthy checkpoint ([`scheduler`]), misbehaving
+//! models are quarantined with exponential backoff ([`quarantine`]),
+//! and when nothing is left the run degrades gracefully to the exact
+//! PCG solver. Failures on the construction paths surface as typed
+//! [`RuntimeError`]s instead of panics ([`error`]).
+
 pub mod cumdiv;
+pub mod error;
 pub mod knn;
+pub mod quarantine;
 pub mod scheduler;
 pub mod telemetry;
 
 pub use cumdiv::CumDivNormTracker;
+pub use error::RuntimeError;
 pub use knn::KnnDatabase;
+pub use quarantine::{QuarantineDecision, QuarantineTable, MAX_STRIKES};
 pub use scheduler::{CandidateModel, RunOutcome, RuntimeConfig, SchedulerEvent, SmartRuntime};
 pub use telemetry::RunSummary;

@@ -1,4 +1,5 @@
-//! The quality-aware model-switch algorithm (Algorithm 2).
+//! The quality-aware model-switch algorithm (Algorithm 2), hardened
+//! with a self-healing loop.
 //!
 //! The runtime starts with the candidate the MLP rates most likely to
 //! meet the requirement, then at every check interval predicts the
@@ -6,9 +7,27 @@
 //! switches to a more accurate model when the prediction violates the
 //! requirement, to a faster one when there is comfortable slack, and
 //! restarts with PCG when no candidate can satisfy the requirement.
+//!
+//! On top of Algorithm 2 the loop carries a fault-recovery layer:
+//!
+//! * a **checkpoint** (simulation snapshot + tracker state) is refreshed
+//!   at every healthy check interval;
+//! * a corrupted step (NaN/∞ state or `DivNorm`) **strikes** the running
+//!   model in a [`QuarantineTable`], rolls the simulation back to the
+//!   checkpoint and switches to the best available replacement — far
+//!   cheaper than the from-scratch PCG restart of Algorithm 2 line 16;
+//! * when every candidate is quarantined or ejected the run **degrades**
+//!   to the exact PCG projector from the checkpoint onward — a
+//!   guaranteed-terminal path: no further model can corrupt the state.
+//!
+//! Termination: every loop iteration either advances the step counter
+//! or records a strike; strikes are bounded by `MAX_STRIKES` per model,
+//! and once all models are barred the degraded tail is a straight loop.
 
 use crate::cumdiv::CumDivNormTracker;
+use crate::error::RuntimeError;
 use crate::knn::KnnDatabase;
+use crate::quarantine::{QuarantineDecision, QuarantineTable};
 use serde::{Deserialize, Serialize};
 use sfn_grid::Field2;
 use sfn_nn::network::SavedModel;
@@ -52,7 +71,8 @@ pub struct RuntimeConfig {
     /// Enable Algorithm 2's model switching. With `false` the starting
     /// model runs to completion unchecked — the "static" policy every
     /// single-model baseline in the paper implicitly uses; exposed for
-    /// the scheduler ablation.
+    /// the scheduler ablation. Corruption recovery stays active either
+    /// way: it is a safety net, not part of the ablated policy.
     pub adaptive: bool,
 }
 
@@ -91,6 +111,38 @@ pub enum SchedulerEvent {
         /// Predicted final quality loss that triggered the restart.
         predicted_loss: f64,
     },
+    /// A model corrupted the state and was struck into quarantine.
+    Quarantine {
+        /// Simulation step at which the corruption was detected.
+        step: usize,
+        /// The struck model.
+        model: String,
+        /// Strikes accumulated by the model so far.
+        strikes: u32,
+        /// First check interval at which it may run again, or `None`
+        /// when the strike ejected it for the rest of the run.
+        until_interval: Option<u64>,
+    },
+    /// The simulation was rolled back to the last healthy checkpoint
+    /// and handed to a replacement model.
+    Rollback {
+        /// Step at which the corruption was detected.
+        step: usize,
+        /// Checkpoint step the simulation was restored to.
+        to_step: usize,
+        /// The corrupting model.
+        from: String,
+        /// The replacement model.
+        to: String,
+    },
+    /// Every candidate was quarantined or ejected; the run finishes on
+    /// the exact PCG projector from the checkpoint onward.
+    Degrade {
+        /// Checkpoint step the degraded tail resumed from.
+        step: usize,
+        /// Candidates barred at the time of degradation.
+        barred: usize,
+    },
 }
 
 /// The outcome of one scheduled simulation.
@@ -104,22 +156,31 @@ pub struct RunOutcome {
     /// `time_per_model` and `steps_per_model`.
     pub model_names: Vec<String>,
     /// Seconds of projection time attributed to each candidate, by
-    /// candidate index (Table 3's time distribution).
+    /// candidate index (Table 3's time distribution). Rolled-back
+    /// (wasted) steps stay attributed: the wall time was really spent.
     pub time_per_model: Vec<f64>,
-    /// Steps executed by each candidate.
+    /// Steps executed by each candidate (including rolled-back steps).
     pub steps_per_model: Vec<usize>,
     /// Every checkpoint's `(step, predicted final quality loss)` —
     /// the runtime's internal belief trace, for diagnostics.
     pub predictions: Vec<(usize, f64)>,
     /// True if the run fell back to the original PCG simulation.
     pub restarted: bool,
-    /// Projection seconds of the PCG restart (0 when not restarted) —
-    /// the price of a violated requirement.
+    /// Projection seconds of the PCG fallback — the full restart of
+    /// Algorithm 2 or the degraded tail (0 when neither happened).
     pub restart_time: f64,
     /// Total wall time of the run (including any restart).
     pub wall_time: f64,
     /// The `CumDivNorm` series of the final (surviving) run.
     pub cum_div_norm: Vec<f64>,
+    /// Checkpoint rollbacks performed after corruption strikes.
+    pub rollbacks: usize,
+    /// True if every candidate was barred and the run finished on PCG
+    /// from the last checkpoint (graceful degradation).
+    pub degraded: bool,
+    /// `(model, strikes)` for every candidate that was struck at least
+    /// once during the run.
+    pub quarantined: Vec<(String, u32)>,
 }
 
 /// The Algorithm 2 scheduler.
@@ -135,27 +196,62 @@ pub struct SmartRuntime {
 impl SmartRuntime {
     /// Builds a runtime over the candidate set.
     ///
-    /// # Panics
-    /// Panics if `candidates` is empty or a snapshot fails to load.
-    pub fn new(mut candidates: Vec<CandidateModel>, knn: KnnDatabase, config: RuntimeConfig) -> Self {
-        assert!(!candidates.is_empty(), "need at least one candidate");
-        assert!(config.check_interval >= 3, "check interval too small for the regression");
+    /// A candidate whose snapshot fails to load is *demoted* — dropped
+    /// from the set with a `scheduler.candidate_rejected` event — rather
+    /// than panicking the runtime; the error is returned only when no
+    /// candidate survives.
+    pub fn try_new(
+        mut candidates: Vec<CandidateModel>,
+        knn: KnnDatabase,
+        config: RuntimeConfig,
+    ) -> Result<Self, RuntimeError> {
+        if config.check_interval < 3 {
+            return Err(RuntimeError::InvalidConfig(format!(
+                "check interval {} too small for the regression (need >= 3)",
+                config.check_interval
+            )));
+        }
         // Accuracy order: index 0 = least accurate (fastest end of the
         // Pareto front), last = most accurate.
         candidates.sort_by(|a, b| b.quality_loss.total_cmp(&a.quality_loss));
-        let projectors = candidates
-            .iter()
-            .map(|c| {
-                let net = Network::load(&c.saved, 0).expect("candidate snapshot must load");
-                NeuralProjector::new(net, c.name.clone())
-            })
-            .collect();
-        Self {
-            candidates,
+        let mut kept = Vec::with_capacity(candidates.len());
+        let mut projectors = Vec::with_capacity(candidates.len());
+        let mut rejected = Vec::new();
+        for c in candidates {
+            match Network::load(&c.saved, 0) {
+                Ok(net) => {
+                    projectors.push(NeuralProjector::new(net, c.name.clone()));
+                    kept.push(c);
+                }
+                Err(e) => {
+                    let why = e.to_string();
+                    sfn_obs::counter_add("scheduler.candidates_rejected", 1);
+                    sfn_obs::event(Level::Warn, "scheduler.candidate_rejected")
+                        .field_str("model", &c.name)
+                        .field_str("reason", &why)
+                        .emit();
+                    rejected.push((c.name, why));
+                }
+            }
+        }
+        if kept.is_empty() {
+            return Err(RuntimeError::NoUsableCandidates { rejected });
+        }
+        Ok(Self {
+            candidates: kept,
             projectors,
             knn,
             config,
-        }
+        })
+    }
+
+    /// Builds a runtime over the candidate set.
+    ///
+    /// # Panics
+    /// Panics where [`SmartRuntime::try_new`] would return an error:
+    /// no loadable candidate, or an invalid configuration.
+    pub fn new(candidates: Vec<CandidateModel>, knn: KnnDatabase, config: RuntimeConfig) -> Self {
+        Self::try_new(candidates, knn, config).expect("runtime construction failed")
     }
 
     /// The candidates in scheduler (accuracy) order.
@@ -192,11 +288,20 @@ impl SmartRuntime {
         let mut current = self.start_index();
         let fresh_sim = sim.clone();
         let mut restarted = false;
+        let mut degraded = false;
+        let mut rollbacks = 0usize;
+        let mut quarantine = QuarantineTable::new(n_models);
 
         // DivNorm (Eq. 5) is an un-normalised sum over cells; dividing
         // by the cell count makes the KNN database — built offline on
         // *small* problems (§6.1) — transfer across grid sizes.
         let inv_cells = 1.0 / (sim.flags().nx() * sim.flags().ny()) as f64;
+
+        // The rollback anchor: the newest known-healthy state, refreshed
+        // at every healthy check interval. Quarantine time is measured
+        // in check-interval indices derived from the step counter, so a
+        // rollback rewinds the backoff clock too.
+        let mut checkpoint = (sim.snapshot(), tracker.clone(), 0usize);
 
         let mut step = 0usize;
         while step < cfg.total_steps {
@@ -208,38 +313,112 @@ impl SmartRuntime {
             steps_per_model[current] += 1;
             step += 1;
 
-            // Failure injection guard: a surrogate that produced NaNs or
-            // blew the simulation up is treated as an immediate
-            // requirement violation.
-            let unhealthy = !sim.is_healthy() || !stats.div_norm.is_finite();
+            // Corruption guard: a surrogate that produced NaNs or blew
+            // the simulation up is struck and the state rolled back.
+            if !sim.is_healthy() || !stats.div_norm.is_finite() {
+                let corrupt_step = step;
+                let interval_now = (step / cfg.check_interval) as u64;
+                let decision = quarantine.strike(current, interval_now);
+                let (strikes, until_interval) = match decision {
+                    QuarantineDecision::Quarantined { strikes, until_interval } => {
+                        (strikes, Some(until_interval))
+                    }
+                    QuarantineDecision::Ejected { strikes } => (strikes, None),
+                };
+                sfn_obs::counter_add("runtime.quarantines", 1);
+                sfn_obs::event(Level::Warn, "runtime.quarantine")
+                    .field_u64("step", corrupt_step as u64)
+                    .field_str("model", &self.candidates[current].name)
+                    .field_u64("strikes", u64::from(strikes))
+                    .field_bool("ejected", until_interval.is_none())
+                    .emit();
+                events.push(SchedulerEvent::Quarantine {
+                    step: corrupt_step,
+                    model: self.candidates[current].name.clone(),
+                    strikes,
+                    until_interval,
+                });
 
-            let at_checkpoint = cfg.adaptive
-                && step.is_multiple_of(cfg.check_interval)
-                && step < cfg.total_steps;
-            if !(at_checkpoint || unhealthy) {
+                // Roll back to the last healthy checkpoint.
+                sim.restore(&checkpoint.0);
+                tracker = checkpoint.1.clone();
+                step = checkpoint.2;
+                rollbacks += 1;
+                sfn_obs::counter_add("runtime.rollbacks", 1);
+
+                let rewound = (step / cfg.check_interval) as u64;
+                match quarantine.next_available(current, rewound) {
+                    Some(next) => {
+                        sfn_obs::counter_add("runtime.recoveries", 1);
+                        sfn_obs::event(Level::Warn, "runtime.rollback")
+                            .field_u64("from_step", corrupt_step as u64)
+                            .field_u64("to_step", step as u64)
+                            .field_str("from", &self.candidates[current].name)
+                            .field_str("to", &self.candidates[next].name)
+                            .emit();
+                        events.push(SchedulerEvent::Rollback {
+                            step: corrupt_step,
+                            to_step: step,
+                            from: self.candidates[current].name.clone(),
+                            to: self.candidates[next].name.clone(),
+                        });
+                        current = next;
+                    }
+                    None => {
+                        // Every candidate is barred: degrade to PCG for
+                        // the rest of the run (terminal — the exact
+                        // solver cannot be quarantined).
+                        degraded = true;
+                        let barred = quarantine.unavailable(rewound).len();
+                        sfn_obs::counter_add("runtime.degraded", 1);
+                        sfn_obs::event(Level::Error, "runtime.degraded")
+                            .field_u64("step", step as u64)
+                            .field_u64("barred", barred as u64)
+                            .field_str("fallback", "pcg")
+                            .emit();
+                        events.push(SchedulerEvent::Degrade { step, barred });
+                        break;
+                    }
+                }
                 continue;
             }
-            let predicted_loss = if unhealthy {
-                f64::INFINITY
-            } else {
-                match tracker.predict_final(cfg.check_interval, cfg.total_steps) {
-                    Some(cdn) => self.knn.predict(cdn),
-                    None => continue, // still warming up
-                }
+
+            let at_checkpoint =
+                step.is_multiple_of(cfg.check_interval) && step < cfg.total_steps;
+            if !at_checkpoint {
+                continue;
+            }
+            // Healthy check interval: refresh the rollback anchor even
+            // when the static policy skips the quality check.
+            checkpoint = (sim.snapshot(), tracker.clone(), step);
+            if !cfg.adaptive {
+                continue;
+            }
+
+            let predicted_loss = match tracker.predict_final(cfg.check_interval, cfg.total_steps) {
+                Some(cdn) => self.knn.predict(cdn),
+                // Warm-up or degenerate history: keep the current model.
+                None => continue,
             };
             predictions.push((step, predicted_loss));
 
             let hi = cfg.quality_target * (1.0 + cfg.tolerance);
             let lo = cfg.quality_target * (1.0 - cfg.tolerance);
+            let interval_now = (step / cfg.check_interval) as u64;
+            // Switch targets honour the quarantine table: escalation
+            // picks the nearest available model above, relaxation the
+            // nearest available below.
+            let up = (current + 1..n_models).find(|&m| quarantine.is_available(m, interval_now));
+            let down = (0..current).rev().find(|&m| quarantine.is_available(m, interval_now));
             // Decide first, mutate after: the whole Algorithm 2 check is
             // reported as exactly one structured event either way.
-            let action = if predicted_loss > hi || unhealthy {
-                if current + 1 < n_models {
+            let action = if predicted_loss > hi {
+                if up.is_some() {
                     "switch_up"
                 } else {
                     "restart" // Algorithm 2 line 16: fall back to PCG.
                 }
-            } else if predicted_loss < lo && cfg.use_mlp && current > 0 {
+            } else if predicted_loss < lo && cfg.use_mlp && down.is_some() {
                 // Comfortable slack: move to a faster model.
                 "switch_down"
             } else {
@@ -253,29 +432,30 @@ impl SmartRuntime {
                 .field_f64("target", cfg.quality_target)
                 .field_f64("band_lo", lo)
                 .field_f64("band_hi", hi)
-                .field_bool("unhealthy", unhealthy)
                 .field_str("action", action)
                 .emit();
             match action {
                 "switch_up" => {
+                    let to = up.unwrap();
                     sfn_obs::counter_add("scheduler.switches", 1);
                     events.push(SchedulerEvent::Switch {
                         step,
                         from: self.candidates[current].name.clone(),
-                        to: self.candidates[current + 1].name.clone(),
+                        to: self.candidates[to].name.clone(),
                         predicted_loss,
                     });
-                    current += 1;
+                    current = to;
                 }
                 "switch_down" => {
+                    let to = down.unwrap();
                     sfn_obs::counter_add("scheduler.switches", 1);
                     events.push(SchedulerEvent::Switch {
                         step,
                         from: self.candidates[current].name.clone(),
-                        to: self.candidates[current - 1].name.clone(),
+                        to: self.candidates[to].name.clone(),
                         predicted_loss,
                     });
-                    current -= 1;
+                    current = to;
                 }
                 "restart" => {
                     sfn_obs::counter_add("scheduler.restarts", 1);
@@ -293,6 +473,23 @@ impl SmartRuntime {
         }
 
         let mut restart_time = 0.0;
+        if degraded {
+            // Graceful degradation: finish on the exact solver from the
+            // restored checkpoint. A straight loop — no checks, no
+            // models, nothing left to quarantine.
+            let _span = sfn_obs::span!("runtime/degraded");
+            let mut pcg = ExactProjector::labelled(
+                PcgSolver::new(MicPreconditioner::default(), 1e-7, 200_000),
+                "pcg-degraded",
+            );
+            while step < cfg.total_steps {
+                let s = sim.step(&mut pcg);
+                tracker.push(s.div_norm * inv_cells);
+                restart_time += s.projection_time.as_secs_f64();
+                step += 1;
+            }
+        }
+
         let (density, cum) = if restarted {
             let _span = sfn_obs::span!("runtime/restart");
             let mut sim = fresh_sim;
@@ -311,6 +508,14 @@ impl SmartRuntime {
             (sim.density().clone(), tracker.series().to_vec())
         };
 
+        let quarantined = self
+            .candidates
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| quarantine.strikes(i) > 0)
+            .map(|(i, c)| (c.name.clone(), quarantine.strikes(i)))
+            .collect();
+
         RunOutcome {
             density,
             events,
@@ -322,6 +527,9 @@ impl SmartRuntime {
             restart_time,
             wall_time: timer.stop().as_secs_f64(),
             cum_div_norm: cum,
+            rollbacks,
+            degraded,
+            quarantined,
         }
     }
 }
@@ -345,9 +553,24 @@ mod tests {
         }
     }
 
+    fn broken_candidate(name: &str, prob: f64, q: f64) -> CandidateModel {
+        // NaN weights: the surrogate corrupts the state on its first step.
+        let mut net = Network::from_spec(&yang_spec(2), 1).unwrap();
+        for view in net.params() {
+            view.values.fill(f32::NAN);
+        }
+        CandidateModel {
+            name: name.into(),
+            saved: net.save(),
+            probability: prob,
+            exec_time: 0.1,
+            quality_loss: q,
+        }
+    }
+
     fn knn() -> KnnDatabase {
         // A plausible monotone CumDivNorm -> Qloss mapping.
-        KnnDatabase::new((0..64).map(|i| (i as f64 * 10.0, i as f64 * 0.001)).collect())
+        KnnDatabase::new((0..64).map(|i| (i as f64 * 10.0, i as f64 * 0.001)).collect()).unwrap()
     }
 
     fn simulation(n: usize) -> Simulation {
@@ -384,6 +607,40 @@ mod tests {
     }
 
     #[test]
+    fn unloadable_candidate_is_demoted_not_fatal() {
+        let mut bad = candidate("bad", &yang_spec(2), 1, 0.9, 0.05, 0.1);
+        bad.saved.weights.pop(); // truncate the snapshot
+        let good = candidate("good", &yang_spec(4), 2, 0.5, 0.02, 0.2);
+        let rt = SmartRuntime::try_new(vec![bad, good], knn(), RuntimeConfig::default())
+            .expect("one loadable candidate is enough");
+        assert_eq!(rt.candidates().len(), 1);
+        assert_eq!(rt.candidates()[0].name, "good");
+    }
+
+    #[test]
+    fn all_candidates_unloadable_is_a_typed_error() {
+        let mut bad = candidate("bad", &yang_spec(2), 1, 0.9, 0.05, 0.1);
+        bad.saved.weights.clear();
+        match SmartRuntime::try_new(vec![bad], knn(), RuntimeConfig::default()) {
+            Err(RuntimeError::NoUsableCandidates { rejected }) => {
+                assert_eq!(rejected.len(), 1);
+                assert_eq!(rejected[0].0, "bad");
+            }
+            other => panic!("expected NoUsableCandidates, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn tiny_check_interval_is_rejected() {
+        let c = vec![candidate("a", &yang_spec(2), 1, 0.8, 0.05, 0.1)];
+        let cfg = RuntimeConfig { check_interval: 2, ..Default::default() };
+        assert!(matches!(
+            SmartRuntime::try_new(c, knn(), cfg),
+            Err(RuntimeError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
     fn run_completes_and_accounts_time() {
         let c = vec![
             candidate("a", &yang_spec(2), 1, 0.8, 0.05, 0.1),
@@ -400,10 +657,17 @@ mod tests {
         );
         let out = rt.run(simulation(16));
         assert!(!out.restarted);
+        assert!(!out.degraded);
+        assert_eq!(out.rollbacks, 0);
+        assert!(out.quarantined.is_empty());
         assert_eq!(out.steps_per_model.iter().sum::<usize>(), 20);
         assert!(out.time_per_model.iter().sum::<f64>() > 0.0);
         assert_eq!(out.cum_div_norm.len(), 20);
         assert!(out.density.all_finite());
+        // The first check interval (step 5) is still inside the tracker
+        // warm-up: predict_final returns None and the scheduler keeps
+        // the current model without recording a belief.
+        assert_eq!(out.predictions.first().map(|p| p.0), Some(10));
     }
 
     #[test]
@@ -487,20 +751,42 @@ mod tests {
     }
 
     #[test]
-    fn nan_surrogate_triggers_fallback() {
-        // A candidate whose weights are NaN: the health guard must kick
-        // in and the run must recover via PCG.
-        let mut net = Network::from_spec(&yang_spec(2), 1).unwrap();
-        for view in net.params() {
-            view.values.fill(f32::NAN);
-        }
-        let c = vec![CandidateModel {
-            name: "broken".into(),
-            saved: net.save(),
-            probability: 0.9,
-            exec_time: 0.1,
-            quality_loss: 0.02,
-        }];
+    fn corrupting_model_rolls_back_and_switches() {
+        // The high-probability candidate corrupts the state on its first
+        // step; the runtime must strike it, roll back and finish the run
+        // on the healthy candidate — no restart, no degradation.
+        let c = vec![
+            broken_candidate("broken", 0.9, 0.05),
+            candidate("healthy", &yang_spec(4), 2, 0.5, 0.02, 0.2),
+        ];
+        let mut rt = SmartRuntime::new(
+            c,
+            knn(),
+            RuntimeConfig {
+                total_steps: 20,
+                quality_target: 1.0, // quality never forces a switch
+                ..Default::default()
+            },
+        );
+        let out = rt.run(simulation(16));
+        assert!(!out.restarted && !out.degraded, "events: {:?}", out.events);
+        assert_eq!(out.rollbacks, 1);
+        assert_eq!(out.quarantined, vec![("broken".to_string(), 1)]);
+        assert!(matches!(out.events[0], SchedulerEvent::Quarantine { ref model, strikes: 1, .. } if model == "broken"));
+        assert!(matches!(out.events[1], SchedulerEvent::Rollback { to_step: 0, .. }));
+        assert!(out.density.all_finite());
+        assert_eq!(out.cum_div_norm.len(), 20);
+        // The healthy model carried the whole surviving run.
+        let healthy = out.model_names.iter().position(|n| n == "healthy").unwrap();
+        assert_eq!(out.steps_per_model[healthy], 20);
+    }
+
+    #[test]
+    fn all_models_corrupt_degrades_to_pcg() {
+        // Every candidate corrupts: the runtime must quarantine them all
+        // and finish the run on the exact solver — never panic, never
+        // loop forever.
+        let c = vec![broken_candidate("broken", 0.9, 0.02)];
         let mut rt = SmartRuntime::new(
             c,
             knn(),
@@ -511,7 +797,13 @@ mod tests {
             },
         );
         let out = rt.run(simulation(16));
-        assert!(out.restarted);
-        assert!(out.density.all_finite(), "PCG fallback must clean up");
+        assert!(out.degraded, "events: {:?}", out.events);
+        assert!(!out.restarted);
+        assert!(matches!(out.events.last(), Some(SchedulerEvent::Degrade { barred: 1, .. })));
+        assert_eq!(out.quarantined, vec![("broken".to_string(), 1)]);
+        assert!(out.density.all_finite(), "PCG tail must produce a clean frame");
+        assert_eq!(out.cum_div_norm.len(), 12, "degraded tail completes the run");
+        // PCG keeps the tail's DivNorm tiny.
+        assert!(out.cum_div_norm.last().unwrap().is_finite());
     }
 }

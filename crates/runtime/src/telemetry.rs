@@ -10,8 +10,12 @@ use std::collections::BTreeMap;
 pub struct RunSummary {
     /// Number of runs aggregated.
     pub runs: usize,
-    /// Runs that fell back to PCG.
+    /// Runs that fell back to PCG via a full restart.
     pub restarts: usize,
+    /// Runs that gracefully degraded to PCG after total quarantine.
+    pub degraded: usize,
+    /// Checkpoint rollbacks across runs (corruption recoveries).
+    pub rollbacks: usize,
     /// Total model switches across runs.
     pub switches: usize,
     /// Mean switches per run.
@@ -35,6 +39,8 @@ impl RunSummary {
         let mut steps: BTreeMap<String, usize> = BTreeMap::new();
         let mut switches = 0usize;
         let mut restarts = 0usize;
+        let mut degraded = 0usize;
+        let mut rollbacks = 0usize;
         let mut wall = 0.0;
         for out in outcomes {
             for ((name, &secs), &s) in out
@@ -52,6 +58,8 @@ impl RunSummary {
                 .filter(|e| matches!(e, SchedulerEvent::Switch { .. }))
                 .count();
             restarts += usize::from(out.restarted);
+            degraded += usize::from(out.degraded);
+            rollbacks += out.rollbacks;
             wall += out.wall_time;
         }
         let total_time: f64 = time.values().sum();
@@ -62,6 +70,8 @@ impl RunSummary {
         Some(Self {
             runs: outcomes.len(),
             restarts,
+            degraded,
+            rollbacks,
             switches,
             mean_switches: switches as f64 / outcomes.len() as f64,
             time_share,
@@ -102,6 +112,9 @@ mod tests {
             restart_time: 0.0,
             wall_time: 1.0,
             cum_div_norm: vec![0.1, 0.2],
+            rollbacks: 0,
+            degraded: false,
+            quarantined: Vec::new(),
         }
     }
 
@@ -114,6 +127,8 @@ mod tests {
         let s = RunSummary::from_outcomes(&outs).unwrap();
         assert_eq!(s.runs, 2);
         assert_eq!(s.restarts, 1);
+        assert_eq!(s.degraded, 0);
+        assert_eq!(s.rollbacks, 0);
         assert_eq!(s.switches, 2);
         assert!((s.time_share["A"] - 0.4).abs() < 1e-12);
         assert!((s.time_share["B"] - 0.6).abs() < 1e-12);

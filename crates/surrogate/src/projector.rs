@@ -2,6 +2,8 @@
 
 use crate::dataset::{build_input, output_to_pressure};
 use sfn_grid::{CellFlags, Field2};
+use sfn_nn::network::SavedModel;
+use sfn_nn::spec::SpecError;
 use sfn_nn::Network;
 use sfn_obs::ScopedTimer;
 use sfn_sim::{PressureProjector, ProjectionOutcome};
@@ -18,6 +20,9 @@ pub struct NeuralProjector {
     /// Occupancy cache keyed by the flags' solid-count and dimensions
     /// (sufficient within one simulation where flags never change).
     occ_cache: Option<(usize, usize, usize, Field2)>,
+    /// Inferences served so far — the per-projector step index the
+    /// fault hooks hash on.
+    inferences: u64,
 }
 
 impl NeuralProjector {
@@ -27,7 +32,19 @@ impl NeuralProjector {
             network,
             label: label.into(),
             occ_cache: None,
+            inferences: 0,
         }
+    }
+
+    /// Loads a snapshot into a projector, surfacing a malformed model
+    /// as a typed [`SpecError`] instead of panicking.
+    pub fn try_from_saved(saved: &SavedModel, label: impl Into<String>) -> Result<Self, SpecError> {
+        Ok(Self::new(Network::load(saved, 0)?, label))
+    }
+
+    /// Inferences served so far.
+    pub fn inferences(&self) -> u64 {
+        self.inferences
     }
 
     /// The wrapped network.
@@ -65,7 +82,15 @@ impl PressureProjector for NeuralProjector {
         let occ = self.occupancy(flags);
         let (input, scale) = build_input(divergence, &occ);
         let output = self.network.predict(&input);
-        let pressure = output_to_pressure(&output, scale, flags);
+        let mut pressure = output_to_pressure(&output, scale, flags);
+        // Fault hooks: poison the surrogate output and/or stretch the
+        // inference — both keyed on this projector's own inference
+        // index, so a schedule replays identically across runs.
+        sfn_faults::corrupt_field(&self.label, self.inferences, pressure.data_mut());
+        if let Some(delay) = sfn_faults::latency_spike(&self.label, self.inferences) {
+            std::thread::sleep(delay);
+        }
+        self.inferences += 1;
         let (_, _, h, w) = input.shape();
         let flops = self.network.flops((2, h, w));
         sfn_obs::counter_add("nn.inferences", 1);
@@ -149,6 +174,33 @@ mod tests {
         for (a, b) in p1.data().iter().zip(p2.data()) {
             assert!((3.0 * a - b).abs() < 1e-4 * b.abs().max(1.0), "{a} vs {b}");
         }
+    }
+
+    #[test]
+    fn nan_fault_poisons_surrogate_output() {
+        // Target this test's unique label so concurrent tests with
+        // other labels never see the plan.
+        let plan = sfn_faults::parse_plan(
+            r#"{"seed": 11, "faults": [
+                {"kind": "nan_output", "p": 1.0, "target": "poisoned-proj"}]}"#,
+        )
+        .unwrap();
+        let net = Network::from_spec(&tompson_default(), 7).unwrap();
+        let mut proj = NeuralProjector::new(net, "poisoned-proj");
+        let flags = CellFlags::smoke_box(12, 12);
+        let mut div = Field2::new(12, 12);
+        div.set(6, 6, 1.0);
+        sfn_faults::install(Some(plan));
+        let out = proj.solve_pressure(&div, &flags, 1.0, 0.5);
+        sfn_faults::install(None);
+        assert!(
+            !out.pressure.all_finite(),
+            "a p=1 nan_output fault must corrupt the pressure"
+        );
+        assert_eq!(proj.inferences(), 1);
+        // With the plan disarmed the projector is clean again.
+        let out = proj.solve_pressure(&div, &flags, 1.0, 0.5);
+        assert!(out.pressure.all_finite());
     }
 
     #[test]

@@ -17,8 +17,10 @@
 //! * [`workload`] — seeded input-problem generation
 //! * [`stats`] — statistics utilities
 //! * [`obs`] — observability: spans, metrics, JSONL event tracing
+//! * [`faults`] — deterministic fault injection (chaos testing)
 //! * [`core`] — the `SmartFluidnet` framework facade
 
+pub use sfn_faults as faults;
 pub use sfn_grid as grid;
 pub use sfn_obs as obs;
 pub use sfn_nn as nn;

@@ -1,0 +1,240 @@
+//! Chaos suite: seeded, deterministic fault schedules driven through
+//! the public facade against the self-healing runtime.
+//!
+//! Contract under test: whatever the schedule injects, a run must end
+//! without a panic, with a finite final frame, and either meet the
+//! quality path on the surrogates, report a PCG restart, or report
+//! graceful degradation (`SchedulerEvent::Degrade`).
+//!
+//! The CI `chaos` job re-runs this binary under an `SFN_FAULTS`
+//! environment schedule for a matrix of seeds (see
+//! `env_schedule_from_sfn_faults_survives`).
+
+use smart_fluidnet::faults;
+use smart_fluidnet::grid::CellFlags;
+use smart_fluidnet::nn::Network;
+use smart_fluidnet::runtime::{
+    CandidateModel, KnnDatabase, RunOutcome, RuntimeConfig, SchedulerEvent, SmartRuntime,
+};
+use smart_fluidnet::sim::{SimConfig, Simulation};
+use smart_fluidnet::surrogate::yang_spec;
+use std::sync::{Mutex, MutexGuard};
+
+/// The fault plan is process-global; every test serialises on this.
+static FAULTS: Mutex<()> = Mutex::new(());
+
+fn hold() -> MutexGuard<'static, ()> {
+    FAULTS.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn candidate(name: &str, width: usize, seed: u64, prob: f64, q: f64) -> CandidateModel {
+    let mut net = Network::from_spec(&yang_spec(width), seed).unwrap();
+    CandidateModel {
+        name: name.into(),
+        saved: net.save(),
+        probability: prob,
+        exec_time: 0.1,
+        quality_loss: q,
+    }
+}
+
+/// Three untrained candidates whose labels all contain `chaos-` so a
+/// schedule can target one model or the whole family by substring.
+fn runtime(total_steps: usize) -> SmartRuntime {
+    let candidates = vec![
+        candidate("chaos-a", 2, 1, 0.9, 0.05),
+        candidate("chaos-b", 3, 2, 0.7, 0.03),
+        candidate("chaos-c", 4, 3, 0.5, 0.01),
+    ];
+    let knn = KnnDatabase::new((0..64).map(|i| (i as f64 * 10.0, i as f64 * 0.001)).collect())
+        .expect("valid KNN pairs");
+    SmartRuntime::try_new(
+        candidates,
+        knn,
+        RuntimeConfig {
+            total_steps,
+            // Generous target: only injected faults force the
+            // scheduler's hand, not ordinary quality pressure.
+            quality_target: 1.0,
+            ..Default::default()
+        },
+    )
+    .expect("loadable candidates")
+}
+
+fn simulation() -> Simulation {
+    Simulation::new(SimConfig::plume(16), CellFlags::smoke_box(16, 16))
+}
+
+/// Installs `plan`, runs a fresh runtime, disarms, and returns the
+/// outcome plus the injection tally. Caller must already `hold()`.
+fn run_under(plan: &str, total_steps: usize) -> (RunOutcome, u64) {
+    faults::install(Some(faults::parse_plan(plan).expect("valid chaos plan")));
+    let out = runtime(total_steps).run(simulation());
+    let injected = faults::injected_count();
+    faults::install(None);
+    (out, injected)
+}
+
+/// The suite-wide survival contract.
+fn assert_survived(out: &RunOutcome, total_steps: usize) {
+    assert!(out.density.all_finite(), "final frame must be finite");
+    assert!(
+        out.cum_div_norm.iter().all(|v| v.is_finite()),
+        "CumDivNorm series must stay finite"
+    );
+    assert_eq!(
+        out.cum_div_norm.len(),
+        total_steps,
+        "a surviving run finishes every step (restarted={}, degraded={})",
+        out.restarted,
+        out.degraded
+    );
+    if out.degraded {
+        assert!(
+            matches!(out.events.last(), Some(SchedulerEvent::Degrade { .. })),
+            "degradation must be reported as an event: {:?}",
+            out.events
+        );
+        assert!(
+            !out.quarantined.is_empty(),
+            "a degraded run must name the struck models"
+        );
+    }
+}
+
+#[test]
+fn nan_storm_on_one_model_rolls_back_and_recovers() {
+    let _g = hold();
+    // The highest-probability model (the scheduler's starting pick)
+    // corrupts on every inference: the runtime must strike it, roll
+    // back, and finish on the siblings — no restart, no degradation.
+    let (out, injected) = run_under(
+        r#"{"seed": 7, "faults": [
+            {"kind": "nan_output", "p": 1.0, "target": "chaos-a"}]}"#,
+        20,
+    );
+    assert!(injected > 0, "the p=1 schedule must fire");
+    assert_survived(&out, 20);
+    assert!(!out.degraded && !out.restarted, "events: {:?}", out.events);
+    assert!(out.rollbacks >= 1);
+    assert!(
+        out.quarantined.iter().any(|(m, s)| m == "chaos-a" && *s >= 1),
+        "the corrupting model must be struck: {:?}",
+        out.quarantined
+    );
+    // The poisoned model cannot have carried the surviving run.
+    let a = out.model_names.iter().position(|n| n == "chaos-a").unwrap();
+    let clean: usize = out
+        .steps_per_model
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != a)
+        .map(|(_, s)| s)
+        .sum();
+    assert!(clean >= 20, "siblings must cover the full run");
+}
+
+#[test]
+fn poisoning_every_model_degrades_to_pcg() {
+    let _g = hold();
+    // `target: "chaos"` matches all three candidates: every model is
+    // struck until the whole set is barred, and the run must finish on
+    // the exact solver with a Degrade event — never panic or spin.
+    let (out, injected) = run_under(
+        r#"{"seed": 3, "faults": [
+            {"kind": "nan_output", "p": 1.0, "target": "chaos"}]}"#,
+        12,
+    );
+    assert!(injected >= 3, "all three models must have been hit");
+    assert_survived(&out, 12);
+    assert!(out.degraded, "events: {:?}", out.events);
+    assert!(!out.restarted);
+    assert_eq!(out.quarantined.len(), 3, "{:?}", out.quarantined);
+    assert!(matches!(
+        out.events.last(),
+        Some(SchedulerEvent::Degrade { barred: 3, .. })
+    ));
+}
+
+#[test]
+fn inf_schedules_across_seeds_never_panic() {
+    let _g = hold();
+    // The same probabilistic schedule under three seeds produces three
+    // different injection patterns; every one must satisfy the
+    // survival contract whatever path (recover/restart/degrade) it
+    // takes.
+    for seed in [1u64, 2, 3] {
+        let plan = format!(
+            r#"{{"seed": {seed}, "faults": [
+                {{"kind": "inf_output", "p": 0.25, "mag": 0.05, "target": "chaos"}}]}}"#,
+        );
+        let (out, _) = run_under(&plan, 20);
+        assert_survived(&out, 20);
+    }
+}
+
+#[test]
+fn latency_spikes_slow_inference_without_corruption() {
+    let _g = hold();
+    let (out, injected) = run_under(
+        r#"{"seed": 5, "faults": [
+            {"kind": "latency_spike", "p": 1.0, "mag": 0.2, "target": "chaos"}]}"#,
+        10,
+    );
+    // Latency is injected on every inference but corrupts nothing: the
+    // run completes with zero strikes.
+    assert!(injected >= 10, "one spike per step, got {injected}");
+    assert_survived(&out, 10);
+    assert!(!out.degraded && !out.restarted);
+    assert_eq!(out.rollbacks, 0);
+    assert!(out.quarantined.is_empty());
+}
+
+#[test]
+fn starved_degraded_tail_still_terminates() {
+    let _g = hold();
+    // Worst case: every surrogate is poisoned AND the PCG tail the run
+    // degrades to is starved of convergence on some solves. Graceful
+    // degradation must still be terminal and finite.
+    let (out, _) = run_under(
+        r#"{"seed": 13, "faults": [
+            {"kind": "nan_output", "p": 1.0, "target": "chaos"},
+            {"kind": "solver_starvation", "p": 0.2, "mag": 0.5, "target": "pcg-degraded"}]}"#,
+        12,
+    );
+    assert_survived(&out, 12);
+    assert!(out.degraded, "events: {:?}", out.events);
+}
+
+#[test]
+fn fault_schedule_replays_identically() {
+    let _g = hold();
+    let plan = r#"{"seed": 7, "faults": [
+        {"kind": "nan_output", "p": 1.0, "target": "chaos-a"}]}"#;
+    let (first, injected_first) = run_under(plan, 20);
+    let (second, injected_second) = run_under(plan, 20);
+    // Decisions are pure hashes of (seed, spec, site, step): two runs
+    // of the same schedule must produce the same injections, the same
+    // scheduling events, and the same strikes.
+    assert_eq!(injected_first, injected_second);
+    assert_eq!(first.events, second.events);
+    assert_eq!(first.quarantined, second.quarantined);
+    assert_eq!(first.rollbacks, second.rollbacks);
+    assert_eq!(first.degraded, second.degraded);
+}
+
+#[test]
+fn env_schedule_from_sfn_faults_survives() {
+    // The CI chaos job sets SFN_FAULTS to a seeded schedule; without
+    // it this test is a no-op so the default `cargo test` run stays
+    // deterministic.
+    if std::env::var("SFN_FAULTS").map(|v| v.trim().is_empty()).unwrap_or(true) {
+        return;
+    }
+    let _g = hold();
+    faults::init_from_env();
+    let out = runtime(20).run(simulation());
+    assert_survived(&out, 20);
+    faults::install(None);
+}

@@ -156,7 +156,7 @@ proptest! {
         query in -50.0f64..150.0,
     ) {
         use smart_fluidnet::runtime::KnnDatabase;
-        let db = KnnDatabase::new(pairs.clone());
+        let db = KnnDatabase::new(pairs.clone()).unwrap();
         let q = db.predict(query);
         let lo = pairs.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
         let hi = pairs.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
