@@ -97,8 +97,15 @@ fn sim_step_pcg(b: &mut criterion::Bencher<'_>) {
 /// counters, scheduler hooks) must cost within ~2% of the enabled run's
 /// bookkeeping-free path — compare these two Criterion entries.
 fn bench_step_overhead(c: &mut Criterion) {
+    // The flight recorder is on by default; measure the step both ways
+    // so its always-on cost stays visible (it captures info+ events
+    // only, so a healthy step should show no difference at all).
     sfn_obs::enable_metrics(false);
+    sfn_obs::set_flight_enabled(false);
     c.bench_function("sim_step_pcg_obs_disabled", sim_step_pcg);
+
+    sfn_obs::set_flight_enabled(true);
+    c.bench_function("sim_step_pcg_flight_recorder", sim_step_pcg);
 
     sfn_obs::enable_metrics(true);
     c.bench_function("sim_step_pcg_obs_enabled", sim_step_pcg);

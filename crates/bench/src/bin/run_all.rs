@@ -47,12 +47,52 @@ impl FaultsSummary {
     }
 }
 
+/// One stage's latency distribution from the `sfn-obs` histograms —
+/// the percentile companion to the scalar stage report.
+#[derive(Serialize)]
+struct StageQuantiles {
+    name: String,
+    calls: u64,
+    total_secs: f64,
+    p50_ms: f64,
+    p90_ms: f64,
+    p99_ms: f64,
+}
+
+fn collect_stages() -> Vec<StageQuantiles> {
+    sfn_obs::stage_percentiles()
+        .into_iter()
+        .map(|(name, h)| {
+            let s = StageQuantiles {
+                name,
+                calls: h.count,
+                total_secs: h.sum,
+                p50_ms: 1e3 * h.p50,
+                p90_ms: 1e3 * h.p90,
+                p99_ms: 1e3 * h.p99,
+            };
+            // Mirror each row into the trace so `sfn-trace analyze`
+            // sees the same percentiles as the JSON summary.
+            sfn_obs::event(sfn_obs::Level::Info, "stage.summary")
+                .field_str("stage", &s.name)
+                .field_u64("calls", s.calls)
+                .field_f64("total_secs", s.total_secs)
+                .field_f64("p50_ms", s.p50_ms)
+                .field_f64("p90_ms", s.p90_ms)
+                .field_f64("p99_ms", s.p99_ms)
+                .emit();
+            s
+        })
+        .collect()
+}
+
 #[derive(Serialize)]
 struct RunAllSummary {
     quick: bool,
     sweep_grids: Vec<usize>,
     steps: usize,
     figures: Vec<FigureRecord>,
+    stages: Vec<StageQuantiles>,
     faults: FaultsSummary,
     total_secs: f64,
 }
@@ -80,6 +120,10 @@ fn section(records: &mut Vec<FigureRecord>, name: &'static str, f: impl FnOnce()
 fn main() {
     sfn_obs::init();
     sfn_obs::enable_metrics(true);
+    // Always-on crash path: a panicking section dumps the flight
+    // recorder's last events (default sfn_crash_report.jsonl, or
+    // SFN_CRASH_FILE) even though `section` also catches the panic.
+    sfn_obs::install_crash_handler();
     sfn_faults::init_from_env();
     let total = sfn_obs::ScopedTimer::start("bench/total");
     let env = sfn_bench::bench_env();
@@ -181,13 +225,17 @@ fn main() {
         );
     });
 
+    // Stop the run timer before collecting stages so bench/total's own
+    // sample is part of the collected percentiles.
+    let total_secs = total.stop().as_secs_f64();
     let summary = RunAllSummary {
         quick: std::env::var("SFN_QUICK").is_ok(),
         sweep_grids: env.grids.clone(),
         steps: env.steps,
         figures: recs,
+        stages: collect_stages(),
         faults: FaultsSummary::collect(),
-        total_secs: total.stop().as_secs_f64(),
+        total_secs,
     };
     if summary.faults.armed {
         println!(

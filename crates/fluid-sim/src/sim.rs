@@ -192,6 +192,7 @@ impl Simulation {
                 .field_u64("repaired", repaired as u64)
                 .field_f64("max_speed", max_speed)
                 .emit();
+            sfn_obs::note_incident("sim.sanitized");
         }
         repaired
     }
@@ -285,6 +286,10 @@ impl Simulation {
                 .field_f64("max_speed", max_speed)
                 .field_str("projector", &projector.name())
                 .emit();
+            // The blow-up is the archetypal post-mortem moment: flush
+            // the flight recorder to the crash file (if configured)
+            // while the lead-up events are still in the ring.
+            sfn_obs::note_incident("sim.blowup");
         }
 
         if self.steps_done % DIAGNOSTICS_EVERY == 0 && sfn_obs::event_enabled(Level::Debug) {

@@ -12,7 +12,7 @@
 //! severity, `kind` a dotted event name; all further keys are
 //! event-specific fields.
 
-use crate::{json, Level};
+use crate::{flight, json, Level};
 use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -77,12 +77,15 @@ fn write_trace_line(line: &str) {
 }
 
 /// Builder for one structured event; construct via [`event`]. When
-/// neither the trace sink nor the stderr logger would take the event,
-/// every method is a no-op on an empty builder (no allocation).
+/// neither the trace sink, the flight recorder, nor the stderr logger
+/// would take the event, every method is a no-op on an empty builder
+/// (no allocation).
 #[must_use = "call .emit() to record the event"]
 pub struct EventBuilder {
     json: Option<String>,
     text: Option<String>,
+    to_trace: bool,
+    to_flight: bool,
 }
 
 /// Starts an event of `kind` at `level`.
@@ -98,8 +101,9 @@ pub struct EventBuilder {
 pub fn event(level: Level, kind: &str) -> EventBuilder {
     crate::init();
     let to_trace = tracing_enabled_raw() && level != Level::Off;
+    let to_flight = flight::capture_raw(level);
     let to_log = crate::log_enabled_raw(level);
-    let json = to_trace.then(|| {
+    let json = (to_trace || to_flight).then(|| {
         let mut s = String::with_capacity(160);
         s.push_str("{\"ts\":");
         json::push_f64(&mut s, crate::uptime());
@@ -111,7 +115,7 @@ pub fn event(level: Level, kind: &str) -> EventBuilder {
         s
     });
     let text = to_log.then(|| format!("[sfn {}] {}", level.as_str(), kind));
-    EventBuilder { json, text }
+    EventBuilder { json, text, to_trace, to_flight }
 }
 
 impl EventBuilder {
@@ -189,7 +193,12 @@ impl EventBuilder {
     pub fn emit(self) {
         if let Some(mut j) = self.json {
             j.push('}');
-            write_trace_line(&j);
+            if self.to_trace {
+                write_trace_line(&j);
+            }
+            if self.to_flight {
+                flight::record(j);
+            }
         }
         if let Some(t) = self.text {
             eprintln!("{t}");
@@ -197,13 +206,16 @@ impl EventBuilder {
     }
 }
 
-/// Logs a plain message at `level` (stderr + trace sink).
+/// Logs a plain message at `level` (stderr + trace sink + flight
+/// recorder).
 pub fn log(level: Level, msg: &str) {
     crate::init();
     if crate::log_enabled_raw(level) {
         eprintln!("[sfn {}] {msg}", level.as_str());
     }
-    if tracing_enabled_raw() && level != Level::Off {
+    let to_trace = tracing_enabled_raw() && level != Level::Off;
+    let to_flight = flight::capture_raw(level);
+    if to_trace || to_flight {
         let mut s = String::with_capacity(96);
         s.push_str("{\"ts\":");
         json::push_f64(&mut s, crate::uptime());
@@ -212,7 +224,12 @@ pub fn log(level: Level, msg: &str) {
         s.push_str("\",\"kind\":\"log\",\"msg\":\"");
         json::escape_into(&mut s, msg);
         s.push_str("\"}");
-        write_trace_line(&s);
+        if to_trace {
+            write_trace_line(&s);
+        }
+        if to_flight {
+            flight::record(s);
+        }
     }
 }
 

@@ -1,11 +1,24 @@
-//! Minimal JSON string/number emission (this crate is dependency-free
-//! by design, so no serde).
+//! Minimal JSON emission **and** a strict JSON-subset parser.
+//!
+//! The dependency-free crates of the pipeline all speak JSON somewhere:
+//! `sfn-obs` writes JSONL trace events, `sfn-faults` reads `SFN_FAULTS`
+//! schedules, `sfn-trace` reads traces and summaries back. This module
+//! is the single hand-rolled implementation they share (no serde by
+//! design), hoisted out of `sfn-faults` so exactly one parser exists.
+//!
+//! The parser accepts the JSON subset the emitters produce — objects,
+//! arrays, strings with the common escapes, `f64` numbers, booleans,
+//! `null` — and rejects everything else with a position-carrying
+//! [`JsonError`], so a malformed input can be reported and skipped
+//! rather than crashing the host process.
 
 use std::fmt::Write as _;
 
+// ------------------------------------------------------------ emission
+
 /// Appends `s` to `out` with JSON string escaping (no surrounding
 /// quotes).
-pub(crate) fn escape_into(out: &mut String, s: &str) {
+pub fn escape_into(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -23,11 +36,359 @@ pub(crate) fn escape_into(out: &mut String, s: &str) {
 
 /// Appends a JSON number; non-finite values become `null` (JSON has no
 /// NaN/Infinity).
-pub(crate) fn push_f64(out: &mut String, v: f64) {
+pub fn push_f64(out: &mut String, v: f64) {
     if v.is_finite() {
         let _ = write!(out, "{v}");
     } else {
         out.push_str("null");
+    }
+}
+
+// ------------------------------------------------------------- parsing
+
+/// The JSON subset the parser produces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (parsed as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object; field order is preserved and duplicate keys are kept
+    /// (lookup returns the first).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object field lookup (`None` on non-objects and missing keys).
+    pub fn get<'a>(&'a self, key: &str) -> Option<&'a Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as a non-negative integer, if it is one exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is one.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items.as_slice()),
+            _ => None,
+        }
+    }
+
+    /// Serialises the value back to compact JSON (the inverse of
+    /// [`parse`], modulo float formatting).
+    pub fn write_into(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Num(n) => push_f64(out, *n),
+            Value::Str(s) => {
+                out.push('"');
+                escape_into(out, s);
+                out.push('"');
+            }
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write_into(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    escape_into(out, k);
+                    out.push_str("\":");
+                    v.write_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// [`Value::write_into`] into a fresh string.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        self.write_into(&mut s);
+        s
+    }
+}
+
+/// A parse failure with the byte offset it occurred at.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError {
+    /// Byte offset into the input.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses one complete JSON value; trailing non-whitespace is an error.
+pub fn parse(input: &str) -> Result<Value, JsonError> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after the value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError { at: self.pos, message: message.into() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(format!("expected {word:?}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, JsonError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character {:?}", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b't' => s.push('\t'),
+                        b'r' => s.push('\r'),
+                        b'u' => {
+                            // \uXXXX escapes, including surrogate pairs
+                            // (the emitter writes control characters as
+                            // \u00XX).
+                            let first = self.hex4()?;
+                            let cp = if (0xD800..0xDC00).contains(&first) {
+                                if self.peek() != Some(b'\\') {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                self.pos += 1;
+                                if self.peek() != Some(b'u') {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                self.pos += 1;
+                                let second = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&second) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00)
+                            } else {
+                                first
+                            };
+                            match char::from_u32(cp) {
+                                Some(c) => s.push(c),
+                                None => return Err(self.err("invalid \\u escape")),
+                            }
+                        }
+                        _ => return Err(self.err(format!("unsupported escape \\{}", esc as char))),
+                    }
+                }
+                Some(_) => {
+                    // Copy the full UTF-8 scalar starting here.
+                    let rest = &self.bytes[self.pos..];
+                    let text = std::str::from_utf8(rest)
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    let ch = text.chars().next().unwrap();
+                    if ch.is_control() {
+                        return Err(self.err("raw control character in string"));
+                    }
+                    s.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut cp = 0u32;
+        for _ in 0..4 {
+            let d = self.peek().and_then(|b| (b as char).to_digit(16));
+            match d {
+                Some(d) => {
+                    cp = cp * 16 + d;
+                    self.pos += 1;
+                }
+                None => return Err(self.err("expected 4 hex digits after \\u")),
+            }
+        }
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || c == b'.' || c == b'e' || c == b'E' || c == b'+' || c == b'-')
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        match text.parse::<f64>() {
+            // JSON has no Infinity; overflowing literals like 1e400 are
+            // rejected rather than silently saturated.
+            Ok(v) if v.is_finite() => Ok(Value::Num(v)),
+            _ => Err(JsonError { at: start, message: format!("invalid number {text:?}") }),
+        }
     }
 }
 
@@ -51,5 +412,70 @@ mod tests {
         s.push(',');
         push_f64(&mut s, f64::INFINITY);
         assert_eq!(s, "0.013,null,null");
+    }
+
+    #[test]
+    fn parses_the_emitted_subset() {
+        let v = parse(
+            r#"{"ts":1.25,"level":"info","kind":"scheduler.decision","step":20,
+                "ok":true,"none":null,"arr":[1,-2.5,"x"]}"#,
+        )
+        .unwrap();
+        assert_eq!(v.get("ts").and_then(Value::as_f64), Some(1.25));
+        assert_eq!(v.get("level").and_then(Value::as_str), Some("info"));
+        assert_eq!(v.get("step").and_then(Value::as_u64), Some(20));
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("none"), Some(&Value::Null));
+        let arr = v.get("arr").and_then(Value::as_arr).unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[1].as_f64(), Some(-2.5));
+    }
+
+    #[test]
+    fn string_escapes_round_trip_through_emit_and_parse() {
+        let original = "a\"b\\c\nd\tπ\u{1}";
+        let mut line = String::from("{\"k\":\"");
+        escape_into(&mut line, original);
+        line.push_str("\"}");
+        let v = parse(&line).unwrap();
+        assert_eq!(v.get("k").and_then(Value::as_str), Some(original));
+    }
+
+    #[test]
+    fn unicode_escapes_and_surrogate_pairs() {
+        let v = parse(r#""Aé😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("Aé😀"));
+        assert!(parse(r#""\ud83d""#).is_err(), "lone high surrogate");
+        assert!(parse(r#""\u12"#).is_err(), "truncated escape");
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected_with_offsets() {
+        for bad in ["", "{", "[1, 2", "{\"a\" 1}", "tru", "1e400", "{} trailing", "\"\u{1}\""] {
+            let e = parse(bad).unwrap_err();
+            assert!(e.to_string().contains("byte"), "{bad:?} -> {e}");
+        }
+    }
+
+    #[test]
+    fn value_serialisation_round_trips() {
+        let src = r#"{"a":1,"b":[true,null,"x\ny"],"c":{"d":-0.5}}"#;
+        let v = parse(src).unwrap();
+        let emitted = v.to_json();
+        assert_eq!(parse(&emitted).unwrap(), v);
+    }
+
+    #[test]
+    fn duplicate_keys_resolve_to_first() {
+        let v = parse(r#"{"k":1,"k":2}"#).unwrap();
+        assert_eq!(v.get("k").and_then(Value::as_f64), Some(1.0));
+    }
+
+    #[test]
+    fn as_u64_rejects_fractions_and_negatives() {
+        assert_eq!(Value::Num(3.0).as_u64(), Some(3));
+        assert_eq!(Value::Num(3.5).as_u64(), None);
+        assert_eq!(Value::Num(-1.0).as_u64(), None);
+        assert_eq!(Value::Str("3".into()).as_u64(), None);
     }
 }

@@ -16,6 +16,10 @@
 //! * **Structured events** — [`event`] builds one JSONL record written
 //!   to the file named by `SFN_TRACE_FILE` and, at or above the
 //!   `SFN_LOG` verbosity, a human-readable line on stderr.
+//! * **Flight recorder** — [`flight`] keeps the most recent `info`+
+//!   events in a fixed ring even when tracing is off, and dumps a JSONL
+//!   crash report on panic or when the simulation's blow-up guard /
+//!   sanitizer calls [`note_incident`].
 //!
 //! # Configuration
 //!
@@ -24,6 +28,8 @@
 //! | `SFN_LOG` | stderr verbosity: `off`, `error`, `warn` (default), `info`, `debug`, `trace`; `info`+ also enables metrics |
 //! | `SFN_TRACE_FILE` | path of the JSONL event trace (created/truncated); setting it enables metrics |
 //! | `SFN_METRICS` | `1` enables span/counter/histogram aggregation without logging |
+//! | `SFN_CRASH_FILE` | crash-report path; setting it installs the panic hook |
+//! | `SFN_FLIGHT` | `0` disables the flight recorder |
 //!
 //! # Overhead
 //!
@@ -39,17 +45,22 @@
 #![warn(missing_docs)]
 
 pub mod events;
-mod json;
+pub mod flight;
+pub mod json;
 pub mod metrics;
 pub mod report;
 pub mod span;
 
 pub use events::{event, flush_trace, log, set_trace_file, set_trace_writer, EventBuilder};
+pub use flight::{
+    crash_report, flight_enabled, incident_count, install_crash_handler, note_incident,
+    set_crash_file, set_flight_enabled,
+};
 pub use metrics::{
     counter, counter_add, counter_value, histogram, histogram_record, histogram_snapshot, Counter,
     Histogram, HistogramSnapshot,
 };
-pub use report::{render_report, reset, stage_snapshot, StageStats};
+pub use report::{render_report, reset, stage_percentiles, stage_snapshot, StageStats};
 pub use span::{ScopedTimer, SpanGuard};
 
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
@@ -147,6 +158,7 @@ pub fn init() {
                 }
             }
         }
+        flight::init_from_env();
     });
 }
 

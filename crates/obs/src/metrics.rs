@@ -114,29 +114,7 @@ impl Histogram {
         let min = f64::from_bits(self.min_bits.load(Ordering::Relaxed));
         let max = f64::from_bits(self.max_bits.load(Ordering::Relaxed));
         let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
-        let finite: u64 = counts.iter().sum();
-        let quantile = |q: f64| -> f64 {
-            if finite == 0 {
-                return f64::NAN;
-            }
-            let target = (q * finite as f64).ceil().max(1.0) as u64;
-            let mut seen = 0;
-            for (i, &c) in counts.iter().enumerate() {
-                seen += c;
-                if seen >= target {
-                    return bucket_floor(i);
-                }
-            }
-            max
-        };
-        HistogramSnapshot {
-            count,
-            sum,
-            min: if finite == 0 { f64::NAN } else { min },
-            max: if finite == 0 { f64::NAN } else { max },
-            p50: quantile(0.50),
-            p95: quantile(0.95),
-        }
+        snapshot_from(count, sum, min, max, &counts)
     }
 
     pub(crate) fn reset(&self) {
@@ -157,6 +135,40 @@ impl Default for Histogram {
     }
 }
 
+/// Builds the summary from raw aggregates. All count arithmetic
+/// saturates: bucket tallies near `u64::MAX` (a counter left running
+/// for months, or a wrapped test fixture) must degrade percentile
+/// resolution, never overflow.
+fn snapshot_from(count: u64, sum: f64, min: f64, max: f64, counts: &[u64]) -> HistogramSnapshot {
+    let finite = counts.iter().fold(0u64, |acc, &c| acc.saturating_add(c));
+    let quantile = |q: f64| -> f64 {
+        if finite == 0 {
+            return f64::NAN;
+        }
+        // f64-to-u64 casts saturate, so a huge `finite` cannot wrap the
+        // target either.
+        let target = ((q * finite as f64).ceil().max(1.0) as u64).min(finite);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen = seen.saturating_add(c);
+            if seen >= target {
+                return bucket_floor(i);
+            }
+        }
+        max
+    };
+    HistogramSnapshot {
+        count,
+        sum,
+        min: if finite == 0 { f64::NAN } else { min },
+        max: if finite == 0 { f64::NAN } else { max },
+        p50: quantile(0.50),
+        p90: quantile(0.90),
+        p95: quantile(0.95),
+        p99: quantile(0.99),
+    }
+}
+
 /// Summary of a [`Histogram`] at one instant.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HistogramSnapshot {
@@ -171,8 +183,12 @@ pub struct HistogramSnapshot {
     /// Median estimate at bucket resolution (a power-of-two lower
     /// bound, so within 2× of the true median).
     pub p50: f64,
+    /// 90th-percentile estimate at bucket resolution.
+    pub p90: f64,
     /// 95th-percentile estimate at bucket resolution.
     pub p95: f64,
+    /// 99th-percentile estimate at bucket resolution.
+    pub p99: f64,
 }
 
 impl HistogramSnapshot {
@@ -348,6 +364,89 @@ mod tests {
         assert_eq!(s.min, -3.0);
         assert_eq!(s.max, 0.0);
         assert_eq!(s.sum, -3.0);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_all_nan() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.sum, 0.0);
+        for v in [s.min, s.max, s.p50, s.p90, s.p95, s.p99, s.mean()] {
+            assert!(v.is_nan(), "expected NaN, got {v}");
+        }
+    }
+
+    #[test]
+    fn single_sample_pins_every_percentile() {
+        let h = Histogram::new();
+        h.record(6.64);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!((s.min, s.max), (6.64, 6.64));
+        // One sample: every quantile resolves to its bucket's floor.
+        let floor = bucket_floor(bucket_index(6.64));
+        for q in [s.p50, s.p90, s.p95, s.p99] {
+            assert_eq!(q, floor);
+        }
+        assert!(floor <= 6.64 && 6.64 < floor * 2.0);
+    }
+
+    #[test]
+    fn exact_log2_boundaries_land_in_their_own_bucket() {
+        // 2^k is the *inclusive lower bound* of its bucket: recording
+        // exact powers of two must report those same powers back as
+        // percentile floors, not the bucket below.
+        for v in [0.25, 0.5, 1.0, 2.0, 4.0, 1024.0] {
+            assert_eq!(bucket_floor(bucket_index(v)), v, "boundary {v}");
+            let h = Histogram::new();
+            h.record(v);
+            let s = h.snapshot();
+            assert_eq!(s.p50, v, "p50 of a single boundary sample {v}");
+        }
+        // Just below a boundary falls in the previous bucket.
+        assert_eq!(bucket_index(2.0f64.next_down()), bucket_index(1.5));
+        assert_eq!(bucket_index(2.0), bucket_index(3.0));
+    }
+
+    #[test]
+    fn quantiles_split_across_boundary_buckets() {
+        let h = Histogram::new();
+        for _ in 0..50 {
+            h.record(1.0); // [1, 2) bucket
+        }
+        for _ in 0..50 {
+            h.record(2.0); // [2, 4) bucket
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50, 1.0, "the 50th sample is still in the first bucket");
+        assert_eq!(s.p90, 2.0);
+        assert_eq!(s.p99, 2.0);
+    }
+
+    #[test]
+    fn saturating_counts_do_not_overflow_percentiles() {
+        // Synthetic aggregates with bucket tallies at u64::MAX: the
+        // cumulative walk must saturate instead of wrapping (a wrap
+        // would panic in debug builds and mis-rank quantiles in
+        // release).
+        let mut counts = vec![0u64; BUCKETS];
+        counts[10] = u64::MAX;
+        counts[20] = u64::MAX;
+        counts[30] = 1;
+        let s = snapshot_from(u64::MAX, f64::INFINITY, 1e-6, 1e3, &counts);
+        assert_eq!(s.p50, bucket_floor(10), "half the mass sits in the first spike");
+        // The saturated first spike alone reaches any clamped target:
+        // resolution degrades to the first bucket, but never wraps.
+        assert_eq!(s.p99, bucket_floor(10));
+        assert_eq!(s.min, 1e-6);
+        assert_eq!(s.max, 1e3);
+        // All-saturated tail: the quantile target itself clamps to
+        // `finite` and resolves to the last non-empty bucket.
+        let mut tail = vec![0u64; BUCKETS];
+        tail[BUCKETS - 1] = u64::MAX;
+        let s = snapshot_from(u64::MAX, 0.0, 0.0, 0.0, &tail);
+        assert_eq!(s.p99, bucket_floor(BUCKETS - 1));
     }
 
     #[test]

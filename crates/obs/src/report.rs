@@ -29,7 +29,16 @@ fn stages() -> &'static Mutex<BTreeMap<String, StageStats>> {
     MAP.get_or_init(|| Mutex::new(BTreeMap::new()))
 }
 
+/// Prefix of the per-stage latency histograms fed by [`record_stage`]
+/// (`stage.<path>`, samples in seconds).
+pub const STAGE_HISTOGRAM_PREFIX: &str = "stage.";
+
 pub(crate) fn record_stage(path: &str, elapsed: Duration) {
+    // Per-stage latency distribution, alongside the scalar aggregates:
+    // the percentile source for `run_all_summary.json` and the
+    // `stage.summary` trace events.
+    metrics::histogram(&format!("{STAGE_HISTOGRAM_PREFIX}{path}"))
+        .record(elapsed.as_secs_f64());
     let mut map = lock(stages());
     match map.get_mut(path) {
         Some(s) => {
@@ -57,6 +66,18 @@ pub fn stage_snapshot() -> Vec<(String, StageStats)> {
     lock(stages())
         .iter()
         .map(|(k, v)| (k.clone(), *v))
+        .collect()
+}
+
+/// Latency percentile snapshots for every recorded stage, sorted by
+/// path (seconds; the `stage.` histogram prefix is stripped).
+pub fn stage_percentiles() -> Vec<(String, crate::HistogramSnapshot)> {
+    metrics::histograms_snapshot()
+        .into_iter()
+        .filter_map(|(name, snap)| {
+            name.strip_prefix(STAGE_HISTOGRAM_PREFIX)
+                .map(|stage| (stage.to_string(), snap))
+        })
         .collect()
 }
 
@@ -123,14 +144,15 @@ pub fn render_report() -> String {
         for (name, h) in hists {
             let _ = writeln!(
                 out,
-                "{:<34} n={} mean={:.4e} min={:.4e} max={:.4e} ~p50={:.4e} ~p95={:.4e}",
+                "{:<34} n={} mean={:.4e} min={:.4e} max={:.4e} ~p50={:.4e} ~p95={:.4e} ~p99={:.4e}",
                 name,
                 h.count,
                 h.mean(),
                 h.min,
                 h.max,
                 h.p50,
-                h.p95
+                h.p95,
+                h.p99
             );
         }
     }

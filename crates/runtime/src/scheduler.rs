@@ -305,6 +305,10 @@ impl SmartRuntime {
 
         let mut step = 0usize;
         while step < cfg.total_steps {
+            // Per-step timeline record (Trace level): the raw material
+            // for `sfn-trace analyze` / `export` — timing is only taken
+            // when something would record the event.
+            let step_t0 = sfn_obs::event_enabled(Level::Trace).then(std::time::Instant::now);
             let stats = sim.step(&mut self.projectors[current]);
             let div_norm = stats.div_norm * inv_cells;
             tracker.push(div_norm);
@@ -312,6 +316,15 @@ impl SmartRuntime {
             time_per_model[current] += stats.projection_time.as_secs_f64();
             steps_per_model[current] += 1;
             step += 1;
+            if let Some(t0) = step_t0 {
+                sfn_obs::event(Level::Trace, "runtime.step")
+                    .field_u64("step", step as u64)
+                    .field_str("model", &self.candidates[current].name)
+                    .field_f64("secs", t0.elapsed().as_secs_f64())
+                    .field_f64("proj_secs", stats.projection_time.as_secs_f64())
+                    .field_f64("div_norm", div_norm)
+                    .emit();
+            }
 
             // Corruption guard: a surrogate that produced NaNs or blew
             // the simulation up is struck and the state rolled back.
@@ -395,11 +408,12 @@ impl SmartRuntime {
                 continue;
             }
 
-            let predicted_loss = match tracker.predict_final(cfg.check_interval, cfg.total_steps) {
-                Some(cdn) => self.knn.predict(cdn),
+            let cdn_pred = match tracker.predict_final(cfg.check_interval, cfg.total_steps) {
+                Some(cdn) => cdn,
                 // Warm-up or degenerate history: keep the current model.
                 None => continue,
             };
+            let predicted_loss = self.knn.predict(cdn_pred);
             predictions.push((step, predicted_loss));
 
             let hi = cfg.quality_target * (1.0 + cfg.tolerance);
@@ -425,13 +439,24 @@ impl SmartRuntime {
                 "keep"
             };
             sfn_obs::counter_add("scheduler.checks", 1);
+            // The decision record carries everything `sfn-trace audit`
+            // needs to replay Algorithm 2 offline: the prediction, the
+            // band, the candidate neighbourhood and the quarantine
+            // state that shaped the switch targets.
             sfn_obs::event(Level::Info, "scheduler.decision")
                 .field_u64("step", step as u64)
                 .field_str("model", &self.candidates[current].name)
                 .field_f64("predicted_loss", predicted_loss)
+                .field_f64("cdn_pred", cdn_pred)
                 .field_f64("target", cfg.quality_target)
                 .field_f64("band_lo", lo)
                 .field_f64("band_hi", hi)
+                .field_bool("mlp", cfg.use_mlp)
+                .field_str("up", up.map_or("none", |m| self.candidates[m].name.as_str()))
+                .field_str("down", down.map_or("none", |m| self.candidates[m].name.as_str()))
+                .field_u64("barred", quarantine.unavailable(interval_now).len() as u64)
+                .field_u64("rank", current as u64)
+                .field_u64("candidates", n_models as u64)
                 .field_str("action", action)
                 .emit();
             match action {
@@ -483,10 +508,20 @@ impl SmartRuntime {
                 "pcg-degraded",
             );
             while step < cfg.total_steps {
+                let step_t0 = sfn_obs::event_enabled(Level::Trace).then(std::time::Instant::now);
                 let s = sim.step(&mut pcg);
                 tracker.push(s.div_norm * inv_cells);
                 restart_time += s.projection_time.as_secs_f64();
                 step += 1;
+                if let Some(t0) = step_t0 {
+                    sfn_obs::event(Level::Trace, "runtime.step")
+                        .field_u64("step", step as u64)
+                        .field_str("model", "pcg-degraded")
+                        .field_f64("secs", t0.elapsed().as_secs_f64())
+                        .field_f64("proj_secs", s.projection_time.as_secs_f64())
+                        .field_f64("div_norm", s.div_norm * inv_cells)
+                        .emit();
+                }
             }
         }
 
@@ -498,10 +533,20 @@ impl SmartRuntime {
                 "pcg",
             );
             let mut restart_tracker = CumDivNormTracker::new();
-            for _ in 0..cfg.total_steps {
+            for restart_step in 0..cfg.total_steps {
+                let step_t0 = sfn_obs::event_enabled(Level::Trace).then(std::time::Instant::now);
                 let s = sim.step(&mut pcg);
                 restart_tracker.push(s.div_norm * inv_cells);
                 restart_time += s.projection_time.as_secs_f64();
+                if let Some(t0) = step_t0 {
+                    sfn_obs::event(Level::Trace, "runtime.step")
+                        .field_u64("step", restart_step as u64 + 1)
+                        .field_str("model", "pcg")
+                        .field_f64("secs", t0.elapsed().as_secs_f64())
+                        .field_f64("proj_secs", s.projection_time.as_secs_f64())
+                        .field_f64("div_norm", s.div_norm * inv_cells)
+                        .emit();
+                }
             }
             (sim.density().clone(), restart_tracker.series().to_vec())
         } else {

@@ -1,0 +1,557 @@
+//! Run reconstruction: turns a parsed trace into the per-stage, per-
+//! model and per-fault report that the paper reports as tables.
+
+use crate::audit;
+use crate::event::Trace;
+use sfn_obs::json::{self, JsonError, Value};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Schema marker written into every serialised [`Analysis`] so `diff`
+/// can tell a saved summary from a raw JSONL trace.
+pub const SUMMARY_SCHEMA: &str = "sfn-trace/summary@1";
+
+/// Exact percentiles over a set of raw samples (seconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quantiles {
+    /// Sample count.
+    pub count: u64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Quantiles {
+    /// Computes exact percentiles from unsorted samples (`None` when
+    /// empty). Non-finite samples are dropped.
+    pub fn from_samples(samples: &[f64]) -> Option<Quantiles> {
+        let mut v: Vec<f64> = samples.iter().copied().filter(|s| s.is_finite()).collect();
+        if v.is_empty() {
+            return None;
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = v.len();
+        let at = |q: f64| v[((q * n as f64).ceil().max(1.0) as usize).min(n) - 1];
+        Some(Quantiles {
+            count: n as u64,
+            p50: at(0.50),
+            p90: at(0.90),
+            p99: at(0.99),
+            max: v[n - 1],
+        })
+    }
+}
+
+/// One stage's latency summary, from the emitter's own histogram
+/// (`stage.summary` events; milliseconds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageQuantiles {
+    /// Stage path (`runtime/run`, `sim/step/projection`, …).
+    pub name: String,
+    /// Recorded scopes.
+    pub calls: u64,
+    /// Summed time in seconds.
+    pub total_secs: f64,
+    /// Approximate median, milliseconds.
+    pub p50_ms: f64,
+    /// Approximate 90th percentile, milliseconds.
+    pub p90_ms: f64,
+    /// Approximate 99th percentile, milliseconds.
+    pub p99_ms: f64,
+}
+
+/// One model's share of the run — the Table-3 analogue row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelShare {
+    /// Model name (`M7`, `pcg`, `pcg-degraded`, …).
+    pub model: String,
+    /// Steps attributed to this model.
+    pub steps: u64,
+    /// Summed per-step seconds.
+    pub secs: f64,
+    /// Fraction of the summed step time over all models, in `[0, 1]`.
+    pub share: f64,
+}
+
+/// Fault-recovery latency: how long after each `fault.injected` the
+/// runtime reacted (rollback, quarantine, recovery, sanitize, degrade).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoverySummary {
+    /// `fault.injected` records.
+    pub injected: u64,
+    /// Injections with a later resolving event.
+    pub resolved: u64,
+    /// Median injected→resolved latency in seconds (NaN when none).
+    pub p50_secs: f64,
+    /// Worst injected→resolved latency in seconds (NaN when none).
+    pub max_secs: f64,
+}
+
+/// The reconstructed run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Analysis {
+    /// Parsed records.
+    pub events: u64,
+    /// Unparseable lines (crash-truncated tails and the like).
+    pub skipped: u64,
+    /// Observed `ts` span in seconds.
+    pub duration_secs: f64,
+    /// `runtime.step` records.
+    pub steps: u64,
+    /// Exact step-latency percentiles from `runtime.step` (`None`
+    /// when the trace has no step records, e.g. `SFN_LOG` below trace).
+    pub step_latency: Option<Quantiles>,
+    /// Per-stage histogram summaries from `stage.summary` records.
+    pub stages: Vec<StageQuantiles>,
+    /// Per-model time/step shares from `runtime.step` records.
+    pub models: Vec<ModelShare>,
+    /// `scheduler.decision` records.
+    pub decisions: u64,
+    /// Decision action counts, sorted by action name.
+    pub actions: Vec<(String, u64)>,
+    /// Decisions contradicting the Algorithm 2 replay (see [`audit`]).
+    pub contradictions: u64,
+    /// `sim.blowup` records.
+    pub blowups: u64,
+    /// `sim.sanitized` records.
+    pub sanitized: u64,
+    /// `runtime.quarantine` records.
+    pub quarantines: u64,
+    /// `runtime.rollback` records.
+    pub rollbacks: u64,
+    /// `runtime.degraded` records.
+    pub degraded: u64,
+    /// Fault-recovery latency summary.
+    pub recovery: RecoverySummary,
+}
+
+/// Event kinds that count as "the runtime reacted" for recovery
+/// latency, in the order they typically fire.
+const RESOLVING_KINDS: &[&str] = &[
+    "fault.recovered",
+    "runtime.rollback",
+    "runtime.quarantine",
+    "runtime.degraded",
+    "sim.sanitized",
+];
+
+/// Reconstructs the run report from a parsed trace.
+pub fn analyze(trace: &Trace) -> Analysis {
+    let (t0, t1) = trace.span().unwrap_or((0.0, 0.0));
+
+    // Per-model shares and step latency from the runtime.step timeline.
+    let mut per_model: BTreeMap<&str, (u64, f64)> = BTreeMap::new();
+    let mut step_secs = Vec::new();
+    for e in trace.of_kind("runtime.step") {
+        let secs = e.f64("secs").unwrap_or(f64::NAN);
+        let entry = per_model.entry(e.str("model").unwrap_or("?")).or_insert((0, 0.0));
+        entry.0 += 1;
+        if secs.is_finite() {
+            entry.1 += secs;
+            step_secs.push(secs);
+        }
+    }
+    let total_secs: f64 = per_model.values().map(|&(_, s)| s).sum();
+    let models = per_model
+        .into_iter()
+        .map(|(model, (steps, secs))| ModelShare {
+            model: model.to_string(),
+            steps,
+            secs,
+            share: if total_secs > 0.0 { secs / total_secs } else { 0.0 },
+        })
+        .collect();
+
+    // Stage percentiles as the emitter's histograms saw them.
+    let stages = trace
+        .of_kind("stage.summary")
+        .map(|e| StageQuantiles {
+            name: e.str("stage").unwrap_or("?").to_string(),
+            calls: e.u64("calls").unwrap_or(0),
+            total_secs: e.f64("total_secs").unwrap_or(f64::NAN),
+            p50_ms: e.f64("p50_ms").unwrap_or(f64::NAN),
+            p90_ms: e.f64("p90_ms").unwrap_or(f64::NAN),
+            p99_ms: e.f64("p99_ms").unwrap_or(f64::NAN),
+        })
+        .collect();
+
+    let mut actions: BTreeMap<String, u64> = BTreeMap::new();
+    for e in trace.of_kind("scheduler.decision") {
+        *actions.entry(e.str("action").unwrap_or("?").to_string()).or_insert(0) += 1;
+    }
+
+    // Recovery latency: each injection pairs with the next resolving
+    // event at or after its timestamp.
+    let mut latencies = Vec::new();
+    let mut resolved = 0u64;
+    let injected: Vec<f64> = trace.of_kind("fault.injected").map(|e| e.ts).collect();
+    let mut resolutions: Vec<f64> = trace
+        .events
+        .iter()
+        .filter(|e| RESOLVING_KINDS.contains(&e.kind.as_str()))
+        .map(|e| e.ts)
+        .collect();
+    resolutions.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    for ts in &injected {
+        if let Some(r) = resolutions.iter().find(|&&r| r >= *ts) {
+            resolved += 1;
+            latencies.push(r - ts);
+        }
+    }
+    let rq = Quantiles::from_samples(&latencies);
+    let recovery = RecoverySummary {
+        injected: injected.len() as u64,
+        resolved,
+        p50_secs: rq.map_or(f64::NAN, |q| q.p50),
+        max_secs: rq.map_or(f64::NAN, |q| q.max),
+    };
+
+    Analysis {
+        events: trace.events.len() as u64,
+        skipped: trace.skipped as u64,
+        duration_secs: t1 - t0,
+        steps: trace.count("runtime.step"),
+        step_latency: Quantiles::from_samples(&step_secs),
+        stages,
+        models,
+        decisions: trace.count("scheduler.decision"),
+        actions: actions.into_iter().collect(),
+        contradictions: audit::audit(trace).contradictions.len() as u64,
+        blowups: trace.count("sim.blowup"),
+        sanitized: trace.count("sim.sanitized"),
+        quarantines: trace.count("runtime.quarantine"),
+        rollbacks: trace.count("runtime.rollback"),
+        degraded: trace.count("runtime.degraded"),
+        recovery,
+    }
+}
+
+// ------------------------------------------------------- serialisation
+
+fn push_kv_f64(out: &mut String, key: &str, v: f64) {
+    let _ = write!(out, "\"{key}\":");
+    json::push_f64(out, v);
+}
+
+impl Analysis {
+    /// Serialises the analysis as the `sfn-trace/summary@1` JSON object
+    /// (`diff` accepts these as baselines).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        let _ = write!(
+            s,
+            "{{\"schema\":\"{SUMMARY_SCHEMA}\",\"events\":{},\"skipped\":{},",
+            self.events, self.skipped
+        );
+        push_kv_f64(&mut s, "duration_secs", self.duration_secs);
+        let _ = write!(s, ",\"steps\":{},", self.steps);
+        s.push_str("\"step_latency\":");
+        match self.step_latency {
+            None => s.push_str("null"),
+            Some(q) => {
+                let _ = write!(s, "{{\"count\":{},", q.count);
+                push_kv_f64(&mut s, "p50", q.p50);
+                s.push(',');
+                push_kv_f64(&mut s, "p90", q.p90);
+                s.push(',');
+                push_kv_f64(&mut s, "p99", q.p99);
+                s.push(',');
+                push_kv_f64(&mut s, "max", q.max);
+                s.push('}');
+            }
+        }
+        s.push_str(",\"stages\":[");
+        for (i, st) in self.stages.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("{\"name\":\"");
+            json::escape_into(&mut s, &st.name);
+            let _ = write!(s, "\",\"calls\":{},", st.calls);
+            push_kv_f64(&mut s, "total_secs", st.total_secs);
+            s.push(',');
+            push_kv_f64(&mut s, "p50_ms", st.p50_ms);
+            s.push(',');
+            push_kv_f64(&mut s, "p90_ms", st.p90_ms);
+            s.push(',');
+            push_kv_f64(&mut s, "p99_ms", st.p99_ms);
+            s.push('}');
+        }
+        s.push_str("],\"models\":[");
+        for (i, m) in self.models.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("{\"model\":\"");
+            json::escape_into(&mut s, &m.model);
+            let _ = write!(s, "\",\"steps\":{},", m.steps);
+            push_kv_f64(&mut s, "secs", m.secs);
+            s.push(',');
+            push_kv_f64(&mut s, "share", m.share);
+            s.push('}');
+        }
+        let _ = write!(s, "],\"decisions\":{},\"actions\":{{", self.decisions);
+        for (i, (action, n)) in self.actions.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('"');
+            json::escape_into(&mut s, action);
+            let _ = write!(s, "\":{n}");
+        }
+        let _ = write!(
+            s,
+            "}},\"contradictions\":{},\"blowups\":{},\"sanitized\":{},\"quarantines\":{},\"rollbacks\":{},\"degraded\":{},",
+            self.contradictions, self.blowups, self.sanitized, self.quarantines, self.rollbacks, self.degraded
+        );
+        let _ = write!(
+            s,
+            "\"recovery\":{{\"injected\":{},\"resolved\":{},",
+            self.recovery.injected, self.recovery.resolved
+        );
+        push_kv_f64(&mut s, "p50_secs", self.recovery.p50_secs);
+        s.push(',');
+        push_kv_f64(&mut s, "max_secs", self.recovery.max_secs);
+        s.push_str("}}");
+        s
+    }
+
+    /// Parses a serialised summary back (the `diff` baseline path).
+    pub fn from_json(text: &str) -> Result<Analysis, JsonError> {
+        let v = json::parse(text)?;
+        let bad = |message: &str| JsonError { at: 0, message: message.to_string() };
+        if v.get("schema").and_then(Value::as_str) != Some(SUMMARY_SCHEMA) {
+            return Err(bad(&format!("not a {SUMMARY_SCHEMA} summary")));
+        }
+        let num = |key: &str| v.get(key).and_then(Value::as_f64).unwrap_or(f64::NAN);
+        let int = |key: &str| v.get(key).and_then(Value::as_u64).unwrap_or(0);
+        let step_latency = match v.get("step_latency") {
+            None | Some(Value::Null) => None,
+            Some(q) => Some(Quantiles {
+                count: q.get("count").and_then(Value::as_u64).unwrap_or(0),
+                p50: q.get("p50").and_then(Value::as_f64).unwrap_or(f64::NAN),
+                p90: q.get("p90").and_then(Value::as_f64).unwrap_or(f64::NAN),
+                p99: q.get("p99").and_then(Value::as_f64).unwrap_or(f64::NAN),
+                max: q.get("max").and_then(Value::as_f64).unwrap_or(f64::NAN),
+            }),
+        };
+        let field = |o: &Value, key: &str| o.get(key).and_then(Value::as_f64).unwrap_or(f64::NAN);
+        let stages = match v.get("stages").and_then(Value::as_arr) {
+            None => Vec::new(),
+            Some(items) => items
+                .iter()
+                .map(|o| StageQuantiles {
+                    name: o.get("name").and_then(Value::as_str).unwrap_or("?").to_string(),
+                    calls: o.get("calls").and_then(Value::as_u64).unwrap_or(0),
+                    total_secs: field(o, "total_secs"),
+                    p50_ms: field(o, "p50_ms"),
+                    p90_ms: field(o, "p90_ms"),
+                    p99_ms: field(o, "p99_ms"),
+                })
+                .collect(),
+        };
+        let models = match v.get("models").and_then(Value::as_arr) {
+            None => Vec::new(),
+            Some(items) => items
+                .iter()
+                .map(|o| ModelShare {
+                    model: o.get("model").and_then(Value::as_str).unwrap_or("?").to_string(),
+                    steps: o.get("steps").and_then(Value::as_u64).unwrap_or(0),
+                    secs: field(o, "secs"),
+                    share: field(o, "share"),
+                })
+                .collect(),
+        };
+        let actions = match v.get("actions") {
+            Some(Value::Obj(fields)) => fields
+                .iter()
+                .map(|(k, n)| (k.clone(), n.as_u64().unwrap_or(0)))
+                .collect(),
+            _ => Vec::new(),
+        };
+        let recovery = match v.get("recovery") {
+            Some(r) => RecoverySummary {
+                injected: r.get("injected").and_then(Value::as_u64).unwrap_or(0),
+                resolved: r.get("resolved").and_then(Value::as_u64).unwrap_or(0),
+                p50_secs: field(r, "p50_secs"),
+                max_secs: field(r, "max_secs"),
+            },
+            None => RecoverySummary { injected: 0, resolved: 0, p50_secs: f64::NAN, max_secs: f64::NAN },
+        };
+        Ok(Analysis {
+            events: int("events"),
+            skipped: int("skipped"),
+            duration_secs: num("duration_secs"),
+            steps: int("steps"),
+            step_latency,
+            stages,
+            models,
+            decisions: int("decisions"),
+            actions,
+            contradictions: int("contradictions"),
+            blowups: int("blowups"),
+            sanitized: int("sanitized"),
+            quarantines: int("quarantines"),
+            rollbacks: int("rollbacks"),
+            degraded: int("degraded"),
+            recovery,
+        })
+    }
+
+    /// Renders the human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== sfn-trace run report ==\n");
+        let _ = writeln!(
+            out,
+            "events={} skipped={} span={:.3}s steps={} decisions={} contradictions={}",
+            self.events, self.skipped, self.duration_secs, self.steps, self.decisions, self.contradictions
+        );
+        if let Some(q) = self.step_latency {
+            let _ = writeln!(
+                out,
+                "step latency: n={} p50={:.3}ms p90={:.3}ms p99={:.3}ms max={:.3}ms",
+                q.count,
+                1e3 * q.p50,
+                1e3 * q.p90,
+                1e3 * q.p99,
+                1e3 * q.max
+            );
+        }
+        if !self.models.is_empty() {
+            out.push_str("-- time per model (Table-3 analogue) --\n");
+            for m in &self.models {
+                let _ = writeln!(
+                    out,
+                    "{:<16} steps={:<6} secs={:<10.4} share={:.1}%",
+                    m.model,
+                    m.steps,
+                    m.secs,
+                    100.0 * m.share
+                );
+            }
+        }
+        if !self.stages.is_empty() {
+            out.push_str("-- stage latency (histogram approx) --\n");
+            for s in &self.stages {
+                let _ = writeln!(
+                    out,
+                    "{:<34} calls={:<8} total={:<9.3}s p50={:.3}ms p90={:.3}ms p99={:.3}ms",
+                    s.name, s.calls, s.total_secs, s.p50_ms, s.p90_ms, s.p99_ms
+                );
+            }
+        }
+        if !self.actions.is_empty() {
+            out.push_str("-- scheduler actions --\n");
+            for (action, n) in &self.actions {
+                let _ = writeln!(out, "{action:<16} {n}");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "-- health --\nblowups={} sanitized={} quarantines={} rollbacks={} degraded={}",
+            self.blowups, self.sanitized, self.quarantines, self.rollbacks, self.degraded
+        );
+        let r = &self.recovery;
+        if r.injected > 0 {
+            let _ = writeln!(
+                out,
+                "faults: injected={} resolved={} recovery p50={:.3}ms max={:.3}ms",
+                r.injected,
+                r.resolved,
+                1e3 * r.p50_secs,
+                1e3 * r.max_secs
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::parse_trace;
+
+    fn sample_trace() -> Trace {
+        parse_trace(concat!(
+            "{\"ts\":0.10,\"level\":\"trace\",\"kind\":\"runtime.step\",\"step\":1,\"model\":\"M7\",\"secs\":0.010,\"div_norm\":0.5}\n",
+            "{\"ts\":0.12,\"level\":\"trace\",\"kind\":\"runtime.step\",\"step\":2,\"model\":\"M7\",\"secs\":0.010,\"div_norm\":0.5}\n",
+            "{\"ts\":0.15,\"level\":\"trace\",\"kind\":\"runtime.step\",\"step\":3,\"model\":\"pcg\",\"secs\":0.030,\"div_norm\":0.1}\n",
+            "{\"ts\":0.20,\"level\":\"info\",\"kind\":\"scheduler.decision\",\"step\":3,\"model\":\"M7\",",
+            "\"predicted_loss\":0.01,\"target\":0.012,\"band_lo\":0.0096,\"band_hi\":0.0144,",
+            "\"mlp\":true,\"up\":\"M9\",\"down\":\"none\",\"action\":\"keep\"}\n",
+            "{\"ts\":0.30,\"level\":\"warn\",\"kind\":\"fault.injected\",\"fault\":\"nan_output\",\"site\":\"projector/M7\",\"step\":4}\n",
+            "{\"ts\":0.35,\"level\":\"warn\",\"kind\":\"runtime.quarantine\",\"step\":4,\"model\":\"M7\",\"strikes\":1,\"ejected\":false}\n",
+            "{\"ts\":0.36,\"level\":\"warn\",\"kind\":\"runtime.rollback\",\"from_step\":4,\"to_step\":0,\"from\":\"M7\",\"to\":\"M9\"}\n",
+            "{\"ts\":0.50,\"level\":\"info\",\"kind\":\"stage.summary\",\"stage\":\"runtime/run\",\"calls\":1,",
+            "\"total_secs\":0.4,\"p50_ms\":400.0,\"p90_ms\":400.0,\"p99_ms\":400.0}\n",
+        ))
+    }
+
+    #[test]
+    fn reconstructs_shares_stages_and_actions() {
+        let a = analyze(&sample_trace());
+        assert_eq!(a.events, 8);
+        assert_eq!(a.steps, 3);
+        assert_eq!(a.decisions, 1);
+        assert_eq!(a.contradictions, 0);
+        assert_eq!(a.actions, vec![("keep".to_string(), 1)]);
+        assert_eq!(a.models.len(), 2);
+        let m7 = a.models.iter().find(|m| m.model == "M7").unwrap();
+        let pcg = a.models.iter().find(|m| m.model == "pcg").unwrap();
+        assert_eq!(m7.steps, 2);
+        assert!((m7.share - 0.4).abs() < 1e-9, "{}", m7.share);
+        assert!((pcg.share - 0.6).abs() < 1e-9, "{}", pcg.share);
+        assert_eq!(a.stages.len(), 1);
+        assert_eq!(a.stages[0].name, "runtime/run");
+        assert_eq!(a.quarantines, 1);
+        assert_eq!(a.rollbacks, 1);
+        assert_eq!(a.recovery.injected, 1);
+        assert_eq!(a.recovery.resolved, 1);
+        assert!((a.recovery.p50_secs - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_json_round_trips() {
+        let a = analyze(&sample_trace());
+        let text = a.to_json();
+        assert!(text.contains(SUMMARY_SCHEMA), "{text}");
+        let back = Analysis::from_json(&text).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn from_json_rejects_non_summaries() {
+        assert!(Analysis::from_json("{\"ts\":1.0,\"kind\":\"x\"}").is_err());
+        assert!(Analysis::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn empty_trace_analyzes_to_zeroes() {
+        let a = analyze(&parse_trace(""));
+        assert_eq!(a.events, 0);
+        assert_eq!(a.steps, 0);
+        assert!(a.step_latency.is_none());
+        assert!(a.models.is_empty());
+        let text = a.to_json();
+        let back = Analysis::from_json(&text).unwrap();
+        assert_eq!(back.events, 0);
+        assert!(back.step_latency.is_none());
+    }
+
+    #[test]
+    fn exact_quantiles_from_samples() {
+        let q = Quantiles::from_samples(&[5.0, 1.0, 3.0, 2.0, 4.0]).unwrap();
+        assert_eq!(q.count, 5);
+        assert_eq!(q.p50, 3.0);
+        assert_eq!(q.p90, 5.0);
+        assert_eq!(q.max, 5.0);
+        assert!(Quantiles::from_samples(&[]).is_none());
+        assert!(Quantiles::from_samples(&[f64::NAN]).is_none());
+    }
+}

@@ -1,0 +1,222 @@
+//! Scheduler decision audit: replays every `scheduler.decision` record
+//! against the Algorithm 2 rule and flags contradictions.
+//!
+//! The runtime emits each decision *with* the inputs that produced it
+//! (prediction, band, candidate neighbourhood, quarantine state), so
+//! the rule can be re-evaluated offline:
+//!
+//! ```text
+//! if   predicted_loss > band_hi:  switch_up    (restart if no model above)
+//! elif predicted_loss < band_lo
+//!      and mlp and a model below: switch_down
+//! else:                           keep
+//! ```
+//!
+//! Older or foreign traces without the enriched fields are checked
+//! coarsely (an action must at least be *consistent* with the band);
+//! records with a `null` prediction are counted as skipped, never
+//! flagged.
+
+use crate::event::{Trace, TraceEvent};
+use std::fmt::Write as _;
+
+/// One decision that contradicts the replayed rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Contradiction {
+    /// Step the decision was taken at.
+    pub step: u64,
+    /// Model the decision was taken on.
+    pub model: String,
+    /// Action the replay expects.
+    pub expected: String,
+    /// Action the trace records.
+    pub actual: String,
+    /// Why the replay disagrees.
+    pub reason: String,
+}
+
+/// The audit result over one trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AuditReport {
+    /// `scheduler.decision` records seen.
+    pub decisions: u64,
+    /// Records skipped for missing/null inputs (not contradictions).
+    pub skipped: u64,
+    /// Records audited with the full enriched rule (vs. coarse band
+    /// consistency only).
+    pub full_replays: u64,
+    /// The contradictions found.
+    pub contradictions: Vec<Contradiction>,
+}
+
+impl AuditReport {
+    /// True when no decision contradicted the replay.
+    pub fn clean(&self) -> bool {
+        self.contradictions.is_empty()
+    }
+
+    /// Renders the human-readable audit summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== sfn-trace decision audit ==\ndecisions={} full_replays={} skipped={} contradictions={}",
+            self.decisions,
+            self.full_replays,
+            self.skipped,
+            self.contradictions.len()
+        );
+        for c in &self.contradictions {
+            let _ = writeln!(
+                out,
+                "step {} on {}: recorded {:?}, replay expects {:?} ({})",
+                c.step, c.model, c.actual, c.expected, c.reason
+            );
+        }
+        out
+    }
+}
+
+fn replay_full(pl: f64, hi: f64, lo: f64, mlp: bool, up: &str, down: &str) -> (&'static str, String) {
+    if pl > hi {
+        if up != "none" {
+            ("switch_up", format!("loss {pl:.4e} > band_hi {hi:.4e} with {up} above"))
+        } else {
+            ("restart", format!("loss {pl:.4e} > band_hi {hi:.4e} with no model above"))
+        }
+    } else if pl < lo && mlp && down != "none" {
+        ("switch_down", format!("loss {pl:.4e} < band_lo {lo:.4e} with {down} below"))
+    } else {
+        ("keep", format!("loss {pl:.4e} within [{lo:.4e}, {hi:.4e}] (or nowhere to go)"))
+    }
+}
+
+fn audit_one(e: &TraceEvent, report: &mut AuditReport) {
+    let actual = e.str("action").unwrap_or("?").to_string();
+    let step = e.u64("step").unwrap_or(0);
+    let model = e.str("model").unwrap_or("?").to_string();
+    let (Some(pl), Some(hi), Some(lo)) = (e.f64("predicted_loss"), e.f64("band_hi"), e.f64("band_lo"))
+    else {
+        // A null prediction (warm-up NaN) or a pre-envelope record:
+        // nothing to replay.
+        report.skipped += 1;
+        return;
+    };
+    let mut push = |expected: &str, reason: String| {
+        report.contradictions.push(Contradiction {
+            step,
+            model: model.clone(),
+            expected: expected.to_string(),
+            actual: actual.clone(),
+            reason,
+        });
+    };
+    match (e.bool("mlp"), e.str("up"), e.str("down")) {
+        (Some(mlp), Some(up), Some(down)) => {
+            report.full_replays += 1;
+            let (expected, reason) = replay_full(pl, hi, lo, mlp, up, down);
+            if expected != actual {
+                push(expected, reason);
+            }
+        }
+        _ => {
+            // Coarse mode: without the candidate neighbourhood the
+            // exact action is ambiguous, but the band still constrains
+            // it. Escalations require an over-band prediction and
+            // relaxations an under-band one.
+            match actual.as_str() {
+                "switch_up" | "restart" if pl <= hi => {
+                    push("keep", format!("escalation with loss {pl:.4e} <= band_hi {hi:.4e}"));
+                }
+                "switch_down" if pl >= lo => {
+                    push("keep", format!("relaxation with loss {pl:.4e} >= band_lo {lo:.4e}"));
+                }
+                "keep" if pl > hi => {
+                    push("switch_up", format!("keep with loss {pl:.4e} > band_hi {hi:.4e}"));
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Replays every `scheduler.decision` in the trace.
+pub fn audit(trace: &Trace) -> AuditReport {
+    let mut report = AuditReport::default();
+    for e in trace.of_kind("scheduler.decision") {
+        report.decisions += 1;
+        audit_one(e, &mut report);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::parse_trace;
+
+    fn decision(pl: &str, action: &str, enriched: bool) -> String {
+        let extra = if enriched { ",\"mlp\":true,\"up\":\"M9\",\"down\":\"M5\"" } else { "" };
+        format!(
+            "{{\"ts\":1.0,\"level\":\"info\",\"kind\":\"scheduler.decision\",\"step\":20,\"model\":\"M7\",\
+             \"predicted_loss\":{pl},\"band_lo\":0.009,\"band_hi\":0.015{extra},\"action\":\"{action}\"}}"
+        )
+    }
+
+    #[test]
+    fn consistent_decisions_audit_clean() {
+        let t = parse_trace(&[
+            decision("0.010", "keep", true),
+            decision("0.020", "switch_up", true),
+            decision("0.001", "switch_down", true),
+        ]
+        .join("\n"));
+        let r = audit(&t);
+        assert_eq!(r.decisions, 3);
+        assert_eq!(r.full_replays, 3);
+        assert!(r.clean(), "{:?}", r.contradictions);
+    }
+
+    #[test]
+    fn contradictions_are_flagged_with_expected_action() {
+        let t = parse_trace(&decision("0.020", "keep", true));
+        let r = audit(&t);
+        assert_eq!(r.contradictions.len(), 1);
+        let c = &r.contradictions[0];
+        assert_eq!(c.expected, "switch_up");
+        assert_eq!(c.actual, "keep");
+        assert_eq!(c.step, 20);
+        assert!(r.render().contains("switch_up"), "{}", r.render());
+    }
+
+    #[test]
+    fn restart_expected_when_no_model_above() {
+        let line = "{\"ts\":1.0,\"kind\":\"scheduler.decision\",\"step\":5,\"model\":\"M9\",\
+                    \"predicted_loss\":0.02,\"band_lo\":0.009,\"band_hi\":0.015,\
+                    \"mlp\":true,\"up\":\"none\",\"down\":\"M5\",\"action\":\"switch_up\"}";
+        let r = audit(&parse_trace(line));
+        assert_eq!(r.contradictions[0].expected, "restart");
+    }
+
+    #[test]
+    fn null_predictions_are_skipped_not_flagged() {
+        let t = parse_trace(&decision("null", "keep", true));
+        let r = audit(&t);
+        assert_eq!(r.skipped, 1);
+        assert!(r.clean());
+    }
+
+    #[test]
+    fn coarse_mode_checks_band_consistency_only() {
+        // keep inside the band, no enriched fields: clean.
+        let ok = audit(&parse_trace(&decision("0.010", "keep", false)));
+        assert!(ok.clean());
+        assert_eq!(ok.full_replays, 0);
+        // switch_down above band_lo: contradiction even coarsely.
+        let bad = audit(&parse_trace(&decision("0.010", "switch_down", false)));
+        assert_eq!(bad.contradictions.len(), 1);
+        // switch_down below band_lo: plausible (down model unknown).
+        let plausible = audit(&parse_trace(&decision("0.001", "switch_down", false)));
+        assert!(plausible.clean());
+    }
+}

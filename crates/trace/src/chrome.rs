@@ -1,0 +1,135 @@
+//! Chrome trace-event export: turns the JSONL trace into the JSON
+//! array format that `chrome://tracing` and Perfetto load directly.
+//!
+//! * `runtime.step` records become complete (`"ph":"X"`) slices — one
+//!   lane (`tid`) per model, so switches, rollbacks and the degraded
+//!   tail are visible as lane changes on the timeline.
+//! * every other record becomes an instant (`"ph":"i"`) event on lane
+//!   0, named by its `kind`, with the full record as `args`.
+//!
+//! Timestamps are microseconds since process start; a step slice spans
+//! `[ts - secs, ts]` because the runtime stamps records at completion.
+
+use crate::event::Trace;
+use sfn_obs::json;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+fn push_us(out: &mut String, secs: f64) {
+    // Chrome wants microseconds; clamp the occasional NaN ts to 0.
+    json::push_f64(out, if secs.is_finite() { (secs * 1e6).max(0.0) } else { 0.0 });
+}
+
+/// Renders the whole trace as a Chrome trace-event JSON document.
+pub fn export_chrome(trace: &Trace) -> String {
+    // Stable lane per model, in order of first appearance.
+    let mut lanes: BTreeMap<&str, usize> = BTreeMap::new();
+    for e in trace.of_kind("runtime.step") {
+        let n = lanes.len();
+        lanes.entry(e.str("model").unwrap_or("?")).or_insert(n + 1);
+    }
+
+    let mut s = String::with_capacity(256 + 160 * trace.events.len());
+    s.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let mut sep = |s: &mut String| {
+        if first {
+            first = false;
+        } else {
+            s.push(',');
+        }
+    };
+
+    // Lane names as thread metadata.
+    sep(&mut s);
+    s.push_str(
+        "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"thread_name\",\"args\":{\"name\":\"events\"}}",
+    );
+    for (model, tid) in &lanes {
+        sep(&mut s);
+        let _ = write!(
+            s,
+            "{{\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"name\":\"thread_name\",\"args\":{{\"name\":\"model "
+        );
+        json::escape_into(&mut s, model);
+        s.push_str("\"}}");
+    }
+
+    for e in &trace.events {
+        sep(&mut s);
+        if e.kind == "runtime.step" {
+            let model = e.str("model").unwrap_or("?");
+            let secs = e.f64("secs").unwrap_or(0.0).max(0.0);
+            let tid = lanes.get(model).copied().unwrap_or(0);
+            s.push_str("{\"ph\":\"X\",\"pid\":1,\"cat\":\"step\",\"name\":\"");
+            json::escape_into(&mut s, model);
+            let _ = write!(s, "\",\"tid\":{tid},\"ts\":");
+            push_us(&mut s, e.ts - secs);
+            s.push_str(",\"dur\":");
+            push_us(&mut s, secs);
+            s.push_str(",\"args\":");
+            e.fields.write_into(&mut s);
+            s.push('}');
+        } else {
+            s.push_str("{\"ph\":\"i\",\"pid\":1,\"tid\":0,\"s\":\"t\",\"cat\":\"");
+            json::escape_into(&mut s, e.level.as_str());
+            s.push_str("\",\"name\":\"");
+            json::escape_into(&mut s, &e.kind);
+            s.push_str("\",\"ts\":");
+            push_us(&mut s, e.ts);
+            s.push_str(",\"args\":");
+            e.fields.write_into(&mut s);
+            s.push('}');
+        }
+    }
+    s.push_str("]}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::parse_trace;
+    use sfn_obs::json::{parse, Value};
+
+    #[test]
+    fn export_is_valid_json_with_slices_and_instants() {
+        let t = parse_trace(concat!(
+            "{\"ts\":0.010,\"level\":\"trace\",\"kind\":\"runtime.step\",\"step\":1,\"model\":\"M7\",\"secs\":0.010}\n",
+            "{\"ts\":0.025,\"level\":\"trace\",\"kind\":\"runtime.step\",\"step\":2,\"model\":\"pcg\",\"secs\":0.015}\n",
+            "{\"ts\":0.030,\"level\":\"warn\",\"kind\":\"fault.injected\",\"site\":\"projector/M7\"}\n",
+        ));
+        let doc = export_chrome(&t);
+        let v = parse(&doc).expect("valid JSON");
+        let events = v.get("traceEvents").and_then(Value::as_arr).unwrap();
+        // 1 lane metadata for tid 0 + 2 model lanes + 3 records.
+        assert_eq!(events.len(), 6);
+        let slice = events
+            .iter()
+            .find(|e| {
+                e.get("ph").and_then(Value::as_str) == Some("X")
+                    && e.get("name").and_then(Value::as_str) == Some("M7")
+            })
+            .expect("M7 slice");
+        // Stamped at completion: the slice starts at ts - secs.
+        assert_eq!(slice.get("ts").and_then(Value::as_f64), Some(0.0));
+        assert_eq!(slice.get("dur").and_then(Value::as_f64), Some(10_000.0));
+        let instant = events
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("fault.injected"))
+            .expect("instant");
+        assert_eq!(instant.get("ph").and_then(Value::as_str), Some("i"));
+        assert_eq!(
+            instant.get("args").and_then(|a| a.get("site")).and_then(Value::as_str),
+            Some("projector/M7")
+        );
+    }
+
+    #[test]
+    fn empty_trace_exports_an_empty_document() {
+        let doc = export_chrome(&parse_trace(""));
+        let v = parse(&doc).expect("valid JSON");
+        let events = v.get("traceEvents").and_then(Value::as_arr).unwrap();
+        assert_eq!(events.len(), 1, "only the tid-0 metadata record");
+    }
+}

@@ -1,0 +1,288 @@
+//! Trace/summary comparison: the CI perf-regression gate.
+//!
+//! Two runs — each a raw JSONL trace or a saved `sfn-trace/summary@1`
+//! document — are reduced to [`Analysis`] and compared metric by
+//! metric against [`Thresholds`]. The result is a machine-readable
+//! [`Verdict`]; the CLI exits non-zero when it is not ok, which is the
+//! whole gate.
+//!
+//! Latency comparisons are ratio-based with an absolute floor:
+//! percentiles below the floor are noise on a shared CI runner and are
+//! never flagged, no matter the ratio.
+
+use crate::analyze::Analysis;
+use sfn_obs::json;
+use std::fmt::Write as _;
+
+/// Per-metric regression thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Thresholds {
+    /// Maximum allowed current/baseline ratio on latency percentiles
+    /// (step p50/p99, stage p99, duration).
+    pub latency_ratio: f64,
+    /// Latencies below this many milliseconds are never flagged.
+    pub latency_floor_ms: f64,
+    /// Maximum allowed absolute drift of a model's time share.
+    pub share_abs: f64,
+    /// Maximum allowed scheduler-audit contradictions in the current
+    /// run.
+    pub max_contradictions: u64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds {
+            latency_ratio: 1.5,
+            latency_floor_ms: 0.05,
+            share_abs: 0.25,
+            max_contradictions: 0,
+        }
+    }
+}
+
+/// One threshold violation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Which metric regressed (`step.p99_ms`, `share.M7`, …).
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// The limit that was exceeded.
+    pub limit: f64,
+}
+
+/// The comparison result.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Verdict {
+    /// The violations, empty when the gate passes.
+    pub regressions: Vec<Regression>,
+}
+
+impl Verdict {
+    /// True when no threshold was violated.
+    pub fn ok(&self) -> bool {
+        self.regressions.is_empty()
+    }
+
+    /// Machine-readable verdict document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\"schema\":\"sfn-trace/verdict@1\",\"ok\":");
+        s.push_str(if self.ok() { "true" } else { "false" });
+        s.push_str(",\"regressions\":[");
+        for (i, r) in self.regressions.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("{\"metric\":\"");
+            json::escape_into(&mut s, &r.metric);
+            s.push_str("\",\"baseline\":");
+            json::push_f64(&mut s, r.baseline);
+            s.push_str(",\"current\":");
+            json::push_f64(&mut s, r.current);
+            s.push_str(",\"limit\":");
+            json::push_f64(&mut s, r.limit);
+            s.push('}');
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Human-readable verdict.
+    pub fn render(&self) -> String {
+        if self.ok() {
+            return "sfn-trace diff: ok\n".to_string();
+        }
+        let mut out = format!("sfn-trace diff: {} regression(s)\n", self.regressions.len());
+        for r in &self.regressions {
+            let _ = writeln!(
+                out,
+                "  {}: baseline {:.4} -> current {:.4} (limit {:.4})",
+                r.metric, r.baseline, r.current, r.limit
+            );
+        }
+        out
+    }
+}
+
+fn check_latency(
+    verdict: &mut Verdict,
+    t: &Thresholds,
+    metric: &str,
+    baseline_ms: f64,
+    current_ms: f64,
+) {
+    if !baseline_ms.is_finite() || !current_ms.is_finite() {
+        return; // missing on either side: nothing comparable
+    }
+    if current_ms <= t.latency_floor_ms {
+        return;
+    }
+    // A zero/sub-floor baseline with an above-floor current is compared
+    // against the floor so the ratio stays meaningful.
+    let base = baseline_ms.max(t.latency_floor_ms);
+    if current_ms > base * t.latency_ratio {
+        verdict.regressions.push(Regression {
+            metric: metric.to_string(),
+            baseline: baseline_ms,
+            current: current_ms,
+            limit: base * t.latency_ratio,
+        });
+    }
+}
+
+/// Compares `current` against `baseline` under `thresholds`.
+pub fn diff(baseline: &Analysis, current: &Analysis, thresholds: &Thresholds) -> Verdict {
+    let t = thresholds;
+    let mut verdict = Verdict::default();
+
+    if current.contradictions > t.max_contradictions {
+        verdict.regressions.push(Regression {
+            metric: "audit.contradictions".to_string(),
+            baseline: baseline.contradictions as f64,
+            current: current.contradictions as f64,
+            limit: t.max_contradictions as f64,
+        });
+    }
+
+    if let (Some(b), Some(c)) = (baseline.step_latency, current.step_latency) {
+        check_latency(&mut verdict, t, "step.p50_ms", 1e3 * b.p50, 1e3 * c.p50);
+        check_latency(&mut verdict, t, "step.p99_ms", 1e3 * b.p99, 1e3 * c.p99);
+    }
+    check_latency(
+        &mut verdict,
+        t,
+        "duration_ms",
+        1e3 * baseline.duration_secs,
+        1e3 * current.duration_secs,
+    );
+
+    for cs in &current.stages {
+        if let Some(bs) = baseline.stages.iter().find(|s| s.name == cs.name) {
+            check_latency(
+                &mut verdict,
+                t,
+                &format!("stage.{}.p99_ms", cs.name),
+                bs.p99_ms,
+                cs.p99_ms,
+            );
+        }
+    }
+
+    for cm in &current.models {
+        if let Some(bm) = baseline.models.iter().find(|m| m.model == cm.model) {
+            let drift = (cm.share - bm.share).abs();
+            if drift.is_finite() && drift > t.share_abs {
+                verdict.regressions.push(Regression {
+                    metric: format!("share.{}", cm.model),
+                    baseline: bm.share,
+                    current: cm.share,
+                    limit: t.share_abs,
+                });
+            }
+        }
+    }
+
+    verdict
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::{ModelShare, Quantiles, RecoverySummary, StageQuantiles};
+
+    fn base() -> Analysis {
+        Analysis {
+            events: 100,
+            skipped: 0,
+            duration_secs: 1.0,
+            steps: 50,
+            step_latency: Some(Quantiles { count: 50, p50: 0.010, p90: 0.012, p99: 0.015, max: 0.02 }),
+            stages: vec![StageQuantiles {
+                name: "runtime/run".to_string(),
+                calls: 1,
+                total_secs: 1.0,
+                p50_ms: 1000.0,
+                p90_ms: 1000.0,
+                p99_ms: 1000.0,
+            }],
+            models: vec![ModelShare { model: "M7".to_string(), steps: 50, secs: 0.5, share: 0.8 }],
+            decisions: 5,
+            actions: vec![("keep".to_string(), 5)],
+            contradictions: 0,
+            blowups: 0,
+            sanitized: 0,
+            quarantines: 0,
+            rollbacks: 0,
+            degraded: 0,
+            recovery: RecoverySummary { injected: 0, resolved: 0, p50_secs: f64::NAN, max_secs: f64::NAN },
+        }
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let v = diff(&base(), &base(), &Thresholds::default());
+        assert!(v.ok(), "{}", v.render());
+        assert!(v.to_json().contains("\"ok\":true"));
+    }
+
+    #[test]
+    fn slow_steps_fail_the_gate() {
+        let mut cur = base();
+        let q = cur.step_latency.as_mut().unwrap();
+        q.p50 *= 3.0;
+        q.p99 *= 3.0;
+        let v = diff(&base(), &cur, &Thresholds::default());
+        assert!(!v.ok());
+        assert!(v.regressions.iter().any(|r| r.metric == "step.p99_ms"), "{:?}", v.regressions);
+        assert!(v.to_json().contains("\"ok\":false"));
+    }
+
+    #[test]
+    fn contradictions_fail_the_gate() {
+        let mut cur = base();
+        cur.contradictions = 1;
+        let v = diff(&base(), &cur, &Thresholds::default());
+        assert_eq!(v.regressions.len(), 1);
+        assert_eq!(v.regressions[0].metric, "audit.contradictions");
+    }
+
+    #[test]
+    fn share_drift_fails_the_gate() {
+        let mut cur = base();
+        cur.models[0].share = 0.4;
+        let v = diff(&base(), &cur, &Thresholds::default());
+        assert!(v.regressions.iter().any(|r| r.metric == "share.M7"));
+    }
+
+    #[test]
+    fn sub_floor_latencies_are_never_flagged() {
+        let mut b = base();
+        let mut c = base();
+        b.step_latency = Some(Quantiles { count: 5, p50: 1e-6, p90: 1e-6, p99: 1e-6, max: 1e-6 });
+        c.step_latency = Some(Quantiles { count: 5, p50: 4e-6, p90: 4e-6, p99: 4e-6, max: 4e-6 });
+        b.duration_secs = 0.00001;
+        c.duration_secs = 0.00004;
+        b.stages.clear();
+        c.stages.clear();
+        let v = diff(&b, &c, &Thresholds::default());
+        assert!(v.ok(), "{}", v.render());
+    }
+
+    #[test]
+    fn new_stages_and_models_are_not_compared() {
+        let mut cur = base();
+        cur.stages.push(StageQuantiles {
+            name: "brand/new".to_string(),
+            calls: 1,
+            total_secs: 9.0,
+            p50_ms: 9000.0,
+            p90_ms: 9000.0,
+            p99_ms: 9000.0,
+        });
+        cur.models.push(ModelShare { model: "M9".to_string(), steps: 1, secs: 0.01, share: 0.01 });
+        let v = diff(&base(), &cur, &Thresholds::default());
+        assert!(v.ok(), "{}", v.render());
+    }
+}

@@ -1,0 +1,155 @@
+//! Typed view of one `SFN_TRACE_FILE` JSONL record and the lenient
+//! stream parser over a whole file.
+
+use sfn_obs::json::{self, Value};
+use sfn_obs::Level;
+
+/// One parsed trace record: the envelope (`ts`, `level`, `kind`) plus
+/// the full field object for event-specific lookups.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Seconds since process start (monotonic).
+    pub ts: f64,
+    /// Record severity.
+    pub level: Level,
+    /// Dotted event name (`scheduler.decision`, `fault.injected`, …).
+    pub kind: String,
+    /// The whole record object, for field access.
+    pub fields: Value,
+}
+
+impl TraceEvent {
+    /// Parses one JSONL line. `None` if the line is not a record of the
+    /// `sfn-obs` envelope shape (malformed JSON, missing `kind`, …).
+    pub fn parse_line(line: &str) -> Option<TraceEvent> {
+        let fields = json::parse(line).ok()?;
+        let kind = fields.get("kind")?.as_str()?.to_string();
+        let ts = fields.get("ts").and_then(Value::as_f64).unwrap_or(f64::NAN);
+        let level = fields
+            .get("level")
+            .and_then(Value::as_str)
+            .and_then(Level::parse)
+            .unwrap_or(Level::Info);
+        Some(TraceEvent { ts, level, kind, fields })
+    }
+
+    /// A float field (also accepts integral JSON numbers).
+    pub fn f64(&self, key: &str) -> Option<f64> {
+        self.fields.get(key).and_then(Value::as_f64)
+    }
+
+    /// An unsigned integer field.
+    pub fn u64(&self, key: &str) -> Option<u64> {
+        self.fields.get(key).and_then(Value::as_u64)
+    }
+
+    /// A string field.
+    pub fn str(&self, key: &str) -> Option<&str> {
+        self.fields.get(key).and_then(Value::as_str)
+    }
+
+    /// A boolean field.
+    pub fn bool(&self, key: &str) -> Option<bool> {
+        self.fields.get(key).and_then(Value::as_bool)
+    }
+}
+
+/// A parsed trace: the records in file order plus a count of lines that
+/// did not parse (typically a record truncated by a crash mid-write —
+/// the flight recorder exists precisely because that happens).
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Records in file order.
+    pub events: Vec<TraceEvent>,
+    /// Non-blank lines that failed to parse.
+    pub skipped: usize,
+}
+
+impl Trace {
+    /// Iterates the records of one `kind`.
+    pub fn of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Number of records of one `kind`.
+    pub fn count(&self, kind: &str) -> u64 {
+        self.of_kind(kind).count() as u64
+    }
+
+    /// The observed time span `[first ts, last ts]` over finite
+    /// timestamps, or `None` for an empty trace.
+    pub fn span(&self) -> Option<(f64, f64)> {
+        let mut range: Option<(f64, f64)> = None;
+        for e in &self.events {
+            if e.ts.is_finite() {
+                range = Some(match range {
+                    None => (e.ts, e.ts),
+                    Some((lo, hi)) => (lo.min(e.ts), hi.max(e.ts)),
+                });
+            }
+        }
+        range
+    }
+}
+
+/// Parses a whole JSONL trace text, skipping (and counting) bad lines.
+pub fn parse_trace(text: &str) -> Trace {
+    let mut trace = Trace::default();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match TraceEvent::parse_line(line) {
+            Some(e) => trace.events.push(e),
+            None => trace.skipped += 1,
+        }
+    }
+    trace
+}
+
+/// Reads and parses a trace file.
+pub fn load_trace(path: &str) -> std::io::Result<Trace> {
+    Ok(parse_trace(&std::fs::read_to_string(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_records_and_fields() {
+        let t = parse_trace(
+            "{\"ts\":1.5,\"level\":\"info\",\"kind\":\"scheduler.decision\",\"step\":20,\"action\":\"keep\",\"mlp\":true,\"predicted_loss\":null}\n\
+             \n\
+             not json\n\
+             {\"ts\":2.0,\"level\":\"warn\",\"kind\":\"fault.injected\",\"site\":\"projector/M7\"}\n",
+        );
+        assert_eq!(t.events.len(), 2);
+        assert_eq!(t.skipped, 1);
+        let d = &t.events[0];
+        assert_eq!(d.kind, "scheduler.decision");
+        assert_eq!(d.level, Level::Info);
+        assert_eq!(d.u64("step"), Some(20));
+        assert_eq!(d.str("action"), Some("keep"));
+        assert_eq!(d.bool("mlp"), Some(true));
+        assert_eq!(d.f64("predicted_loss"), None, "null fields read as absent");
+        assert_eq!(t.count("fault.injected"), 1);
+        assert_eq!(t.span(), Some((1.5, 2.0)));
+    }
+
+    #[test]
+    fn records_without_kind_are_skipped() {
+        let t = parse_trace("{\"ts\":1.0}\n{\"kind\":42}\n");
+        assert!(t.events.is_empty());
+        assert_eq!(t.skipped, 2);
+    }
+
+    #[test]
+    fn truncated_tail_is_tolerated() {
+        // A crash mid-write leaves a partial last line.
+        let t = parse_trace("{\"ts\":1.0,\"kind\":\"a\"}\n{\"ts\":2.0,\"ki");
+        assert_eq!(t.events.len(), 1);
+        assert_eq!(t.skipped, 1);
+    }
+}

@@ -1,0 +1,40 @@
+//! `sfn-trace` — the read side of the pipeline's observability.
+//!
+//! `sfn-obs` *writes* the `SFN_TRACE_FILE` JSONL event stream; this
+//! crate reads it back and turns it into answers:
+//!
+//! * [`event`] — parses the stream into typed [`event::TraceEvent`]s
+//!   (malformed lines are counted, never fatal: a crash can truncate
+//!   the last record mid-write).
+//! * [`analyze`] — reconstructs the run: per-stage latency percentiles,
+//!   per-model time/step shares (the Table-3 analogue, cross-checkable
+//!   against `RunSummary`), scheduler action counts and fault-recovery
+//!   latency from `fault.injected` to the resolving event.
+//! * [`audit`] — replays every `scheduler.decision` against the
+//!   Algorithm 2 rule and reports contradictions, so a scheduler bug
+//!   shows up as a non-zero audit instead of a quietly wrong run.
+//! * [`chrome`] — exports the timeline as Chrome trace-event JSON
+//!   loadable in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev).
+//! * [`diff`] — compares two runs (raw traces or saved summaries)
+//!   against per-metric thresholds and emits a machine-readable
+//!   regression verdict; CI runs this against a committed baseline.
+//!
+//! The `sfn-trace` binary wraps all of the above as subcommands.
+//!
+//! Like `sfn-obs`, the crate is dependency-free: the JSONL comes back
+//! through [`sfn_obs::json`], the same hand-rolled parser that the
+//! fault-injection config uses.
+
+#![warn(missing_docs)]
+
+pub mod analyze;
+pub mod audit;
+pub mod chrome;
+pub mod diff;
+pub mod event;
+
+pub use analyze::{analyze, Analysis, ModelShare, Quantiles, RecoverySummary, StageQuantiles};
+pub use audit::{audit, AuditReport, Contradiction};
+pub use chrome::export_chrome;
+pub use diff::{diff, Regression, Thresholds, Verdict};
+pub use event::{load_trace, parse_trace, Trace, TraceEvent};

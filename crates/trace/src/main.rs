@@ -1,0 +1,200 @@
+//! The `sfn-trace` CLI: analyze / audit / export / diff over
+//! `SFN_TRACE_FILE` JSONL traces.
+//!
+//! ```text
+//! sfn-trace analyze <trace.jsonl> [--json] [-o FILE]
+//! sfn-trace audit   <trace.jsonl> [--json]
+//! sfn-trace export  <trace.jsonl> [-o FILE]       # Chrome trace JSON
+//! sfn-trace diff    <baseline> <current> [--json]
+//!           [--latency-ratio R] [--latency-floor-ms MS]
+//!           [--share-abs S] [--max-contradictions N]
+//! ```
+//!
+//! `diff` inputs may each be a raw JSONL trace or a summary produced by
+//! `analyze --json` (auto-detected). Exit codes: 0 ok, 1 audit/diff
+//! found problems, 2 usage or I/O error.
+
+use sfn_trace::{analyze, audit, diff, export_chrome, Analysis, Thresholds};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: sfn-trace <analyze|audit|export|diff> <trace...> [options]
+  analyze <trace.jsonl> [--json] [-o FILE]   run report (latency, shares, faults)
+  audit   <trace.jsonl> [--json]             replay scheduler decisions (exit 1 on contradictions)
+  export  <trace.jsonl> [-o FILE]            Chrome trace-event JSON (chrome://tracing, Perfetto)
+  diff    <baseline> <current> [--json]      regression gate (exit 1 on regression)
+          [--latency-ratio R] [--latency-floor-ms MS] [--share-abs S] [--max-contradictions N]";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("sfn-trace: {msg}");
+    ExitCode::from(2)
+}
+
+/// Loads either a raw JSONL trace or a saved `analyze --json` summary.
+fn load_analysis(path: &str) -> Result<Analysis, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    if let Ok(a) = Analysis::from_json(&text) {
+        return Ok(a);
+    }
+    let trace = sfn_trace::parse_trace(&text);
+    if trace.events.is_empty() && !text.trim().is_empty() {
+        return Err(format!("{path:?} is neither a summary nor a parseable trace"));
+    }
+    Ok(analyze(&trace))
+}
+
+fn write_out(out: Option<&str>, content: &str) -> Result<(), String> {
+    match out {
+        Some(path) => std::fs::write(path, content).map_err(|e| format!("cannot write {path:?}: {e}")),
+        None => {
+            print!("{content}");
+            Ok(())
+        }
+    }
+}
+
+struct Opts {
+    paths: Vec<String>,
+    json: bool,
+    out: Option<String>,
+    thresholds: Thresholds,
+}
+
+fn num_arg(it: &mut std::slice::Iter<'_, String>, name: &str) -> Result<f64, String> {
+    it.next()
+        .ok_or_else(|| format!("{name} needs a value"))?
+        .parse::<f64>()
+        .map_err(|e| format!("bad {name} value: {e}"))
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts { paths: Vec::new(), json: false, out: None, thresholds: Thresholds::default() };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => opts.json = true,
+            "-o" | "--out" => {
+                opts.out = Some(
+                    it.next().ok_or_else(|| "-o needs a path".to_string())?.clone(),
+                )
+            }
+            "--latency-ratio" => opts.thresholds.latency_ratio = num_arg(&mut it, "--latency-ratio")?,
+            "--latency-floor-ms" => {
+                opts.thresholds.latency_floor_ms = num_arg(&mut it, "--latency-floor-ms")?
+            }
+            "--share-abs" => opts.thresholds.share_abs = num_arg(&mut it, "--share-abs")?,
+            "--max-contradictions" => {
+                opts.thresholds.max_contradictions = num_arg(&mut it, "--max-contradictions")? as u64
+            }
+            _ if a.starts_with('-') => return Err(format!("unknown option {a:?}")),
+            _ => opts.paths.push(a.clone()),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let opts = match parse_opts(rest) {
+        Ok(o) => o,
+        Err(e) => return fail(&e),
+    };
+
+    match cmd.as_str() {
+        "analyze" => {
+            let [path] = opts.paths.as_slice() else {
+                return fail("analyze takes exactly one trace file");
+            };
+            let trace = match sfn_trace::load_trace(path) {
+                Ok(t) => t,
+                Err(e) => return fail(&format!("cannot read {path:?}: {e}")),
+            };
+            let a = analyze(&trace);
+            let doc = if opts.json { a.to_json() + "\n" } else { a.render() };
+            match write_out(opts.out.as_deref(), &doc) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => fail(&e),
+            }
+        }
+        "audit" => {
+            let [path] = opts.paths.as_slice() else {
+                return fail("audit takes exactly one trace file");
+            };
+            let trace = match sfn_trace::load_trace(path) {
+                Ok(t) => t,
+                Err(e) => return fail(&format!("cannot read {path:?}: {e}")),
+            };
+            let report = audit(&trace);
+            if opts.json {
+                // Minimal machine form: counts plus the contradictions.
+                let mut s = format!(
+                    "{{\"schema\":\"sfn-trace/audit@1\",\"decisions\":{},\"full_replays\":{},\"skipped\":{},\"contradictions\":[",
+                    report.decisions, report.full_replays, report.skipped
+                );
+                for (i, c) in report.contradictions.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push_str(&format!(
+                        "{{\"step\":{},\"model\":{:?},\"expected\":{:?},\"actual\":{:?}}}",
+                        c.step, c.model, c.expected, c.actual
+                    ));
+                }
+                s.push_str("]}\n");
+                print!("{s}");
+            } else {
+                print!("{}", report.render());
+            }
+            if report.clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        "export" => {
+            let [path] = opts.paths.as_slice() else {
+                return fail("export takes exactly one trace file");
+            };
+            let trace = match sfn_trace::load_trace(path) {
+                Ok(t) => t,
+                Err(e) => return fail(&format!("cannot read {path:?}: {e}")),
+            };
+            match write_out(opts.out.as_deref(), &export_chrome(&trace)) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => fail(&e),
+            }
+        }
+        "diff" => {
+            let [baseline, current] = opts.paths.as_slice() else {
+                return fail("diff takes a baseline and a current file");
+            };
+            let b = match load_analysis(baseline) {
+                Ok(b) => b,
+                Err(e) => return fail(&e),
+            };
+            let c = match load_analysis(current) {
+                Ok(c) => c,
+                Err(e) => return fail(&e),
+            };
+            let verdict = diff(&b, &c, &opts.thresholds);
+            if opts.json {
+                println!("{}", verdict.to_json());
+            } else {
+                print!("{}", verdict.render());
+            }
+            if verdict.ok() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -17,12 +17,14 @@
 //! * [`workload`] — seeded input-problem generation
 //! * [`stats`] — statistics utilities
 //! * [`obs`] — observability: spans, metrics, JSONL event tracing
+//! * [`trace`] — trace analysis: timelines, decision audit, perf diff
 //! * [`faults`] — deterministic fault injection (chaos testing)
 //! * [`core`] — the `SmartFluidnet` framework facade
 
 pub use sfn_faults as faults;
 pub use sfn_grid as grid;
 pub use sfn_obs as obs;
+pub use sfn_trace as trace;
 pub use sfn_nn as nn;
 pub use sfn_sim as sim;
 pub use sfn_solver as solver;

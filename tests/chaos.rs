@@ -224,6 +224,117 @@ fn fault_schedule_replays_identically() {
     assert_eq!(first.degraded, second.degraded);
 }
 
+/// An in-memory trace sink for asserting on emitted JSONL records.
+#[derive(Clone)]
+struct SharedBuf(std::sync::Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    fn new() -> Self {
+        Self(std::sync::Arc::new(Mutex::new(Vec::new())))
+    }
+
+    fn contents(&self) -> String {
+        String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+    }
+}
+
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn trace_carries_enriched_decisions_and_a_clean_audit() {
+    use smart_fluidnet::obs;
+    use smart_fluidnet::trace;
+    let _g = hold();
+    faults::install(None);
+    let buf = SharedBuf::new();
+    obs::set_trace_writer(Some(Box::new(buf.clone())));
+    let out = runtime(20).run(simulation());
+    obs::flush_trace();
+    obs::set_trace_writer(None);
+
+    let parsed = trace::parse_trace(&buf.contents());
+    assert_eq!(parsed.skipped, 0, "every emitted line must parse back");
+
+    // Every step appears on the timeline with its model and duration.
+    let steps: Vec<_> = parsed.of_kind("runtime.step").collect();
+    assert_eq!(steps.len(), 20, "one record per executed step");
+    for s in &steps {
+        assert!(s.str("model").is_some() && s.f64("secs").is_some(), "{:?}", s.fields);
+    }
+
+    // Decisions carry the full Algorithm 2 replay envelope...
+    let decisions: Vec<_> = parsed.of_kind("scheduler.decision").collect();
+    assert!(!decisions.is_empty(), "a 20-step adaptive run checks quality");
+    for d in &decisions {
+        for key in ["mlp", "up", "down", "action"] {
+            assert!(d.fields.get(key).is_some(), "missing {key}: {:?}", d.fields);
+        }
+        for key in ["barred", "rank", "candidates"] {
+            assert!(d.u64(key).is_some(), "missing {key}: {:?}", d.fields);
+        }
+        assert_eq!(d.u64("candidates"), Some(3));
+    }
+    // ...and a healthy run replays with zero contradictions.
+    let audit = trace::audit(&parsed);
+    assert!(audit.clean(), "{}", audit.render());
+    assert_eq!(audit.decisions, decisions.len() as u64);
+
+    // The reconstructed per-model step counts cross-check against the
+    // runtime's own tally (the Table-3 analogue agrees with telemetry).
+    let analysis = trace::analyze(&parsed);
+    for m in &analysis.models {
+        let i = out.model_names.iter().position(|n| *n == m.model).unwrap();
+        assert_eq!(m.steps as usize, out.steps_per_model[i], "{}", m.model);
+    }
+    let share_sum: f64 = analysis.models.iter().map(|m| m.share).sum();
+    assert!((share_sum - 1.0).abs() < 1e-9, "shares partition step time: {share_sum}");
+}
+
+#[test]
+fn blowup_dumps_a_flight_recorder_crash_report() {
+    use smart_fluidnet::obs;
+    let _g = hold();
+    let path = std::env::temp_dir().join("sfn_chaos_crash_report.jsonl");
+    let _ = std::fs::remove_file(&path);
+    obs::flight::clear();
+    obs::set_flight_enabled(true);
+    obs::set_crash_file(path.to_str());
+
+    // Poison every surrogate: the first corrupted step trips the sim's
+    // blow-up guard, which must dump the recorder to the crash file.
+    let (out, injected) = run_under(
+        r#"{"seed": 3, "faults": [
+            {"kind": "nan_output", "p": 1.0, "target": "chaos"}]}"#,
+        12,
+    );
+    obs::set_crash_file(None);
+    assert!(injected > 0);
+    assert_survived(&out, 12);
+
+    let report = std::fs::read_to_string(&path).expect("crash report written");
+    let mut lines = report.lines();
+    let header = lines.next().expect("non-empty report");
+    assert!(header.contains("\"kind\":\"crash.report\""), "{header}");
+    assert!(header.contains("\"reason\":\"sim."), "{header}");
+    // The ring retains the moments leading up to the failure: the
+    // injection that caused it and the blow-up itself, all parseable.
+    assert!(report.contains("\"kind\":\"sim.blowup\""), "{report}");
+    assert!(report.contains("\"kind\":\"fault.injected\""), "{report}");
+    for line in report.lines() {
+        assert!(obs::json::parse(line).is_ok(), "unparseable crash line: {line}");
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
 #[test]
 fn env_schedule_from_sfn_faults_survives() {
     // The CI chaos job sets SFN_FAULTS to a seeded schedule; without
