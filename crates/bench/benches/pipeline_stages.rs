@@ -1,20 +1,28 @@
-//! Criterion: offline-pipeline building blocks — family generation,
-//! Pareto selection, the distance transform behind the DivNorm weights
-//! and the turbulence generator behind the input problems.
+//! Offline-pipeline building blocks — family generation, Pareto
+//! selection, the distance transform behind the DivNorm weights and the
+//! turbulence generator behind the input problems.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sfn_bench::timing::Suite;
 use sfn_grid::{distance::distance_field, CellFlags};
 use sfn_modelgen::transform::{narrow, pooling, shallow};
 use sfn_stats::{pareto_front, ParetoPoint};
 use sfn_surrogate::tompson_default;
 use sfn_workload::TurbulenceSpec;
 
-fn bench_stages(c: &mut Criterion) {
+fn main() {
+    let mut suite = Suite::new("pipeline_stages");
+
     // §4 transformations on the base spec.
     let base = tompson_default();
-    c.bench_function("transform_shallow", |b| b.iter(|| shallow(&base, 1)));
-    c.bench_function("transform_narrow", |b| b.iter(|| narrow(&base, 1, 0.1)));
-    c.bench_function("transform_pooling", |b| b.iter(|| pooling(&base, 1, false)));
+    suite.bench("transform_shallow", || {
+        shallow(&base, 1);
+    });
+    suite.bench("transform_narrow", || {
+        narrow(&base, 1, 0.1);
+    });
+    suite.bench("transform_pooling", || {
+        pooling(&base, 1, false);
+    });
 
     // Pareto front on a paper-sized scatter (133 models).
     let pts: Vec<ParetoPoint> = (0..133)
@@ -24,25 +32,21 @@ fn bench_stages(c: &mut Criterion) {
             loss: ((i * 61) % 133) as f64,
         })
         .collect();
-    c.bench_function("pareto_front_133", |b| b.iter(|| pareto_front(&pts)));
+    suite.bench("pareto_front_133", || {
+        pareto_front(&pts);
+    });
 
     // Distance transform (Eq. 5 weights) and turbulence generation.
-    let mut group = c.benchmark_group("grid_setup");
-    group.sample_size(20);
-    group.measurement_time(std::time::Duration::from_secs(3));
     for n in [64usize, 128] {
         let mut flags = CellFlags::smoke_box(n, n);
         flags.add_solid_disc(n as f64 / 2.0, n as f64 / 2.0, n as f64 / 10.0);
-        group.bench_with_input(BenchmarkId::new("distance_field", n), &n, |b, _| {
-            b.iter(|| distance_field(&flags))
+        suite.bench(&format!("distance_field/{n}"), || {
+            distance_field(&flags);
         });
         let spec = TurbulenceSpec::default();
-        group.bench_with_input(BenchmarkId::new("turbulence", n), &n, |b, _| {
-            b.iter(|| spec.generate(n, n, 7))
+        suite.bench(&format!("turbulence/{n}"), || {
+            spec.generate(n, n, 7);
         });
     }
-    group.finish();
+    suite.finish();
 }
-
-criterion_group!(benches, bench_stages);
-criterion_main!(benches);

@@ -1,12 +1,12 @@
-//! Criterion: one pressure-Poisson solve per backend (the primitive
-//! behind Table 1, Figure 8 and Figure 10).
+//! One pressure-Poisson solve per backend (the primitive behind
+//! Table 1, Figure 8 and Figure 10), timed with the in-tree harness.
 //!
 //! Neural backends use untrained weights — inference cost does not
 //! depend on the weight values, and this keeps `cargo bench` free of
 //! the offline training pipeline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sfn_bench::runners::representative_divergence;
+use sfn_bench::timing::Suite;
 use sfn_nn::Network;
 use sfn_sim::PressureProjector;
 use sfn_solver::{
@@ -14,11 +14,8 @@ use sfn_solver::{
 };
 use sfn_surrogate::{tompson_default, yang_default, NeuralProjector};
 
-fn bench_backends(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pressure_solve");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+fn main() {
+    let mut suite = Suite::new("pressure_solve");
     for grid in [32usize, 64] {
         let (flags, div) = representative_divergence(grid);
         let dt = 0.5;
@@ -27,26 +24,26 @@ fn bench_backends(c: &mut Criterion) {
             PcgSolver::new(MicPreconditioner::default(), 1e-6, 200_000),
             "pcg",
         );
-        group.bench_with_input(BenchmarkId::new("pcg_mic0", grid), &grid, |b, _| {
-            b.iter(|| pcg.solve_pressure(&div, &flags, 1.0, dt))
+        suite.bench(&format!("pcg_mic0/{grid}"), || {
+            pcg.solve_pressure(&div, &flags, 1.0, dt);
         });
 
         let mut cg = sfn_sim::ExactProjector::labelled(CgSolver::plain(1e-6, 200_000), "cg");
-        group.bench_with_input(BenchmarkId::new("cg", grid), &grid, |b, _| {
-            b.iter(|| cg.solve_pressure(&div, &flags, 1.0, dt))
+        suite.bench(&format!("cg/{grid}"), || {
+            cg.solve_pressure(&div, &flags, 1.0, dt);
         });
 
         let mut sor = sfn_sim::ExactProjector::labelled(SorSolver::new(1.7, 1e-6, 400_000), "sor");
-        group.bench_with_input(BenchmarkId::new("sor", grid), &grid, |b, _| {
-            b.iter(|| sor.solve_pressure(&div, &flags, 1.0, dt))
+        suite.bench(&format!("sor/{grid}"), || {
+            sor.solve_pressure(&div, &flags, 1.0, dt);
         });
 
         let mut jacobi = sfn_sim::ExactProjector::labelled(
             JacobiSolver::new(2.0 / 3.0, 1e-4, 400_000),
             "jacobi(1e-4)",
         );
-        group.bench_with_input(BenchmarkId::new("jacobi_loose", grid), &grid, |b, _| {
-            b.iter(|| jacobi.solve_pressure(&div, &flags, 1.0, dt))
+        suite.bench(&format!("jacobi_loose/{grid}"), || {
+            jacobi.solve_pressure(&div, &flags, 1.0, dt);
         });
 
         let mut mg = sfn_sim::ExactProjector::labelled(
@@ -56,24 +53,21 @@ fn bench_backends(c: &mut Criterion) {
             },
             "mg",
         );
-        group.bench_with_input(BenchmarkId::new("multigrid", grid), &grid, |b, _| {
-            b.iter(|| mg.solve_pressure(&div, &flags, 1.0, dt))
+        suite.bench(&format!("multigrid/{grid}"), || {
+            mg.solve_pressure(&div, &flags, 1.0, dt);
         });
 
         let tompson = Network::from_spec(&tompson_default(), 1).expect("spec");
         let mut nn_t = NeuralProjector::new(tompson, "tompson");
-        group.bench_with_input(BenchmarkId::new("nn_tompson", grid), &grid, |b, _| {
-            b.iter(|| nn_t.solve_pressure(&div, &flags, 1.0, dt))
+        suite.bench(&format!("nn_tompson/{grid}"), || {
+            nn_t.solve_pressure(&div, &flags, 1.0, dt);
         });
 
         let yang = Network::from_spec(&yang_default(), 1).expect("spec");
         let mut nn_y = NeuralProjector::new(yang, "yang");
-        group.bench_with_input(BenchmarkId::new("nn_yang", grid), &grid, |b, _| {
-            b.iter(|| nn_y.solve_pressure(&div, &flags, 1.0, dt))
+        suite.bench(&format!("nn_yang/{grid}"), || {
+            nn_y.solve_pressure(&div, &flags, 1.0, dt);
         });
     }
-    group.finish();
+    suite.finish();
 }
-
-criterion_group!(benches, bench_backends);
-criterion_main!(benches);

@@ -1,10 +1,10 @@
-//! Criterion: the adaptive runtime's per-check overhead — the paper's
-//! claim that the linear regression + KNN machinery is "lightweight"
-//! compared to the projection it steers (§6.2 discussion) — plus the
-//! `sfn-obs` instrumentation overhead (disabled tracing must stay in
-//! the noise floor of a simulation step).
+//! The adaptive runtime's per-check overhead — the paper's claim that
+//! the linear regression + KNN machinery is "lightweight" compared to
+//! the projection it steers (§6.2 discussion) — plus the `sfn-obs`
+//! instrumentation overhead (disabled tracing must stay in the noise
+//! floor of a simulation step).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sfn_bench::timing::Suite;
 use sfn_grid::CellFlags;
 use sfn_nn::{LayerSpec, NetworkSpec};
 use sfn_quality::mlp::{MlpTrainConfig, SuccessPredictor};
@@ -53,65 +53,75 @@ fn trained_predictor() -> SuccessPredictor {
     .0
 }
 
-fn bench_overhead(c: &mut Criterion) {
+fn bench_overhead(suite: &mut Suite) {
     // CumDivNorm regression-based extrapolation.
     let mut tracker = CumDivNormTracker::new();
     for i in 0..64 {
         tracker.push(1.0 + 0.01 * i as f64);
     }
-    c.bench_function("cumdivnorm_predict_final", |b| {
-        b.iter(|| tracker.predict_final(5, 128))
+    suite.bench("cumdivnorm_predict_final", || {
+        tracker.predict_final(5, 128);
     });
 
     // KNN lookup in a paper-sized database (5 models x 128 problems).
     let db = KnnDatabase::new((0..640).map(|i| (i as f64, i as f64 * 1e-4)).collect()).unwrap();
-    c.bench_function("knn_predict_k4_640pairs", |b| b.iter(|| db.predict(317.5)));
+    suite.bench("knn_predict_k4_640pairs", || {
+        db.predict(317.5);
+    });
 
     // Eq. 6 featurisation + MLP forward (the offline selection path).
     let s = spec();
-    c.bench_function("feature_vector_48", |b| b.iter(|| feature_vector(&s, 0.013, 6.64)));
+    suite.bench("feature_vector_48", || {
+        feature_vector(&s, 0.013, 6.64);
+    });
     let mut predictor = trained_predictor();
-    c.bench_function("mlp3_predict", |b| b.iter(|| predictor.predict(&s, 0.013, 6.64)));
+    suite.bench("mlp3_predict", || {
+        predictor.predict(&s, 0.013, 6.64);
+    });
 
     // A full scheduler decision: regression + KNN.
-    c.bench_function("scheduler_decision", |b| {
-        b.iter(|| {
-            let cdn = tracker.predict_final(5, 128).unwrap_or(0.0);
-            db.predict(cdn)
-        })
+    suite.bench("scheduler_decision", || {
+        let cdn = tracker.predict_final(5, 128).unwrap_or(0.0);
+        db.predict(cdn);
     });
 }
 
-fn sim_step_pcg(b: &mut criterion::Bencher<'_>) {
+fn sim_step_pcg(suite: &mut Suite, id: &str) {
     let n = 24;
     let mut sim = Simulation::new(SimConfig::plume(n), CellFlags::smoke_box(n, n));
     let mut pcg = ExactProjector::labelled(
         PcgSolver::new(MicPreconditioner::default(), 1e-5, 10_000),
         "pcg",
     );
-    b.iter(|| sim.step(&mut pcg));
+    suite.bench(id, || {
+        sim.step(&mut pcg);
+    });
 }
 
 /// The acceptance bar for the observability layer: with tracing and
 /// metrics disabled a fully instrumented simulation step (spans, solver
 /// counters, scheduler hooks) must cost within ~2% of the enabled run's
-/// bookkeeping-free path — compare these two Criterion entries.
-fn bench_step_overhead(c: &mut Criterion) {
+/// bookkeeping-free path — compare these entries in the report.
+fn bench_step_overhead(suite: &mut Suite) {
     // The flight recorder is on by default; measure the step both ways
     // so its always-on cost stays visible (it captures info+ events
     // only, so a healthy step should show no difference at all).
     sfn_obs::enable_metrics(false);
     sfn_obs::set_flight_enabled(false);
-    c.bench_function("sim_step_pcg_obs_disabled", sim_step_pcg);
+    sim_step_pcg(suite, "sim_step_pcg_obs_disabled");
 
     sfn_obs::set_flight_enabled(true);
-    c.bench_function("sim_step_pcg_flight_recorder", sim_step_pcg);
+    sim_step_pcg(suite, "sim_step_pcg_flight_recorder");
 
     sfn_obs::enable_metrics(true);
-    c.bench_function("sim_step_pcg_obs_enabled", sim_step_pcg);
+    sim_step_pcg(suite, "sim_step_pcg_obs_enabled");
     sfn_obs::enable_metrics(false);
     sfn_obs::reset();
 }
 
-criterion_group!(benches, bench_overhead, bench_step_overhead);
-criterion_main!(benches);
+fn main() {
+    let mut suite = Suite::new("runtime_overhead");
+    bench_overhead(&mut suite);
+    bench_step_overhead(&mut suite);
+    suite.finish();
+}

@@ -1,8 +1,8 @@
-//! Criterion: one full Euler step (advection + forces + projection)
-//! under the exact solver vs a neural surrogate — the end-to-end
-//! per-step cost that the paper's speedups are built from.
+//! One full Euler step (advection + forces + projection) under the
+//! exact solver vs a neural surrogate — the end-to-end per-step cost
+//! that the paper's speedups are built from.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sfn_bench::timing::Suite;
 use sfn_grid::CellFlags;
 use sfn_nn::Network;
 use sfn_sim::{ExactProjector, SimConfig, Simulation};
@@ -21,11 +21,8 @@ fn prepared_sim(n: usize) -> Simulation {
     sim
 }
 
-fn bench_step(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim_step");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+fn main() {
+    let mut suite = Suite::new("sim_step");
     for n in [32usize, 64] {
         let base = prepared_sim(n);
 
@@ -33,26 +30,23 @@ fn bench_step(c: &mut Criterion) {
             PcgSolver::new(MicPreconditioner::default(), 1e-6, 200_000),
             "pcg",
         );
-        group.bench_with_input(BenchmarkId::new("pcg", n), &n, |b, _| {
-            b.iter_batched(
-                || base.clone(),
-                |mut sim| sim.step(&mut pcg),
-                criterion::BatchSize::LargeInput,
-            )
-        });
+        suite.bench_batched(
+            &format!("pcg/{n}"),
+            || base.clone(),
+            |mut sim| {
+                sim.step(&mut pcg);
+            },
+        );
 
         let net = Network::from_spec(&tompson_default(), 1).expect("spec");
         let mut nn = NeuralProjector::new(net, "tompson");
-        group.bench_with_input(BenchmarkId::new("nn_tompson", n), &n, |b, _| {
-            b.iter_batched(
-                || base.clone(),
-                |mut sim| sim.step(&mut nn),
-                criterion::BatchSize::LargeInput,
-            )
-        });
+        suite.bench_batched(
+            &format!("nn_tompson/{n}"),
+            || base.clone(),
+            |mut sim| {
+                sim.step(&mut nn);
+            },
+        );
     }
-    group.finish();
+    suite.finish();
 }
-
-criterion_group!(benches, bench_step);
-criterion_main!(benches);

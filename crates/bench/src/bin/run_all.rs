@@ -10,11 +10,10 @@
 //! run the whole reproduction under injected faults; the summary then
 //! carries a `faults` section with injected/recovered counts.
 
-use serde::Serialize;
+use sfn_obs::json::{obj, ToJson, Value};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// One experiment section's outcome, as written to the JSON summary.
-#[derive(Serialize)]
 struct FigureRecord {
     name: &'static str,
     secs: f64,
@@ -24,7 +23,6 @@ struct FigureRecord {
 /// Fault-injection and self-healing tallies, from the `sfn-faults`
 /// counters (what was injected) and the `sfn-obs` runtime counters
 /// (what the runtime did about it).
-#[derive(Serialize)]
 struct FaultsSummary {
     armed: bool,
     injected: u64,
@@ -49,7 +47,6 @@ impl FaultsSummary {
 
 /// One stage's latency distribution from the `sfn-obs` histograms —
 /// the percentile companion to the scalar stage report.
-#[derive(Serialize)]
 struct StageQuantiles {
     name: String,
     calls: u64,
@@ -86,7 +83,6 @@ fn collect_stages() -> Vec<StageQuantiles> {
         .collect()
 }
 
-#[derive(Serialize)]
 struct RunAllSummary {
     quick: bool,
     sweep_grids: Vec<usize>,
@@ -95,6 +91,56 @@ struct RunAllSummary {
     stages: Vec<StageQuantiles>,
     faults: FaultsSummary,
     total_secs: f64,
+}
+
+impl ToJson for FigureRecord {
+    fn to_json_value(&self) -> Value {
+        obj([
+            ("name", self.name.to_json_value()),
+            ("secs", self.secs.to_json_value()),
+            ("status", self.status.to_json_value()),
+        ])
+    }
+}
+
+impl ToJson for FaultsSummary {
+    fn to_json_value(&self) -> Value {
+        obj([
+            ("armed", self.armed.to_json_value()),
+            ("injected", self.injected.to_json_value()),
+            ("recovered", self.recovered.to_json_value()),
+            ("rollbacks", self.rollbacks.to_json_value()),
+            ("quarantines", self.quarantines.to_json_value()),
+            ("degraded", self.degraded.to_json_value()),
+        ])
+    }
+}
+
+impl ToJson for StageQuantiles {
+    fn to_json_value(&self) -> Value {
+        obj([
+            ("name", self.name.to_json_value()),
+            ("calls", self.calls.to_json_value()),
+            ("total_secs", self.total_secs.to_json_value()),
+            ("p50_ms", self.p50_ms.to_json_value()),
+            ("p90_ms", self.p90_ms.to_json_value()),
+            ("p99_ms", self.p99_ms.to_json_value()),
+        ])
+    }
+}
+
+impl ToJson for RunAllSummary {
+    fn to_json_value(&self) -> Value {
+        obj([
+            ("quick", self.quick.to_json_value()),
+            ("sweep_grids", self.sweep_grids.to_json_value()),
+            ("steps", self.steps.to_json_value()),
+            ("figures", self.figures.to_json_value()),
+            ("stages", self.stages.to_json_value()),
+            ("faults", self.faults.to_json_value()),
+            ("total_secs", self.total_secs.to_json_value()),
+        ])
+    }
 }
 
 /// Times one experiment section, shielding the rest of the reproduction
@@ -249,10 +295,7 @@ fn main() {
     }
     let path =
         std::env::var("SFN_SUMMARY_FILE").unwrap_or_else(|_| "run_all_summary.json".into());
-    match serde_json::to_string_pretty(&summary)
-        .map_err(std::io::Error::other)
-        .and_then(|json| std::fs::write(&path, json))
-    {
+    match std::fs::write(&path, sfn_obs::json::to_json_string_pretty(&summary)) {
         Ok(()) => println!("\nwrote summary to {path}"),
         Err(e) => {
             sfn_obs::event(sfn_obs::Level::Warn, "bench.summary_write_failed")

@@ -3,7 +3,6 @@
 
 use crate::env::BenchEnv;
 use crate::runners::{problems_at, references_for, run_fixed, yang_baseline, RunRecord};
-use rayon::prelude::*;
 use sfn_stats::{Histogram, Summary, TextTable};
 
 /// Table 1 rows: per-method mean projection seconds and quality loss.
@@ -27,11 +26,10 @@ pub fn table1(env: &BenchEnv) -> Table1 {
     let yang = yang_baseline(&env.offline);
 
     let run_model = |saved: &sfn_nn::network::SavedModel, name: &str| -> (f64, f64) {
-        let recs: Vec<RunRecord> = problems
-            .par_iter()
-            .zip(&references)
-            .map(|(p, (reference, _))| run_fixed(saved, name, p, steps, reference))
-            .collect();
+        let indexed: Vec<usize> = (0..problems.len()).collect();
+        let recs: Vec<RunRecord> = sfn_par::map(&indexed, |&i| {
+            run_fixed(saved, name, &problems[i], steps, &references[i].0)
+        });
         let n = recs.len() as f64;
         (
             recs.iter().map(|r| r.secs).sum::<f64>() / n,
@@ -102,11 +100,10 @@ pub fn figure1(env: &BenchEnv) -> Figure1 {
     let references = references_for(&problems, steps);
     let art = env.framework.artifacts();
     let tompson = &art.measurements[art.base_index].saved;
-    let losses: Vec<f64> = problems
-        .par_iter()
-        .zip(&references)
-        .map(|(p, (reference, _))| run_fixed(tompson, "tompson", p, steps, reference).qloss)
-        .collect();
+    let indexed: Vec<usize> = (0..problems.len()).collect();
+    let losses: Vec<f64> = sfn_par::map(&indexed, |&i| {
+        run_fixed(tompson, "tompson", &problems[i], steps, &references[i].0).qloss
+    });
     let max = losses.iter().cloned().fold(0.0f64, f64::max).max(1e-9);
     let mut histogram = Histogram::new(0.0, max * 1.001, 18);
     histogram.extend(losses.iter().copied());

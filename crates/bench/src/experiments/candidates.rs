@@ -3,13 +3,12 @@
 
 use crate::env::BenchEnv;
 use crate::runners::{problems_at, references_for, run_fixed, run_smart, RunRecord};
-use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
+use sfn_obs::json::{obj, FromJson, JsonError, ToJson, Value};
 use sfn_stats::{BoxplotSummary, TextTable};
 use smart_fluidnet_core::OfflineArtifacts;
 
 /// Results of running every Pareto candidate solo plus Smart-fluidnet.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CandidateRuns {
     /// Candidate names (M-ids), fastest first.
     pub names: Vec<String>,
@@ -28,6 +27,34 @@ pub struct CandidateRuns {
     pub selected_probabilities: Vec<(String, f64)>,
 }
 
+impl ToJson for CandidateRuns {
+    fn to_json_value(&self) -> Value {
+        obj([
+            ("names", self.names.to_json_value()),
+            ("per_candidate", self.per_candidate.to_json_value()),
+            ("tompson", self.tompson.to_json_value()),
+            ("smart", self.smart.to_json_value()),
+            ("pcg_secs", self.pcg_secs.to_json_value()),
+            ("smart_distribution", self.smart_distribution.to_json_value()),
+            ("selected_probabilities", self.selected_probabilities.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for CandidateRuns {
+    fn from_json_value(v: &Value) -> Result<Self, JsonError> {
+        Ok(CandidateRuns {
+            names: v.field("names")?,
+            per_candidate: v.field("per_candidate")?,
+            tompson: v.field("tompson")?,
+            smart: v.field("smart")?,
+            pcg_secs: v.field("pcg_secs")?,
+            smart_distribution: v.field("smart_distribution")?,
+            selected_probabilities: v.field("selected_probabilities")?,
+        })
+    }
+}
+
 /// Runs (or loads) the candidate comparison at the evaluation grid.
 pub fn candidate_runs(env: &BenchEnv) -> CandidateRuns {
     let key = format!(
@@ -37,8 +64,8 @@ pub fn candidate_runs(env: &BenchEnv) -> CandidateRuns {
         env.steps
     );
     let path = OfflineArtifacts::cache_path(&fnv(&key));
-    if let Ok(bytes) = std::fs::read(&path) {
-        if let Ok(c) = serde_json::from_slice::<CandidateRuns>(&bytes) {
+    if let Ok(text) = std::fs::read_to_string(&path) {
+        if let Ok(c) = sfn_obs::json::from_json_str::<CandidateRuns>(&text) {
             return c;
         }
     }
@@ -51,34 +78,26 @@ pub fn candidate_runs(env: &BenchEnv) -> CandidateRuns {
 
     let candidates = art.candidates();
     let names: Vec<String> = candidates.iter().map(|m| m.name.clone()).collect();
-    let per_candidate: Vec<Vec<RunRecord>> = candidates
-        .par_iter()
-        .map(|m| {
-            problems
-                .iter()
-                .zip(&references)
-                .map(|(p, (reference, _))| run_fixed(&m.saved, &m.name, p, steps, reference))
-                .collect()
-        })
-        .collect();
-    let tompson: Vec<RunRecord> = problems
-        .par_iter()
-        .zip(&references)
-        .map(|(p, (reference, _))| {
-            run_fixed(
-                &art.measurements[art.base_index].saved,
-                "tompson",
-                p,
-                steps,
-                reference,
-            )
-        })
-        .collect();
-    let smart_full: Vec<(RunRecord, _)> = problems
-        .par_iter()
-        .zip(&references)
-        .map(|(p, (reference, _))| run_smart(&env.framework, p, steps, reference, None))
-        .collect();
+    let per_candidate: Vec<Vec<RunRecord>> = sfn_par::map(&candidates, |m| {
+        problems
+            .iter()
+            .zip(&references)
+            .map(|(p, (reference, _))| run_fixed(&m.saved, &m.name, p, steps, reference))
+            .collect()
+    });
+    let indexed: Vec<usize> = (0..problems.len()).collect();
+    let tompson: Vec<RunRecord> = sfn_par::map(&indexed, |&i| {
+        run_fixed(
+            &art.measurements[art.base_index].saved,
+            "tompson",
+            &problems[i],
+            steps,
+            &references[i].0,
+        )
+    });
+    let smart_full: Vec<(RunRecord, sfn_runtime::RunOutcome)> = sfn_par::map(&indexed, |&i| {
+        run_smart(&env.framework, &problems[i], steps, &references[i].0, None)
+    });
     let smart: Vec<RunRecord> = smart_full.iter().map(|(r, _)| *r).collect();
     let smart_distribution = smart_full
         .iter()
@@ -107,9 +126,7 @@ pub fn candidate_runs(env: &BenchEnv) -> CandidateRuns {
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir).ok();
     }
-    if let Ok(json) = serde_json::to_vec(&runs) {
-        std::fs::write(&path, json).ok();
-    }
+    std::fs::write(&path, sfn_obs::json::to_json_string(&runs)).ok();
     runs
 }
 

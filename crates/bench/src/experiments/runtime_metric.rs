@@ -4,7 +4,6 @@
 
 use crate::env::BenchEnv;
 use crate::runners::{pcg_projector, problems_at};
-use rayon::prelude::*;
 use sfn_nn::Network;
 use sfn_sim::quality_loss;
 use sfn_stats::{pearson, spearman, TextTable};
@@ -55,10 +54,7 @@ pub fn trace_problem(env: &BenchEnv, problem_idx: usize, steps: usize) -> Trace 
 /// The Figure 6 correlation: pooled (CumDivNorm, Q_loss^ts) pairs over
 /// `count` problems × all steps.
 pub fn correlations(env: &BenchEnv, count: usize, steps: usize) -> (f64, f64, usize) {
-    let traces: Vec<Trace> = (0..count)
-        .into_par_iter()
-        .map(|i| trace_problem(env, i, steps))
-        .collect();
+    let traces: Vec<Trace> = sfn_par::map_range(count, |i| trace_problem(env, i, steps));
     let mut xs = Vec::new();
     let mut ys = Vec::new();
     for t in &traces {

@@ -3,7 +3,6 @@
 
 use crate::env::BenchEnv;
 use crate::runners::{problems_at, references_for, run_smart};
-use rayon::prelude::*;
 use sfn_modelgen::transform::{dropout, narrow, pooling, shallow};
 use sfn_modelgen::EvalContext;
 use sfn_nn::Network;
@@ -22,10 +21,9 @@ pub fn figure13(env: &BenchEnv, intervals: &[usize]) -> String {
     let references = references_for(&problems, steps);
     let mut t = TextTable::new(["Check interval", "Success rate"]);
     for &interval in intervals {
-        let hits: usize = problems
-            .par_iter()
-            .zip(&references)
-            .map(|(p, (reference, _))| {
+        let indexed: Vec<usize> = (0..problems.len()).collect();
+        let hits: usize = sfn_par::map(&indexed, |&i| {
+            let (p, reference) = (&problems[i], &references[i].0);
                 let (rec, _) = run_smart(
                     &env.framework,
                     p,
@@ -39,8 +37,9 @@ pub fn figure13(env: &BenchEnv, intervals: &[usize]) -> String {
                     }),
                 );
                 usize::from(rec.qloss <= q)
-            })
-            .sum();
+        })
+        .into_iter()
+        .sum();
         t.row([
             format!("{interval}"),
             format!("{:.1}%", 100.0 * hits as f64 / problems.len() as f64),
@@ -94,14 +93,12 @@ pub fn scheduler_ablation(env: &BenchEnv) -> String {
     ];
     let mut t = TextTable::new(["Policy", "Success rate", "Total projection (s)", "Restarts"]);
     for (name, cfg) in policies {
-        let results: Vec<(bool, f64, bool)> = problems
-            .par_iter()
-            .zip(&references)
-            .map(|(p, (reference, _))| {
-                let (rec, _) = run_smart(&env.framework, p, steps, reference, Some(cfg));
-                (rec.qloss <= q, rec.secs, rec.restarted)
-            })
-            .collect();
+        let indexed: Vec<usize> = (0..problems.len()).collect();
+        let results: Vec<(bool, f64, bool)> = sfn_par::map(&indexed, |&i| {
+            let (rec, _) =
+                run_smart(&env.framework, &problems[i], steps, &references[i].0, Some(cfg));
+            (rec.qloss <= q, rec.secs, rec.restarted)
+        });
         let n = results.len() as f64;
         t.row([
             name.to_string(),
@@ -130,10 +127,9 @@ pub fn tolerance_ablation(env: &BenchEnv, tolerances: &[f64]) -> String {
     let references = references_for(&problems, steps);
     let mut t = TextTable::new(["Tolerance band", "Success rate", "Mean switches", "Restarts"]);
     for &tol in tolerances {
-        let results: Vec<(bool, usize, bool)> = problems
-            .par_iter()
-            .zip(&references)
-            .map(|(p, (reference, _))| {
+        let indexed: Vec<usize> = (0..problems.len()).collect();
+        let results: Vec<(bool, usize, bool)> = sfn_par::map(&indexed, |&i| {
+            let (p, reference) = (&problems[i], &references[i].0);
                 let (rec, out) = run_smart(
                     &env.framework,
                     p,
@@ -147,8 +143,7 @@ pub fn tolerance_ablation(env: &BenchEnv, tolerances: &[f64]) -> String {
                     }),
                 );
                 (rec.qloss <= q, out.events.len(), rec.restarted)
-            })
-            .collect();
+        });
         let n = results.len() as f64;
         t.row([
             format!("±{:.0}%", tol * 100.0),
@@ -229,9 +224,7 @@ pub fn transformation_ablation(env: &BenchEnv) -> Vec<AblationRow> {
         seed: cfg.seed ^ 0xAB1A,
         ..Default::default()
     };
-    variants
-        .par_iter()
-        .map(|(setting, spec)| {
+    sfn_par::map(&variants, |(setting, spec)| {
             let mut net = Network::from_spec(spec, train_cfg.seed).expect("valid variant");
             damp_output_layer(&mut net, 0.02);
             train_network(&mut net, &dataset, &train_cfg);
@@ -249,8 +242,7 @@ pub fn transformation_ablation(env: &BenchEnv) -> Vec<AblationRow> {
                 quality_loss: m.quality_loss,
                 mflops,
             }
-        })
-        .collect()
+    })
 }
 
 /// Renders the ablation rows.

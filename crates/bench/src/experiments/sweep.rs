@@ -5,14 +5,13 @@
 
 use crate::env::BenchEnv;
 use crate::runners::{problems_at, references_for, run_fixed, run_smart, RunRecord};
-use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
+use sfn_obs::json::{obj, FromJson, JsonError, ToJson, Value};
 use sfn_runtime::RuntimeConfig;
 use sfn_stats::{BoxplotSummary, Summary, TextTable};
 use smart_fluidnet_core::OfflineArtifacts;
 
 /// Per-grid sweep results.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SweepGrid {
     /// Grid size.
     pub grid: usize,
@@ -27,7 +26,7 @@ pub struct SweepGrid {
 }
 
 /// The whole sweep.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Sweep {
     /// One entry per grid size.
     pub grids: Vec<SweepGrid>,
@@ -35,6 +34,50 @@ pub struct Sweep {
     pub steps: usize,
     /// The quality requirement used.
     pub quality_target: f64,
+}
+
+impl ToJson for SweepGrid {
+    fn to_json_value(&self) -> Value {
+        obj([
+            ("grid", self.grid.to_json_value()),
+            ("pcg_secs", self.pcg_secs.to_json_value()),
+            ("tompson", self.tompson.to_json_value()),
+            ("smart", self.smart.to_json_value()),
+            ("smart_no_mlp", self.smart_no_mlp.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for SweepGrid {
+    fn from_json_value(v: &Value) -> Result<Self, JsonError> {
+        Ok(SweepGrid {
+            grid: v.field("grid")?,
+            pcg_secs: v.field("pcg_secs")?,
+            tompson: v.field("tompson")?,
+            smart: v.field("smart")?,
+            smart_no_mlp: v.field("smart_no_mlp")?,
+        })
+    }
+}
+
+impl ToJson for Sweep {
+    fn to_json_value(&self) -> Value {
+        obj([
+            ("grids", self.grids.to_json_value()),
+            ("steps", self.steps.to_json_value()),
+            ("quality_target", self.quality_target.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for Sweep {
+    fn from_json_value(v: &Value) -> Result<Self, JsonError> {
+        Ok(Sweep {
+            grids: v.field("grids")?,
+            steps: v.field("steps")?,
+            quality_target: v.field("quality_target")?,
+        })
+    }
 }
 
 /// Runs (or loads) the sweep.
@@ -47,8 +90,8 @@ pub fn sweep(env: &BenchEnv) -> Sweep {
         env.steps
     );
     let path = OfflineArtifacts::cache_path(&crate::experiments::sweep::hash_key(&key));
-    if let Ok(bytes) = std::fs::read(&path) {
-        if let Ok(s) = serde_json::from_slice::<Sweep>(&bytes) {
+    if let Ok(text) = std::fs::read_to_string(&path) {
+        if let Ok(s) = sfn_obs::json::from_json_str::<Sweep>(&text) {
             return s;
         }
     }
@@ -62,37 +105,28 @@ pub fn sweep(env: &BenchEnv) -> Sweep {
             let problems = problems_at(grid, env.problems_per_grid);
             let references = references_for(&problems, env.steps);
             let pcg_secs: Vec<f64> = references.iter().map(|r| r.1).collect();
-            let tompson_runs: Vec<RunRecord> = problems
-                .par_iter()
-                .zip(&references)
-                .map(|(p, (reference, _))| run_fixed(&tompson, "tompson", p, env.steps, reference))
-                .collect();
-            let smart: Vec<RunRecord> = problems
-                .par_iter()
-                .zip(&references)
-                .map(|(p, (reference, _))| {
-                    run_smart(&env.framework, p, env.steps, reference, None).0
-                })
-                .collect();
-            let smart_no_mlp: Vec<RunRecord> = problems
-                .par_iter()
-                .zip(&references)
-                .map(|(p, (reference, _))| {
-                    run_smart(
-                        &env.framework,
-                        p,
-                        env.steps,
-                        reference,
-                        Some(RuntimeConfig {
-                            total_steps: env.steps,
-                            quality_target,
-                            use_mlp: false,
-                            ..Default::default()
-                        }),
-                    )
-                    .0
-                })
-                .collect();
+            let indexed: Vec<usize> = (0..problems.len()).collect();
+            let tompson_runs: Vec<RunRecord> = sfn_par::map(&indexed, |&i| {
+                run_fixed(&tompson, "tompson", &problems[i], env.steps, &references[i].0)
+            });
+            let smart: Vec<RunRecord> = sfn_par::map(&indexed, |&i| {
+                run_smart(&env.framework, &problems[i], env.steps, &references[i].0, None).0
+            });
+            let smart_no_mlp: Vec<RunRecord> = sfn_par::map(&indexed, |&i| {
+                run_smart(
+                    &env.framework,
+                    &problems[i],
+                    env.steps,
+                    &references[i].0,
+                    Some(RuntimeConfig {
+                        total_steps: env.steps,
+                        quality_target,
+                        use_mlp: false,
+                        ..Default::default()
+                    }),
+                )
+                .0
+            });
             SweepGrid {
                 grid,
                 pcg_secs,
@@ -110,9 +144,7 @@ pub fn sweep(env: &BenchEnv) -> Sweep {
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir).ok();
     }
-    if let Ok(json) = serde_json::to_vec(&s) {
-        std::fs::write(&path, json).ok();
-    }
+    std::fs::write(&path, sfn_obs::json::to_json_string(&s)).ok();
     s
 }
 

@@ -3,8 +3,9 @@
 //!
 //! Each experiment has a binary (`cargo run -p sfn-bench --release
 //! --bin <name>`) that prints the same rows/series the paper reports,
-//! plus the paper's own numbers for comparison; Criterion benches
-//! (`cargo bench -p sfn-bench`) time the underlying primitives.
+//! plus the paper's own numbers for comparison; the in-tree timing
+//! benches (`cargo bench -p sfn-bench`) time the underlying primitives
+//! with the dependency-free [`timing`] harness.
 //!
 //! Scale knobs (environment variables, all optional):
 //!
@@ -30,6 +31,7 @@
 pub mod env;
 pub mod experiments;
 pub mod runners;
+pub mod timing;
 
 pub use env::BenchEnv;
 

@@ -1,6 +1,5 @@
 //! Shared run primitives for the experiment binaries.
 
-use rayon::prelude::*;
 use sfn_grid::Field2;
 use sfn_nn::network::SavedModel;
 use sfn_nn::Network;
@@ -14,7 +13,7 @@ use sfn_workload::{InputProblem, ProblemSet};
 use smart_fluidnet_core::{OfflineConfig, SmartFluidnet};
 
 /// One simulation run's bench-relevant outcome.
-#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct RunRecord {
     /// Quality loss (Eq. 3) against the PCG reference.
     pub qloss: f64,
@@ -22,6 +21,28 @@ pub struct RunRecord {
     pub secs: f64,
     /// Whether the adaptive runtime fell back to PCG.
     pub restarted: bool,
+}
+
+impl sfn_obs::json::ToJson for RunRecord {
+    fn to_json_value(&self) -> sfn_obs::json::Value {
+        sfn_obs::json::obj([
+            ("qloss", self.qloss.to_json_value()),
+            ("secs", self.secs.to_json_value()),
+            ("restarted", self.restarted.to_json_value()),
+        ])
+    }
+}
+
+impl sfn_obs::json::FromJson for RunRecord {
+    fn from_json_value(
+        v: &sfn_obs::json::Value,
+    ) -> Result<Self, sfn_obs::json::JsonError> {
+        Ok(RunRecord {
+            qloss: v.field("qloss")?,
+            secs: v.field("secs")?,
+            restarted: v.field("restarted")?,
+        })
+    }
 }
 
 /// The standard exact projector (MICCG(0), the paper's baseline).
@@ -109,10 +130,7 @@ pub fn problems_at(grid: usize, count: usize) -> Vec<InputProblem> {
 
 /// Runs PCG references for a problem list in parallel.
 pub fn references_for(problems: &[InputProblem], steps: usize) -> Vec<(Field2, f64)> {
-    problems
-        .par_iter()
-        .map(|p| run_reference(p, steps))
-        .collect()
+    sfn_par::map(problems, |p| run_reference(p, steps))
 }
 
 /// Trains (and caches) the Yang-style baseline on the same dataset the
@@ -122,8 +140,8 @@ pub fn yang_baseline(cfg: &OfflineConfig) -> SavedModel {
         "yang-{}",
         cfg.cache_key()
     ));
-    if let Ok(bytes) = std::fs::read(&path) {
-        if let Ok(saved) = serde_json::from_slice::<SavedModel>(&bytes) {
+    if let Ok(text) = std::fs::read_to_string(&path) {
+        if let Ok(saved) = sfn_obs::json::from_json_str::<SavedModel>(&text) {
             return saved;
         }
     }
@@ -143,9 +161,7 @@ pub fn yang_baseline(cfg: &OfflineConfig) -> SavedModel {
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir).ok();
     }
-    let cached = serde_json::to_vec(&saved)
-        .map_err(std::io::Error::other)
-        .and_then(|json| std::fs::write(&path, json));
+    let cached = std::fs::write(&path, sfn_obs::json::to_json_string(&saved));
     if let Err(e) = cached {
         sfn_obs::event(sfn_obs::Level::Warn, "cache.write_failed")
             .field_str("path", &path.display().to_string())

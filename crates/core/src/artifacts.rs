@@ -1,7 +1,7 @@
 //! Serialisable offline artifacts with a simple file cache.
 
 use crate::error::ArtifactError;
-use serde::{Deserialize, Serialize};
+use sfn_obs::json::{obj, FromJson, JsonError, ToJson, Value};
 use sfn_modelgen::{GeneratedModel, ModelMeasurement};
 use sfn_nn::network::SavedModel;
 use sfn_quality::MlpVariant;
@@ -10,7 +10,7 @@ use std::path::{Path, PathBuf};
 
 /// Everything the offline phase produces; enough to reconstruct the
 /// online runtime without re-training.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct OfflineArtifacts {
     /// The §4 model family (architectures + provenance).
     pub family: Vec<GeneratedModel>,
@@ -41,6 +41,42 @@ pub struct OfflineArtifacts {
     pub base_index: usize,
 }
 
+impl ToJson for OfflineArtifacts {
+    fn to_json_value(&self) -> Value {
+        obj([
+            ("family", self.family.to_json_value()),
+            ("measurements", self.measurements.to_json_value()),
+            ("candidate_indices", self.candidate_indices.to_json_value()),
+            ("mlp", self.mlp.to_json_value()),
+            ("mlp_variant", self.mlp_variant.to_json_value()),
+            ("mlp_loss_curve", self.mlp_loss_curve.to_json_value()),
+            ("selected", self.selected.to_json_value()),
+            ("knn_pairs", self.knn_pairs.to_json_value()),
+            ("requirement", self.requirement.to_json_value()),
+            ("fallback_time", self.fallback_time.to_json_value()),
+            ("base_index", self.base_index.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for OfflineArtifacts {
+    fn from_json_value(v: &Value) -> Result<Self, JsonError> {
+        Ok(OfflineArtifacts {
+            family: v.field("family")?,
+            measurements: v.field("measurements")?,
+            candidate_indices: v.field("candidate_indices")?,
+            mlp: v.field("mlp")?,
+            mlp_variant: v.field("mlp_variant")?,
+            mlp_loss_curve: v.field("mlp_loss_curve")?,
+            selected: v.field("selected")?,
+            knn_pairs: v.field("knn_pairs")?,
+            requirement: v.field("requirement")?,
+            fallback_time: v.field("fallback_time")?,
+            base_index: v.field("base_index")?,
+        })
+    }
+}
+
 impl OfflineArtifacts {
     /// Default cache location for a config key:
     /// `<workspace>/target/sfn-artifacts/<key>.json`, overridable with
@@ -65,10 +101,7 @@ impl OfflineArtifacts {
         if let Some(dir) = path.parent() {
             std::fs::create_dir_all(dir).map_err(io)?;
         }
-        let json = serde_json::to_vec(self).map_err(|e| ArtifactError::Malformed {
-            path: path.to_path_buf(),
-            detail: e.to_string(),
-        })?;
+        let json = sfn_obs::json::to_json_string(self);
         std::fs::write(path, json).map_err(io)
     }
 
@@ -84,11 +117,14 @@ impl OfflineArtifacts {
         })?;
         // Fault hook: bit-flip or truncate the artifact bytes on read.
         sfn_faults::corrupt_bytes(&format!("artifact:{}", path.display()), &mut bytes);
-        let artifacts: Self =
-            serde_json::from_slice(&bytes).map_err(|e| ArtifactError::Malformed {
-                path: path.to_path_buf(),
-                detail: e.to_string(),
-            })?;
+        let malformed = |detail: String| ArtifactError::Malformed {
+            path: path.to_path_buf(),
+            detail,
+        };
+        let text = std::str::from_utf8(&bytes)
+            .map_err(|e| malformed(format!("invalid utf-8: {e}")))?;
+        let artifacts: Self = sfn_obs::json::from_json_str(text)
+            .map_err(|e| malformed(format!("at byte {}: {}", e.at, e.message)))?;
         artifacts.validate()?;
         Ok(artifacts)
     }

@@ -1,6 +1,5 @@
 //! Offline-pipeline configuration.
 
-use serde::{Deserialize, Serialize};
 use sfn_modelgen::{FamilyConfig, SearchConfig};
 
 /// Everything the offline phase needs. The paper-scale values (20,480
@@ -9,7 +8,7 @@ use sfn_modelgen::{FamilyConfig, SearchConfig};
 /// [`OfflineConfig::quick`] seconds (for tests). All counts scale up
 /// cleanly via the public fields or `SFN_*` environment variables (see
 /// [`OfflineConfig::from_env`]).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct OfflineConfig {
     /// Grid size for surrogate training data.
     pub train_grid: usize,

@@ -2,7 +2,6 @@
 
 use crate::artifacts::OfflineArtifacts;
 use crate::config::OfflineConfig;
-use rayon::prelude::*;
 use sfn_modelgen::{generate_family, select_candidates, EvalContext};
 use sfn_nn::Network;
 use sfn_quality::mlp::MlpTrainConfig;
@@ -183,9 +182,7 @@ fn build_knn_pairs(selected: &[CandidateModel], cfg: &OfflineConfig) -> Vec<(f64
     let set = ProblemSet::evaluation(cfg.knn_grid, cfg.knn_problems);
     let problems: Vec<_> = set.iter().collect();
     // Reference densities once per problem.
-    let references: Vec<_> = problems
-        .par_iter()
-        .map(|p| {
+    let references: Vec<_> = sfn_par::map(&problems, |p| {
             let mut sim = p.simulation();
             let mut proj = ExactProjector::labelled(
                 PcgSolver::new(MicPreconditioner::default(), 1e-7, 100_000),
@@ -193,11 +190,8 @@ fn build_knn_pairs(selected: &[CandidateModel], cfg: &OfflineConfig) -> Vec<(f64
             );
             sim.run(cfg.eval_steps, &mut proj);
             sim.density().clone()
-        })
-        .collect();
-    selected
-        .par_iter()
-        .flat_map(|model| {
+        });
+    sfn_par::map(selected, |model| {
             problems
                 .iter()
                 .zip(&references)
@@ -217,8 +211,10 @@ fn build_knn_pairs(selected: &[CandidateModel], cfg: &OfflineConfig) -> Vec<(f64
                     (cdn.is_finite() && q.is_finite()).then_some((cdn, q))
                 })
                 .collect::<Vec<_>>()
-        })
-        .collect()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 #[cfg(test)]

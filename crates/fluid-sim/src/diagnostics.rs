@@ -3,10 +3,9 @@
 //! sanity-checked against.
 
 use sfn_grid::{CellFlags, Field2, MacGrid};
-use serde::{Deserialize, Serialize};
 
 /// One step's physical diagnostics.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Diagnostics {
     /// Total smoke mass `Σ ρ` over fluid cells.
     pub smoke_mass: f64,

@@ -292,7 +292,7 @@ impl Simulation {
             sfn_obs::note_incident("sim.blowup");
         }
 
-        if self.steps_done % DIAGNOSTICS_EVERY == 0 && sfn_obs::event_enabled(Level::Debug) {
+        if self.steps_done.is_multiple_of(DIAGNOSTICS_EVERY) && sfn_obs::event_enabled(Level::Debug) {
             let d = diagnostics(&self.vel, &self.density, &self.flags, cfg.dt);
             sfn_obs::event(Level::Debug, "sim.diagnostics")
                 .field_u64("step", self.steps_done as u64)

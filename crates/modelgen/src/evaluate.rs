@@ -8,7 +8,6 @@
 //! each model … during the model construction".
 
 use crate::family::GeneratedModel;
-use rayon::prelude::*;
 use sfn_grid::Field2;
 use sfn_nn::network::SavedModel;
 use sfn_nn::Network;
@@ -18,7 +17,7 @@ use sfn_surrogate::{train_network, NeuralProjector, ProjectionDataset, TrainConf
 use sfn_workload::{InputProblem, ProblemSet};
 
 /// One model's measured behaviour.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ModelMeasurement {
     /// Family index of the model.
     pub id: usize,
@@ -37,6 +36,36 @@ pub struct ModelMeasurement {
     pub per_problem: Vec<(f64, f64)>,
 }
 
+impl sfn_obs::json::ToJson for ModelMeasurement {
+    fn to_json_value(&self) -> sfn_obs::json::Value {
+        sfn_obs::json::obj([
+            ("id", self.id.to_json_value()),
+            ("name", self.name.to_json_value()),
+            ("time_cost", self.time_cost.to_json_value()),
+            ("quality_loss", self.quality_loss.to_json_value()),
+            ("flops_per_step", self.flops_per_step.to_json_value()),
+            ("saved", self.saved.to_json_value()),
+            ("per_problem", self.per_problem.to_json_value()),
+        ])
+    }
+}
+
+impl sfn_obs::json::FromJson for ModelMeasurement {
+    fn from_json_value(
+        v: &sfn_obs::json::Value,
+    ) -> Result<Self, sfn_obs::json::JsonError> {
+        Ok(ModelMeasurement {
+            id: v.field("id")?,
+            name: v.field("name")?,
+            time_cost: v.field("time_cost")?,
+            quality_loss: v.field("quality_loss")?,
+            flops_per_step: v.field("flops_per_step")?,
+            saved: v.field("saved")?,
+            per_problem: v.field("per_problem")?,
+        })
+    }
+}
+
 /// Shared evaluation state: problems plus their PCG reference runs.
 pub struct EvalContext {
     problems: Vec<InputProblem>,
@@ -50,9 +79,7 @@ impl EvalContext {
     /// Runs the PCG reference simulation for every problem in `set`.
     pub fn new(set: &ProblemSet, steps: usize) -> Self {
         let problems: Vec<InputProblem> = set.iter().collect();
-        let reference: Vec<(Field2, f64)> = problems
-            .par_iter()
-            .map(|p| {
+        let reference: Vec<(Field2, f64)> = sfn_par::map(&problems, |p| {
                 let mut sim = p.simulation();
                 let mut proj = ExactProjector::labelled(
                     PcgSolver::new(MicPreconditioner::default(), 1e-7, 100_000),
@@ -61,8 +88,7 @@ impl EvalContext {
                 let stats = sim.run(steps, &mut proj);
                 let secs: f64 = stats.iter().map(|s| s.projection_time.as_secs_f64()).sum();
                 (sim.density().clone(), secs)
-            })
-            .collect();
+        });
         let (reference_densities, reference_times) = reference.into_iter().unzip();
         Self {
             problems,
@@ -164,9 +190,7 @@ pub fn train_and_measure_family(
     ctx: &EvalContext,
     train_cfg: &TrainConfig,
 ) -> Vec<ModelMeasurement> {
-    family
-        .par_iter()
-        .map(|model| {
+    sfn_par::map(family, |model| {
             let cfg = TrainConfig {
                 seed: train_cfg.seed.wrapping_add(model.id as u64),
                 ..*train_cfg
@@ -174,9 +198,8 @@ pub fn train_and_measure_family(
             let mut net = Network::from_spec(&model.spec, cfg.seed).expect("valid family spec");
             sfn_surrogate::damp_output_layer(&mut net, 0.02);
             train_network(&mut net, dataset, &cfg);
-            ctx.measure(model, net)
-        })
-        .collect()
+        ctx.measure(model, net)
+    })
 }
 
 /// Like [`train_and_measure_family`], but children are *warm-started*
@@ -218,9 +241,8 @@ pub fn train_and_measure_family_inherited(
         if wave.is_empty() {
             break;
         }
-        let results: Vec<ModelMeasurement> = wave
-            .par_iter()
-            .map(|model| {
+        let results: Vec<ModelMeasurement> =
+            sfn_par::map(&wave, |model| {
                 let seed = train_cfg.seed.wrapping_add(model.id as u64);
                 let (mut net, epochs) = match parent_of(model) {
                     Some(p) => (
@@ -241,8 +263,7 @@ pub fn train_and_measure_family_inherited(
                 };
                 train_network(&mut net, dataset, &cfg);
                 ctx.measure(model, net)
-            })
-            .collect();
+            });
         for m in results {
             measurements.insert(m.id, m);
         }

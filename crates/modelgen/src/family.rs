@@ -2,14 +2,14 @@
 
 use crate::search::{architecture_search, SearchConfig};
 use crate::transform::{dropout, narrow, pooling, shallow};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-use serde::{Deserialize, Serialize};
 use sfn_nn::NetworkSpec;
+use sfn_obs::json::{obj, FromJson, JsonError, ToJson, Value};
+use sfn_rng::rngs::StdRng;
+use sfn_rng::{RngExt, SeedableRng};
 use sfn_surrogate::ProjectionDataset;
 
 /// How a model was derived from the base network.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Origin {
     /// The unmodified input network.
     Base,
@@ -45,7 +45,7 @@ pub enum Origin {
 }
 
 /// One generated (untrained) model.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GeneratedModel {
     /// Index within the family.
     pub id: usize,
@@ -58,7 +58,7 @@ pub struct GeneratedModel {
 }
 
 /// Parameters of the generation schedule.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FamilyConfig {
     /// Shallow variants of the base (paper: 5).
     pub shallow_variants: usize,
@@ -74,6 +74,130 @@ pub struct FamilyConfig {
     pub search_models: usize,
     /// Seed for the random choices in the schedule.
     pub seed: u64,
+}
+
+impl ToJson for Origin {
+    fn to_json_value(&self) -> Value {
+        match *self {
+            Origin::Base => Value::Str("Base".to_string()),
+            Origin::Search => Value::Str("Search".to_string()),
+            Origin::Shallow { which } => {
+                obj([("Shallow", obj([("which", which.to_json_value())]))])
+            }
+            Origin::Narrow { parent, which } => obj([(
+                "Narrow",
+                obj([
+                    ("parent", parent.to_json_value()),
+                    ("which", which.to_json_value()),
+                ]),
+            )]),
+            Origin::Pooling { parent, average } => obj([(
+                "Pooling",
+                obj([
+                    ("parent", parent.to_json_value()),
+                    ("average", average.to_json_value()),
+                ]),
+            )]),
+            Origin::Dropout { parent, p } => obj([(
+                "Dropout",
+                obj([("parent", parent.to_json_value()), ("p", p.to_json_value())]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for Origin {
+    fn from_json_value(v: &Value) -> Result<Self, JsonError> {
+        if let Some(name) = v.as_str() {
+            return match name {
+                "Base" => Ok(Origin::Base),
+                "Search" => Ok(Origin::Search),
+                other => Err(JsonError {
+                    at: 0,
+                    message: format!("unknown Origin variant `{other}`"),
+                }),
+            };
+        }
+        let fields = v.as_obj().ok_or_else(|| JsonError {
+            at: 0,
+            message: "expected Origin variant string or object".to_string(),
+        })?;
+        let [(tag, body)] = fields else {
+            return Err(JsonError {
+                at: 0,
+                message: format!("expected single-variant object, got {} keys", fields.len()),
+            });
+        };
+        match tag.as_str() {
+            "Shallow" => Ok(Origin::Shallow { which: body.field("which")? }),
+            "Narrow" => Ok(Origin::Narrow {
+                parent: body.field("parent")?,
+                which: body.field("which")?,
+            }),
+            "Pooling" => Ok(Origin::Pooling {
+                parent: body.field("parent")?,
+                average: body.field("average")?,
+            }),
+            "Dropout" => Ok(Origin::Dropout {
+                parent: body.field("parent")?,
+                p: body.field("p")?,
+            }),
+            other => Err(JsonError {
+                at: 0,
+                message: format!("unknown Origin variant `{other}`"),
+            }),
+        }
+    }
+}
+
+impl ToJson for GeneratedModel {
+    fn to_json_value(&self) -> Value {
+        obj([
+            ("id", self.id.to_json_value()),
+            ("name", self.name.to_json_value()),
+            ("origin", self.origin.to_json_value()),
+            ("spec", self.spec.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for GeneratedModel {
+    fn from_json_value(v: &Value) -> Result<Self, JsonError> {
+        Ok(GeneratedModel {
+            id: v.field("id")?,
+            name: v.field("name")?,
+            origin: v.field("origin")?,
+            spec: v.field("spec")?,
+        })
+    }
+}
+
+impl ToJson for FamilyConfig {
+    fn to_json_value(&self) -> Value {
+        obj([
+            ("shallow_variants", self.shallow_variants.to_json_value()),
+            ("narrow_per_model", self.narrow_per_model.to_json_value()),
+            ("narrow_fraction", self.narrow_fraction.to_json_value()),
+            ("dropout_variants", self.dropout_variants.to_json_value()),
+            ("dropout_p", self.dropout_p.to_json_value()),
+            ("search_models", self.search_models.to_json_value()),
+            ("seed", self.seed.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for FamilyConfig {
+    fn from_json_value(v: &Value) -> Result<Self, JsonError> {
+        Ok(FamilyConfig {
+            shallow_variants: v.field("shallow_variants")?,
+            narrow_per_model: v.field("narrow_per_model")?,
+            narrow_fraction: v.field("narrow_fraction")?,
+            dropout_variants: v.field("dropout_variants")?,
+            dropout_p: v.field("dropout_p")?,
+            search_models: v.field("search_models")?,
+            seed: v.field("seed")?,
+        })
+    }
 }
 
 impl Default for FamilyConfig {

@@ -4,8 +4,7 @@ use crate::init::he_normal;
 use crate::layers::{Layer, ParamView};
 use crate::spec::LayerSpec;
 use crate::tensor::Tensor;
-use rand::rngs::StdRng;
-use rayon::prelude::*;
+use sfn_rng::rngs::StdRng;
 
 /// 2-D convolution (`OC×IC×K×K` weights, per-channel bias), stride 1,
 /// zero "same" padding. With `residual = true` the layer adds its input
@@ -99,10 +98,7 @@ impl Conv2d {
         let hw = h * w;
         let in_ch = self.in_ch;
         // Parallel over (sample, output-channel) planes.
-        out.data_mut()
-            .par_chunks_mut(hw)
-            .enumerate()
-            .for_each(|(plane, out_plane)| {
+        sfn_par::for_each_chunk_mut(out.data_mut(), hw, |plane, out_plane| {
                 let nn = plane / self.out_ch;
                 let oc = plane % self.out_ch;
                 let b = self.bias[oc];
@@ -165,10 +161,7 @@ impl Conv2d {
         };
         if n >= 2 {
             // Parallel over samples; each GEMM runs sequentially.
-            out.data_mut()
-                .par_chunks_mut(ochw)
-                .enumerate()
-                .for_each(|(nn, chunk)| {
+            sfn_par::for_each_chunk_mut(out.data_mut(), ochw, |nn, chunk| {
                     let mut cols = vec![0.0f32; ickk * hw];
                     let sample = &input.data()[nn * chw..(nn + 1) * chw];
                     im2col(sample, in_ch, h, w, kernel, &mut cols);
@@ -219,11 +212,11 @@ impl Layer for Conv2d {
 
         // Parameter gradients, parallel over output channels.
         let per_oc = in_ch * kk;
-        self.grad_weight
-            .par_chunks_mut(per_oc)
-            .zip(self.grad_bias.par_iter_mut())
-            .enumerate()
-            .for_each(|(oc, (gw, gb))| {
+        sfn_par::for_each_chunk_zip_mut(
+            &mut self.grad_weight,
+            per_oc,
+            &mut self.grad_bias,
+            |oc, gw, gb| {
                 *gb = 0.0;
                 for g in gw.iter_mut() {
                     *g = 0.0;
@@ -265,11 +258,7 @@ impl Layer for Conv2d {
         let mut grad_in = Tensor::zeros(n, in_ch, h, w);
         let hw = h * w;
         let weight = &self.weight;
-        grad_in
-            .data_mut()
-            .par_chunks_mut(hw)
-            .enumerate()
-            .for_each(|(plane, gi_plane)| {
+        sfn_par::for_each_chunk_mut(grad_in.data_mut(), hw, |plane, gi_plane| {
                 let nn = plane / in_ch;
                 let ic = plane % in_ch;
                 for oc in 0..out_ch {

@@ -4,8 +4,7 @@ use crate::init::he_normal;
 use crate::layers::{Layer, ParamView};
 use crate::spec::LayerSpec;
 use crate::tensor::Tensor;
-use rand::rngs::StdRng;
-use rayon::prelude::*;
+use sfn_rng::rngs::StdRng;
 
 /// Dense layer: `y = W·x + b`, with `W` stored row-major
 /// `outputs × inputs`. Input tensors of any `c×h×w = inputs` are
@@ -68,10 +67,7 @@ impl Layer for Dense {
         let mut out = Tensor::zeros(n, self.outputs, 1, 1);
         let inputs = self.inputs;
         let outputs = self.outputs;
-        out.data_mut()
-            .par_chunks_mut(outputs)
-            .enumerate()
-            .for_each(|(nn, row)| {
+        sfn_par::for_each_chunk_mut(out.data_mut(), outputs, |nn, row| {
                 let x = &input.data()[nn * inputs..(nn + 1) * inputs];
                 for (o, out_v) in row.iter_mut().enumerate() {
                     let wrow = &self.weight[o * inputs..(o + 1) * inputs];
@@ -98,11 +94,11 @@ impl Layer for Dense {
         let outputs = self.outputs;
 
         // Parameter gradients, parallel over output rows.
-        self.grad_weight
-            .par_chunks_mut(inputs)
-            .zip(self.grad_bias.par_iter_mut())
-            .enumerate()
-            .for_each(|(o, (gw, gb))| {
+        sfn_par::for_each_chunk_zip_mut(
+            &mut self.grad_weight,
+            inputs,
+            &mut self.grad_bias,
+            |o, gw, gb| {
                 for g in gw.iter_mut() {
                     *g = 0.0;
                 }
@@ -119,11 +115,7 @@ impl Layer for Dense {
 
         // Input gradient: gᵀ·W, parallel over samples.
         let mut grad_in = Tensor::zeros(n, c, h, w);
-        grad_in
-            .data_mut()
-            .par_chunks_mut(inputs)
-            .enumerate()
-            .for_each(|(nn, gi)| {
+        sfn_par::for_each_chunk_mut(grad_in.data_mut(), inputs, |nn, gi| {
                 for o in 0..outputs {
                     let g = grad_out.data()[nn * outputs + o];
                     if g == 0.0 {

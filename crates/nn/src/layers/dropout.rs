@@ -8,8 +8,8 @@
 use crate::layers::{Layer, ParamView};
 use crate::spec::LayerSpec;
 use crate::tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use sfn_rng::rngs::StdRng;
+use sfn_rng::{RngExt, SeedableRng};
 
 /// Inverted dropout with drop probability `p`.
 pub struct Dropout {

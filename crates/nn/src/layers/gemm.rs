@@ -11,9 +11,7 @@
 //!
 //! The GEMM runs in ikj order (row of A broadcast over a row of B),
 //! which vectorises the inner loop and streams both matrices — and is
-//! parallelised over output rows with rayon.
-
-use rayon::prelude::*;
+//! parallelised over output rows with `sfn_par`.
 
 /// `out = a × b` for row-major `a: m×k`, `b: k×n`, `out: m×n`.
 ///
@@ -25,7 +23,7 @@ pub fn matmul(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32
     assert_eq!(a.len(), m * k, "A shape");
     assert_eq!(b.len(), k * n, "B shape");
     assert_eq!(out.len(), m * n, "C shape");
-    out.par_chunks_mut(n).enumerate().for_each(|(i, row)| {
+    sfn_par::for_each_chunk_mut(out, n, |i, row| {
         row.fill(0.0);
         let arow = &a[i * k..(i + 1) * k];
         for (l, &ail) in arow.iter().enumerate() {

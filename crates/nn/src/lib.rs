@@ -3,7 +3,7 @@
 //! The paper runs its convolutional surrogates with Torch7 + cuDNN 5.0
 //! on a Titan X GPU. The Rust deep-learning ecosystem has no comparable
 //! GPU stack, so this crate implements everything the reproduction
-//! needs on the CPU (parallelised with rayon):
+//! needs on the CPU (parallelised with `sfn-par`):
 //!
 //! * [`tensor::Tensor`] — dense `N×C×H×W` f32 tensors;
 //! * [`layers`] — conv2d (same padding), dense, ReLU/sigmoid/tanh,

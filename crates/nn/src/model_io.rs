@@ -1,9 +1,8 @@
 //! Compact binary model serialisation.
 //!
-//! JSON snapshots ([`crate::network::SavedModel`] via serde) are
-//! human-inspectable but ~5× larger than the weights themselves and
-//! slow to parse. This module provides a little-endian binary format
-//! for artifact caches:
+//! JSON snapshots ([`crate::network::SavedModel`]) are human-inspectable
+//! but ~5× larger than the weights themselves and slow to parse. This
+//! module provides a little-endian binary format for artifact caches:
 //!
 //! ```text
 //! magic "SFNM" | version u32 | spec_len u32 | spec JSON bytes
@@ -15,7 +14,6 @@
 
 use crate::network::SavedModel;
 use crate::spec::NetworkSpec;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 const MAGIC: &[u8; 4] = b"SFNM";
 const VERSION: u32 = 1;
@@ -41,34 +39,56 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Little-endian cursor over a byte slice; each read checks bounds so
+/// truncated input surfaces as an error instead of a panic.
+struct Reader<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], ModelIoError> {
+        if self.data.len() < n {
+            return Err(ModelIoError(format!("truncated {what}")));
+        }
+        let (head, rest) = self.data.split_at(n);
+        self.data = rest;
+        Ok(head)
+    }
+
+    fn u32_le(&mut self, what: &str) -> Result<u32, ModelIoError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+}
+
 /// Encodes a snapshot to the binary format.
-pub fn encode(model: &SavedModel) -> Result<Bytes, ModelIoError> {
-    let spec_json =
-        serde_json::to_vec(&model.spec).map_err(|e| ModelIoError(format!("spec encode: {e}")))?;
+pub fn encode(model: &SavedModel) -> Result<Vec<u8>, ModelIoError> {
+    let spec_json = sfn_obs::json::to_json_string(&model.spec).into_bytes();
     let weight_bytes: usize = model.weights.iter().map(|w| 4 + 4 * w.len()).sum();
-    let mut buf = BytesMut::with_capacity(4 + 4 + 4 + spec_json.len() + 4 + weight_bytes + 8);
-    buf.put_slice(MAGIC);
-    buf.put_u32_le(VERSION);
-    buf.put_u32_le(
-        u32::try_from(spec_json.len()).map_err(|_| ModelIoError("spec too large".into()))?,
-    );
-    buf.put_slice(&spec_json);
-    buf.put_u32_le(
-        u32::try_from(model.weights.len()).map_err(|_| ModelIoError("too many tensors".into()))?,
-    );
+    let mut buf = Vec::with_capacity(4 + 4 + 4 + spec_json.len() + 4 + weight_bytes + 8);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    let spec_len =
+        u32::try_from(spec_json.len()).map_err(|_| ModelIoError("spec too large".into()))?;
+    buf.extend_from_slice(&spec_len.to_le_bytes());
+    buf.extend_from_slice(&spec_json);
+    let count =
+        u32::try_from(model.weights.len()).map_err(|_| ModelIoError("too many tensors".into()))?;
+    buf.extend_from_slice(&count.to_le_bytes());
     for w in &model.weights {
-        buf.put_u32_le(u32::try_from(w.len()).map_err(|_| ModelIoError("tensor too large".into()))?);
+        let len = u32::try_from(w.len()).map_err(|_| ModelIoError("tensor too large".into()))?;
+        buf.extend_from_slice(&len.to_le_bytes());
         for &v in w {
-            buf.put_f32_le(v);
+            buf.extend_from_slice(&v.to_le_bytes());
         }
     }
     let checksum = fnv1a(&buf);
-    buf.put_u64_le(checksum);
-    Ok(buf.freeze())
+    buf.extend_from_slice(&checksum.to_le_bytes());
+    Ok(buf)
 }
 
 /// Decodes a snapshot from the binary format, verifying the checksum.
-pub fn decode(mut data: &[u8]) -> Result<SavedModel, ModelIoError> {
+pub fn decode(data: &[u8]) -> Result<SavedModel, ModelIoError> {
     if data.len() < 4 + 4 + 4 + 4 + 8 {
         return Err(ModelIoError("truncated header".into()));
     }
@@ -77,43 +97,33 @@ pub fn decode(mut data: &[u8]) -> Result<SavedModel, ModelIoError> {
     if fnv1a(body) != stored {
         return Err(ModelIoError("checksum mismatch".into()));
     }
-    data = body;
-    let mut magic = [0u8; 4];
-    data.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
+    let mut r = Reader { data: body };
+    let magic = r.take(4, "magic")?;
+    if magic != MAGIC {
         return Err(ModelIoError("bad magic".into()));
     }
-    let version = data.get_u32_le();
+    let version = r.u32_le("version")?;
     if version != VERSION {
         return Err(ModelIoError(format!("unsupported version {version}")));
     }
-    let spec_len = data.get_u32_le() as usize;
-    if data.remaining() < spec_len {
-        return Err(ModelIoError("truncated spec".into()));
-    }
-    let spec: NetworkSpec = serde_json::from_slice(&data[..spec_len])
+    let spec_len = r.u32_le("spec length")? as usize;
+    let spec_bytes = r.take(spec_len, "spec")?;
+    let spec_text = std::str::from_utf8(spec_bytes)
         .map_err(|e| ModelIoError(format!("spec decode: {e}")))?;
-    data.advance(spec_len);
-    if data.remaining() < 4 {
-        return Err(ModelIoError("truncated tensor count".into()));
-    }
-    let count = data.get_u32_le() as usize;
+    let spec: NetworkSpec = sfn_obs::json::from_json_str(spec_text)
+        .map_err(|e| ModelIoError(format!("spec decode: {}", e.message)))?;
+    let count = r.u32_le("tensor count")? as usize;
     let mut weights = Vec::with_capacity(count);
     for t in 0..count {
-        if data.remaining() < 4 {
-            return Err(ModelIoError(format!("truncated tensor {t} length")));
-        }
-        let len = data.get_u32_le() as usize;
-        if data.remaining() < 4 * len {
-            return Err(ModelIoError(format!("truncated tensor {t} data")));
-        }
-        let mut w = Vec::with_capacity(len);
-        for _ in 0..len {
-            w.push(data.get_f32_le());
-        }
+        let len = r.u32_le(&format!("tensor {t} length"))? as usize;
+        let raw = r.take(4 * len, &format!("tensor {t} data"))?;
+        let w: Vec<f32> = raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect();
         weights.push(w);
     }
-    if data.has_remaining() {
+    if !r.data.is_empty() {
         return Err(ModelIoError("trailing bytes".into()));
     }
     Ok(SavedModel { spec, weights })
@@ -164,11 +174,66 @@ mod tests {
         assert_eq!(a.predict(&x), b.predict(&x));
     }
 
+    // Property test: any weight geometry round-trips exactly, including
+    // non-finite and denormal f32 payloads (bit patterns must survive).
+    #[test]
+    fn round_trip_property_arbitrary_weights() {
+        sfn_rng::prop::cases(32, |g| {
+            let tensors = g.range(0..5usize);
+            let weights: Vec<Vec<f32>> = (0..tensors)
+                .map(|_| {
+                    let len = g.range(0..40usize);
+                    (0..len)
+                        .map(|_| {
+                            let bits = g.rng().next_u64() as u32;
+                            let v = f32::from_bits(bits);
+                            // NaN payloads compare unequal; keep the
+                            // assertion on bit patterns instead.
+                            v
+                        })
+                        .collect()
+                })
+                .collect();
+            let m = SavedModel { spec: NetworkSpec::default(), weights };
+            let back = decode(&encode(&m).unwrap()).unwrap();
+            assert_eq!(m.weights.len(), back.weights.len());
+            for (a, b) in m.weights.iter().zip(&back.weights) {
+                let ab: Vec<u32> = a.iter().map(|v| v.to_bits()).collect();
+                let bb: Vec<u32> = b.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(ab, bb);
+            }
+        });
+    }
+
+    // Pins the exact byte layout so artifact caches written by earlier
+    // builds stay loadable: any change to the header, the embedded spec
+    // JSON or the checksum shows up here.
+    #[test]
+    fn golden_byte_layout_is_stable() {
+        let m = SavedModel {
+            spec: NetworkSpec::new(vec![LayerSpec::ReLU]),
+            weights: vec![vec![1.0f32]],
+        };
+        let bytes = encode(&m).unwrap();
+        let spec_json = br#"{"layers":["ReLU"]}"#;
+        let mut want = Vec::new();
+        want.extend_from_slice(b"SFNM");
+        want.extend_from_slice(&1u32.to_le_bytes());
+        want.extend_from_slice(&(spec_json.len() as u32).to_le_bytes());
+        want.extend_from_slice(spec_json);
+        want.extend_from_slice(&1u32.to_le_bytes());
+        want.extend_from_slice(&1u32.to_le_bytes());
+        want.extend_from_slice(&1.0f32.to_le_bytes());
+        let checksum = fnv1a(&want);
+        want.extend_from_slice(&checksum.to_le_bytes());
+        assert_eq!(bytes, want);
+    }
+
     #[test]
     fn binary_is_smaller_than_json() {
         let m = model();
         let bin = encode(&m).unwrap().len();
-        let json = serde_json::to_vec(&m).unwrap().len();
+        let json = sfn_obs::json::to_json_string(&m).len();
         assert!(
             bin * 2 < json,
             "binary {bin} bytes should be well under JSON {json}"

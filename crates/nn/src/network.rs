@@ -5,9 +5,9 @@ use crate::layers::{
 };
 use crate::spec::{LayerSpec, NetworkSpec, SpecError};
 use crate::tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use sfn_obs::json::{obj, FromJson, JsonError, ToJson, Value};
+use sfn_rng::rngs::StdRng;
+use sfn_rng::SeedableRng;
 
 /// A sequential neural network built from a [`NetworkSpec`].
 pub struct Network {
@@ -16,12 +16,27 @@ pub struct Network {
 }
 
 /// A serialisable snapshot: architecture plus flattened weights.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SavedModel {
     /// The architecture.
     pub spec: NetworkSpec,
     /// Per-layer, per-parameter-tensor weight vectors, in layer order.
     pub weights: Vec<Vec<f32>>,
+}
+
+impl ToJson for SavedModel {
+    fn to_json_value(&self) -> Value {
+        obj([
+            ("spec", self.spec.to_json_value()),
+            ("weights", self.weights.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for SavedModel {
+    fn from_json_value(v: &Value) -> Result<Self, JsonError> {
+        Ok(SavedModel { spec: v.field("spec")?, weights: v.field("weights")? })
+    }
 }
 
 impl Network {
@@ -233,8 +248,8 @@ mod tests {
         let x = Tensor::from_fn(1, 2, 8, 8, |_, c, h, w| ((c * 31 + h * 7 + w) % 5) as f32);
         let y1 = net.predict(&x);
         let snapshot = net.save();
-        let json = serde_json::to_string(&snapshot).unwrap();
-        let back: SavedModel = serde_json::from_str(&json).unwrap();
+        let json = sfn_obs::json::to_json_string(&snapshot);
+        let back: SavedModel = sfn_obs::json::from_json_str(&json).unwrap();
         let mut restored = Network::load(&back, 999).unwrap();
         let y2 = restored.predict(&x);
         assert_eq!(y1, y2);

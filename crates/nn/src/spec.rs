@@ -6,10 +6,10 @@
 //! per-layer kernel size, channel count, pooling size, unpooling size
 //! and residual-connection flags).
 
-use serde::{Deserialize, Serialize};
+use sfn_obs::json::{obj, FromJson, JsonError, ToJson, Value};
 
 /// One layer of a sequential network.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum LayerSpec {
     /// 2-D convolution with odd `kernel`, stride 1, same padding.
     /// `residual` adds the layer input to its output (requires
@@ -61,7 +61,7 @@ pub enum LayerSpec {
 }
 
 /// A sequential architecture.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct NetworkSpec {
     /// Layers in execution order.
     pub layers: Vec<LayerSpec>,
@@ -197,7 +197,7 @@ pub const MAX_FEATURE_LAYERS: usize = 9;
 /// chn[9], pool[9], unp[9], res[9])`, flattened to `1 + 5·9 = 46`
 /// numbers (the remaining 2 of the 48 are the user requirement `q, t`
 /// added by `sfn-quality`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ArchFeatures {
     /// Number of layers (counting parameterised + pooling layers).
     pub num_layers: f64,
@@ -333,6 +333,130 @@ impl NetworkSpec {
     }
 }
 
+// Externally-tagged encoding (what serde's derive produced): unit
+// variants are bare strings, data variants single-key objects. Model
+// files written before the derive removal therefore still decode, and
+// the `model_io` binary format — which embeds this JSON — is unchanged.
+impl ToJson for LayerSpec {
+    fn to_json_value(&self) -> Value {
+        match *self {
+            LayerSpec::Conv2d { in_ch, out_ch, kernel, residual } => obj([(
+                "Conv2d",
+                obj([
+                    ("in_ch", in_ch.to_json_value()),
+                    ("out_ch", out_ch.to_json_value()),
+                    ("kernel", kernel.to_json_value()),
+                    ("residual", residual.to_json_value()),
+                ]),
+            )]),
+            LayerSpec::Dense { inputs, outputs } => obj([(
+                "Dense",
+                obj([
+                    ("inputs", inputs.to_json_value()),
+                    ("outputs", outputs.to_json_value()),
+                ]),
+            )]),
+            LayerSpec::ReLU => Value::Str("ReLU".to_string()),
+            LayerSpec::Sigmoid => Value::Str("Sigmoid".to_string()),
+            LayerSpec::Tanh => Value::Str("Tanh".to_string()),
+            LayerSpec::MaxPool { size } => {
+                obj([("MaxPool", obj([("size", size.to_json_value())]))])
+            }
+            LayerSpec::AvgPool { size } => {
+                obj([("AvgPool", obj([("size", size.to_json_value())]))])
+            }
+            LayerSpec::Upsample { factor } => {
+                obj([("Upsample", obj([("factor", factor.to_json_value())]))])
+            }
+            LayerSpec::Dropout { p } => obj([("Dropout", obj([("p", p.to_json_value())]))]),
+        }
+    }
+}
+
+impl FromJson for LayerSpec {
+    fn from_json_value(v: &Value) -> Result<Self, JsonError> {
+        if let Some(name) = v.as_str() {
+            return match name {
+                "ReLU" => Ok(LayerSpec::ReLU),
+                "Sigmoid" => Ok(LayerSpec::Sigmoid),
+                "Tanh" => Ok(LayerSpec::Tanh),
+                other => Err(JsonError {
+                    at: 0,
+                    message: format!("unknown LayerSpec variant `{other}`"),
+                }),
+            };
+        }
+        let fields = v.as_obj().ok_or_else(|| JsonError {
+            at: 0,
+            message: "expected LayerSpec variant string or object".to_string(),
+        })?;
+        let [(tag, body)] = fields else {
+            return Err(JsonError {
+                at: 0,
+                message: format!("expected single-variant object, got {} keys", fields.len()),
+            });
+        };
+        match tag.as_str() {
+            "Conv2d" => Ok(LayerSpec::Conv2d {
+                in_ch: body.field("in_ch")?,
+                out_ch: body.field("out_ch")?,
+                kernel: body.field("kernel")?,
+                residual: body.field("residual")?,
+            }),
+            "Dense" => Ok(LayerSpec::Dense {
+                inputs: body.field("inputs")?,
+                outputs: body.field("outputs")?,
+            }),
+            "MaxPool" => Ok(LayerSpec::MaxPool { size: body.field("size")? }),
+            "AvgPool" => Ok(LayerSpec::AvgPool { size: body.field("size")? }),
+            "Upsample" => Ok(LayerSpec::Upsample { factor: body.field("factor")? }),
+            "Dropout" => Ok(LayerSpec::Dropout { p: body.field("p")? }),
+            other => Err(JsonError {
+                at: 0,
+                message: format!("unknown LayerSpec variant `{other}`"),
+            }),
+        }
+    }
+}
+
+impl ToJson for NetworkSpec {
+    fn to_json_value(&self) -> Value {
+        obj([("layers", self.layers.to_json_value())])
+    }
+}
+
+impl FromJson for NetworkSpec {
+    fn from_json_value(v: &Value) -> Result<Self, JsonError> {
+        Ok(NetworkSpec { layers: v.field("layers")? })
+    }
+}
+
+impl ToJson for ArchFeatures {
+    fn to_json_value(&self) -> Value {
+        obj([
+            ("num_layers", self.num_layers.to_json_value()),
+            ("kernel", self.kernel.to_json_value()),
+            ("channels", self.channels.to_json_value()),
+            ("pool", self.pool.to_json_value()),
+            ("unpool", self.unpool.to_json_value()),
+            ("residual", self.residual.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for ArchFeatures {
+    fn from_json_value(v: &Value) -> Result<Self, JsonError> {
+        Ok(ArchFeatures {
+            num_layers: v.field("num_layers")?,
+            kernel: v.field("kernel")?,
+            channels: v.field("channels")?,
+            pool: v.field("pool")?,
+            unpool: v.field("unpool")?,
+            residual: v.field("residual")?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -434,10 +558,34 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let spec = tompson_like();
-        let json = serde_json::to_string(&spec).unwrap();
-        let back: NetworkSpec = serde_json::from_str(&json).unwrap();
+        let json = sfn_obs::json::to_json_string(&spec);
+        let back: NetworkSpec = sfn_obs::json::from_json_str(&json).unwrap();
         assert_eq!(spec, back);
+    }
+
+    // Pins the exact wire format serde's derive used to emit; model
+    // files embed this JSON, so changing it is a format break.
+    #[test]
+    fn json_wire_format_matches_serde_derive() {
+        let spec = NetworkSpec::new(vec![
+            LayerSpec::Conv2d { in_ch: 2, out_ch: 8, kernel: 3, residual: true },
+            LayerSpec::ReLU,
+            LayerSpec::MaxPool { size: 2 },
+            LayerSpec::Dropout { p: 0.5 },
+        ]);
+        assert_eq!(
+            sfn_obs::json::to_json_string(&spec),
+            r#"{"layers":[{"Conv2d":{"in_ch":2,"out_ch":8,"kernel":3,"residual":true}},"ReLU",{"MaxPool":{"size":2}},{"Dropout":{"p":0.5}}]}"#
+        );
+    }
+
+    #[test]
+    fn arch_features_json_round_trip() {
+        let f = tompson_like().arch_features();
+        let json = sfn_obs::json::to_json_string(&f);
+        let back: ArchFeatures = sfn_obs::json::from_json_str(&json).unwrap();
+        assert_eq!(f, back);
     }
 }

@@ -1,13 +1,11 @@
 //! Dense `N×C×H×W` tensors.
 
-use serde::{Deserialize, Serialize};
-
 /// A dense 4-D tensor in NCHW layout.
 ///
 /// All activations and convolution weights in the framework use this
 /// type; convolution weights are stored as `OC×IC×KH×KW` (re-using the
 /// same four axes).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tensor {
     n: usize,
     c: usize,

@@ -115,6 +115,15 @@ impl Value {
         }
     }
 
+    /// The object's `(key, value)` pairs in document order, if this is
+    /// an object.
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(fields) => Some(fields.as_slice()),
+            _ => None,
+        }
+    }
+
     /// Serialises the value back to compact JSON (the inverse of
     /// [`parse`], modulo float formatting).
     pub fn write_into(&self, out: &mut String) {
@@ -159,6 +168,330 @@ impl Value {
         self.write_into(&mut s);
         s
     }
+
+    /// Pretty-printed rendering (2-space indent, serde_json style) for
+    /// human-inspected artifacts like the bench summary.
+    pub fn write_pretty_into(&self, out: &mut String, indent: usize) {
+        const STEP: usize = 2;
+        let pad = |out: &mut String, n: usize| {
+            for _ in 0..n {
+                out.push(' ');
+            }
+        };
+        match self {
+            Value::Arr(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    pad(out, indent + STEP);
+                    v.write_pretty_into(out, indent + STEP);
+                }
+                out.push('\n');
+                pad(out, indent);
+                out.push(']');
+            }
+            Value::Obj(fields) if !fields.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    pad(out, indent + STEP);
+                    out.push('"');
+                    escape_into(out, k);
+                    out.push_str("\": ");
+                    v.write_pretty_into(out, indent + STEP);
+                }
+                out.push('\n');
+                pad(out, indent);
+                out.push('}');
+            }
+            other => other.write_into(out),
+        }
+    }
+
+    /// [`Value::write_pretty_into`] into a fresh string.
+    pub fn to_json_pretty(&self) -> String {
+        let mut s = String::new();
+        self.write_pretty_into(&mut s, 0);
+        s
+    }
+}
+
+// ------------------------------------------------------------- codecs
+//
+// The workspace's replacement for serde derives: types that cross a
+// serialization boundary implement `ToJson`/`FromJson` against the
+// `Value` tree. The wire shapes mirror what serde_json's derive would
+// have produced (structs as objects in field order, unit enum variants
+// as strings, struct variants as single-key objects, tuples as arrays),
+// so files written before the derive removal still parse.
+
+/// Conversion into a JSON [`Value`].
+pub trait ToJson {
+    /// Builds the JSON tree for `self`.
+    fn to_json_value(&self) -> Value;
+}
+
+/// Conversion from a JSON [`Value`].
+pub trait FromJson: Sized {
+    /// Rebuilds `Self`, reporting the first structural mismatch.
+    fn from_json_value(v: &Value) -> Result<Self, JsonError>;
+}
+
+/// Builds an object `Value` from `(key, value)` pairs.
+pub fn obj<const N: usize>(fields: [(&str, Value); N]) -> Value {
+    Value::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn type_error(expected: &str, got: &Value) -> JsonError {
+    let kind = match got {
+        Value::Null => "null",
+        Value::Bool(_) => "bool",
+        Value::Num(_) => "number",
+        Value::Str(_) => "string",
+        Value::Arr(_) => "array",
+        Value::Obj(_) => "object",
+    };
+    JsonError { at: 0, message: format!("expected {expected}, got {kind}") }
+}
+
+impl Value {
+    /// Typed field lookup for decoders: `v.field::<f64>("dt")?`.
+    pub fn field<T: FromJson>(&self, key: &str) -> Result<T, JsonError> {
+        let inner = self.get(key).ok_or_else(|| JsonError {
+            at: 0,
+            message: format!("missing field `{key}`"),
+        })?;
+        T::from_json_value(inner).map_err(|e| JsonError {
+            at: e.at,
+            message: format!("field `{key}`: {}", e.message),
+        })
+    }
+}
+
+impl ToJson for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl FromJson for Value {
+    fn from_json_value(v: &Value) -> Result<Self, JsonError> {
+        Ok(v.clone())
+    }
+}
+
+impl ToJson for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json_value(v: &Value) -> Result<Self, JsonError> {
+        v.as_bool().ok_or_else(|| type_error("bool", v))
+    }
+}
+
+impl ToJson for String {
+    fn to_json_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json_value(v: &Value) -> Result<Self, JsonError> {
+        v.as_str().map(str::to_string).ok_or_else(|| type_error("string", v))
+    }
+}
+
+impl ToJson for &str {
+    fn to_json_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json_value(&self) -> Value {
+        Value::Num(*self)
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json_value(v: &Value) -> Result<Self, JsonError> {
+        v.as_f64().ok_or_else(|| type_error("number", v))
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json_value(&self) -> Value {
+        Value::Num(f64::from(*self))
+    }
+}
+
+impl FromJson for f32 {
+    fn from_json_value(v: &Value) -> Result<Self, JsonError> {
+        Ok(f64::from_json_value(v)? as f32)
+    }
+}
+
+macro_rules! int_json {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json_value(&self) -> Value {
+                // All integers the pipeline serialises (ids, seeds,
+                // counters) fit in f64's 53-bit exact range; refuse to
+                // silently round anything bigger.
+                let v = *self as f64;
+                debug_assert!(
+                    v as u128 == *self as u128,
+                    "integer {self} not exactly representable in JSON"
+                );
+                Value::Num(v)
+            }
+        }
+        impl FromJson for $t {
+            fn from_json_value(v: &Value) -> Result<Self, JsonError> {
+                let n = v.as_u64().ok_or_else(|| type_error("integer", v))?;
+                <$t>::try_from(n).map_err(|_| JsonError {
+                    at: 0,
+                    message: format!("integer {n} out of range"),
+                })
+            }
+        }
+    )*};
+}
+
+int_json!(u32, u64, usize);
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json_value(v: &Value) -> Result<Self, JsonError> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_json_value(other)?)),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for std::collections::BTreeMap<String, T> {
+    fn to_json_value(&self) -> Value {
+        Value::Obj(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_json_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<T: FromJson> FromJson for std::collections::BTreeMap<String, T> {
+    fn from_json_value(v: &Value) -> Result<Self, JsonError> {
+        let fields = v.as_obj().ok_or_else(|| type_error("object", v))?;
+        fields
+            .iter()
+            .map(|(k, inner)| Ok((k.clone(), T::from_json_value(inner)?)))
+            .collect()
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Arr(self.iter().map(ToJson::to_json_value).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json_value(v: &Value) -> Result<Self, JsonError> {
+        let items = v.as_arr().ok_or_else(|| type_error("array", v))?;
+        items.iter().map(T::from_json_value).collect()
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json_value(&self) -> Value {
+        Value::Arr(vec![self.0.to_json_value(), self.1.to_json_value()])
+    }
+}
+
+impl<A: FromJson, B: FromJson> FromJson for (A, B) {
+    fn from_json_value(v: &Value) -> Result<Self, JsonError> {
+        match v.as_arr() {
+            Some([a, b]) => Ok((A::from_json_value(a)?, B::from_json_value(b)?)),
+            _ => Err(type_error("2-element array", v)),
+        }
+    }
+}
+
+impl<A: ToJson, B: ToJson, C: ToJson> ToJson for (A, B, C) {
+    fn to_json_value(&self) -> Value {
+        Value::Arr(vec![
+            self.0.to_json_value(),
+            self.1.to_json_value(),
+            self.2.to_json_value(),
+        ])
+    }
+}
+
+impl<A: FromJson, B: FromJson, C: FromJson> FromJson for (A, B, C) {
+    fn from_json_value(v: &Value) -> Result<Self, JsonError> {
+        match v.as_arr() {
+            Some([a, b, c]) => Ok((
+                A::from_json_value(a)?,
+                B::from_json_value(b)?,
+                C::from_json_value(c)?,
+            )),
+            _ => Err(type_error("3-element array", v)),
+        }
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json_value(&self) -> Value {
+        Value::Arr(self.iter().map(ToJson::to_json_value).collect())
+    }
+}
+
+impl<T: FromJson + Copy + Default, const N: usize> FromJson for [T; N] {
+    fn from_json_value(v: &Value) -> Result<Self, JsonError> {
+        let items = v.as_arr().ok_or_else(|| type_error("array", v))?;
+        if items.len() != N {
+            return Err(JsonError {
+                at: 0,
+                message: format!("expected {N}-element array, got {}", items.len()),
+            });
+        }
+        let mut out = [T::default(); N];
+        for (slot, item) in out.iter_mut().zip(items) {
+            *slot = T::from_json_value(item)?;
+        }
+        Ok(out)
+    }
+}
+
+/// Encodes any [`ToJson`] type to a compact JSON string.
+pub fn to_json_string<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json_value().to_json()
+}
+
+/// Encodes any [`ToJson`] type to a pretty-printed JSON string.
+pub fn to_json_string_pretty<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json_value().to_json_pretty()
+}
+
+/// Parses and decodes any [`FromJson`] type from a JSON string.
+pub fn from_json_str<T: FromJson>(input: &str) -> Result<T, JsonError> {
+    T::from_json_value(&parse(input)?)
 }
 
 /// A parse failure with the byte offset it occurred at.
@@ -477,5 +810,40 @@ mod tests {
         assert_eq!(Value::Num(3.5).as_u64(), None);
         assert_eq!(Value::Num(-1.0).as_u64(), None);
         assert_eq!(Value::Str("3".into()).as_u64(), None);
+    }
+
+    #[test]
+    fn codec_primitives_round_trip() {
+        assert_eq!(from_json_str::<f64>(&to_json_string(&1.25)), Ok(1.25));
+        assert_eq!(from_json_str::<bool>(&to_json_string(&true)), Ok(true));
+        assert_eq!(from_json_str::<usize>(&to_json_string(&42usize)), Ok(42));
+        assert_eq!(
+            from_json_str::<String>(&to_json_string(&"a\"b".to_string())),
+            Ok("a\"b".to_string())
+        );
+        let v: Vec<(f64, f64)> = vec![(1.0, 2.5), (-3.0, 0.0)];
+        assert_eq!(from_json_str::<Vec<(f64, f64)>>(&to_json_string(&v)), Ok(v));
+        let a = [1.0f64, 2.0, 3.0];
+        assert_eq!(from_json_str::<[f64; 3]>(&to_json_string(&a)), Ok(a));
+    }
+
+    #[test]
+    fn codec_reports_field_and_type_errors() {
+        let v = parse(r#"{"a":1}"#).unwrap();
+        let missing = v.field::<f64>("b").unwrap_err();
+        assert!(missing.message.contains("missing field `b`"), "{missing}");
+        let wrong = v.field::<String>("a").unwrap_err();
+        assert!(
+            wrong.message.contains("field `a`") && wrong.message.contains("expected string"),
+            "{wrong}"
+        );
+        assert!(from_json_str::<usize>("3.5").is_err());
+        assert!(from_json_str::<u32>("4294967296").is_err(), "u32 overflow");
+    }
+
+    #[test]
+    fn codec_obj_builder_preserves_order() {
+        let v = obj([("b", Value::Num(1.0)), ("a", Value::Bool(false))]);
+        assert_eq!(v.to_json(), r#"{"b":1,"a":false}"#);
     }
 }

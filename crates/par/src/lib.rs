@@ -1,0 +1,227 @@
+//! Dependency-free data parallelism on `std::thread::scope`.
+//!
+//! This crate replaces the external `rayon` dependency so the
+//! workspace builds with `--offline`. It provides the three shapes the
+//! pipeline actually uses — ordered parallel map, indexed parallel
+//! iteration over mutable chunks, and the chunk/element zip the NN
+//! backward passes need — with dynamic work-stealing so heterogeneous
+//! items (different grid sizes, different solvers) don't serialise
+//! behind the slowest static partition.
+//!
+//! Worker count: `SFN_THREADS` (clamped to ≥ 1) overrides
+//! [`std::thread::available_parallelism`]. `SFN_THREADS=1` runs every
+//! entry point inline on the caller thread with no spawns at all —
+//! the deterministic-replay configuration.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads parallel calls will use.
+pub fn thread_count() -> usize {
+    if let Ok(v) = std::env::var("SFN_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs `f` over every item of `it` across the worker pool. Items are
+/// handed out one at a time under a lock, so `f` should be coarse
+/// (a matrix row, a simulation, a chunk — not a single float).
+fn drain<I, F>(it: I, workers: usize, f: F)
+where
+    I: Iterator + Send,
+    I::Item: Send,
+    F: Fn(I::Item) + Sync,
+{
+    let queue = Mutex::new(it);
+    let next = || -> Option<I::Item> {
+        // A panicking worker poisons nothing we can't keep using: the
+        // iterator state is still valid, so strip the poison flag.
+        let mut guard = queue.lock().unwrap_or_else(|p| p.into_inner());
+        guard.next()
+    };
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                while let Some(item) = next() {
+                    f(item);
+                }
+            });
+        }
+    });
+}
+
+/// Ordered parallel map: `out[i] = f(&items[i])`, computed across the
+/// worker pool with dynamic stealing.
+pub fn map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    map_range(items.len(), |i| f(&items[i]))
+}
+
+/// Ordered parallel map over an index range: `out[i] = f(i)` for
+/// `i in 0..n`.
+pub fn map_range<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let workers = thread_count().min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut parts: Vec<Vec<(usize, U)>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(part) => parts.push(part),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+    });
+    let mut out: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    for (i, v) in parts.into_iter().flatten() {
+        out[i] = Some(v);
+    }
+    out.into_iter()
+        .map(|v| v.expect("every index produced exactly once"))
+        .collect()
+}
+
+/// Parallel iteration over `chunk_len`-sized mutable chunks of `data`
+/// (the last chunk may be shorter). `f` receives the chunk index and
+/// the chunk, exactly like `par_chunks_mut(..).enumerate()`.
+pub fn for_each_chunk_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let n_chunks = data.len().div_ceil(chunk_len);
+    let workers = thread_count().min(n_chunks);
+    if workers <= 1 {
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    drain(data.chunks_mut(chunk_len).enumerate(), workers, |(i, chunk)| f(i, chunk));
+}
+
+/// Parallel iteration over mutable chunks of `a` zipped with mutable
+/// elements of `b`: chunk `i` of `a` is processed together with
+/// `b[i]`. Mirrors `a.par_chunks_mut(n).zip(b.par_iter_mut())`.
+///
+/// # Panics
+/// Panics unless `b.len()` equals the number of chunks.
+pub fn for_each_chunk_zip_mut<T, U, F>(a: &mut [T], chunk_len: usize, b: &mut [U], f: F)
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, &mut [T], &mut U) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let n_chunks = a.len().div_ceil(chunk_len);
+    assert_eq!(n_chunks, b.len(), "one element of b per chunk of a");
+    let workers = thread_count().min(n_chunks);
+    if workers <= 1 {
+        for (i, (ca, eb)) in a.chunks_mut(chunk_len).zip(b.iter_mut()).enumerate() {
+            f(i, ca, eb);
+        }
+        return;
+    }
+    drain(
+        a.chunks_mut(chunk_len).zip(b.iter_mut()).enumerate(),
+        workers,
+        |(i, (ca, eb))| f(i, ca, eb),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out = map(&items, |&x| x * 2);
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_range_matches_serial() {
+        let out = map_range(257, |i| i * i);
+        assert_eq!(out, (0..257).map(|i| i * i).collect::<Vec<_>>());
+        assert!(map_range(0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn chunks_cover_every_element_once() {
+        let mut data = vec![0u32; 1003];
+        for_each_chunk_mut(&mut data, 10, |idx, chunk| {
+            for v in chunk.iter_mut() {
+                *v += 1 + idx as u32 % 2;
+            }
+        });
+        // Every element touched exactly once.
+        assert!(data.iter().all(|&v| v == 1 || v == 2));
+        let last_chunk = &data[1000..];
+        assert_eq!(last_chunk.len(), 3);
+    }
+
+    #[test]
+    fn zip_pairs_chunk_with_element() {
+        let mut a = vec![1.0f64; 12];
+        let mut b = vec![0.0f64; 4];
+        for_each_chunk_zip_mut(&mut a, 3, &mut b, |i, chunk, acc| {
+            *acc = chunk.iter().sum::<f64>() + i as f64;
+        });
+        assert_eq!(b, vec![3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one element of b per chunk")]
+    fn zip_rejects_mismatched_lengths() {
+        let mut a = vec![0u8; 10];
+        let mut b = vec![0u8; 2];
+        for_each_chunk_zip_mut(&mut a, 3, &mut b, |_, _, _| {});
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let items: Vec<usize> = (0..64).collect();
+        let res = std::panic::catch_unwind(|| {
+            map(&items, |&x| {
+                assert!(x != 33, "hit the poison item");
+                x
+            })
+        });
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(thread_count() >= 1);
+    }
+}

@@ -10,12 +10,12 @@
 
 use crate::mlp::SuccessPredictor;
 use crate::records::ModelRecords;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-use serde::{Deserialize, Serialize};
+use sfn_obs::json::{obj, FromJson, JsonError, ToJson, Value};
+use sfn_rng::rngs::StdRng;
+use sfn_rng::{RngExt, SeedableRng};
 
 /// One calibration bucket.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CalibrationBin {
     /// Mean predicted probability of the bucket's members.
     pub mean_predicted: f64,
@@ -26,7 +26,7 @@ pub struct CalibrationBin {
 }
 
 /// A reliability diagram plus the scalar ECE.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CalibrationReport {
     /// Equal-width buckets over predicted probability `[0, 1]`.
     pub bins: Vec<CalibrationBin>,
@@ -34,6 +34,46 @@ pub struct CalibrationReport {
     pub ece: f64,
     /// Total evaluated (model, requirement) pairs.
     pub samples: usize,
+}
+
+impl ToJson for CalibrationBin {
+    fn to_json_value(&self) -> Value {
+        obj([
+            ("mean_predicted", self.mean_predicted.to_json_value()),
+            ("mean_actual", self.mean_actual.to_json_value()),
+            ("count", self.count.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for CalibrationBin {
+    fn from_json_value(v: &Value) -> Result<Self, JsonError> {
+        Ok(CalibrationBin {
+            mean_predicted: v.field("mean_predicted")?,
+            mean_actual: v.field("mean_actual")?,
+            count: v.field("count")?,
+        })
+    }
+}
+
+impl ToJson for CalibrationReport {
+    fn to_json_value(&self) -> Value {
+        obj([
+            ("bins", self.bins.to_json_value()),
+            ("ece", self.ece.to_json_value()),
+            ("samples", self.samples.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for CalibrationReport {
+    fn from_json_value(v: &Value) -> Result<Self, JsonError> {
+        Ok(CalibrationReport {
+            bins: v.field("bins")?,
+            ece: v.field("ece")?,
+            samples: v.field("samples")?,
+        })
+    }
 }
 
 /// Evaluates a predictor against held-out records over `per_model`

@@ -7,17 +7,17 @@
 //! (the prediction is a probability).
 
 use crate::samples::MlpSample;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use sfn_obs::json::{FromJson, JsonError, ToJson, Value};
+use sfn_rng::rngs::StdRng;
+use sfn_rng::seq::SliceRandom;
+use sfn_rng::SeedableRng;
 use sfn_nn::loss::mse;
 use sfn_nn::network::SavedModel;
 use sfn_nn::optim::{Adam, Optimizer};
 use sfn_nn::{LayerSpec, Network, NetworkSpec, Tensor};
 
 /// The five §5.2 topologies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MlpVariant {
     /// 48-32-16-1.
     Mlp1,
@@ -29,6 +29,37 @@ pub enum MlpVariant {
     Mlp4,
     /// 48-64-64-32-32-16-8-1.
     Mlp5,
+}
+
+impl ToJson for MlpVariant {
+    fn to_json_value(&self) -> Value {
+        Value::Str(
+            match self {
+                MlpVariant::Mlp1 => "Mlp1",
+                MlpVariant::Mlp2 => "Mlp2",
+                MlpVariant::Mlp3 => "Mlp3",
+                MlpVariant::Mlp4 => "Mlp4",
+                MlpVariant::Mlp5 => "Mlp5",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl FromJson for MlpVariant {
+    fn from_json_value(v: &Value) -> Result<Self, JsonError> {
+        match v.as_str() {
+            Some("Mlp1") => Ok(MlpVariant::Mlp1),
+            Some("Mlp2") => Ok(MlpVariant::Mlp2),
+            Some("Mlp3") => Ok(MlpVariant::Mlp3),
+            Some("Mlp4") => Ok(MlpVariant::Mlp4),
+            Some("Mlp5") => Ok(MlpVariant::Mlp5),
+            _ => Err(JsonError {
+                at: 0,
+                message: "expected MlpVariant string".to_string(),
+            }),
+        }
+    }
 }
 
 impl MlpVariant {

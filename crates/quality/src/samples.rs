@@ -8,8 +8,8 @@
 
 use crate::features::feature_vector;
 use crate::records::ModelRecords;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use sfn_rng::rngs::StdRng;
+use sfn_rng::{RngExt, SeedableRng};
 
 /// Sample-generation parameters.
 #[derive(Debug, Clone, Copy)]
@@ -61,8 +61,8 @@ pub fn generate_samples(models: &[ModelRecords], cfg: &SampleConfig) -> Vec<MlpS
     let mut samples = Vec::with_capacity(models.len() * cfg.per_model);
     for m in models {
         for _ in 0..cfg.per_model {
-            let q = rng.random_range(0.0..q_hi);
-            let t = rng.random_range(0.0..t_hi);
+            let q: f64 = rng.random_range(0.0..q_hi);
+            let t: f64 = rng.random_range(0.0..t_hi);
             samples.push(MlpSample {
                 features: feature_vector(&m.spec, q, t),
                 label: m.success_rate(q, t),

@@ -8,7 +8,6 @@
 
 use crate::mlp::SuccessPredictor;
 use crate::records::ModelRecords;
-use serde::{Deserialize, Serialize};
 
 /// Per-model input to the selection rule.
 #[derive(Debug, Clone)]
@@ -18,7 +17,7 @@ pub struct SelectionInput {
 }
 
 /// One selected model with its predicted success rate.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SelectedModel {
     /// Index into the input slice.
     pub index: usize,
@@ -32,6 +31,34 @@ pub struct SelectedModel {
     pub model_time: f64,
     /// Eq. 8 expected total time.
     pub expected_time: f64,
+}
+
+impl sfn_obs::json::ToJson for SelectedModel {
+    fn to_json_value(&self) -> sfn_obs::json::Value {
+        sfn_obs::json::obj([
+            ("index", self.index.to_json_value()),
+            ("model_id", self.model_id.to_json_value()),
+            ("name", self.name.to_json_value()),
+            ("probability", self.probability.to_json_value()),
+            ("model_time", self.model_time.to_json_value()),
+            ("expected_time", self.expected_time.to_json_value()),
+        ])
+    }
+}
+
+impl sfn_obs::json::FromJson for SelectedModel {
+    fn from_json_value(
+        v: &sfn_obs::json::Value,
+    ) -> Result<Self, sfn_obs::json::JsonError> {
+        Ok(SelectedModel {
+            index: v.field("index")?,
+            model_id: v.field("model_id")?,
+            name: v.field("name")?,
+            probability: v.field("probability")?,
+            model_time: v.field("model_time")?,
+            expected_time: v.field("expected_time")?,
+        })
+    }
 }
 
 /// Applies Eq. 8: keeps models whose expected total time beats the

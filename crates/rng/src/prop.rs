@@ -1,0 +1,136 @@
+//! A seeded mini property-test harness (the workspace's `proptest`
+//! replacement).
+//!
+//! `proptest` cannot be fetched offline, and the workspace's
+//! properties never needed shrinking — every failure is reproducible
+//! from the case index alone because generation is seeded. The harness
+//! is therefore deliberately tiny: run a closure over `n` cases, each
+//! with its own deterministic [`Gen`], and on failure report which
+//! case broke so the run can be replayed with [`cases_from`].
+//!
+//! ```
+//! use sfn_rng::prop;
+//!
+//! prop::cases(24, |g| {
+//!     let xs = g.vec_f64(-1.0..1.0, 16);
+//!     let sum: f64 = xs.iter().sum();
+//!     assert!(sum.abs() <= 16.0);
+//! });
+//! ```
+
+use crate::{RngExt, SampleRange, SeedableRng, SliceRandom, StdRng};
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Base seed folded into every case seed. Changing it reshuffles every
+/// property's inputs, so keep it fixed.
+const HARNESS_SEED: u64 = 0x5F4A_7C15_9E37_79B9;
+
+/// Deterministic input generator handed to each property case.
+pub struct Gen {
+    rng: StdRng,
+    /// Which case this generator belongs to (0-based).
+    pub case: usize,
+}
+
+impl Gen {
+    fn for_case(case: usize) -> Self {
+        let seed = HARNESS_SEED ^ (case as u64).wrapping_mul(0xA24B_AED4_963E_E407);
+        Gen { rng: StdRng::seed_from_u64(seed), case }
+    }
+
+    /// Uniform sample from an integer or float range.
+    pub fn range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        self.rng.random_range(range)
+    }
+
+    /// Uniform `f64` vector with every element in `range`.
+    pub fn vec_f64(&mut self, range: Range<f64>, len: usize) -> Vec<f64> {
+        (0..len).map(|_| self.rng.random_range(range.clone())).collect()
+    }
+
+    /// Uniform `usize` vector with every element in `range`.
+    pub fn vec_usize(&mut self, range: Range<usize>, len: usize) -> Vec<usize> {
+        (0..len).map(|_| self.rng.random_range(range.clone())).collect()
+    }
+
+    /// Vector of pairs drawn from two `f64` ranges.
+    pub fn vec_f64_pairs(
+        &mut self,
+        a: Range<f64>,
+        b: Range<f64>,
+        len: usize,
+    ) -> Vec<(f64, f64)> {
+        (0..len)
+            .map(|_| (self.rng.random_range(a.clone()), self.rng.random_range(b.clone())))
+            .collect()
+    }
+
+    /// In-place shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        xs.shuffle(&mut self.rng);
+    }
+
+    /// The underlying generator, for anything the helpers don't cover.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// Runs `property` over `n` deterministic cases, starting at case 0.
+///
+/// # Panics
+/// Re-raises the property's panic, after printing the failing case
+/// index (replay it alone with [`cases_from`]).
+pub fn cases(n: usize, property: impl FnMut(&mut Gen)) {
+    cases_from(0, n, property);
+}
+
+/// Runs cases `first..first + n` — the replay entry point for a case
+/// index printed by a failing [`cases`] run.
+pub fn cases_from(first: usize, n: usize, mut property: impl FnMut(&mut Gen)) {
+    for case in first..first + n {
+        let mut g = Gen::for_case(case);
+        if let Err(panic) = catch_unwind(AssertUnwindSafe(|| property(&mut g))) {
+            eprintln!(
+                "property failed at case {case} \
+                 (replay: sfn_rng::prop::cases_from({case}, 1, …))"
+            );
+            resume_unwind(panic);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = Vec::new();
+        cases(5, |g| a.push(g.range(0..1000usize)));
+        let mut b = Vec::new();
+        cases(5, |g| b.push(g.range(0..1000usize)));
+        assert_eq!(a, b);
+        assert!(a.windows(2).any(|w| w[0] != w[1]), "cases vary: {a:?}");
+    }
+
+    #[test]
+    fn replay_reproduces_a_case() {
+        let mut all = Vec::new();
+        cases(4, |g| all.push(g.vec_f64(0.0..1.0, 3)));
+        let mut third = Vec::new();
+        cases_from(2, 1, |g| third.push(g.vec_f64(0.0..1.0, 3)));
+        assert_eq!(all[2], third[0]);
+    }
+
+    #[test]
+    fn failing_case_index_is_reported() {
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            cases(10, |g| assert!(g.case < 7, "boom at {}", g.case));
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("boom at 7"), "{msg}");
+    }
+}

@@ -9,16 +9,39 @@
 //! such that finding the four pairs is cheap."
 
 use crate::error::RuntimeError;
-use serde::{Deserialize, Serialize};
 
 /// The historical `(CumDivNorm_final, Q_loss)` database with O(log n)
 /// neighbour lookup over a sorted key array (the flat-array equivalent
 /// of the paper's binary search tree).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct KnnDatabase {
     /// Pairs sorted by `CumDivNorm_final`.
     pairs: Vec<(f64, f64)>,
     k: usize,
+}
+
+impl sfn_obs::json::ToJson for KnnDatabase {
+    fn to_json_value(&self) -> sfn_obs::json::Value {
+        sfn_obs::json::obj([
+            ("pairs", self.pairs.to_json_value()),
+            ("k", self.k.to_json_value()),
+        ])
+    }
+}
+
+impl sfn_obs::json::FromJson for KnnDatabase {
+    fn from_json_value(
+        v: &sfn_obs::json::Value,
+    ) -> Result<Self, sfn_obs::json::JsonError> {
+        let pairs: Vec<(f64, f64)> = v.field("pairs")?;
+        let k: usize = v.field("k")?;
+        // Re-validate through the constructor so a hand-edited artifact
+        // cannot smuggle in NaN pairs or k = 0.
+        KnnDatabase::with_k(pairs, k).map_err(|e| sfn_obs::json::JsonError {
+            at: 0,
+            message: format!("invalid KnnDatabase: {e}"),
+        })
+    }
 }
 
 impl KnnDatabase {

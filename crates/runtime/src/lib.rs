@@ -13,15 +13,15 @@
 //! 4. compares the predicted loss with the user requirement and
 //!    switches between the candidate networks — or restarts with PCG —
 //!    per Algorithm 2 ([`scheduler`]).
-
-#![warn(missing_docs)]
-
+//!
 //! The scheduler is additionally *self-healing*: corrupted state rolls
 //! back to the last healthy checkpoint ([`scheduler`]), misbehaving
 //! models are quarantined with exponential backoff ([`quarantine`]),
 //! and when nothing is left the run degrades gracefully to the exact
 //! PCG solver. Failures on the construction paths surface as typed
 //! [`RuntimeError`]s instead of panics ([`error`]).
+
+#![warn(missing_docs)]
 
 pub mod cumdiv;
 pub mod error;

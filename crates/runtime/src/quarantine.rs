@@ -8,13 +8,11 @@
 //! the step counter also rewinds the clock, which keeps a corruption
 //! storm from re-admitting models mid-storm.
 
-use serde::{Deserialize, Serialize};
-
 /// Strikes after which a model is permanently ejected.
 pub const MAX_STRIKES: u32 = 3;
 
 /// The outcome of one strike.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QuarantineDecision {
     /// Quarantined until the given check-interval index (exclusive).
     Quarantined {
@@ -28,6 +26,49 @@ pub enum QuarantineDecision {
         /// Strikes accumulated so far.
         strikes: u32,
     },
+}
+
+impl sfn_obs::json::ToJson for QuarantineDecision {
+    fn to_json_value(&self) -> sfn_obs::json::Value {
+        use sfn_obs::json::obj;
+        match *self {
+            QuarantineDecision::Quarantined { strikes, until_interval } => obj([(
+                "Quarantined",
+                obj([
+                    ("strikes", strikes.to_json_value()),
+                    ("until_interval", until_interval.to_json_value()),
+                ]),
+            )]),
+            QuarantineDecision::Ejected { strikes } => {
+                obj([("Ejected", obj([("strikes", strikes.to_json_value())]))])
+            }
+        }
+    }
+}
+
+impl sfn_obs::json::FromJson for QuarantineDecision {
+    fn from_json_value(
+        v: &sfn_obs::json::Value,
+    ) -> Result<Self, sfn_obs::json::JsonError> {
+        let err = |m: String| sfn_obs::json::JsonError { at: 0, message: m };
+        let fields = v
+            .as_obj()
+            .ok_or_else(|| err("expected QuarantineDecision object".to_string()))?;
+        let [(tag, body)] = fields else {
+            return Err(err(format!(
+                "expected single-variant object, got {} keys",
+                fields.len()
+            )));
+        };
+        match tag.as_str() {
+            "Quarantined" => Ok(QuarantineDecision::Quarantined {
+                strikes: body.field("strikes")?,
+                until_interval: body.field("until_interval")?,
+            }),
+            "Ejected" => Ok(QuarantineDecision::Ejected { strikes: body.field("strikes")? }),
+            other => Err(err(format!("unknown QuarantineDecision variant `{other}`"))),
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy, Default)]

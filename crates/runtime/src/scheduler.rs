@@ -28,17 +28,17 @@ use crate::cumdiv::CumDivNormTracker;
 use crate::error::RuntimeError;
 use crate::knn::KnnDatabase;
 use crate::quarantine::{QuarantineDecision, QuarantineTable};
-use serde::{Deserialize, Serialize};
 use sfn_grid::Field2;
 use sfn_nn::network::SavedModel;
 use sfn_nn::Network;
+use sfn_obs::json::{obj, FromJson, JsonError, ToJson, Value};
 use sfn_obs::{Level, ScopedTimer};
 use sfn_sim::{ExactProjector, Simulation};
 use sfn_solver::{MicPreconditioner, PcgSolver};
 use sfn_surrogate::NeuralProjector;
 
 /// One candidate network with its offline statistics.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CandidateModel {
     /// Display name (`M7` style).
     pub name: String,
@@ -53,7 +53,7 @@ pub struct CandidateModel {
 }
 
 /// Scheduler parameters.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct RuntimeConfig {
     /// The check interval `L` (paper default 5).
     pub check_interval: usize,
@@ -90,7 +90,7 @@ impl Default for RuntimeConfig {
 }
 
 /// A scheduling event, for telemetry and tests.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SchedulerEvent {
     /// Switched models at `step` because the predicted loss crossed the
     /// requirement.
@@ -143,6 +143,148 @@ pub enum SchedulerEvent {
         /// Candidates barred at the time of degradation.
         barred: usize,
     },
+}
+
+impl ToJson for CandidateModel {
+    fn to_json_value(&self) -> Value {
+        obj([
+            ("name", self.name.to_json_value()),
+            ("saved", self.saved.to_json_value()),
+            ("probability", self.probability.to_json_value()),
+            ("exec_time", self.exec_time.to_json_value()),
+            ("quality_loss", self.quality_loss.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for CandidateModel {
+    fn from_json_value(v: &Value) -> Result<Self, JsonError> {
+        Ok(CandidateModel {
+            name: v.field("name")?,
+            saved: v.field("saved")?,
+            probability: v.field("probability")?,
+            exec_time: v.field("exec_time")?,
+            quality_loss: v.field("quality_loss")?,
+        })
+    }
+}
+
+impl ToJson for RuntimeConfig {
+    fn to_json_value(&self) -> Value {
+        obj([
+            ("check_interval", self.check_interval.to_json_value()),
+            ("total_steps", self.total_steps.to_json_value()),
+            ("quality_target", self.quality_target.to_json_value()),
+            ("tolerance", self.tolerance.to_json_value()),
+            ("use_mlp", self.use_mlp.to_json_value()),
+            ("adaptive", self.adaptive.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for RuntimeConfig {
+    fn from_json_value(v: &Value) -> Result<Self, JsonError> {
+        Ok(RuntimeConfig {
+            check_interval: v.field("check_interval")?,
+            total_steps: v.field("total_steps")?,
+            quality_target: v.field("quality_target")?,
+            tolerance: v.field("tolerance")?,
+            use_mlp: v.field("use_mlp")?,
+            adaptive: v.field("adaptive")?,
+        })
+    }
+}
+
+impl ToJson for SchedulerEvent {
+    fn to_json_value(&self) -> Value {
+        match self {
+            SchedulerEvent::Switch { step, from, to, predicted_loss } => obj([(
+                "Switch",
+                obj([
+                    ("step", step.to_json_value()),
+                    ("from", from.to_json_value()),
+                    ("to", to.to_json_value()),
+                    ("predicted_loss", predicted_loss.to_json_value()),
+                ]),
+            )]),
+            SchedulerEvent::Restart { step, predicted_loss } => obj([(
+                "Restart",
+                obj([
+                    ("step", step.to_json_value()),
+                    ("predicted_loss", predicted_loss.to_json_value()),
+                ]),
+            )]),
+            SchedulerEvent::Quarantine { step, model, strikes, until_interval } => obj([(
+                "Quarantine",
+                obj([
+                    ("step", step.to_json_value()),
+                    ("model", model.to_json_value()),
+                    ("strikes", strikes.to_json_value()),
+                    ("until_interval", until_interval.to_json_value()),
+                ]),
+            )]),
+            SchedulerEvent::Rollback { step, to_step, from, to } => obj([(
+                "Rollback",
+                obj([
+                    ("step", step.to_json_value()),
+                    ("to_step", to_step.to_json_value()),
+                    ("from", from.to_json_value()),
+                    ("to", to.to_json_value()),
+                ]),
+            )]),
+            SchedulerEvent::Degrade { step, barred } => obj([(
+                "Degrade",
+                obj([
+                    ("step", step.to_json_value()),
+                    ("barred", barred.to_json_value()),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for SchedulerEvent {
+    fn from_json_value(v: &Value) -> Result<Self, JsonError> {
+        let err = |m: String| JsonError { at: 0, message: m };
+        let fields = v
+            .as_obj()
+            .ok_or_else(|| err("expected SchedulerEvent object".to_string()))?;
+        let [(tag, body)] = fields else {
+            return Err(err(format!(
+                "expected single-variant object, got {} keys",
+                fields.len()
+            )));
+        };
+        match tag.as_str() {
+            "Switch" => Ok(SchedulerEvent::Switch {
+                step: body.field("step")?,
+                from: body.field("from")?,
+                to: body.field("to")?,
+                predicted_loss: body.field("predicted_loss")?,
+            }),
+            "Restart" => Ok(SchedulerEvent::Restart {
+                step: body.field("step")?,
+                predicted_loss: body.field("predicted_loss")?,
+            }),
+            "Quarantine" => Ok(SchedulerEvent::Quarantine {
+                step: body.field("step")?,
+                model: body.field("model")?,
+                strikes: body.field("strikes")?,
+                until_interval: body.field("until_interval")?,
+            }),
+            "Rollback" => Ok(SchedulerEvent::Rollback {
+                step: body.field("step")?,
+                to_step: body.field("to_step")?,
+                from: body.field("from")?,
+                to: body.field("to")?,
+            }),
+            "Degrade" => Ok(SchedulerEvent::Degrade {
+                step: body.field("step")?,
+                barred: body.field("barred")?,
+            }),
+            other => Err(err(format!("unknown SchedulerEvent variant `{other}`"))),
+        }
+    }
 }
 
 /// The outcome of one scheduled simulation.
@@ -809,7 +951,8 @@ mod tests {
             knn(),
             RuntimeConfig {
                 total_steps: 20,
-                quality_target: 1.0, // quality never forces a switch
+                quality_target: 1.0, // quality never forces an escalation
+                use_mlp: false,      // ...nor a relaxation back to `broken`
                 ..Default::default()
             },
         );

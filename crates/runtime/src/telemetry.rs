@@ -2,11 +2,11 @@
 //! behaviour and time distributions (the §7.2/§7.3 summary statistics).
 
 use crate::scheduler::{RunOutcome, SchedulerEvent};
-use serde::{Deserialize, Serialize};
+use sfn_obs::json::{obj, FromJson, JsonError, ToJson, Value};
 use std::collections::BTreeMap;
 
 /// Aggregate statistics over a batch of adaptive runs.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunSummary {
     /// Number of runs aggregated.
     pub runs: usize,
@@ -27,6 +27,38 @@ pub struct RunSummary {
     pub steps_per_model: BTreeMap<String, usize>,
     /// Mean wall time per run.
     pub mean_wall_time: f64,
+}
+
+impl ToJson for RunSummary {
+    fn to_json_value(&self) -> Value {
+        obj([
+            ("runs", self.runs.to_json_value()),
+            ("restarts", self.restarts.to_json_value()),
+            ("degraded", self.degraded.to_json_value()),
+            ("rollbacks", self.rollbacks.to_json_value()),
+            ("switches", self.switches.to_json_value()),
+            ("mean_switches", self.mean_switches.to_json_value()),
+            ("time_share", self.time_share.to_json_value()),
+            ("steps_per_model", self.steps_per_model.to_json_value()),
+            ("mean_wall_time", self.mean_wall_time.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for RunSummary {
+    fn from_json_value(v: &Value) -> Result<Self, JsonError> {
+        Ok(RunSummary {
+            runs: v.field("runs")?,
+            restarts: v.field("restarts")?,
+            degraded: v.field("degraded")?,
+            rollbacks: v.field("rollbacks")?,
+            switches: v.field("switches")?,
+            mean_switches: v.field("mean_switches")?,
+            time_share: v.field("time_share")?,
+            steps_per_model: v.field("steps_per_model")?,
+            mean_wall_time: v.field("mean_wall_time")?,
+        })
+    }
 }
 
 impl RunSummary {

@@ -6,10 +6,9 @@
 //! shape claims ("Smart above Tompson at every grid") can be checked
 //! against sampling noise.
 
-use serde::{Deserialize, Serialize};
 
 /// A percentile bootstrap confidence interval.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ConfidenceInterval {
     /// Point estimate (statistic on the full sample).
     pub estimate: f64,

@@ -5,10 +5,9 @@
 //! `+`. We reproduce that with a Tukey-style five-number summary:
 //! whiskers at the most extreme data point within 1.5·IQR of the box.
 
-use serde::{Deserialize, Serialize};
 
 /// Five-number summary plus outliers, as drawn in a Tukey box-plot.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BoxplotSummary {
     /// Smallest observation ≥ Q1 − 1.5·IQR (lower whisker).
     pub whisker_lo: f64,

@@ -1,6 +1,5 @@
 //! Fixed-width histograms (used for Figure 1: quality-loss distribution).
 
-use serde::{Deserialize, Serialize};
 
 /// A histogram with equally sized bins over `[lo, hi)`.
 ///
@@ -8,7 +7,7 @@ use serde::{Deserialize, Serialize};
 /// the last bin (saturating clamp), so every observation is counted —
 /// matching how the paper's Figure 1 shows a bounded x-axis while still
 /// accounting for 100% of the inputs.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Histogram {
     lo: f64,
     hi: f64,

@@ -5,11 +5,10 @@
 //! lowest quality loss, or both (Figure 3). Both objectives are
 //! minimised.
 
-use serde::{Deserialize, Serialize};
 
 /// A point in the bi-objective (time, quality-loss) plane, carrying the
 /// index of the model it belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ParetoPoint {
     /// Identifier of the underlying item (e.g. model index).
     pub id: usize,

@@ -5,10 +5,9 @@
 //! interval with the least-squares method. This module provides that
 //! fit, together with goodness-of-fit diagnostics used by the tests.
 
-use serde::{Deserialize, Serialize};
 
 /// A fitted simple linear regression `y = slope · x + intercept`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinearRegression {
     /// Slope `a` of the fitted line.
     pub slope: f64,

@@ -1,9 +1,8 @@
 //! Scalar descriptive statistics.
 
-use serde::{Deserialize, Serialize};
 
 /// Mean / standard deviation / min / max / median of a sample.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     /// Number of (finite) observations.
     pub n: usize,

@@ -8,9 +8,9 @@
 use crate::dataset::ProjectionDataset;
 use crate::divnorm_loss::divnorm_loss_and_grad;
 use crate::dataset::output_to_pressure;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use sfn_rng::rngs::StdRng;
+use sfn_rng::seq::SliceRandom;
+use sfn_rng::SeedableRng;
 use sfn_nn::optim::{Adam, Optimizer};
 use sfn_nn::{Network, NetworkSpec, Tensor};
 

@@ -8,12 +8,12 @@
 
 use crate::geometry::GeometrySpec;
 use crate::turbulence::TurbulenceSpec;
-use serde::{Deserialize, Serialize};
 use sfn_grid::{CellFlags, MacGrid};
+use sfn_obs::json::{obj, FromJson, JsonError, ToJson, Value};
 use sfn_sim::{SimConfig, Simulation};
 
 /// One fluid-simulation input problem.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct InputProblem {
     /// Index within its problem set.
     pub id: usize,
@@ -38,8 +38,56 @@ impl InputProblem {
     }
 }
 
+impl ToJson for InputProblem {
+    fn to_json_value(&self) -> Value {
+        obj([
+            ("id", self.id.to_json_value()),
+            ("seed", self.seed.to_json_value()),
+            ("config", self.config.to_json_value()),
+            ("flags", self.flags.to_json_value()),
+            ("initial_velocity", self.initial_velocity.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for InputProblem {
+    fn from_json_value(v: &Value) -> Result<Self, JsonError> {
+        Ok(InputProblem {
+            id: v.field("id")?,
+            seed: v.field("seed")?,
+            config: v.field("config")?,
+            flags: v.field("flags")?,
+            initial_velocity: v.field("initial_velocity")?,
+        })
+    }
+}
+
+impl ToJson for ProblemSet {
+    fn to_json_value(&self) -> Value {
+        obj([
+            ("grid", self.grid.to_json_value()),
+            ("count", self.count.to_json_value()),
+            ("base_seed", self.base_seed.to_json_value()),
+            ("turbulence", self.turbulence.to_json_value()),
+            ("geometry", self.geometry.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for ProblemSet {
+    fn from_json_value(v: &Value) -> Result<Self, JsonError> {
+        Ok(ProblemSet {
+            grid: v.field("grid")?,
+            count: v.field("count")?,
+            base_seed: v.field("base_seed")?,
+            turbulence: v.field("turbulence")?,
+            geometry: v.field("geometry")?,
+        })
+    }
+}
+
 /// Parameters for generating a family of problems.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProblemSet {
     /// Grid size (square grids, as in the paper's evaluation).
     pub grid: usize,
@@ -115,14 +163,15 @@ impl ProblemSet {
         if let Some(dir) = path.parent() {
             std::fs::create_dir_all(dir)?;
         }
-        let json = serde_json::to_vec(&problems).map_err(std::io::Error::other)?;
+        let json = sfn_obs::json::to_json_string(&problems);
         std::fs::write(path, json)
     }
 
     /// Loads a pinned problem file written by [`ProblemSet::export`].
     pub fn import(path: &std::path::Path) -> std::io::Result<Vec<InputProblem>> {
-        let bytes = std::fs::read(path)?;
-        serde_json::from_slice(&bytes).map_err(std::io::Error::other)
+        let text = std::fs::read_to_string(path)?;
+        sfn_obs::json::from_json_str(&text)
+            .map_err(|e| std::io::Error::other(format!("at byte {}: {}", e.at, e.message)))
     }
 }
 

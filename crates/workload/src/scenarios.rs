@@ -4,12 +4,11 @@
 
 use crate::problem::InputProblem;
 use crate::turbulence::TurbulenceSpec;
-use serde::{Deserialize, Serialize};
 use sfn_grid::{CellFlags, MacGrid};
 use sfn_sim::SimConfig;
 
 /// The available scenario presets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scenario {
     /// A clean rising plume, no obstacles, no initial turbulence.
     RisingPlume,

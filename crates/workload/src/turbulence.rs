@@ -8,13 +8,13 @@
 //! multi-scale spectrum — our substitute for wavelet turbulence
 //! [Kim et al. 2008].
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-use serde::{Deserialize, Serialize};
 use sfn_grid::MacGrid;
+use sfn_obs::json::{obj, FromJson, JsonError, ToJson, Value};
+use sfn_rng::rngs::StdRng;
+use sfn_rng::{RngExt, SeedableRng};
 
 /// Parameters of the random turbulence spectrum.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TurbulenceSpec {
     /// Number of random Fourier modes.
     pub modes: usize,
@@ -44,6 +44,28 @@ struct Mode {
     phase: f64,
 }
 
+impl ToJson for TurbulenceSpec {
+    fn to_json_value(&self) -> Value {
+        obj([
+            ("modes", self.modes.to_json_value()),
+            ("min_wavelength", self.min_wavelength.to_json_value()),
+            ("max_wavelength", self.max_wavelength.to_json_value()),
+            ("rms_velocity", self.rms_velocity.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for TurbulenceSpec {
+    fn from_json_value(v: &Value) -> Result<Self, JsonError> {
+        Ok(TurbulenceSpec {
+            modes: v.field("modes")?,
+            min_wavelength: v.field("min_wavelength")?,
+            max_wavelength: v.field("max_wavelength")?,
+            rms_velocity: v.field("rms_velocity")?,
+        })
+    }
+}
+
 impl TurbulenceSpec {
     fn sample_modes(&self, rng: &mut StdRng) -> Vec<Mode> {
         assert!(self.modes > 0, "need at least one mode");
@@ -56,7 +78,7 @@ impl TurbulenceSpec {
                 // Log-uniform wavelength, Kolmogorov-ish amplitude decay
                 // with wavenumber: a ∝ k^{-5/6} gives E(k) ∝ k^{-5/3}.
                 let lam = (self.min_wavelength.ln()
-                    + rng.random_range(0.0..1.0) * (self.max_wavelength / self.min_wavelength).ln())
+                    + rng.random_range(0.0..1.0f64) * (self.max_wavelength / self.min_wavelength).ln())
                 .exp();
                 let k = 2.0 * std::f64::consts::PI / lam;
                 let theta = rng.random_range(0.0..std::f64::consts::TAU);

@@ -58,6 +58,15 @@ fn main() {
                     step,
                     predicted_loss,
                 } => println!("  step {step:>3}: RESTART with PCG (predicted {predicted_loss:.5})"),
+                SchedulerEvent::Quarantine { step, model, strikes, until_interval } => println!(
+                    "  step {step:>3}: QUARANTINE {model} (strike {strikes}, until {until_interval:?})"
+                ),
+                SchedulerEvent::Rollback { step, to_step, from, to } => println!(
+                    "  step {step:>3}: ROLLBACK to step {to_step}, {from} -> {to}"
+                ),
+                SchedulerEvent::Degrade { step, barred } => println!(
+                    "  step {step:>3}: DEGRADE to PCG ({barred} models barred)"
+                ),
             }
         }
         if out.events.is_empty() {

@@ -49,6 +49,15 @@ fn main() {
                 step,
                 predicted_loss,
             } => println!("  step {step}: restart with PCG (predicted Qloss {predicted_loss:.4})"),
+            SchedulerEvent::Quarantine { step, model, strikes, until_interval } => println!(
+                "  step {step}: quarantine {model} (strike {strikes}, until {until_interval:?})"
+            ),
+            SchedulerEvent::Rollback { step, to_step, from, to } => println!(
+                "  step {step}: rollback to step {to_step}, {from} -> {to}"
+            ),
+            SchedulerEvent::Degrade { step, barred } => {
+                println!("  step {step}: degraded to PCG ({barred} models barred)")
+            }
         }
     }
     println!("\nprojection time per model:");

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Guard: the workspace must build from the source tree alone — every
+# dependency is a `path = ...` crate inside this repository. Any
+# version-, git- or registry-sourced dependency re-introduces a
+# crates.io fetch and breaks the offline build contract (see
+# DESIGN.md, "Zero-dependency build").
+#
+# Run from the repo root:  scripts/check_no_registry_deps.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# 1. cargo metadata: every package must live under this repo, and every
+#    dependency edge must resolve to one of those local packages.
+#    `--offline` doubles as the fetch guard: a registry dep would make
+#    metadata resolution itself fail without a populated cargo cache.
+meta=$(cargo metadata --format-version 1 --offline 2>/dev/null) || {
+    echo "error: cargo metadata --offline failed (registry dependency or broken manifest?)" >&2
+    exit 1
+}
+
+# Resolved package list: anything whose id is not a path+file:// source
+# came from a registry or git remote.
+nonlocal=$(printf '%s' "$meta" | python3 -c '
+import json, sys
+meta = json.load(sys.stdin)
+bad = [p["id"] for p in meta["packages"] if "path+file://" not in p["id"]]
+print("\n".join(bad))
+')
+if [ -n "$nonlocal" ]; then
+    echo "error: non-path packages in the dependency graph:" >&2
+    printf '%s\n' "$nonlocal" >&2
+    fail=1
+fi
+
+# 2. Manifest lint: no dependency table entry may carry a version, git
+#    or registry source. (Belt-and-braces for deps that metadata might
+#    not resolve, e.g. target- or feature-gated ones.)
+manifest_bad=$(python3 - <<'EOF'
+import glob, re
+
+offenders = []
+for path in ["Cargo.toml"] + glob.glob("crates/*/Cargo.toml"):
+    section = None
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            stripped = line.split("#", 1)[0].strip()
+            if not stripped:
+                continue
+            m = re.match(r"\[(.+)\]$", stripped)
+            if m:
+                section = m.group(1)
+                continue
+            in_dep_table = section is not None and (
+                section.endswith("dependencies")        # [dependencies], [dev-dependencies], ...
+                or ".dependencies." in section           # [target.'cfg'.dependencies.foo]
+                or section == "workspace.dependencies"
+            )
+            if not in_dep_table:
+                continue
+            # A path-only entry looks like `foo = { path = "..." }` or
+            # `foo.path = "..."`. Anything mentioning version/git/registry
+            # (or a bare `foo = "1.0"`) is an external source.
+            if re.search(r'\b(version|git|registry)\s*=', stripped) or re.match(
+                r'[\w-]+\s*=\s*"', stripped
+            ):
+                offenders.append(f"{path}:{lineno}: {stripped}")
+print("\n".join(offenders))
+EOF
+)
+if [ -n "$manifest_bad" ]; then
+    echo "error: manifest entries with non-path dependency sources:" >&2
+    printf '%s\n' "$manifest_bad" >&2
+    fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo >&2
+    echo "The workspace must stay buildable with zero crates.io dependencies." >&2
+    echo "Replace the dependency with an in-tree crate (see DESIGN.md," >&2
+    echo "\"Zero-dependency build\") or vendor the needed code." >&2
+    exit 1
+fi
+
+echo "ok: dependency graph is 100% in-tree path crates"

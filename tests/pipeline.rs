@@ -83,9 +83,15 @@ fn check_interval_is_respected() {
         });
         let out = rt.run(ProblemSet::evaluation(16, 1).problem(0).simulation());
         for e in &out.events {
+            use smart_fluidnet::runtime::SchedulerEvent;
             let step = match e {
-                smart_fluidnet::runtime::SchedulerEvent::Switch { step, .. } => *step,
-                smart_fluidnet::runtime::SchedulerEvent::Restart { step, .. } => *step,
+                SchedulerEvent::Switch { step, .. } => *step,
+                SchedulerEvent::Restart { step, .. } => *step,
+                SchedulerEvent::Quarantine { step, .. } => *step,
+                SchedulerEvent::Degrade { step, .. } => *step,
+                // A rollback is pinned to the corrupted step, not the
+                // checkpoint grid.
+                SchedulerEvent::Rollback { .. } => continue,
             };
             assert_eq!(
                 step % interval,

@@ -1,50 +1,48 @@
-//! Property-based integration tests (proptest) on the numerical
+//! Property-based integration tests (`sfn_rng::prop`) on the numerical
 //! invariants the system's correctness rests on.
 
-use proptest::prelude::*;
+use sfn_rng::prop::{self, Gen};
 use smart_fluidnet::grid::{CellFlags, CellType, Field2, MacGrid};
 use smart_fluidnet::nn::{LayerSpec, NetworkSpec};
 use smart_fluidnet::sim::advect::advect_scalar;
-use smart_fluidnet::solver::{divergence_rhs, MicPreconditioner, PcgSolver, PoissonProblem, PoissonSolver};
+use smart_fluidnet::solver::{
+    divergence_rhs, MicPreconditioner, PcgSolver, PoissonProblem, PoissonSolver,
+};
 use smart_fluidnet::stats::{pareto_front, LinearRegression, ParetoPoint};
 
 const N: usize = 12;
+const CASES: usize = 24;
 
-/// Strategy: random geometry with border walls and sprinkled solids.
-fn arb_flags() -> impl Strategy<Value = CellFlags> {
-    proptest::collection::vec(0u8..8, 6).prop_map(|cells| {
-        let mut flags = CellFlags::smoke_box(N, N);
-        for pair in cells.chunks(2) {
-            if let [a, b] = pair {
-                flags.set(1 + *a as usize, 1 + *b as usize, CellType::Solid);
-            }
+/// Random geometry with border walls and sprinkled solids.
+fn arb_flags(g: &mut Gen) -> CellFlags {
+    let cells = g.vec_usize(0..8, 6);
+    let mut flags = CellFlags::smoke_box(N, N);
+    for pair in cells.chunks(2) {
+        if let [a, b] = pair {
+            flags.set(1 + a, 1 + b, CellType::Solid);
         }
-        flags
-    })
+    }
+    flags
 }
 
-/// Strategy: random velocity fields with bounded magnitude.
-fn arb_velocity() -> impl Strategy<Value = MacGrid> {
-    proptest::collection::vec(-1.0f64..1.0, (N + 1) * N + N * (N + 1)).prop_map(|vals| {
-        let mut vel = MacGrid::new(N, N, 1.0);
-        let (u, v) = vals.split_at((N + 1) * N);
-        vel.u.data_mut().copy_from_slice(u);
-        vel.v.data_mut().copy_from_slice(v);
-        vel
-    })
+/// Random velocity field with bounded magnitude.
+fn arb_velocity(g: &mut Gen) -> MacGrid {
+    let vals = g.vec_f64(-1.0..1.0, (N + 1) * N + N * (N + 1));
+    let mut vel = MacGrid::new(N, N, 1.0);
+    let (u, v) = vals.split_at((N + 1) * N);
+    vel.u.data_mut().copy_from_slice(u);
+    vel.v.data_mut().copy_from_slice(v);
+    vel
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// The fundamental guarantee of the exact projection: for ANY
-    /// bounded velocity field and ANY geometry, the projected velocity
-    /// is discretely divergence-free on fluid cells.
-    #[test]
-    fn projection_always_produces_divergence_free_velocity(
-        flags in arb_flags(),
-        mut vel in arb_velocity(),
-    ) {
+/// The fundamental guarantee of the exact projection: for ANY bounded
+/// velocity field and ANY geometry, the projected velocity is
+/// discretely divergence-free on fluid cells.
+#[test]
+fn projection_always_produces_divergence_free_velocity() {
+    prop::cases(CASES, |g| {
+        let flags = arb_flags(g);
+        let mut vel = arb_velocity(g);
         vel.enforce_solid_boundaries(&flags);
         let dt = 0.5;
         let div = vel.divergence(&flags);
@@ -52,79 +50,87 @@ proptest! {
         let b = divergence_rhs(&div, &flags, dt);
         let solver = PcgSolver::new(MicPreconditioner::default(), 1e-10, 50_000);
         let (p, stats) = solver.solve(&problem, &b);
-        prop_assert!(stats.converged, "{stats:?}");
+        assert!(stats.converged, "{stats:?}");
         vel.subtract_pressure_gradient(&p, &flags, dt);
         let after = vel.divergence(&flags);
-        prop_assert!(after.max_abs() < 1e-6, "residual divergence {}", after.max_abs());
-    }
+        assert!(after.max_abs() < 1e-6, "residual divergence {}", after.max_abs());
+    });
+}
 
-    /// Semi-Lagrangian advection with bilinear sampling obeys the
-    /// discrete maximum principle: no new extrema, ever.
-    #[test]
-    fn advection_never_creates_new_extrema(
-        vel in arb_velocity(),
-        q_vals in proptest::collection::vec(0.0f64..5.0, N * N),
-        dt in 0.01f64..2.0,
-    ) {
+/// Semi-Lagrangian advection with bilinear sampling obeys the discrete
+/// maximum principle: no new extrema, ever.
+#[test]
+fn advection_never_creates_new_extrema() {
+    prop::cases(CASES, |g| {
+        let vel = arb_velocity(g);
+        let q_vals = g.vec_f64(0.0..5.0, N * N);
+        let dt: f64 = g.range(0.01..2.0);
         let flags = CellFlags::all_fluid(N, N);
         let q = Field2::from_vec(N, N, q_vals);
         let lo = q.data().iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = q.data().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let out = advect_scalar(&vel, &q, &flags, dt);
         for &v in out.data() {
-            prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12, "{v} outside [{lo}, {hi}]");
+            assert!(v >= lo - 1e-12 && v <= hi + 1e-12, "{v} outside [{lo}, {hi}]");
         }
-    }
+    });
+}
 
-    /// Pareto front: no member dominated, every non-member dominated.
-    #[test]
-    fn pareto_front_invariants(
-        pts in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0), 1..40)
-    ) {
+/// Pareto front: no member dominated, every non-member dominated.
+#[test]
+fn pareto_front_invariants() {
+    prop::cases(CASES, |g| {
+        let len = g.range(1..40usize);
+        let pts = g.vec_f64_pairs(0.0..10.0, 0.0..10.0, len);
         let points: Vec<ParetoPoint> = pts
             .iter()
             .enumerate()
             .map(|(id, &(time, loss))| ParetoPoint { id, time, loss })
             .collect();
         let front = pareto_front(&points);
-        prop_assert!(!front.is_empty());
+        assert!(!front.is_empty());
         for f in &front {
             for p in &points {
-                prop_assert!(!p.dominates(f), "{p:?} dominates front member {f:?}");
+                assert!(!p.dominates(f), "{p:?} dominates front member {f:?}");
             }
         }
         for p in &points {
             if !front.iter().any(|f| f.id == p.id) {
-                prop_assert!(
+                assert!(
                     front.iter().any(|f| f.dominates(p)),
                     "{p:?} not on front yet undominated"
                 );
             }
         }
-    }
+    });
+}
 
-    /// OLS regression reproduces affine data exactly and extrapolates it.
-    #[test]
-    fn regression_exact_on_affine_data(
-        slope in -5.0f64..5.0,
-        intercept in -5.0f64..5.0,
-        n in 3usize..20,
-    ) {
+/// OLS regression reproduces affine data exactly and extrapolates it.
+#[test]
+fn regression_exact_on_affine_data() {
+    prop::cases(CASES, |g| {
+        let slope: f64 = g.range(-5.0..5.0);
+        let intercept: f64 = g.range(-5.0..5.0);
+        let n = g.range(3..20usize);
         let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
         let ys: Vec<f64> = xs.iter().map(|x| slope * x + intercept).collect();
         let fit = LinearRegression::fit(&xs, &ys).expect("fit");
-        prop_assert!((fit.slope - slope).abs() < 1e-9);
-        prop_assert!((fit.predict(1000.0) - (slope * 1000.0 + intercept)).abs() < 1e-6);
-    }
+        assert!((fit.slope - slope).abs() < 1e-9);
+        assert!((fit.predict(1000.0) - (slope * 1000.0 + intercept)).abs() < 1e-6);
+    });
+}
 
-    /// Every §4 transformation chain keeps the surrogate contract:
-    /// 2-channel input, 1-channel output, grid shape preserved.
-    #[test]
-    fn random_transformation_chains_stay_valid(
-        ops in proptest::collection::vec((0u8..4, 0usize..8), 0..6)
-    ) {
-        use smart_fluidnet::modelgen::transform::{dropout, narrow, pooling, shallow};
-        use smart_fluidnet::surrogate::tompson_spec;
+/// Every §4 transformation chain keeps the surrogate contract:
+/// 2-channel input, 1-channel output, grid shape preserved.
+#[test]
+fn random_transformation_chains_stay_valid() {
+    use smart_fluidnet::modelgen::transform::{dropout, narrow, pooling, shallow};
+    use smart_fluidnet::surrogate::tompson_spec;
+    prop::cases(CASES, |g| {
+        let n_ops = g.range(0..6usize);
+        let ops: Vec<(u64, usize)> = (0..n_ops)
+            .map(|_| (g.range(0..4u64), g.range(0..8usize)))
+            .collect();
         let mut spec = tompson_spec(16);
         let mut pools = 0;
         for (op, which) in ops {
@@ -144,34 +150,38 @@ proptest! {
         }
         // 64 is divisible by 2^pools, so the shape contract must hold.
         let out = spec.output_shape((2, 64, 64));
-        prop_assert!(out.is_ok(), "{}: {:?}", spec.render(), out);
-        prop_assert_eq!(out.unwrap(), (1, 64, 64));
-    }
+        assert!(out.is_ok(), "{}: {:?}", spec.render(), out);
+        assert_eq!(out.unwrap(), (1, 64, 64));
+    });
+}
 
-    /// The KNN database prediction is always within the range of the
-    /// stored quality losses (it is an average of members).
-    #[test]
-    fn knn_prediction_bounded_by_database(
-        pairs in proptest::collection::vec((0.0f64..100.0, 0.0f64..1.0), 1..32),
-        query in -50.0f64..150.0,
-    ) {
-        use smart_fluidnet::runtime::KnnDatabase;
+/// The KNN database prediction is always within the range of the
+/// stored quality losses (it is an average of members).
+#[test]
+fn knn_prediction_bounded_by_database() {
+    use smart_fluidnet::runtime::KnnDatabase;
+    prop::cases(CASES, |g| {
+        let len = g.range(1..32usize);
+        let pairs = g.vec_f64_pairs(0.0..100.0, 0.0..1.0, len);
+        let query: f64 = g.range(-50.0..150.0);
         let db = KnnDatabase::new(pairs.clone()).unwrap();
         let q = db.predict(query);
         let lo = pairs.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
         let hi = pairs.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(q >= lo - 1e-12 && q <= hi + 1e-12);
-    }
+        assert!(q >= lo - 1e-12 && q <= hi + 1e-12);
+    });
+}
 
-    /// Network spec feature vectors always have the Eq. 6 length and
-    /// finite entries, whatever the architecture.
-    #[test]
-    fn feature_vectors_are_total(
-        widths in proptest::collection::vec(2usize..32, 1..10),
-        q in 0.0f64..0.2,
-        t in 0.0f64..20.0,
-    ) {
-        use smart_fluidnet::quality::feature_vector;
+/// Network spec feature vectors always have the Eq. 6 length and
+/// finite entries, whatever the architecture.
+#[test]
+fn feature_vectors_are_total() {
+    use smart_fluidnet::quality::feature_vector;
+    prop::cases(CASES, |g| {
+        let n_layers = g.range(1..10usize);
+        let widths = g.vec_usize(2..32, n_layers);
+        let q: f64 = g.range(0.0..0.2);
+        let t: f64 = g.range(0.0..20.0);
         let mut layers = Vec::new();
         let mut ch = 2usize;
         for w in widths {
@@ -182,7 +192,7 @@ proptest! {
         layers.push(LayerSpec::Conv2d { in_ch: ch, out_ch: 1, kernel: 1, residual: false });
         let spec = NetworkSpec::new(layers);
         let f = feature_vector(&spec, q, t);
-        prop_assert_eq!(f.len(), 48);
-        prop_assert!(f.iter().all(|v| v.is_finite()));
-    }
+        assert_eq!(f.len(), 48);
+        assert!(f.iter().all(|v| v.is_finite()));
+    });
 }

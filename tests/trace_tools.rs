@@ -61,7 +61,7 @@ fn healthy_trace_text() -> &'static str {
         let knn =
             KnnDatabase::new((0..64).map(|i| (i as f64 * 10.0, i as f64 * 0.001)).collect())
                 .unwrap();
-        let rt = SmartRuntime::try_new(
+        let mut rt = SmartRuntime::try_new(
             candidates,
             knn,
             RuntimeConfig { total_steps: 24, quality_target: 1.0, ..Default::default() },
@@ -70,7 +70,8 @@ fn healthy_trace_text() -> &'static str {
         rt.run(Simulation::new(SimConfig::plume(16), CellFlags::smoke_box(16, 16)));
         obs::flush_trace();
         obs::set_trace_writer(None);
-        String::from_utf8(buf.0.lock().unwrap().clone()).unwrap()
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        text
     })
 }
 
