@@ -77,6 +77,16 @@ impl FromJson for OfflineArtifacts {
     }
 }
 
+/// Logs one artifact rejection as a `parser.rejected` trace event so
+/// hardened load paths stay visible (`sfn-trace audit` tallies them).
+fn reject(path: &Path, error: &str) {
+    sfn_obs::event(sfn_obs::Level::Warn, "parser.rejected")
+        .field_str("boundary", "artifacts")
+        .field_str("path", &path.display().to_string())
+        .field_str("error", error)
+        .emit();
+}
+
 impl OfflineArtifacts {
     /// Default cache location for a config key:
     /// `<workspace>/target/sfn-artifacts/<key>.json`, overridable with
@@ -117,15 +127,17 @@ impl OfflineArtifacts {
         })?;
         // Fault hook: bit-flip or truncate the artifact bytes on read.
         sfn_faults::corrupt_bytes(&format!("artifact:{}", path.display()), &mut bytes);
-        let malformed = |detail: String| ArtifactError::Malformed {
-            path: path.to_path_buf(),
-            detail,
+        let malformed = |detail: String| {
+            reject(path, &detail);
+            ArtifactError::Malformed { path: path.to_path_buf(), detail }
         };
         let text = std::str::from_utf8(&bytes)
             .map_err(|e| malformed(format!("invalid utf-8: {e}")))?;
         let artifacts: Self = sfn_obs::json::from_json_str(text)
             .map_err(|e| malformed(format!("at byte {}: {}", e.at, e.message)))?;
-        artifacts.validate()?;
+        artifacts.validate().inspect_err(|e| {
+            reject(path, &e.to_string());
+        })?;
         Ok(artifacts)
     }
 

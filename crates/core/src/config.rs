@@ -100,10 +100,31 @@ impl OfflineConfig {
     /// `SFN_EVAL_GRID`, `SFN_EVAL_STEPS`, `SFN_TRAIN_EPOCHS`,
     /// `SFN_KNN_PROBLEMS` and `SFN_SEED` environment overrides — the
     /// scale knobs the bench harness documents.
-    pub fn from_env(mut self) -> Self {
-        fn get(name: &str) -> Option<usize> {
-            std::env::var(name).ok()?.parse().ok()
-        }
+    pub fn from_env(self) -> Self {
+        self.with_env_overrides(|name| std::env::var(name).ok())
+    }
+
+    /// [`OfflineConfig::from_env`] with an injectable variable lookup.
+    ///
+    /// Env values are untrusted input: a malformed number is reported
+    /// as an `env.invalid` warning and ignored (falling back to the
+    /// current value), every accepted override is clamped to its sane
+    /// floor, and nothing here can panic — the `sfn-fuzz` `config_env`
+    /// target drives this function with arbitrary byte soup.
+    pub fn with_env_overrides(mut self, lookup: impl Fn(&str) -> Option<String>) -> Self {
+        let get = |name: &str| -> Option<usize> {
+            let raw = lookup(name)?;
+            match raw.trim().parse() {
+                Ok(n) => Some(n),
+                Err(_) => {
+                    sfn_obs::event(sfn_obs::Level::Warn, "env.invalid")
+                        .field_str("var", name)
+                        .field_str("value", &raw)
+                        .emit();
+                    None
+                }
+            }
+        };
         if let Some(v) = get("SFN_TRAIN_PROBLEMS") {
             self.train_problems = v.max(1);
         }
@@ -170,5 +191,21 @@ mod tests {
         let c = OfflineConfig::quick().from_env();
         std::env::remove_var("SFN_EVAL_PROBLEMS");
         assert_eq!(c.eval_problems, 99);
+    }
+
+    #[test]
+    fn malformed_env_values_fall_back_with_floors() {
+        let defaults = OfflineConfig::quick();
+        let c = defaults.with_env_overrides(|name| {
+            Some(match name {
+                "SFN_EVAL_PROBLEMS" => "not-a-number".to_string(),
+                "SFN_EVAL_GRID" => "0".to_string(),     // below the floor
+                "SFN_TRAIN_EPOCHS" => " 7 ".to_string(), // whitespace ok
+                _ => "\u{0}\u{ffff}".to_string(),
+            })
+        });
+        assert_eq!(c.eval_problems, defaults.eval_problems, "malformed ignored");
+        assert_eq!(c.eval_grid, 8, "clamped to floor");
+        assert_eq!(c.train_epochs, 7);
     }
 }

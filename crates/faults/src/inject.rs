@@ -82,6 +82,12 @@ pub fn init_from_env() {
                 sfn_obs::event(Level::Warn, "fault.config_invalid")
                     .field_str("error", &e.to_string())
                     .emit();
+                // Also tally it as a hardened-boundary rejection so
+                // `sfn-trace audit` counts it with the other parsers.
+                sfn_obs::event(Level::Warn, "parser.rejected")
+                    .field_str("boundary", "sfn_faults")
+                    .field_str("error", &e.to_string())
+                    .emit();
             }
         }
     });

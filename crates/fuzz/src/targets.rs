@@ -1,0 +1,421 @@
+//! One registered [`Target`] per untrusted-input boundary.
+//!
+//! Each target wraps a parser the pipeline exposes to bytes it did not
+//! write — checkpoint files, artifact caches, fault schedules, trace
+//! logs, environment variables — in a differential oracle. The runner
+//! never trusts the parser's own tests: it asserts the three-way
+//! contract directly (typed rejection OR accepted-and-round-trips,
+//! never a panic).
+
+use crate::{Outcome, Target};
+use sfn_obs::json::{self, to_json_string};
+use sfn_rng::StdRng;
+
+/// Every registered target, in stable (CLI/report) order.
+pub fn all() -> Vec<Target> {
+    vec![
+        Target {
+            name: "json",
+            about: "sfn_obs::json::parse — the shared hand-rolled JSON subset parser",
+            run: run_json,
+            seeds: |rng| (0..8).map(|_| crate::gen::json_doc(rng)).collect(),
+            dict: JSON_DICT,
+        },
+        Target {
+            name: "model_io",
+            about: "sfn_nn::model_io::decode — checksummed SFNM binary weight blobs",
+            run: run_model_io,
+            seeds: |rng| (0..6).map(|_| crate::gen::sfnm_blob(rng)).collect(),
+            dict: SFNM_DICT,
+        },
+        Target {
+            name: "artifacts",
+            about: "OfflineArtifacts JSON load + validate — the offline→online handoff",
+            run: run_artifacts,
+            seeds: |rng| (0..4).map(|_| crate::gen::artifacts_doc(rng)).collect(),
+            dict: ARTIFACTS_DICT,
+        },
+        Target {
+            name: "faults",
+            about: "sfn_faults::parse_plan — SFN_FAULTS schedule documents",
+            run: run_faults,
+            seeds: |rng| (0..8).map(|_| crate::gen::fault_schedule(rng)).collect(),
+            dict: FAULTS_DICT,
+        },
+        Target {
+            name: "trace",
+            about: "sfn_trace::parse_trace — lenient JSONL flight-recorder reader",
+            run: run_trace,
+            seeds: |rng| (0..8).map(|_| crate::gen::trace_jsonl(rng)).collect(),
+            dict: TRACE_DICT,
+        },
+        Target {
+            name: "config_env",
+            about: "OfflineConfig::with_env_overrides — SFN_* scale-knob parsing",
+            run: run_config_env,
+            seeds: |rng| (0..8).map(|_| crate::gen::env_soup(rng)).collect(),
+            dict: ENV_DICT,
+        },
+        Target {
+            name: "model_json",
+            about: "SavedModel JSON snapshots — the human-inspectable checkpoint form",
+            run: run_model_json,
+            seeds: |rng| (0..6).map(|_| crate::gen::saved_model_json(rng)).collect(),
+            dict: MODEL_JSON_DICT,
+        },
+    ]
+}
+
+/// Looks up a target by CLI name.
+pub fn by_name(name: &str) -> Option<Target> {
+    all().into_iter().find(|t| t.name == name)
+}
+
+// ------------------------------------------------------- dictionaries
+
+const JSON_DICT: &[&[u8]] = &[
+    b"null", b"true", b"false", b"{", b"}", b"[", b"]", b"\"", b"\\u0000", b"\\uD834\\uDD1E",
+    b"1e308", b"-0.0", b"{\"k\":", b"[[[[[[[[",
+];
+
+const SFNM_DICT: &[&[u8]] = &[
+    b"SFNM",
+    &[0x01, 0x00, 0x00, 0x00],
+    &[0xff, 0xff, 0xff, 0xff],
+    b"{\"layers\":[]}",
+    b"Conv2d",
+];
+
+const ARTIFACTS_DICT: &[&[u8]] = &[
+    b"\"family\"",
+    b"\"measurements\"",
+    b"\"candidate_indices\"",
+    b"\"mlp\"",
+    b"\"selected\"",
+    b"\"knn_pairs\"",
+    b"\"requirement\"",
+    b"\"fallback_time\"",
+    b"\"base_index\"",
+    b"\"weights\"",
+    b"\"spec\"",
+];
+
+const FAULTS_DICT: &[&[u8]] = &[
+    b"\"kind\"",
+    b"\"nan_output\"",
+    b"\"inf_output\"",
+    b"\"solver_starvation\"",
+    b"\"artifact_corruption\"",
+    b"\"latency_spike\"",
+    b"\"seed\"",
+    b"\"faults\"",
+    b"\"p\"",
+    b"\"start\"",
+    b"\"end\"",
+    b"\"target\"",
+    b"\"mag\"",
+];
+
+const TRACE_DICT: &[&[u8]] = &[
+    b"\"ts\"",
+    b"\"level\"",
+    b"\"kind\"",
+    b"\"info\"",
+    b"\"scheduler.decision\"",
+    b"\"fault.injected\"",
+    b"\n",
+];
+
+const ENV_DICT: &[&[u8]] = &[
+    b"SFN_TRAIN_PROBLEMS=",
+    b"SFN_EVAL_GRID=",
+    b"SFN_SEED=",
+    b"18446744073709551615",
+    b"-1",
+    b"0",
+    b"\x00",
+];
+
+const MODEL_JSON_DICT: &[&[u8]] = &[
+    b"\"spec\"",
+    b"\"weights\"",
+    b"\"layers\"",
+    b"\"Conv2d\"",
+    b"\"Dense\"",
+    b"\"ReLU\"",
+    b"\"in_ch\"",
+    b"\"out_ch\"",
+    b"\"kernel\"",
+    b"\"residual\"",
+    b"1e999",
+];
+
+// ------------------------------------------------------------ targets
+
+fn utf8(input: &[u8]) -> Result<&str, Outcome> {
+    std::str::from_utf8(input).map_err(|e| Outcome::Rejected(format!("invalid utf-8: {e}")))
+}
+
+/// `parse → serialize → parse` must converge: the second parse must
+/// succeed and render identically. (Byte equality with the *input* is
+/// not required — whitespace and float spelling may normalise.)
+fn run_json(input: &[u8]) -> Outcome {
+    let text = match utf8(input) {
+        Ok(t) => t,
+        Err(o) => return o,
+    };
+    let v1 = match json::parse(text) {
+        Ok(v) => v,
+        Err(e) => return Outcome::Rejected(format!("at byte {}: {}", e.at, e.message)),
+    };
+    let s1 = v1.to_json();
+    let v2 = match json::parse(&s1) {
+        Ok(v) => v,
+        Err(e) => {
+            return Outcome::OracleFailure(format!(
+                "emitted JSON does not reparse (at byte {}: {}): {s1:.200}",
+                e.at, e.message
+            ))
+        }
+    };
+    let s2 = v2.to_json();
+    if s1 != s2 {
+        return Outcome::OracleFailure(format!("round-trip diverges: {s1:.100} vs {s2:.100}"));
+    }
+    Outcome::Accepted
+}
+
+/// `decode → encode → decode` must be the identity, bit-for-bit on the
+/// weights (NaN payloads included).
+fn run_model_io(input: &[u8]) -> Outcome {
+    let m1 = match sfn_nn::model_io::decode(input) {
+        Ok(m) => m,
+        Err(e) => return Outcome::Rejected(e.0),
+    };
+    let bytes = match sfn_nn::model_io::encode(&m1) {
+        Ok(b) => b,
+        Err(e) => return Outcome::OracleFailure(format!("decoded model does not re-encode: {e}")),
+    };
+    let m2 = match sfn_nn::model_io::decode(&bytes) {
+        Ok(m) => m,
+        Err(e) => return Outcome::OracleFailure(format!("re-encoded blob does not decode: {e}")),
+    };
+    if m1.spec != m2.spec {
+        return Outcome::OracleFailure("spec changed across encode/decode".into());
+    }
+    let bits =
+        |m: &sfn_nn::network::SavedModel| -> Vec<Vec<u32>> {
+            m.weights.iter().map(|w| w.iter().map(|v| v.to_bits()).collect()).collect()
+        };
+    if bits(&m1) != bits(&m2) {
+        return Outcome::OracleFailure("weights changed bitwise across encode/decode".into());
+    }
+    Outcome::Accepted
+}
+
+/// Artifact documents must reject or `validate()`, and a validated
+/// document must serialize to a fixed point.
+fn run_artifacts(input: &[u8]) -> Outcome {
+    let text = match utf8(input) {
+        Ok(t) => t,
+        Err(o) => return o,
+    };
+    let a1: smart_fluidnet_core::OfflineArtifacts = match json::from_json_str(text) {
+        Ok(a) => a,
+        Err(e) => return Outcome::Rejected(format!("at byte {}: {}", e.at, e.message)),
+    };
+    if let Err(e) = a1.validate() {
+        return Outcome::Rejected(e.to_string());
+    }
+    let s1 = to_json_string(&a1);
+    let a2: smart_fluidnet_core::OfflineArtifacts = match json::from_json_str(&s1) {
+        Ok(a) => a,
+        Err(e) => {
+            return Outcome::OracleFailure(format!(
+                "validated artifacts do not reparse (at byte {}: {})",
+                e.at, e.message
+            ))
+        }
+    };
+    if let Err(e) = a2.validate() {
+        return Outcome::OracleFailure(format!("round-tripped artifacts fail validate: {e}"));
+    }
+    if to_json_string(&a2) != s1 {
+        return Outcome::OracleFailure("artifact serialization is not a fixed point".into());
+    }
+    Outcome::Accepted
+}
+
+/// An accepted `SFN_FAULTS` plan must honour the documented ranges —
+/// those same invariants are what the injector trusts at runtime.
+fn run_faults(input: &[u8]) -> Outcome {
+    let text = match utf8(input) {
+        Ok(t) => t,
+        Err(o) => return o,
+    };
+    let plan = match sfn_faults::parse_plan(text) {
+        Ok(p) => p,
+        Err(e) => return Outcome::Rejected(e.to_string()),
+    };
+    for (i, spec) in plan.specs.iter().enumerate() {
+        if !(0.0..=1.0).contains(&spec.probability) {
+            return Outcome::OracleFailure(format!(
+                "spec {i}: accepted probability {} outside [0, 1]",
+                spec.probability
+            ));
+        }
+        if !spec.magnitude.is_finite() || spec.magnitude < 0.0 {
+            return Outcome::OracleFailure(format!(
+                "spec {i}: accepted magnitude {} is not finite and non-negative",
+                spec.magnitude
+            ));
+        }
+        if let Some(end) = spec.end {
+            // An empty window is legal (covers nothing) but must stay
+            // self-consistent under `covers`.
+            if spec.covers("any", end) {
+                return Outcome::OracleFailure(format!("spec {i}: covers() past its end step"));
+            }
+        }
+    }
+    Outcome::Accepted
+}
+
+/// The trace reader is lenient by design: it must *count* bad lines,
+/// never fail — so any input is `Accepted` and the oracle checks the
+/// accounting (events + skipped = non-blank lines).
+fn run_trace(input: &[u8]) -> Outcome {
+    let text = match utf8(input) {
+        Ok(t) => t,
+        Err(o) => return o,
+    };
+    let trace = sfn_trace::parse_trace(text);
+    let non_blank = text.lines().filter(|l| !l.trim().is_empty()).count();
+    if trace.events.len() + trace.skipped != non_blank {
+        return Outcome::OracleFailure(format!(
+            "{} events + {} skipped != {} non-blank lines",
+            trace.events.len(),
+            trace.skipped,
+            non_blank
+        ));
+    }
+    Outcome::Accepted
+}
+
+/// Env values are byte soup by definition (`name=value` pairs split on
+/// NUL). The config must accept the lookup without panicking, stay
+/// deterministic, and keep every floor.
+fn run_config_env(input: &[u8]) -> Outcome {
+    let mut vars: Vec<(String, String)> = Vec::new();
+    for pair in input.split(|&b| b == 0) {
+        let text = String::from_utf8_lossy(pair);
+        match text.split_once('=') {
+            Some((k, v)) => vars.push((k.to_string(), v.to_string())),
+            None => vars.push((text.into_owned(), String::new())),
+        }
+    }
+    let lookup = |name: &str| {
+        vars.iter().find(|(k, _)| k == name).map(|(_, v)| v.clone())
+    };
+    let a = smart_fluidnet_core::OfflineConfig::default().with_env_overrides(lookup);
+    let b = smart_fluidnet_core::OfflineConfig::default().with_env_overrides(|name| {
+        vars.iter().find(|(k, _)| k == name).map(|(_, v)| v.clone())
+    });
+    if format!("{a:?}") != format!("{b:?}") {
+        return Outcome::OracleFailure("env override application is not deterministic".into());
+    }
+    if a.train_problems < 1
+        || a.eval_problems < 1
+        || a.eval_grid < 8
+        || a.eval_steps < 8
+        || a.train_epochs < 1
+        || a.knn_problems < 2
+    {
+        return Outcome::OracleFailure(format!(
+            "a floor was breached: train_problems={} eval_problems={} eval_grid={} eval_steps={} train_epochs={} knn_problems={}",
+            a.train_problems, a.eval_problems, a.eval_grid, a.eval_steps, a.train_epochs, a.knn_problems
+        ));
+    }
+    Outcome::Accepted
+}
+
+/// [`sfn_nn::network::SavedModel`] JSON snapshots must round-trip to a
+/// serialization fixed point, like artifacts.
+fn run_model_json(input: &[u8]) -> Outcome {
+    let text = match utf8(input) {
+        Ok(t) => t,
+        Err(o) => return o,
+    };
+    let m1: sfn_nn::network::SavedModel = match json::from_json_str(text) {
+        Ok(m) => m,
+        Err(e) => return Outcome::Rejected(format!("at byte {}: {}", e.at, e.message)),
+    };
+    let s1 = to_json_string(&m1);
+    let m2: sfn_nn::network::SavedModel = match json::from_json_str(&s1) {
+        Ok(m) => m,
+        Err(e) => {
+            return Outcome::OracleFailure(format!(
+                "accepted model does not reparse (at byte {}: {})",
+                e.at, e.message
+            ))
+        }
+    };
+    if to_json_string(&m2) != s1 {
+        return Outcome::OracleFailure("model serialization is not a fixed point".into());
+    }
+    Outcome::Accepted
+}
+
+/// A deterministic seed pool for one target (used by the runner and by
+/// `gen-corpus`).
+pub fn seed_pool(target: &Target, seed: u64) -> Vec<Vec<u8>> {
+    use sfn_rng::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed ^ crate::fnv1a(target.name.as_bytes()));
+    (target.seeds)(&mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_stable() {
+        let names: Vec<_> = all().iter().map(|t| t.name).collect();
+        assert_eq!(
+            names,
+            ["json", "model_io", "artifacts", "faults", "trace", "config_env", "model_json"]
+        );
+        assert!(by_name("model_io").is_some());
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn every_seed_is_accepted_by_its_own_target() {
+        for target in all() {
+            for (i, seed) in seed_pool(&target, 0xFEED).iter().enumerate() {
+                let outcome = (target.run)(seed);
+                assert_eq!(
+                    outcome,
+                    Outcome::Accepted,
+                    "{} seed {i} not accepted: {outcome:?}",
+                    target.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn known_hostile_inputs_are_rejected_not_crashes() {
+        // The two seed regressions this PR fixes.
+        let deep = "[".repeat(100_000);
+        match run_json(deep.as_bytes()) {
+            Outcome::Rejected(msg) => assert!(msg.contains("nesting"), "{msg}"),
+            other => panic!("deep nesting: {other:?}"),
+        }
+        let forged = crate::corpus::forged_tensor_count_blob(u32::MAX);
+        match run_model_io(&forged) {
+            Outcome::Rejected(msg) => assert!(msg.contains("tensor count"), "{msg}"),
+            other => panic!("forged count: {other:?}"),
+        }
+    }
+}

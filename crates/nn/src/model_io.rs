@@ -113,10 +113,33 @@ pub fn decode(data: &[u8]) -> Result<SavedModel, ModelIoError> {
     let spec: NetworkSpec = sfn_obs::json::from_json_str(spec_text)
         .map_err(|e| ModelIoError(format!("spec decode: {}", e.message)))?;
     let count = r.u32_le("tensor count")? as usize;
+    // A forged header must never drive allocation: every tensor costs
+    // at least its 4-byte length word, so `count` is bounded by the
+    // bytes actually present. Checked *before* `with_capacity`, which
+    // would otherwise pre-allocate `count * size_of::<Vec<f32>>()`
+    // (multi-GB from a 20-byte file with `count = 0xFFFF_FFFF`).
+    if count > r.data.len() / 4 {
+        return Err(ModelIoError(format!(
+            "tensor count {count} impossible for {} remaining bytes",
+            r.data.len()
+        )));
+    }
     let mut weights = Vec::with_capacity(count);
     for t in 0..count {
         let len = r.u32_le(&format!("tensor {t} length"))? as usize;
-        let raw = r.take(4 * len, &format!("tensor {t} data"))?;
+        // Same discipline for the per-tensor payload: checked multiply
+        // (4 * len can overflow usize on 32-bit targets) and an explicit
+        // remaining-length bound before any allocation-sized use.
+        let byte_len = len
+            .checked_mul(4)
+            .filter(|&b| b <= r.data.len())
+            .ok_or_else(|| {
+                ModelIoError(format!(
+                    "tensor {t} length {len} impossible for {} remaining bytes",
+                    r.data.len()
+                ))
+            })?;
+        let raw = r.take(byte_len, &format!("tensor {t} data"))?;
         let w: Vec<f32> = raw
             .chunks_exact(4)
             .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
@@ -138,10 +161,19 @@ pub fn save_binary(model: &SavedModel, path: &std::path::Path) -> std::io::Resul
     std::fs::write(path, &bytes)
 }
 
-/// Reads a snapshot from a file.
+/// Reads a snapshot from a file. A file that fails to decode is
+/// surfaced as an error *and* logged as a `parser.rejected` event so
+/// hardened rejections are visible in traces.
 pub fn load_binary(path: &std::path::Path) -> std::io::Result<SavedModel> {
     let bytes = std::fs::read(path)?;
-    decode(&bytes).map_err(std::io::Error::other)
+    decode(&bytes).map_err(|e| {
+        sfn_obs::event(sfn_obs::Level::Warn, "parser.rejected")
+            .field_str("boundary", "model_io")
+            .field_str("path", &path.display().to_string())
+            .field_str("error", &e.0)
+            .emit();
+        std::io::Error::other(e)
+    })
 }
 
 #[cfg(test)]
@@ -258,6 +290,60 @@ mod tests {
         for cut in [3usize, 10, bytes.len() / 2, bytes.len() - 1] {
             assert!(decode(&bytes[..cut]).is_err(), "cut at {cut} accepted");
         }
+    }
+
+    /// A minimal header with attacker-chosen tensor fields and a
+    /// *valid* checksum (fnv1a is not cryptographic — anyone forging a
+    /// file can recompute it, so the checksum is no allocation guard).
+    fn forged(tensor_count: u32, first_len: Option<u32>) -> Vec<u8> {
+        let spec_json = br#"{"layers":[]}"#;
+        let mut b = Vec::new();
+        b.extend_from_slice(b"SFNM");
+        b.extend_from_slice(&1u32.to_le_bytes());
+        b.extend_from_slice(&(spec_json.len() as u32).to_le_bytes());
+        b.extend_from_slice(spec_json);
+        b.extend_from_slice(&tensor_count.to_le_bytes());
+        if let Some(len) = first_len {
+            b.extend_from_slice(&len.to_le_bytes());
+        }
+        let checksum = fnv1a(&b);
+        b.extend_from_slice(&checksum.to_le_bytes());
+        b
+    }
+
+    #[test]
+    fn forged_tensor_count_fails_fast_without_preallocation() {
+        // count = u32::MAX in a ~40-byte file: must be a typed error in
+        // well under 10ms, with no allocation proportional to the count
+        // (with_capacity(u32::MAX) would reserve ~100 GB of Vec headers
+        // and abort the process).
+        let blob = forged(u32::MAX, None);
+        let start = std::time::Instant::now();
+        let err = decode(&blob).unwrap_err();
+        assert!(err.0.contains("tensor count"), "{err}");
+        assert!(
+            start.elapsed() < std::time::Duration::from_millis(10),
+            "rejection took {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn forged_tensor_length_fails_fast_without_preallocation() {
+        let blob = forged(1, Some(u32::MAX));
+        let start = std::time::Instant::now();
+        let err = decode(&blob).unwrap_err();
+        assert!(err.0.contains("impossible"), "{err}");
+        assert!(start.elapsed() < std::time::Duration::from_millis(10));
+    }
+
+    #[test]
+    fn plausible_forged_counts_still_hit_truncation_errors() {
+        // A count that passes the remaining-bytes bound but has no
+        // tensors behind it must land in a truncation error, not a
+        // panic.
+        let blob = forged(2, Some(1));
+        assert!(decode(&blob).is_err());
     }
 
     #[test]

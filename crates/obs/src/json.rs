@@ -334,7 +334,15 @@ impl ToJson for f32 {
 
 impl FromJson for f32 {
     fn from_json_value(v: &Value) -> Result<Self, JsonError> {
-        Ok(f64::from_json_value(v)? as f32)
+        let n = f64::from_json_value(v)?;
+        let f = n as f32;
+        // The parser only yields finite f64s, so a non-finite cast means
+        // the literal overflowed f32. Writing it back out would render
+        // `null` (non-round-trippable); refuse it on the way in instead.
+        if !f.is_finite() {
+            return Err(JsonError { at: 0, message: format!("number {n:e} out of f32 range") });
+        }
+        Ok(f)
     }
 }
 
@@ -511,9 +519,35 @@ impl std::fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
+/// Deepest object/array nesting [`parse`] accepts. The recursive-
+/// descent parser uses one call frame per level, so an unbounded
+/// `[[[[…` from an untrusted file would overflow the stack; everything
+/// the pipeline emits nests a handful of levels deep.
+pub const MAX_DEPTH: usize = 128;
+
+/// Largest input [`parse`] accepts, in bytes. The biggest legitimate
+/// document the pipeline reads is an offline-artifact cache (a few MB
+/// of weights); the cap stops a forged multi-GB file from being
+/// buffered into `Value` trees before any schema check can run.
+pub const MAX_INPUT_LEN: usize = 64 << 20;
+
 /// Parses one complete JSON value; trailing non-whitespace is an error.
+///
+/// Untrusted-input guarantees: inputs longer than [`MAX_INPUT_LEN`] or
+/// nesting deeper than [`MAX_DEPTH`] are rejected with a [`JsonError`]
+/// (never a stack overflow), and no error path allocates proportionally
+/// to declared sizes.
 pub fn parse(input: &str) -> Result<Value, JsonError> {
-    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    if input.len() > MAX_INPUT_LEN {
+        return Err(JsonError {
+            at: 0,
+            message: format!(
+                "input of {} bytes exceeds the {MAX_INPUT_LEN}-byte limit",
+                input.len()
+            ),
+        });
+    }
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0, depth: 0 };
     let value = p.value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
@@ -525,11 +559,22 @@ pub fn parse(input: &str) -> Result<Value, JsonError> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
     fn err(&self, message: impl Into<String>) -> JsonError {
         JsonError { at: self.pos, message: message.into() }
+    }
+
+    /// Bumps the nesting depth on entering an object or array. Only the
+    /// success paths unwind it — an error aborts the whole parse.
+    fn enter(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        Ok(())
     }
 
     fn peek(&self) -> Option<u8> {
@@ -577,10 +622,12 @@ impl<'a> Parser<'a> {
 
     fn object(&mut self) -> Result<Value, JsonError> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Obj(fields));
         }
         loop {
@@ -595,6 +642,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Obj(fields));
                 }
                 _ => return Err(self.err("expected ',' or '}' in object")),
@@ -604,10 +652,12 @@ impl<'a> Parser<'a> {
 
     fn array(&mut self) -> Result<Value, JsonError> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Arr(items));
         }
         loop {
@@ -617,6 +667,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Arr(items));
                 }
                 _ => return Err(self.err("expected ',' or ']' in array")),
@@ -675,11 +726,17 @@ impl<'a> Parser<'a> {
                     }
                 }
                 Some(_) => {
-                    // Copy the full UTF-8 scalar starting here.
+                    // Copy the full UTF-8 scalar starting here. `rest`
+                    // is non-empty (peek succeeded), so a valid slice
+                    // always yields a char — but this is an untrusted-
+                    // input path, so fail closed rather than unwrap.
                     let rest = &self.bytes[self.pos..];
                     let text = std::str::from_utf8(rest)
                         .map_err(|_| self.err("invalid UTF-8 in string"))?;
-                    let ch = text.chars().next().unwrap();
+                    let ch = text
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.err("unterminated string"))?;
                     if ch.is_control() {
                         return Err(self.err("raw control character in string"));
                     }
@@ -715,7 +772,10 @@ impl<'a> Parser<'a> {
         {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        // Every byte the loop above accepts is ASCII, so this slice is
+        // valid UTF-8 by construction — but fail closed, not unwrap.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| JsonError { at: start, message: "invalid UTF-8 in number".into() })?;
         match text.parse::<f64>() {
             // JSON has no Infinity; overflowing literals like 1e400 are
             // rejected rather than silently saturated.
@@ -788,6 +848,42 @@ mod tests {
             let e = parse(bad).unwrap_err();
             assert!(e.to_string().contains("byte"), "{bad:?} -> {e}");
         }
+    }
+
+    #[test]
+    fn nesting_depth_is_limited_not_a_stack_overflow() {
+        // Far deeper than any stack could take recursively: the limit
+        // must trip, cheaply, long before frame exhaustion.
+        for (open, close) in [("[", "]"), ("{\"k\":", "}")] {
+            let deep: String = open.repeat(500_000) + &close.repeat(500_000);
+            let start = std::time::Instant::now();
+            let e = parse(&deep).unwrap_err();
+            assert!(e.message.contains("nesting"), "{e}");
+            assert!(
+                start.elapsed() < std::time::Duration::from_millis(100),
+                "depth rejection took {:?}",
+                start.elapsed()
+            );
+        }
+        // The limit itself is fine.
+        let ok = "[".repeat(MAX_DEPTH) + &"]".repeat(MAX_DEPTH);
+        assert!(parse(&ok).is_ok());
+        let over = "[".repeat(MAX_DEPTH + 1) + &"]".repeat(MAX_DEPTH + 1);
+        assert!(parse(&over).is_err());
+    }
+
+    #[test]
+    fn oversized_inputs_are_rejected_up_front() {
+        let mut big = String::with_capacity(MAX_INPUT_LEN + 16);
+        big.push('"');
+        // A 64 MiB+ string literal; must be rejected before any parse
+        // work happens.
+        big.push_str(&"a".repeat(MAX_INPUT_LEN));
+        big.push('"');
+        let start = std::time::Instant::now();
+        let e = parse(&big).unwrap_err();
+        assert!(e.message.contains("limit"), "{e}");
+        assert!(start.elapsed() < std::time::Duration::from_millis(50));
     }
 
     #[test]

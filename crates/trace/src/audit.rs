@@ -45,6 +45,12 @@ pub struct AuditReport {
     /// Records audited with the full enriched rule (vs. coarse band
     /// consistency only).
     pub full_replays: u64,
+    /// `parser.rejected` records — untrusted inputs (artifacts, model
+    /// blobs, fault schedules, env values) a hardened boundary refused.
+    pub parser_rejected: u64,
+    /// `fuzz.finding` records — crashes/oracle divergences an `sfn-fuzz`
+    /// run reported into this trace.
+    pub fuzz_findings: u64,
     /// The contradictions found.
     pub contradictions: Vec<Contradiction>,
 }
@@ -66,6 +72,13 @@ impl AuditReport {
             self.skipped,
             self.contradictions.len()
         );
+        if self.parser_rejected > 0 || self.fuzz_findings > 0 {
+            let _ = writeln!(
+                out,
+                "hardened boundaries: parser_rejected={} fuzz_findings={}",
+                self.parser_rejected, self.fuzz_findings
+            );
+        }
         for c in &self.contradictions {
             let _ = writeln!(
                 out,
@@ -140,13 +153,16 @@ fn audit_one(e: &TraceEvent, report: &mut AuditReport) {
     }
 }
 
-/// Replays every `scheduler.decision` in the trace.
+/// Replays every `scheduler.decision` in the trace and tallies the
+/// hardened-boundary events (`parser.rejected`, `fuzz.finding`).
 pub fn audit(trace: &Trace) -> AuditReport {
     let mut report = AuditReport::default();
     for e in trace.of_kind("scheduler.decision") {
         report.decisions += 1;
         audit_one(e, &mut report);
     }
+    report.parser_rejected = trace.count("parser.rejected");
+    report.fuzz_findings = trace.count("fuzz.finding");
     report
 }
 
@@ -196,6 +212,23 @@ mod tests {
                     \"mlp\":true,\"up\":\"none\",\"down\":\"M5\",\"action\":\"switch_up\"}";
         let r = audit(&parse_trace(line));
         assert_eq!(r.contradictions[0].expected, "restart");
+    }
+
+    #[test]
+    fn hardened_rejections_are_counted_not_flagged() {
+        let t = parse_trace(
+            "{\"ts\":0.5,\"level\":\"warn\",\"kind\":\"parser.rejected\",\"boundary\":\"model_io\",\"error\":\"bad magic\"}\n\
+             {\"ts\":0.6,\"level\":\"warn\",\"kind\":\"parser.rejected\",\"boundary\":\"artifacts\",\"error\":\"at byte 3: x\"}\n\
+             {\"ts\":0.7,\"level\":\"warn\",\"kind\":\"fuzz.finding\",\"target\":\"json\",\"finding\":\"panic\"}\n",
+        );
+        let r = audit(&t);
+        assert_eq!(r.parser_rejected, 2);
+        assert_eq!(r.fuzz_findings, 1);
+        assert!(r.clean(), "rejections are visibility, not contradictions");
+        assert!(r.render().contains("parser_rejected=2"), "{}", r.render());
+        // A trace without them keeps the summary line quiet.
+        let quiet = audit(&parse_trace(&decision("0.010", "keep", true)));
+        assert!(!quiet.render().contains("parser_rejected"), "{}", quiet.render());
     }
 
     #[test]

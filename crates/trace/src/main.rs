@@ -132,8 +132,12 @@ fn main() -> ExitCode {
             if opts.json {
                 // Minimal machine form: counts plus the contradictions.
                 let mut s = format!(
-                    "{{\"schema\":\"sfn-trace/audit@1\",\"decisions\":{},\"full_replays\":{},\"skipped\":{},\"contradictions\":[",
-                    report.decisions, report.full_replays, report.skipped
+                    "{{\"schema\":\"sfn-trace/audit@1\",\"decisions\":{},\"full_replays\":{},\"skipped\":{},\"parser_rejected\":{},\"fuzz_findings\":{},\"contradictions\":[",
+                    report.decisions,
+                    report.full_replays,
+                    report.skipped,
+                    report.parser_rejected,
+                    report.fuzz_findings
                 );
                 for (i, c) in report.contradictions.iter().enumerate() {
                     if i > 0 {

@@ -41,7 +41,9 @@ manifest_bad=$(python3 - <<'EOF'
 import glob, re
 
 offenders = []
-for path in ["Cargo.toml"] + glob.glob("crates/*/Cargo.toml"):
+# Recursive: covers nested crates (crates/foo/bar/Cargo.toml) so a new
+# crate is guarded the moment it exists, wherever it lands.
+for path in ["Cargo.toml"] + sorted(glob.glob("crates/**/Cargo.toml", recursive=True)):
     section = None
     with open(path) as fh:
         for lineno, line in enumerate(fh, 1):
