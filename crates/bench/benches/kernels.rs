@@ -1,0 +1,90 @@
+//! Per-kernel micro-benchmarks — the primitives `sfn-prof` accounts
+//! for, timed in isolation at a fixed 64² working size.
+//!
+//! This suite seeds the committed `BENCH_0001.json` perf trajectory
+//! (min/median/p90 per kernel) that the upcoming SIMD work will be
+//! judged against: run with `SFN_BENCH_JSON=BENCH_0001.json` to refresh
+//! the file after an intentional perf change.
+
+use sfn_bench::runners::representative_divergence;
+use sfn_bench::timing::Suite;
+use sfn_nn::layers::{Conv2d, Layer};
+use sfn_nn::Tensor;
+use sfn_rng::{rngs::StdRng, SeedableRng};
+use sfn_sim::{advect, forces};
+use sfn_solver::{
+    CgSolver, CsrMatrix, JacobiSolver, MicPreconditioner, MultigridSolver, PcgSolver,
+    PoissonProblem, PoissonSolver, SorSolver,
+};
+
+fn main() {
+    const GRID: usize = 64;
+    let mut suite = Suite::new("kernels");
+    let (flags, div) = representative_divergence(GRID);
+    let problem = PoissonProblem::new(&flags, 1.0);
+    let b = sfn_solver::divergence_rhs(&div, &flags, 0.5);
+
+    // Pressure solvers (pcg_mic0 covers the mic0 factor apply too).
+    let jacobi = JacobiSolver::new(2.0 / 3.0, 1e-4, 2_000);
+    suite.bench(&format!("jacobi/{GRID}"), || {
+        let _ = jacobi.solve(&problem, &b);
+    });
+    let sor = SorSolver::new(1.7, 1e-6, 2_000);
+    suite.bench(&format!("sor/{GRID}"), || {
+        let _ = sor.solve(&problem, &b);
+    });
+    let cg = CgSolver::plain(1e-6, 2_000);
+    suite.bench(&format!("cg/{GRID}"), || {
+        let _ = cg.solve(&problem, &b);
+    });
+    let pcg = PcgSolver::new(MicPreconditioner::default(), 1e-6, 2_000);
+    suite.bench(&format!("pcg_mic0/{GRID}"), || {
+        let _ = pcg.solve(&problem, &b);
+    });
+    let mg = MultigridSolver::default();
+    suite.bench(&format!("multigrid/{GRID}"), || {
+        let _ = mg.solve(&problem, &b);
+    });
+
+    // Sparse matrix-vector product over the assembled operator.
+    let a = CsrMatrix::assemble(&problem);
+    let x = a.pack(&b);
+    let mut y = vec![0.0; a.rows()];
+    suite.bench(&format!("spmv/{GRID}"), || {
+        a.spmv(&x, &mut y);
+    });
+
+    // Transport and body forces on a representative velocity field.
+    let sim_problem = {
+        let mut vel = sfn_grid::MacGrid::new(GRID, GRID, 1.0);
+        vel.enforce_solid_boundaries(&flags);
+        vel
+    };
+    suite.bench(&format!("advect/{GRID}"), || {
+        let _ = advect::advect_scalar(&sim_problem, &div, &flags, 0.5);
+    });
+    let mut vel = sim_problem.clone();
+    suite.bench(&format!("forces/{GRID}"), || {
+        forces::add_buoyancy(&mut vel, &div, &flags, 1.0, 0.5);
+        forces::add_vorticity_confinement(&mut vel, &flags, 0.1, 0.5);
+    });
+
+    // conv2d (im2col + GEMM path) and the standalone GEMM primitive.
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut conv = Conv2d::new(4, 4, 3, false, &mut rng);
+    let img = Tensor::from_fn(1, 4, GRID, GRID, |_, c, h, w| {
+        ((c * 31 + h * 5 + w) % 13) as f32 / 6.0
+    });
+    suite.bench(&format!("conv2d/{GRID}"), || {
+        let _ = conv.forward(&img, false);
+    });
+    let m = GRID;
+    let am: Vec<f32> = (0..m * m).map(|i| ((i * 31) % 11) as f32 - 5.0).collect();
+    let bm: Vec<f32> = (0..m * m).map(|i| ((i * 17) % 7) as f32 - 3.0).collect();
+    let mut cm = vec![0.0f32; m * m];
+    suite.bench(&format!("gemm/{GRID}"), || {
+        sfn_nn::layers::gemm::matmul(&am, m, m, &bm, m, &mut cm);
+    });
+
+    suite.finish();
+}

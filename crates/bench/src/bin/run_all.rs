@@ -13,6 +13,12 @@
 use sfn_obs::json::{obj, ToJson, Value};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
+/// Counting allocator so `SFN_PROF_ALLOC=1` attributes allocations to
+/// whichever kernel scope is active. Pass-through (two relaxed loads)
+/// when tracking is off.
+#[global_allocator]
+static ALLOC: sfn_prof::CountingAlloc = sfn_prof::CountingAlloc;
+
 /// One experiment section's outcome, as written to the JSON summary.
 struct FigureRecord {
     name: &'static str,
@@ -90,6 +96,9 @@ struct RunAllSummary {
     figures: Vec<FigureRecord>,
     stages: Vec<StageQuantiles>,
     faults: FaultsSummary,
+    /// The `sfn-prof/kernels@1` document (parsed), when the run was
+    /// profiled with `SFN_PROF=1`; `null` otherwise.
+    kernel_summary: Option<Value>,
     total_secs: f64,
 }
 
@@ -138,6 +147,10 @@ impl ToJson for RunAllSummary {
             ("figures", self.figures.to_json_value()),
             ("stages", self.stages.to_json_value()),
             ("faults", self.faults.to_json_value()),
+            (
+                "kernel_summary",
+                self.kernel_summary.clone().unwrap_or(Value::Null),
+            ),
             ("total_secs", self.total_secs.to_json_value()),
         ])
     }
@@ -163,9 +176,74 @@ fn section(records: &mut Vec<FigureRecord>, name: &'static str, f: impl FnOnce()
     records.push(FigureRecord { name, secs, status });
 }
 
+/// Exercises every instrumented kernel on small grids so a profiled run
+/// (`SFN_PROF=1`) always reports the full roofline table — conv2d,
+/// gemm, advect, forces, projection, cg/pcg, mic0, jacobi, sor,
+/// multigrid and spmv — even when the quick experiment path happens to
+/// skip a solver.
+fn exercise_kernels() {
+    use sfn_grid::{CellFlags, Field2};
+    use sfn_nn::layers::{Conv2d, Layer};
+    use sfn_nn::Tensor;
+    use sfn_rng::{rngs::StdRng, SeedableRng};
+    use sfn_sim::{ExactProjector, SimConfig, Simulation};
+    use sfn_solver::{
+        CgSolver, CsrMatrix, JacobiSolver, MicPreconditioner, MultigridSolver, PcgSolver,
+        PoissonProblem, PoissonSolver, SorSolver,
+    };
+
+    // Pressure solves on a small box with an obstacle, one per solver.
+    let mut flags = CellFlags::smoke_box(24, 18);
+    flags.add_solid_disc(12.0, 9.0, 3.0);
+    let problem = PoissonProblem::new(&flags, 1.0);
+    let b = Field2::from_fn(24, 18, |i, j| {
+        if flags.is_fluid(i, j) {
+            ((i * 7 + j * 13) % 11) as f64 / 5.0 - 1.0
+        } else {
+            0.0
+        }
+    });
+    let _ = JacobiSolver::new(0.8, 1e-6, 200).solve(&problem, &b);
+    let _ = SorSolver::new(1.5, 1e-6, 200).solve(&problem, &b);
+    let _ = CgSolver::plain(1e-8, 200).solve(&problem, &b);
+    let _ = PcgSolver::new(MicPreconditioner::default(), 1e-8, 200).solve(&problem, &b);
+    let _ = MultigridSolver::default().solve(&problem, &b);
+
+    // Explicit CSR assembly plus a few SpMVs.
+    let a = CsrMatrix::assemble(&problem);
+    let x = a.pack(&b);
+    let mut y = vec![0.0; a.rows()];
+    for _ in 0..4 {
+        a.spmv(&x, &mut y);
+    }
+
+    // Advection, body forces and projection via real smoke steps
+    // (vorticity confinement on so both force kernels run).
+    let mut cfg = SimConfig::plume(24);
+    cfg.vorticity_epsilon = 0.1;
+    let mut sim = Simulation::new(cfg, CellFlags::smoke_box(24, 24));
+    let mut proj = ExactProjector::new(PcgSolver::new(MicPreconditioner::default(), 1e-8, 400));
+    for _ in 0..3 {
+        sim.step(&mut proj);
+    }
+
+    // conv2d through both code paths: single-channel 3×3 stays direct;
+    // the 4-channel 3×3 takes the im2col + GEMM lowering, whose n = 1
+    // branch runs `matmul`, so the standalone "gemm" kernel records too.
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut direct = Conv2d::new(1, 2, 3, false, &mut rng);
+    let small = Tensor::from_fn(1, 1, 16, 16, |_, _, h, w| ((h * 16 + w) % 7) as f32 - 3.0);
+    let _ = direct.forward(&small, false);
+    let mut lowered = Conv2d::new(4, 4, 3, false, &mut rng);
+    let img =
+        Tensor::from_fn(1, 4, 16, 16, |_, c, h, w| ((c * 31 + h * 5 + w) % 13) as f32 / 6.0);
+    let _ = lowered.forward(&img, false);
+}
+
 fn main() {
     sfn_obs::init();
     sfn_obs::enable_metrics(true);
+    sfn_prof::init();
     // Always-on crash path: a panicking section dumps the flight
     // recorder's last events (default sfn_crash_report.jsonl, or
     // SFN_CRASH_FILE) even though `section` also catches the panic.
@@ -182,6 +260,12 @@ fn main() {
     );
 
     let mut recs = Vec::new();
+    if sfn_prof::enabled() {
+        // Warm every kernel so the roofline table is complete no matter
+        // what the quick path skips; also the data the CI profile gate
+        // diffs against its committed baseline.
+        section(&mut recs, "kernels", exercise_kernels);
+    }
     section(&mut recs, "table1", || {
         println!("== Table 1 ==\n{}\n", ex::baseline::table1(&env).render());
     });
@@ -274,6 +358,15 @@ fn main() {
     // Stop the run timer before collecting stages so bench/total's own
     // sample is part of the collected percentiles.
     let total_secs = total.stop().as_secs_f64();
+    // Mirror the kernel totals into the trace (prof.calibration +
+    // prof.kernel events, what `sfn-trace profile` reads) and embed the
+    // `sfn-prof/kernels@1` document in the JSON summary.
+    let kernel_summary = if sfn_prof::enabled() {
+        sfn_prof::emit_summary();
+        sfn_obs::json::parse(&sfn_prof::summary_json(total_secs)).ok()
+    } else {
+        None
+    };
     let summary = RunAllSummary {
         quick: std::env::var("SFN_QUICK").is_ok(),
         sweep_grids: env.grids.clone(),
@@ -281,6 +374,7 @@ fn main() {
         figures: recs,
         stages: collect_stages(),
         faults: FaultsSummary::collect(),
+        kernel_summary,
         total_secs,
     };
     if summary.faults.armed {

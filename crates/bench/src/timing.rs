@@ -120,25 +120,88 @@ impl Suite {
         self.rows.push(Row { id: id.to_string(), samples });
     }
 
-    /// Renders the report table and prints it.
+    /// Renders the report table and prints it. When `SFN_BENCH_JSON`
+    /// names a file, also writes the machine-readable summary there —
+    /// the `BENCH_*.json` perf-trajectory format.
     pub fn finish(self) {
+        let name = self.name.clone();
+        let summaries = self.summarize();
         let mut t = TextTable::new(["Benchmark", "Iters", "Min", "Median", "Mean", "P90"]);
-        for mut row in self.rows {
-            row.samples.sort_unstable();
-            let n = row.samples.len();
-            let min = row.samples[0];
-            let median = row.samples[n / 2];
-            let p90 = row.samples[(n * 9 / 10).min(n - 1)];
-            let mean = row.samples.iter().sum::<Duration>() / n as u32;
+        for s in &summaries {
             t.row([
-                row.id,
-                n.to_string(),
-                fmt_duration(min),
-                fmt_duration(median),
-                fmt_duration(mean),
-                fmt_duration(p90),
+                s.id.clone(),
+                s.samples.to_string(),
+                fmt_duration(Duration::from_secs_f64(s.min_secs)),
+                fmt_duration(Duration::from_secs_f64(s.median_secs)),
+                fmt_duration(Duration::from_secs_f64(s.mean_secs)),
+                fmt_duration(Duration::from_secs_f64(s.p90_secs)),
             ]);
         }
-        println!("== {} ==\n{}", self.name, t.render());
+        println!("== {name} ==\n{}", t.render());
+        if let Ok(path) = std::env::var("SFN_BENCH_JSON") {
+            let doc = render_json(&name, &summaries);
+            match std::fs::write(&path, doc) {
+                Ok(()) => println!("wrote benchmark summary to {path}"),
+                Err(e) => eprintln!("cannot write {path}: {e}"),
+            }
+        }
     }
+
+    fn summarize(self) -> Vec<BenchSummary> {
+        self.rows
+            .into_iter()
+            .map(|mut row| {
+                row.samples.sort_unstable();
+                let n = row.samples.len();
+                BenchSummary {
+                    id: row.id,
+                    samples: n,
+                    min_secs: row.samples[0].as_secs_f64(),
+                    median_secs: row.samples[n / 2].as_secs_f64(),
+                    mean_secs: row.samples.iter().map(Duration::as_secs_f64).sum::<f64>()
+                        / n as f64,
+                    p90_secs: row.samples[(n * 9 / 10).min(n - 1)].as_secs_f64(),
+                }
+            })
+            .collect()
+    }
+}
+
+/// One benchmark's order statistics, as written to `BENCH_*.json`.
+struct BenchSummary {
+    id: String,
+    samples: usize,
+    min_secs: f64,
+    median_secs: f64,
+    mean_secs: f64,
+    p90_secs: f64,
+}
+
+/// The `sfn-bench/micro@1` document: suite name plus per-benchmark
+/// min/median/mean/p90 iteration times in seconds.
+fn render_json(suite: &str, summaries: &[BenchSummary]) -> String {
+    use sfn_obs::json;
+    let mut s = String::from("{\"schema\":\"sfn-bench/micro@1\",\"suite\":\"");
+    json::escape_into(&mut s, suite);
+    s.push_str("\",\"benches\":[");
+    for (i, b) in summaries.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("\n {\"id\":\"");
+        json::escape_into(&mut s, &b.id);
+        s.push_str("\",\"samples\":");
+        s.push_str(&b.samples.to_string());
+        s.push_str(",\"min_secs\":");
+        json::push_f64(&mut s, b.min_secs);
+        s.push_str(",\"median_secs\":");
+        json::push_f64(&mut s, b.median_secs);
+        s.push_str(",\"mean_secs\":");
+        json::push_f64(&mut s, b.mean_secs);
+        s.push_str(",\"p90_secs\":");
+        json::push_f64(&mut s, b.p90_secs);
+        s.push('}');
+    }
+    s.push_str("\n]}\n");
+    s
 }

@@ -28,6 +28,13 @@ fn backtrace(vel: &MacGrid, x: f64, y: f64, dt: f64) -> (f64, f64) {
 /// max-principle (no new extrema).
 pub fn advect_scalar(vel: &MacGrid, q: &Field2, flags: &CellFlags, dt: f64) -> Field2 {
     assert_eq!((q.w(), q.h()), (vel.nx(), vel.ny()), "field shape");
+    let scope = sfn_prof::KernelScope::enter("advect");
+    if scope.active() {
+        // Per cell: RK2 backtrace (two MAC samples, 16 doubles) plus one
+        // bilinear source sample (4 doubles), one value written.
+        let n = (q.w() * q.h()) as u64;
+        scope.record(60 * n, 20 * n * 8, n * 8);
+    }
     Field2::from_fn(q.w(), q.h(), |i, j| {
         if flags.is_solid(i, j) {
             return q.at(i, j);
@@ -45,6 +52,12 @@ pub fn advect_scalar(vel: &MacGrid, q: &Field2, flags: &CellFlags, dt: f64) -> F
 /// (self-advection), producing a new velocity field.
 pub fn advect_velocity(vel: &MacGrid, dt: f64) -> MacGrid {
     let (nx, ny) = (vel.nx(), vel.ny());
+    let scope = sfn_prof::KernelScope::enter("advect");
+    if scope.active() {
+        // Same per-sample traffic as the scalar path, once per face.
+        let faces = ((nx + 1) * ny + nx * (ny + 1)) as u64;
+        scope.record(60 * faces, 20 * faces * 8, faces * 8);
+    }
     let mut out = MacGrid::new(nx, ny, vel.dx());
     for j in 0..ny {
         for i in 0..=nx {
@@ -70,6 +83,13 @@ pub fn advect_velocity(vel: &MacGrid, dt: f64) -> MacGrid {
 /// (mantaflow's clamped-cubic mode).
 pub fn advect_scalar_cubic(vel: &MacGrid, q: &Field2, flags: &CellFlags, dt: f64) -> Field2 {
     assert_eq!((q.w(), q.h()), (vel.nx(), vel.ny()), "field shape");
+    let scope = sfn_prof::KernelScope::enter("advect");
+    if scope.active() {
+        // The Catmull-Rom sample reads a 4×4 stencil (16 doubles) on top
+        // of the backtrace traffic.
+        let n = (q.w() * q.h()) as u64;
+        scope.record(120 * n, 32 * n * 8, n * 8);
+    }
     Field2::from_fn(q.w(), q.h(), |i, j| {
         if flags.is_solid(i, j) {
             return q.at(i, j);

@@ -15,6 +15,13 @@ use sfn_grid::{CellFlags, Field2, MacGrid};
 pub fn add_buoyancy(vel: &mut MacGrid, density: &Field2, flags: &CellFlags, alpha: f64, dt: f64) {
     let (nx, ny) = (vel.nx(), vel.ny());
     assert_eq!((density.w(), density.h()), (nx, ny), "density shape");
+    let scope = sfn_prof::KernelScope::enter("forces");
+    if scope.active() {
+        // Per interior v-face: two density reads plus the face value,
+        // one write, four flops.
+        let faces = (nx * ny.saturating_sub(1)) as u64;
+        scope.record(4 * faces, 3 * faces * 8, faces * 8);
+    }
     for j in 1..ny {
         for i in 0..nx {
             // v(i, j) sits between cells (i, j-1) and (i, j).
@@ -90,6 +97,14 @@ pub fn add_vorticity_confinement(vel: &mut MacGrid, flags: &CellFlags, epsilon: 
         return;
     }
     let (nx, ny) = (vel.nx(), vel.ny());
+    let scope = sfn_prof::KernelScope::enter("forces");
+    if scope.active() {
+        // Vorticity (8 reads, ~8 flops), |ω| gradient + normalised cross
+        // product (~12 flops, 5 reads, 2 writes), and two face-update
+        // passes (4 reads, 2 writes) per cell.
+        let n = (nx * ny) as u64;
+        scope.record(25 * n, 17 * n * 8, 4 * n * 8);
+    }
     let w = vorticity(vel);
     let wabs = Field2::from_fn(nx, ny, |i, j| w.at(i, j).abs());
     // Force at cell centres.

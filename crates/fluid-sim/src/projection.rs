@@ -92,8 +92,16 @@ impl<S: PoissonSolver> PressureProjector for ExactProjector<S> {
         dx: f64,
         dt: f64,
     ) -> ProjectionOutcome {
+        let scope = sfn_prof::KernelScope::enter("projection");
         let problem = PoissonProblem::new(flags, dx);
         let b = divergence_rhs(divergence, flags, dt);
+        if scope.active() {
+            // The projection's own traffic is the rhs build (read the
+            // divergence, write the scaled rhs); the inner Poisson
+            // solver opens its own nested kernel scope.
+            let n = (flags.nx() * flags.ny()) as u64;
+            scope.record(2 * n, n * 8, n * 8);
+        }
         let timer = ScopedTimer::start("projector/exact");
         let (mut pressure, mut stats) = self.solver.solve(&problem, &b);
         // Fault hook: iteration starvation — the solver stopped short of

@@ -90,6 +90,13 @@ impl CsrMatrix {
         let n = self.rows();
         assert_eq!(x.len(), n, "x length");
         assert_eq!(y.len(), n, "y length");
+        let scope = sfn_prof::KernelScope::enter("spmv");
+        if scope.active() {
+            // Per non-zero: value + column index + gathered x element
+            // (24 bytes); per row: two row pointers and one y write.
+            let nnz = self.nnz() as u64;
+            scope.record(2 * nnz, nnz * 24 + n as u64 * 16, n as u64 * 8);
+        }
         for (r, out) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
             for k in self.row_ptr[r]..self.row_ptr[r + 1] {

@@ -82,6 +82,13 @@ impl MicFactor {
 
     /// Builds the factor in one lexicographic sweep.
     pub fn build(problem: &PoissonProblem<'_>, tau: f64, sigma: f64) -> Self {
+        let scope = sfn_prof::KernelScope::enter("mic0");
+        if scope.active() {
+            // One sweep: ~14 flops per fluid cell over the two already
+            // computed neighbour pivots (~4 doubles read, 1 written).
+            let n = problem.unknowns() as u64;
+            scope.record(14 * n, 4 * n * 8, n * 8);
+        }
         let (nx, ny) = (problem.nx(), problem.ny());
         let mut precon = Field2::new(nx, ny);
         for j in 0..ny {
@@ -121,6 +128,13 @@ impl PreparedPreconditioner for MicFactor {
     /// `z = M⁻¹ r` via forward substitution `L q = r` followed by
     /// backward substitution `Lᵀ z = q`.
     fn apply(&self, problem: &PoissonProblem<'_>, r: &Field2, z: &mut Field2) {
+        let scope = sfn_prof::KernelScope::enter("mic0");
+        if scope.active() {
+            // Two triangular sweeps, each reading the source vector,
+            // the factor and two neighbours (~5 doubles) and writing 1.
+            let n = problem.unknowns() as u64;
+            scope.record(self.flops(problem), 10 * n * 8, 2 * n * 8);
+        }
         let (nx, ny) = (problem.nx(), problem.ny());
         debug_assert_eq!((r.w(), r.h()), (nx, ny));
         let mut q = Field2::new(nx, ny);

@@ -117,7 +117,15 @@ impl JacobiSolver {
 
 impl PoissonSolver for JacobiSolver {
     fn solve(&self, problem: &PoissonProblem<'_>, b: &Field2) -> (Field2, SolveStats) {
+        let scope = sfn_prof::KernelScope::enter(self.name());
         let (x, stats) = self.solve_inner(problem, b);
+        if scope.active() {
+            // Per sweep: read the 5-point neighbourhood of x plus b
+            // (~6n doubles), write the n scratch cells.
+            let n = problem.unknowns() as u64;
+            let it = stats.iterations as u64;
+            scope.record(stats.flops, (n + it * 6 * n) * 8, it * n * 8);
+        }
         crate::observe_solve(self.name(), &stats);
         (x, stats)
     }

@@ -181,7 +181,17 @@ impl<M: Preconditioner> PcgSolver<M> {
 
 impl<M: Preconditioner> PoissonSolver for PcgSolver<M> {
     fn solve(&self, problem: &PoissonProblem<'_>, b: &Field2) -> (Field2, SolveStats) {
+        let scope = sfn_prof::KernelScope::enter(self.name());
         let (x, stats) = self.solve_inner(problem, b);
+        if scope.active() {
+            // Analytic traffic model, 8-byte doubles: per iteration one
+            // stencil apply (~6n read, n written), one preconditioner
+            // apply (~10n/2n), two dots (4n) and three axpys (6n/3n),
+            // plus the initial pass over b.
+            let n = problem.unknowns() as u64;
+            let it = stats.iterations as u64;
+            scope.record(stats.flops, (n + it * 26 * n) * 8, it * 6 * n * 8);
+        }
         crate::observe_solve(self.name(), &stats);
         (x, stats)
     }

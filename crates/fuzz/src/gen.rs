@@ -292,6 +292,34 @@ pub fn artifacts_doc(rng: &mut StdRng) -> Vec<u8> {
     to_json_string(&artifacts).into_bytes()
 }
 
+/// A valid `sfn-prof/kernels@1` kernel-summary document, through the
+/// same serializer the `profile` reader uses (so derived rates are
+/// consistent by construction).
+pub fn kernel_summary_doc(rng: &mut StdRng) -> Vec<u8> {
+    const NAMES: &[&str] =
+        &["conv2d", "gemm", "advect", "forces", "projection", "pcg", "mic0", "jacobi", "sor", "multigrid", "spmv", "cg"];
+    let kernels = (0..rng.random_range(0..=6usize))
+        .map(|i| sfn_trace::KernelRow {
+            name: NAMES[(i + rng.random_range(0..NAMES.len())) % NAMES.len()].to_string(),
+            calls: rng.random_range(0..1_000_000u64),
+            ns: rng.random_range(0..10_000_000_000u64),
+            flops: rng.random_range(0..u64::MAX / 2),
+            bytes_read: rng.random_range(0..u64::MAX / 4),
+            bytes_written: rng.random_range(0..u64::MAX / 4),
+            allocs: rng.random_range(0..100_000u64),
+            alloc_bytes: rng.random_range(0..1_000_000_000u64),
+            peak_bytes: rng.random_range(0..1_000_000_000u64),
+        })
+        .collect();
+    let report = sfn_trace::ProfileReport {
+        duration_secs: rng.random_range(0.0..100.0),
+        peak_gflops: rng.random_range(0.0..100.0),
+        stream_gbps: rng.random_range(0.0..100.0),
+        kernels,
+    };
+    report.to_json().into_bytes()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -309,6 +337,10 @@ mod tests {
 
             let sched = fault_schedule(&mut rng);
             sfn_faults::parse_plan(std::str::from_utf8(&sched).unwrap()).expect("valid schedule");
+
+            let ks = kernel_summary_doc(&mut rng);
+            sfn_trace::ProfileReport::from_json(std::str::from_utf8(&ks).unwrap())
+                .expect("valid kernel summary");
 
             let art = artifacts_doc(&mut rng);
             let parsed: OfflineArtifacts =

@@ -63,6 +63,13 @@ pub fn all() -> Vec<Target> {
             seeds: |rng| (0..6).map(|_| crate::gen::saved_model_json(rng)).collect(),
             dict: MODEL_JSON_DICT,
         },
+        Target {
+            name: "kernel_summary",
+            about: "ProfileReport::from_json — sfn-prof/kernels@1 roofline documents",
+            run: run_kernel_summary,
+            seeds: |rng| (0..6).map(|_| crate::gen::kernel_summary_doc(rng)).collect(),
+            dict: KERNEL_SUMMARY_DICT,
+        },
     ]
 }
 
@@ -134,6 +141,25 @@ const ENV_DICT: &[&[u8]] = &[
     b"-1",
     b"0",
     b"\x00",
+];
+
+const KERNEL_SUMMARY_DICT: &[&[u8]] = &[
+    b"\"sfn-prof/kernels@1\"",
+    b"\"schema\"",
+    b"\"kernels\"",
+    b"\"calibration\"",
+    b"\"peak_gflops\"",
+    b"\"stream_gbps\"",
+    b"\"duration_secs\"",
+    b"\"flops\"",
+    b"\"bytes_read\"",
+    b"\"bytes_written\"",
+    b"\"peak_bytes\"",
+    b"\"bound\"",
+    b"\"compute\"",
+    b"\"memory\"",
+    b"18446744073709551615",
+    b"1e999",
 ];
 
 const MODEL_JSON_DICT: &[&[u8]] = &[
@@ -366,6 +392,42 @@ fn run_model_json(input: &[u8]) -> Outcome {
     Outcome::Accepted
 }
 
+/// Kernel-summary documents come from `run_all_summary.json` (or a
+/// file passed to `sfn-trace profile`) — user-editable inputs. An
+/// accepted document must serialize to a fixed point: the emitter
+/// recomputes every derived rate (GFLOP/s, intensity, bound) from the
+/// raw counters, so `to_json ∘ from_json` must converge after one
+/// normalising pass.
+fn run_kernel_summary(input: &[u8]) -> Outcome {
+    let text = match utf8(input) {
+        Ok(t) => t,
+        Err(o) => return o,
+    };
+    let r1 = match sfn_trace::ProfileReport::from_json(text) {
+        Ok(r) => r,
+        Err(e) => return Outcome::Rejected(format!("at byte {}: {}", e.at, e.message)),
+    };
+    let s1 = r1.to_json();
+    let r2 = match sfn_trace::ProfileReport::from_json(&s1) {
+        Ok(r) => r,
+        Err(e) => {
+            return Outcome::OracleFailure(format!(
+                "emitted kernel summary does not reparse (at byte {}: {}): {s1:.200}",
+                e.at, e.message
+            ))
+        }
+    };
+    if r2.to_json() != s1 {
+        return Outcome::OracleFailure("kernel summary serialization is not a fixed point".into());
+    }
+    // The roofline classification must be total: every accepted row
+    // classifies without panicking, whatever the counters.
+    for k in &r1.kernels {
+        let _ = r1.bound(k).as_str();
+    }
+    Outcome::Accepted
+}
+
 /// A deterministic seed pool for one target (used by the runner and by
 /// `gen-corpus`).
 pub fn seed_pool(target: &Target, seed: u64) -> Vec<Vec<u8>> {
@@ -383,7 +445,16 @@ mod tests {
         let names: Vec<_> = all().iter().map(|t| t.name).collect();
         assert_eq!(
             names,
-            ["json", "model_io", "artifacts", "faults", "trace", "config_env", "model_json"]
+            [
+                "json",
+                "model_io",
+                "artifacts",
+                "faults",
+                "trace",
+                "config_env",
+                "model_json",
+                "kernel_summary"
+            ]
         );
         assert!(by_name("model_io").is_some());
         assert!(by_name("nope").is_none());

@@ -97,8 +97,14 @@ impl Conv2d {
         let pad = k / 2;
         let hw = h * w;
         let in_ch = self.in_ch;
-        // Parallel over (sample, output-channel) planes.
+        // Parallel over (sample, output-channel) planes; each worker
+        // reports its own share of the work (f32 = 4 bytes).
         sfn_par::for_each_chunk_mut(out.data_mut(), hw, |plane, out_plane| {
+                sfn_prof::record_work(
+                    2 * (in_ch * k * k * hw) as u64,
+                    (in_ch * (hw + k * k) * 4) as u64,
+                    (hw * 4) as u64,
+                );
                 let nn = plane / self.out_ch;
                 let oc = plane % self.out_ch;
                 let b = self.bias[oc];
@@ -159,9 +165,16 @@ impl Conv2d {
                 }
             }
         };
+        // Per-sample work share, reported by whichever thread runs the
+        // sample (f32 = 4 bytes): the input image, the im2col matrix
+        // both ways, the weight panel, and the output chunk.
+        let sample_flops = 2 * (out_ch * ickk * hw) as u64;
+        let sample_reads = ((chw + ickk * hw + out_ch * ickk) * 4) as u64;
+        let sample_writes = ((ickk * hw + ochw) * 4) as u64;
         if n >= 2 {
             // Parallel over samples; each GEMM runs sequentially.
             sfn_par::for_each_chunk_mut(out.data_mut(), ochw, |nn, chunk| {
+                    sfn_prof::record_work(sample_flops, sample_reads, sample_writes);
                     let mut cols = vec![0.0f32; ickk * hw];
                     let sample = &input.data()[nn * chw..(nn + 1) * chw];
                     im2col(sample, in_ch, h, w, kernel, &mut cols);
@@ -169,6 +182,7 @@ impl Conv2d {
                     add_bias(chunk);
                 });
         } else {
+            sfn_prof::record_work(sample_flops, sample_reads, sample_writes);
             let mut cols = vec![0.0f32; ickk * hw];
             im2col(&input.data()[..chw], in_ch, h, w, kernel, &mut cols);
             matmul(weight, out_ch, ickk, &cols, hw, out.data_mut());
@@ -181,6 +195,10 @@ impl Layer for Conv2d {
     fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
         let (n, c, h, w) = input.shape();
         assert_eq!(c, self.in_ch, "conv input channels");
+        // Worker threads report their shares via `record_work`; the
+        // scope merges them at exit. Only the residual add (done here on
+        // the caller thread) is recorded directly.
+        let scope = sfn_prof::KernelScope::enter("conv2d");
         let mut out = Tensor::zeros(n, self.out_ch, h, w);
         // The GEMM lowering pays off once the reduction dimension is
         // non-trivial; 1×1 convs and single-channel 3×3 stay direct.
@@ -191,6 +209,10 @@ impl Layer for Conv2d {
         }
         if self.residual {
             out.add_scaled(input, 1.0);
+            if scope.active() {
+                let elems = (n * self.out_ch * h * w) as u64;
+                scope.record(elems, 2 * elems * 4, elems * 4);
+            }
         }
         self.cached_input = Some(input.clone());
         out

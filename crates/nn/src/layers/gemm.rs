@@ -23,6 +23,16 @@ pub fn matmul(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32
     assert_eq!(a.len(), m * k, "A shape");
     assert_eq!(b.len(), k * n, "B shape");
     assert_eq!(out.len(), m * n, "C shape");
+    let scope = sfn_prof::KernelScope::enter("gemm");
+    if scope.active() {
+        // Compulsory traffic model, f32 = 4 bytes: each matrix streamed
+        // once (B re-reads are assumed cached).
+        scope.record(
+            2 * (m * k * n) as u64,
+            ((m * k + k * n) * 4) as u64,
+            (m * n * 4) as u64,
+        );
+    }
     sfn_par::for_each_chunk_mut(out, n, |i, row| {
         row.fill(0.0);
         let arow = &a[i * k..(i + 1) * k];

@@ -305,6 +305,42 @@ mod tests {
     }
 
     #[test]
+    fn par_workers_hammering_the_ring_leave_no_torn_records() {
+        let _guard = test_lock::hold();
+        clear();
+        set_flight_enabled(true);
+        // Force real sfn-par worker threads even on a 1-core runner.
+        std::env::set_var("SFN_THREADS", "8");
+        let writes = 3 * CAPACITY;
+        let _ = sfn_par::map_range(writes, |i| {
+            crate::event(Level::Info, "test.flight.par")
+                .field_u64("w", i as u64)
+                .emit();
+        });
+        std::env::remove_var("SFN_THREADS");
+        let report = crash_report("par-hammer");
+        let mut events = 0;
+        let mut seen = std::collections::BTreeSet::new();
+        for (n, line) in report.lines().enumerate() {
+            // Untorn: every retained record is complete, parseable JSON
+            // with the exact fields one writer produced.
+            let v = crate::json::parse(line).unwrap_or_else(|e| panic!("torn record {line:?}: {e:?}"));
+            if n == 0 {
+                continue; // crash.report header
+            }
+            events += 1;
+            assert_eq!(v.get("kind").and_then(crate::json::Value::as_str), Some("test.flight.par"), "{line}");
+            let w = v.get("w").and_then(crate::json::Value::as_u64).expect("w field intact");
+            assert!((w as usize) < writes, "{line}");
+            assert!(seen.insert(w), "record {w} retained twice");
+        }
+        // Full: with 3×CAPACITY writes the ring holds exactly CAPACITY
+        // distinct records — concurrent claims never dropped a slot.
+        assert_eq!(events, CAPACITY);
+        clear();
+    }
+
+    #[test]
     fn concurrent_records_never_lose_the_ring_shape() {
         let _guard = test_lock::hold();
         clear();

@@ -61,7 +61,7 @@ pub use metrics::{
     Histogram, HistogramSnapshot,
 };
 pub use report::{render_report, reset, stage_percentiles, stage_snapshot, StageStats};
-pub use span::{ScopedTimer, SpanGuard};
+pub use span::{current_path as current_span_path, ScopedTimer, SpanGuard};
 
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::{Once, OnceLock};

@@ -50,6 +50,14 @@ impl SpanGuard {
     }
 }
 
+/// The `/`-joined path of the calling thread's open spans (empty when
+/// none are open, e.g. with metrics disabled). `sfn-prof` stamps this
+/// onto per-invocation kernel records so `sfn-trace flame` can rebuild
+/// the call tree.
+pub fn current_path() -> String {
+    STACK.with(|s| s.borrow().join("/"))
+}
+
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         let Some(start) = self.start else { return };

@@ -1,0 +1,201 @@
+//! Per-thread lock-free ring buffers for worker-side work records.
+//!
+//! `sfn-par` workers call [`crate::record_work`] from inside hot loops;
+//! taking a mutex there would serialise exactly the code we are trying
+//! to measure. Instead each thread owns a stripe of a fixed global slot
+//! array and accumulates into the slot addressed by the active scope's
+//! epoch, using only atomic loads and `fetch_add`s. The owning
+//! [`crate::KernelScope`] drains every stripe at exit.
+//!
+//! Memory is bounded ([`STRIPES`] × [`SLOTS`] slots, allocated once on
+//! first use): when more live epochs hash onto a slot than it can hold,
+//! the oldest record is overwritten and counted in [`dropped_records`]
+//! — ring semantics, never unbounded growth, never a torn record (the
+//! `BUSY` tag makes slot reinitialisation atomic with respect to both
+//! concurrent pushers and the draining scope).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Number of per-thread stripes (threads beyond this share stripes;
+/// sharing is safe, just slightly more contended).
+pub(crate) const STRIPES: usize = 64;
+/// Slots per stripe; epochs address slots modulo this, so up to
+/// [`SLOTS`] concurrently live scope epochs per stripe never collide.
+pub(crate) const SLOTS: usize = 64;
+
+/// Sentinel epoch marking a slot that is being (re)initialised.
+const BUSY: u64 = u64::MAX;
+
+struct Slot {
+    epoch: AtomicU64,
+    flops: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+}
+
+#[repr(align(64))]
+struct Stripe {
+    slots: Vec<Slot>,
+}
+
+fn rings() -> &'static [Stripe] {
+    static RINGS: OnceLock<Vec<Stripe>> = OnceLock::new();
+    RINGS.get_or_init(|| {
+        (0..STRIPES)
+            .map(|_| Stripe {
+                slots: (0..SLOTS)
+                    .map(|_| Slot {
+                        epoch: AtomicU64::new(0),
+                        flops: AtomicU64::new(0),
+                        bytes_read: AtomicU64::new(0),
+                        bytes_written: AtomicU64::new(0),
+                    })
+                    .collect(),
+            })
+            .collect()
+    })
+}
+
+static NEXT_THREAD: AtomicUsize = AtomicUsize::new(0);
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static STRIPE_IDX: usize = NEXT_THREAD.fetch_add(1, Ordering::Relaxed) % STRIPES;
+}
+
+/// Number of worker records lost to slot reuse since the last
+/// [`crate::reset`] (0 in healthy runs; nonzero means more than
+/// [`SLOTS`] scope epochs were live at once on one stripe).
+pub fn dropped_records() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+pub(crate) fn reset_dropped() {
+    DROPPED.store(0, Ordering::Relaxed);
+}
+
+/// Accumulates a worker-side record against `epoch` from the calling
+/// thread's stripe. Lock-free; only spins while another thread is
+/// mid-reinitialisation of the same slot.
+pub(crate) fn push(epoch: u64, flops: u64, bytes_read: u64, bytes_written: u64) {
+    let stripe = &rings()[STRIPE_IDX.with(|s| *s)];
+    let base = (epoch % SLOTS as u64) as usize;
+    for probe in 0..SLOTS {
+        let slot = &stripe.slots[(base + probe) % SLOTS];
+        loop {
+            let cur = slot.epoch.load(Ordering::Acquire);
+            if cur == epoch {
+                slot.flops.fetch_add(flops, Ordering::Relaxed);
+                slot.bytes_read.fetch_add(bytes_read, Ordering::Relaxed);
+                slot.bytes_written.fetch_add(bytes_written, Ordering::Relaxed);
+                return;
+            }
+            if cur == BUSY {
+                std::hint::spin_loop();
+                continue;
+            }
+            if cur != 0 && probe + 1 < SLOTS {
+                // Occupied by another live epoch: probe onward before
+                // evicting anyone.
+                break;
+            }
+            // Claim the slot (evicting a stale record if cur != 0).
+            match slot
+                .epoch
+                .compare_exchange(cur, BUSY, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => {
+                    if cur != 0 {
+                        DROPPED.fetch_add(1, Ordering::Relaxed);
+                    }
+                    slot.flops.store(flops, Ordering::Relaxed);
+                    slot.bytes_read.store(bytes_read, Ordering::Relaxed);
+                    slot.bytes_written.store(bytes_written, Ordering::Relaxed);
+                    slot.epoch.store(epoch, Ordering::Release);
+                    return;
+                }
+                Err(_) => continue,
+            }
+        }
+    }
+    // Every slot on the stripe holds a different live epoch.
+    DROPPED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Collects and clears every record tagged `epoch` across all stripes.
+/// Returns `(flops, bytes_read, bytes_written)`.
+///
+/// Callers guarantee no thread is still pushing records for `epoch`
+/// (the scope's parallel regions have joined), so a claimed slot's
+/// counters are final.
+pub(crate) fn drain(epoch: u64) -> (u64, u64, u64) {
+    let used = NEXT_THREAD.load(Ordering::Relaxed).min(STRIPES);
+    if used == 0 {
+        return (0, 0, 0);
+    }
+    let (mut f, mut br, mut bw) = (0u64, 0u64, 0u64);
+    for stripe in &rings()[..used] {
+        for slot in &stripe.slots {
+            if slot.epoch.load(Ordering::Acquire) != epoch {
+                continue;
+            }
+            if slot
+                .epoch
+                .compare_exchange(epoch, BUSY, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                continue;
+            }
+            f = f.saturating_add(slot.flops.swap(0, Ordering::Relaxed));
+            br = br.saturating_add(slot.bytes_read.swap(0, Ordering::Relaxed));
+            bw = bw.saturating_add(slot.bytes_written.swap(0, Ordering::Relaxed));
+            slot.epoch.store(0, Ordering::Release);
+        }
+    }
+    (f, br, bw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_then_drain_round_trips() {
+        let epoch = 1_000_003; // unlikely to collide with lib tests
+        push(epoch, 5, 10, 15);
+        push(epoch, 5, 10, 15);
+        let (f, br, bw) = drain(epoch);
+        assert_eq!((f, br, bw), (10, 20, 30));
+        let again = drain(epoch);
+        assert_eq!(again, (0, 0, 0), "drain clears the records");
+    }
+
+    #[test]
+    fn distinct_epochs_do_not_mix() {
+        let (a, b) = (2_000_003, 2_000_004);
+        push(a, 1, 0, 0);
+        push(b, 100, 0, 0);
+        assert_eq!(drain(a).0, 1);
+        assert_eq!(drain(b).0, 100);
+    }
+
+    #[test]
+    fn concurrent_pushers_lose_nothing() {
+        let epoch = 3_000_001;
+        let threads = 8;
+        let per_thread = 1000u64;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| {
+                    for _ in 0..per_thread {
+                        push(epoch, 1, 2, 3);
+                    }
+                });
+            }
+        });
+        let (f, br, bw) = drain(epoch);
+        let n = threads as u64 * per_thread;
+        assert_eq!((f, br, bw), (n, 2 * n, 3 * n));
+    }
+}

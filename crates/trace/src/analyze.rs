@@ -65,6 +65,20 @@ pub struct StageQuantiles {
     pub p99_ms: f64,
 }
 
+/// One kernel's throughput summary (from `prof.kernel` events), the
+/// minimal slice of the profile that the `diff` gate compares.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelStat {
+    /// Kernel name (`conv2d`, `pcg`, `mic0`, …).
+    pub name: String,
+    /// Completed scope invocations.
+    pub calls: u64,
+    /// Total elapsed seconds.
+    pub secs: f64,
+    /// Achieved GFLOP/s over those seconds.
+    pub gflops: f64,
+}
+
 /// One model's share of the run — the Table-3 analogue row.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ModelShare {
@@ -110,6 +124,9 @@ pub struct Analysis {
     pub stages: Vec<StageQuantiles>,
     /// Per-model time/step shares from `runtime.step` records.
     pub models: Vec<ModelShare>,
+    /// Per-kernel throughput from `prof.kernel` records (empty when the
+    /// run was not profiled).
+    pub kernels: Vec<KernelStat>,
     /// `scheduler.decision` records.
     pub decisions: u64,
     /// Decision action counts, sorted by action name.
@@ -180,6 +197,18 @@ pub fn analyze(trace: &Trace) -> Analysis {
         })
         .collect();
 
+    // Kernel throughput from the profiler's end-of-run emission.
+    let kernels = crate::profile::ProfileReport::from_trace(trace)
+        .kernels
+        .iter()
+        .map(|k| KernelStat {
+            name: k.name.clone(),
+            calls: k.calls,
+            secs: k.secs(),
+            gflops: k.gflops(),
+        })
+        .collect();
+
     let mut actions: BTreeMap<String, u64> = BTreeMap::new();
     for e in trace.of_kind("scheduler.decision") {
         *actions.entry(e.str("action").unwrap_or("?").to_string()).or_insert(0) += 1;
@@ -219,6 +248,7 @@ pub fn analyze(trace: &Trace) -> Analysis {
         step_latency: Quantiles::from_samples(&step_secs),
         stages,
         models,
+        kernels,
         decisions: trace.count("scheduler.decision"),
         actions: actions.into_iter().collect(),
         contradictions: audit::audit(trace).contradictions.len() as u64,
@@ -295,6 +325,19 @@ impl Analysis {
             push_kv_f64(&mut s, "share", m.share);
             s.push('}');
         }
+        s.push_str("],\"kernels\":[");
+        for (i, k) in self.kernels.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("{\"name\":\"");
+            json::escape_into(&mut s, &k.name);
+            let _ = write!(s, "\",\"calls\":{},", k.calls);
+            push_kv_f64(&mut s, "secs", k.secs);
+            s.push(',');
+            push_kv_f64(&mut s, "gflops", k.gflops);
+            s.push('}');
+        }
         let _ = write!(s, "],\"decisions\":{},\"actions\":{{", self.decisions);
         for (i, (action, n)) in self.actions.iter().enumerate() {
             if i > 0 {
@@ -367,6 +410,18 @@ impl Analysis {
                 })
                 .collect(),
         };
+        let kernels = match v.get("kernels").and_then(Value::as_arr) {
+            None => Vec::new(),
+            Some(items) => items
+                .iter()
+                .map(|o| KernelStat {
+                    name: o.get("name").and_then(Value::as_str).unwrap_or("?").to_string(),
+                    calls: o.get("calls").and_then(Value::as_u64).unwrap_or(0),
+                    secs: field(o, "secs"),
+                    gflops: field(o, "gflops"),
+                })
+                .collect(),
+        };
         let actions = match v.get("actions") {
             Some(Value::Obj(fields)) => fields
                 .iter()
@@ -391,6 +446,7 @@ impl Analysis {
             step_latency,
             stages,
             models,
+            kernels,
             decisions: int("decisions"),
             actions,
             contradictions: int("contradictions"),
@@ -443,6 +499,16 @@ impl Analysis {
                     out,
                     "{:<34} calls={:<8} total={:<9.3}s p50={:.3}ms p90={:.3}ms p99={:.3}ms",
                     s.name, s.calls, s.total_secs, s.p50_ms, s.p90_ms, s.p99_ms
+                );
+            }
+        }
+        if !self.kernels.is_empty() {
+            out.push_str("-- kernel throughput (sfn-prof) --\n");
+            for k in &self.kernels {
+                let _ = writeln!(
+                    out,
+                    "{:<16} calls={:<8} secs={:<9.4} gflops={:.3}",
+                    k.name, k.calls, k.secs, k.gflops
                 );
             }
         }
@@ -514,6 +580,26 @@ mod tests {
         assert_eq!(a.recovery.injected, 1);
         assert_eq!(a.recovery.resolved, 1);
         assert!((a.recovery.p50_secs - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn profiled_trace_yields_kernel_stats() {
+        let t = parse_trace(concat!(
+            "{\"ts\":0.1,\"level\":\"info\",\"kind\":\"prof.kernel\",\"kernel\":\"conv2d\",",
+            "\"calls\":8,\"ns\":2000000000,\"flops\":4000000000,\"bytes_read\":16,",
+            "\"bytes_written\":8,\"allocs\":2,\"alloc_bytes\":64,\"peak_bytes\":64}\n",
+        ));
+        let a = analyze(&t);
+        assert_eq!(a.kernels.len(), 1);
+        assert_eq!(a.kernels[0].name, "conv2d");
+        assert_eq!(a.kernels[0].calls, 8);
+        assert!((a.kernels[0].secs - 2.0).abs() < 1e-9);
+        assert!((a.kernels[0].gflops - 2.0).abs() < 1e-9);
+        // Full-struct equality would trip on recovery's NaN percentiles
+        // (no faults in this trace), so compare the kernel table.
+        let back = Analysis::from_json(&a.to_json()).unwrap();
+        assert_eq!(back.kernels, a.kernels);
+        assert!(a.render().contains("kernel throughput"), "{}", a.render());
     }
 
     #[test]

@@ -27,6 +27,13 @@ pub struct Thresholds {
     /// Maximum allowed scheduler-audit contradictions in the current
     /// run.
     pub max_contradictions: u64,
+    /// Maximum allowed baseline/current ratio on per-kernel GFLOP/s
+    /// (a kernel regresses when its throughput drops below
+    /// `baseline / kernel_ratio`).
+    pub kernel_ratio: f64,
+    /// Kernels whose current total time is below this many milliseconds
+    /// are never flagged — their throughput is timer noise.
+    pub kernel_floor_ms: f64,
 }
 
 impl Default for Thresholds {
@@ -36,6 +43,8 @@ impl Default for Thresholds {
             latency_floor_ms: 0.05,
             share_abs: 0.25,
             max_contradictions: 0,
+            kernel_ratio: 1.5,
+            kernel_floor_ms: 0.05,
         }
     }
 }
@@ -170,6 +179,30 @@ pub fn diff(baseline: &Analysis, current: &Analysis, thresholds: &Thresholds) ->
         }
     }
 
+    // Kernel throughput: a kernel regresses when its GFLOP/s drops to
+    // less than baseline / kernel_ratio. Kernels absent from the
+    // baseline (new instrumentation) and kernels below the time floor
+    // are skipped; ratio comparisons on noise help nobody.
+    for ck in &current.kernels {
+        if ck.secs * 1e3 < t.kernel_floor_ms {
+            continue;
+        }
+        if let Some(bk) = baseline.kernels.iter().find(|k| k.name == ck.name) {
+            if !bk.gflops.is_finite() || !ck.gflops.is_finite() || bk.gflops <= 0.0 {
+                continue;
+            }
+            let limit = bk.gflops / t.kernel_ratio;
+            if ck.gflops < limit {
+                verdict.regressions.push(Regression {
+                    metric: format!("kernel.{}.gflops", ck.name),
+                    baseline: bk.gflops,
+                    current: ck.gflops,
+                    limit,
+                });
+            }
+        }
+    }
+
     for cm in &current.models {
         if let Some(bm) = baseline.models.iter().find(|m| m.model == cm.model) {
             let drift = (cm.share - bm.share).abs();
@@ -190,7 +223,7 @@ pub fn diff(baseline: &Analysis, current: &Analysis, thresholds: &Thresholds) ->
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::analyze::{ModelShare, Quantiles, RecoverySummary, StageQuantiles};
+    use crate::analyze::{KernelStat, ModelShare, Quantiles, RecoverySummary, StageQuantiles};
 
     fn base() -> Analysis {
         Analysis {
@@ -208,6 +241,10 @@ mod tests {
                 p99_ms: 1000.0,
             }],
             models: vec![ModelShare { model: "M7".to_string(), steps: 50, secs: 0.5, share: 0.8 }],
+            kernels: vec![
+                KernelStat { name: "conv2d".to_string(), calls: 10, secs: 0.4, gflops: 8.0 },
+                KernelStat { name: "pcg".to_string(), calls: 20, secs: 0.3, gflops: 2.0 },
+            ],
             decisions: 5,
             actions: vec![("keep".to_string(), 5)],
             contradictions: 0,
@@ -267,6 +304,44 @@ mod tests {
         b.stages.clear();
         c.stages.clear();
         let v = diff(&b, &c, &Thresholds::default());
+        assert!(v.ok(), "{}", v.render());
+    }
+
+    #[test]
+    fn halved_kernel_throughput_fails_the_gate() {
+        // A conv kernel running 2x slower (same work, double the time)
+        // halves GFLOP/s, which is below baseline / 1.5.
+        let mut cur = base();
+        cur.kernels[0].secs = 0.8;
+        cur.kernels[0].gflops = 4.0;
+        let v = diff(&base(), &cur, &Thresholds::default());
+        assert!(!v.ok());
+        assert!(
+            v.regressions.iter().any(|r| r.metric == "kernel.conv2d.gflops"),
+            "{:?}",
+            v.regressions
+        );
+    }
+
+    #[test]
+    fn kernels_absent_from_baseline_are_skipped() {
+        let mut cur = base();
+        cur.kernels.push(KernelStat {
+            name: "brand-new".to_string(),
+            calls: 1,
+            secs: 5.0,
+            gflops: 0.001,
+        });
+        let v = diff(&base(), &cur, &Thresholds::default());
+        assert!(v.ok(), "{}", v.render());
+    }
+
+    #[test]
+    fn sub_floor_kernels_are_never_flagged() {
+        let mut cur = base();
+        cur.kernels[1].secs = 0.00001; // 0.01 ms, below the 0.05 ms floor
+        cur.kernels[1].gflops = 0.0001;
+        let v = diff(&base(), &cur, &Thresholds::default());
         assert!(v.ok(), "{}", v.render());
     }
 

@@ -1,0 +1,231 @@
+//! Flame-graph export from per-invocation `prof.span` records.
+//!
+//! A profiled run with a trace sink at debug level leaves one
+//! `prof.span` event per kernel invocation, stamped with the full
+//! hierarchical span path (`step/projection/pcg/mic0`) and its
+//! duration. This module folds those into the classic collapsed-stack
+//! form (`a;b;c <weight>`, the input of Brendan Gregg's
+//! `flamegraph.pl`) and into speedscope's JSON file format
+//! (<https://www.speedscope.app>), using *self time*: each path's
+//! weight is its total duration minus the duration of its direct
+//! children, clamped at zero so clock jitter between parent and child
+//! measurements never produces negative bars.
+
+use crate::event::Trace;
+use sfn_obs::json;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One folded stack: the `/`-separated span path, total and self time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlameFrame {
+    /// Hierarchical span path (`step/projection/pcg`).
+    pub path: String,
+    /// Summed duration of all invocations of this exact path, ns.
+    pub total_ns: u64,
+    /// Total minus the direct children's totals, clamped at zero, ns.
+    pub self_ns: u64,
+}
+
+/// The folded profile of one trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FlameGraph {
+    /// Frames sorted by path.
+    pub frames: Vec<FlameFrame>,
+}
+
+/// Folds the `prof.span` records of a trace into a flame graph.
+pub fn fold(trace: &Trace) -> FlameGraph {
+    let mut totals: BTreeMap<String, u64> = BTreeMap::new();
+    for e in trace.of_kind("prof.span") {
+        let path = e.str("span").unwrap_or("?");
+        let ns = e.u64("dur_ns").unwrap_or(0);
+        let t = totals.entry(path.to_string()).or_insert(0);
+        *t = t.saturating_add(ns);
+    }
+    // Self time: subtract each direct child's total from its parent.
+    let mut child_ns: BTreeMap<&str, u64> = BTreeMap::new();
+    for (path, ns) in &totals {
+        if let Some((parent, _)) = path.rsplit_once('/') {
+            if totals.contains_key(parent) {
+                let c = child_ns.entry(parent).or_insert(0);
+                *c = c.saturating_add(*ns);
+            }
+        }
+    }
+    let frames = totals
+        .iter()
+        .map(|(path, &total_ns)| FlameFrame {
+            path: path.clone(),
+            total_ns,
+            self_ns: total_ns.saturating_sub(child_ns.get(path.as_str()).copied().unwrap_or(0)),
+        })
+        .collect();
+    FlameGraph { frames }
+}
+
+impl FlameGraph {
+    /// Renders the collapsed-stack form: one `a;b;c <self-ms>` line per
+    /// path with nonzero self time (flamegraph.pl's input format, with
+    /// millisecond weights).
+    pub fn collapsed(&self) -> String {
+        let mut out = String::new();
+        for f in &self.frames {
+            if f.self_ns == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{} {:.3}",
+                f.path.replace('/', ";"),
+                f.self_ns as f64 / 1e6
+            );
+        }
+        out
+    }
+
+    /// Renders the speedscope JSON file format: one "sampled" profile
+    /// whose samples are the leaf-weighted stacks.
+    pub fn speedscope(&self) -> String {
+        // Frame table: one entry per distinct path segment position.
+        let mut frame_index: BTreeMap<&str, usize> = BTreeMap::new();
+        let mut frame_names: Vec<&str> = Vec::new();
+        for f in &self.frames {
+            for seg in f.path.split('/') {
+                frame_index.entry(seg).or_insert_with(|| {
+                    frame_names.push(seg);
+                    frame_names.len() - 1
+                });
+            }
+        }
+        let total: u64 = self.frames.iter().map(|f| f.self_ns).fold(0, u64::saturating_add);
+        let mut s = String::from(
+            "{\"$schema\":\"https://www.speedscope.app/file-format-schema.json\",\"shared\":{\"frames\":[",
+        );
+        for (i, name) in frame_names.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("{\"name\":\"");
+            json::escape_into(&mut s, name);
+            s.push_str("\"}");
+        }
+        s.push_str("]},\"profiles\":[{\"type\":\"sampled\",\"name\":\"sfn-prof\",\"unit\":\"nanoseconds\",\"startValue\":0,\"endValue\":");
+        let _ = write!(s, "{total}");
+        s.push_str(",\"samples\":[");
+        let mut first = true;
+        for f in &self.frames {
+            if f.self_ns == 0 {
+                continue;
+            }
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push('[');
+            for (i, seg) in f.path.split('/').enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "{}", frame_index[seg]);
+            }
+            s.push(']');
+        }
+        s.push_str("],\"weights\":[");
+        let mut first = true;
+        for f in &self.frames {
+            if f.self_ns == 0 {
+                continue;
+            }
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            let _ = write!(s, "{}", f.self_ns);
+        }
+        s.push_str("]}]}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::parse_trace;
+
+    /// A hand-written nested-span trace: step → projection → pcg → mic0,
+    /// with realistic nesting (child durations inside the parent's).
+    fn nested_trace() -> Trace {
+        parse_trace(concat!(
+            "{\"ts\":0.1,\"level\":\"debug\",\"kind\":\"prof.span\",\"kernel\":\"mic0\",\"span\":\"step/projection/pcg/mic0\",\"dur_ns\":2000000,\"flops\":100,\"bytes\":800}\n",
+            "{\"ts\":0.2,\"level\":\"debug\",\"kind\":\"prof.span\",\"kernel\":\"mic0\",\"span\":\"step/projection/pcg/mic0\",\"dur_ns\":3000000,\"flops\":100,\"bytes\":800}\n",
+            "{\"ts\":0.3,\"level\":\"debug\",\"kind\":\"prof.span\",\"kernel\":\"pcg\",\"span\":\"step/projection/pcg\",\"dur_ns\":9000000,\"flops\":500,\"bytes\":4000}\n",
+            "{\"ts\":0.4,\"level\":\"debug\",\"kind\":\"prof.span\",\"kernel\":\"projection\",\"span\":\"step/projection\",\"dur_ns\":10000000,\"flops\":0,\"bytes\":0}\n",
+            "{\"ts\":0.5,\"level\":\"debug\",\"kind\":\"prof.span\",\"kernel\":\"advect\",\"span\":\"step/advect\",\"dur_ns\":4000000,\"flops\":0,\"bytes\":0}\n",
+        ))
+    }
+
+    #[test]
+    fn folds_totals_and_self_time() {
+        let g = fold(&nested_trace());
+        let get = |p: &str| g.frames.iter().find(|f| f.path == p).unwrap();
+        assert_eq!(get("step/projection/pcg/mic0").total_ns, 5_000_000);
+        assert_eq!(get("step/projection/pcg/mic0").self_ns, 5_000_000, "leaf: self == total");
+        assert_eq!(get("step/projection/pcg").total_ns, 9_000_000);
+        assert_eq!(get("step/projection/pcg").self_ns, 4_000_000, "9ms minus 5ms in mic0");
+        assert_eq!(get("step/projection").self_ns, 1_000_000, "10ms minus 9ms in pcg");
+        assert_eq!(get("step/advect").self_ns, 4_000_000);
+    }
+
+    #[test]
+    fn children_exceeding_parent_clamp_to_zero() {
+        // Timer jitter can make the child total exceed the parent's.
+        let g = fold(&parse_trace(concat!(
+            "{\"ts\":0.1,\"level\":\"debug\",\"kind\":\"prof.span\",\"span\":\"a/b\",\"dur_ns\":110,\"flops\":0,\"bytes\":0}\n",
+            "{\"ts\":0.2,\"level\":\"debug\",\"kind\":\"prof.span\",\"span\":\"a\",\"dur_ns\":100,\"flops\":0,\"bytes\":0}\n",
+        )));
+        let a = g.frames.iter().find(|f| f.path == "a").unwrap();
+        assert_eq!(a.self_ns, 0, "clamped, not wrapped");
+    }
+
+    #[test]
+    fn collapsed_uses_semicolons_and_skips_zero_self() {
+        let text = fold(&nested_trace()).collapsed();
+        assert!(text.contains("step;projection;pcg;mic0 5.000"), "{text}");
+        assert!(text.contains("step;projection;pcg 4.000"), "{text}");
+        assert!(text.contains("step;advect 4.000"), "{text}");
+    }
+
+    #[test]
+    fn speedscope_is_valid_and_balanced() {
+        let g = fold(&nested_trace());
+        let doc = g.speedscope();
+        // Parseable by our own JSON subset parser.
+        let v = sfn_obs::json::parse(&doc).unwrap();
+        let profiles = v.get("profiles").and_then(sfn_obs::json::Value::as_arr).unwrap();
+        assert_eq!(profiles.len(), 1);
+        let p = &profiles[0];
+        let samples = p.get("samples").and_then(sfn_obs::json::Value::as_arr).unwrap();
+        let weights = p.get("weights").and_then(sfn_obs::json::Value::as_arr).unwrap();
+        assert_eq!(samples.len(), weights.len());
+        // endValue equals the sum of the weights.
+        let sum: u64 = weights.iter().filter_map(sfn_obs::json::Value::as_u64).sum();
+        assert_eq!(p.get("endValue").and_then(sfn_obs::json::Value::as_u64), Some(sum));
+        // Frame names cover every path segment.
+        let frames = v
+            .get("shared")
+            .and_then(|s| s.get("frames"))
+            .and_then(sfn_obs::json::Value::as_arr)
+            .unwrap();
+        assert!(frames.len() >= 4, "{doc}");
+    }
+
+    #[test]
+    fn empty_trace_folds_to_empty_graph() {
+        let g = fold(&parse_trace(""));
+        assert!(g.frames.is_empty());
+        assert_eq!(g.collapsed(), "");
+        let doc = g.speedscope();
+        assert!(sfn_obs::json::parse(&doc).is_ok(), "{doc}");
+    }
+}

@@ -18,6 +18,12 @@
 //! * [`diff`] — compares two runs (raw traces or saved summaries)
 //!   against per-metric thresholds and emits a machine-readable
 //!   regression verdict; CI runs this against a committed baseline.
+//! * [`profile`] — aggregates `sfn-prof`'s `prof.kernel` records into a
+//!   per-kernel roofline table (time share, GFLOP/s, GB/s, arithmetic
+//!   intensity, allocations, compute-/memory-bound) and round-trips the
+//!   `sfn-prof/kernels@1` document.
+//! * [`flame`] — folds per-invocation `prof.span` records into
+//!   collapsed-stack text (flamegraph.pl input) and speedscope JSON.
 //!
 //! The `sfn-trace` binary wraps all of the above as subcommands.
 //!
@@ -32,9 +38,15 @@ pub mod audit;
 pub mod chrome;
 pub mod diff;
 pub mod event;
+pub mod flame;
+pub mod profile;
 
-pub use analyze::{analyze, Analysis, ModelShare, Quantiles, RecoverySummary, StageQuantiles};
+pub use analyze::{
+    analyze, Analysis, KernelStat, ModelShare, Quantiles, RecoverySummary, StageQuantiles,
+};
 pub use audit::{audit, AuditReport, Contradiction};
 pub use chrome::export_chrome;
 pub use diff::{diff, Regression, Thresholds, Verdict};
 pub use event::{load_trace, parse_trace, Trace, TraceEvent};
+pub use flame::{fold, FlameFrame, FlameGraph};
+pub use profile::{KernelRow, ProfileReport, PROFILE_SCHEMA};

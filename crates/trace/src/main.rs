@@ -1,28 +1,37 @@
-//! The `sfn-trace` CLI: analyze / audit / export / diff over
-//! `SFN_TRACE_FILE` JSONL traces.
+//! The `sfn-trace` CLI: analyze / audit / export / profile / flame /
+//! diff over `SFN_TRACE_FILE` JSONL traces.
 //!
 //! ```text
 //! sfn-trace analyze <trace.jsonl> [--json] [-o FILE]
 //! sfn-trace audit   <trace.jsonl> [--json]
 //! sfn-trace export  <trace.jsonl> [-o FILE]       # Chrome trace JSON
+//! sfn-trace profile <trace|kernels.json> [--json] [-o FILE]
+//! sfn-trace flame   <trace.jsonl> [--speedscope] [-o FILE]
 //! sfn-trace diff    <baseline> <current> [--json]
 //!           [--latency-ratio R] [--latency-floor-ms MS]
 //!           [--share-abs S] [--max-contradictions N]
+//!           [--kernel-ratio R] [--kernel-floor-ms MS]
 //! ```
 //!
 //! `diff` inputs may each be a raw JSONL trace or a summary produced by
-//! `analyze --json` (auto-detected). Exit codes: 0 ok, 1 audit/diff
+//! `analyze --json` (auto-detected); `profile` accepts a raw trace or a
+//! saved `sfn-prof/kernels@1` document. Exit codes: 0 ok, 1 audit/diff
 //! found problems, 2 usage or I/O error.
 
-use sfn_trace::{analyze, audit, diff, export_chrome, Analysis, Thresholds};
+use sfn_trace::{analyze, audit, diff, export_chrome, Analysis, ProfileReport, Thresholds};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: sfn-trace <analyze|audit|export|diff> <trace...> [options]
+const USAGE: &str = "usage: sfn-trace <analyze|audit|export|profile|flame|diff> <trace...> [options]
   analyze <trace.jsonl> [--json] [-o FILE]   run report (latency, shares, faults)
   audit   <trace.jsonl> [--json]             replay scheduler decisions (exit 1 on contradictions)
   export  <trace.jsonl> [-o FILE]            Chrome trace-event JSON (chrome://tracing, Perfetto)
+  profile <trace|kernels.json> [--json] [-o FILE]
+                                             per-kernel roofline table from sfn-prof records
+  flame   <trace.jsonl> [--speedscope] [-o FILE]
+                                             collapsed stacks (default) or speedscope JSON
   diff    <baseline> <current> [--json]      regression gate (exit 1 on regression)
-          [--latency-ratio R] [--latency-floor-ms MS] [--share-abs S] [--max-contradictions N]";
+          [--latency-ratio R] [--latency-floor-ms MS] [--share-abs S] [--max-contradictions N]
+          [--kernel-ratio R] [--kernel-floor-ms MS]";
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("sfn-trace: {msg}");
@@ -56,8 +65,24 @@ fn write_out(out: Option<&str>, content: &str) -> Result<(), String> {
 struct Opts {
     paths: Vec<String>,
     json: bool,
+    speedscope: bool,
     out: Option<String>,
     thresholds: Thresholds,
+}
+
+/// Loads either a raw JSONL trace or a saved `sfn-prof/kernels@1`
+/// document and reduces it to a [`ProfileReport`].
+fn load_profile(path: &str) -> Result<ProfileReport, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    if let Ok(r) = ProfileReport::from_json(&text) {
+        return Ok(r);
+    }
+    let trace = sfn_trace::parse_trace(&text);
+    if trace.events.is_empty() && !text.trim().is_empty() {
+        return Err(format!("{path:?} is neither a kernel summary nor a parseable trace"));
+    }
+    Ok(ProfileReport::from_trace(&trace))
 }
 
 fn num_arg(it: &mut std::slice::Iter<'_, String>, name: &str) -> Result<f64, String> {
@@ -68,11 +93,18 @@ fn num_arg(it: &mut std::slice::Iter<'_, String>, name: &str) -> Result<f64, Str
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
-    let mut opts = Opts { paths: Vec::new(), json: false, out: None, thresholds: Thresholds::default() };
+    let mut opts = Opts {
+        paths: Vec::new(),
+        json: false,
+        speedscope: false,
+        out: None,
+        thresholds: Thresholds::default(),
+    };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => opts.json = true,
+            "--speedscope" => opts.speedscope = true,
             "-o" | "--out" => {
                 opts.out = Some(
                     it.next().ok_or_else(|| "-o needs a path".to_string())?.clone(),
@@ -85,6 +117,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--share-abs" => opts.thresholds.share_abs = num_arg(&mut it, "--share-abs")?,
             "--max-contradictions" => {
                 opts.thresholds.max_contradictions = num_arg(&mut it, "--max-contradictions")? as u64
+            }
+            "--kernel-ratio" => opts.thresholds.kernel_ratio = num_arg(&mut it, "--kernel-ratio")?,
+            "--kernel-floor-ms" => {
+                opts.thresholds.kernel_floor_ms = num_arg(&mut it, "--kernel-floor-ms")?
             }
             _ if a.starts_with('-') => return Err(format!("unknown option {a:?}")),
             _ => opts.paths.push(a.clone()),
@@ -168,6 +204,35 @@ fn main() -> ExitCode {
                 Err(e) => return fail(&format!("cannot read {path:?}: {e}")),
             };
             match write_out(opts.out.as_deref(), &export_chrome(&trace)) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => fail(&e),
+            }
+        }
+        "profile" => {
+            let [path] = opts.paths.as_slice() else {
+                return fail("profile takes exactly one trace or kernel-summary file");
+            };
+            let report = match load_profile(path) {
+                Ok(r) => r,
+                Err(e) => return fail(&e),
+            };
+            let doc = if opts.json { report.to_json() + "\n" } else { report.render() };
+            match write_out(opts.out.as_deref(), &doc) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => fail(&e),
+            }
+        }
+        "flame" => {
+            let [path] = opts.paths.as_slice() else {
+                return fail("flame takes exactly one trace file");
+            };
+            let trace = match sfn_trace::load_trace(path) {
+                Ok(t) => t,
+                Err(e) => return fail(&format!("cannot read {path:?}: {e}")),
+            };
+            let graph = sfn_trace::fold(&trace);
+            let doc = if opts.speedscope { graph.speedscope() + "\n" } else { graph.collapsed() };
+            match write_out(opts.out.as_deref(), &doc) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(e) => fail(&e),
             }

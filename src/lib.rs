@@ -17,6 +17,7 @@
 //! * [`workload`] — seeded input-problem generation
 //! * [`stats`] — statistics utilities
 //! * [`obs`] — observability: spans, metrics, JSONL event tracing
+//! * [`prof`] — kernel-level work accounting, roofline, alloc tracking
 //! * [`trace`] — trace analysis: timelines, decision audit, perf diff
 //! * [`faults`] — deterministic fault injection (chaos testing)
 //! * [`core`] — the `SmartFluidnet` framework facade
@@ -24,6 +25,7 @@
 pub use sfn_faults as faults;
 pub use sfn_grid as grid;
 pub use sfn_obs as obs;
+pub use sfn_prof as prof;
 pub use sfn_trace as trace;
 pub use sfn_nn as nn;
 pub use sfn_sim as sim;

@@ -1,0 +1,82 @@
+//! The profiling layer's hot-path contract: with `SFN_TRACE_FILE`
+//! unset and profiling disabled (the default), the `KernelScope` /
+//! `record_work` instrumentation threaded through every kernel must
+//! cost under 2% of a 64² reference run.
+//!
+//! Measured directly rather than by diffing two builds: the per-call
+//! cost of a *disabled* scope times the number of instrumented calls a
+//! real step makes must stay below 2% of that step's wall time. Both
+//! sides come from the same process on the same machine, so the ratio
+//! is stable even on a noisy shared runner.
+
+use sfn_sim::{ExactProjector, SimConfig, Simulation};
+use sfn_solver::{MicPreconditioner, PcgSolver};
+use std::time::Instant;
+
+fn reference_sim() -> (Simulation, ExactProjector<PcgSolver<MicPreconditioner>>) {
+    let n = 64;
+    let cfg = SimConfig::plume(n);
+    let flags = sfn_grid::CellFlags::smoke_box(n, n);
+    let sim = Simulation::new(cfg, flags);
+    let proj = ExactProjector::new(PcgSolver::new(MicPreconditioner::default(), 1e-6, 10_000));
+    (sim, proj)
+}
+
+#[test]
+fn disabled_instrumentation_costs_under_two_percent() {
+    assert!(
+        std::env::var("SFN_TRACE_FILE").is_err(),
+        "this guard measures the default path; run it without SFN_TRACE_FILE"
+    );
+    sfn_prof::set_enabled(false);
+
+    // How many instrumented call sites does one reference step hit?
+    // Count them with profiling on: every KernelScope::enter and every
+    // worker record_work lands in the registry as a call or a merge.
+    sfn_prof::reset();
+    sfn_prof::set_enabled(true);
+    let (mut sim, mut proj) = reference_sim();
+    sim.step(&mut proj);
+    let calls_per_step: u64 = sfn_prof::snapshot().iter().map(|(_, t)| t.calls).sum();
+    sfn_prof::set_enabled(false);
+    sfn_prof::reset();
+    assert!(calls_per_step > 0, "reference step hit no instrumented kernels");
+
+    // Wall time of a disabled-profiling reference step (median of 5).
+    let (mut sim, mut proj) = reference_sim();
+    sim.step(&mut proj); // warm-up
+    let mut step_secs: Vec<f64> = (0..5)
+        .map(|_| {
+            let t = Instant::now();
+            sim.step(&mut proj);
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    step_secs.sort_by(f64::total_cmp);
+    let step = step_secs[step_secs.len() / 2];
+
+    // Per-call cost of a disabled scope + one disabled record_work —
+    // strictly more work than any real disabled call site does.
+    const CALLS: u32 = 200_000;
+    let t = Instant::now();
+    for _ in 0..CALLS {
+        let scope = sfn_prof::KernelScope::enter("overhead_guard");
+        sfn_prof::record_work(1, 1, 1);
+        if scope.active() {
+            scope.record(1, 1, 1);
+        }
+    }
+    let per_call = t.elapsed().as_secs_f64() / f64::from(CALLS);
+
+    let overhead = per_call * calls_per_step as f64;
+    let ratio = overhead / step;
+    assert!(
+        ratio < 0.02,
+        "disabled instrumentation too hot: {calls_per_step} calls × {:.1} ns = {:.3} ms \
+         against a {:.3} ms step ({:.2}% > 2%)",
+        per_call * 1e9,
+        overhead * 1e3,
+        step * 1e3,
+        ratio * 100.0
+    );
+}
