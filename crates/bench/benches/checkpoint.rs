@@ -1,0 +1,97 @@
+//! Durable-checkpoint micro-benchmarks: what one `sfn-ckpt` write and
+//! recovery cost at a paper-sized grid, separated into the pure codec
+//! (encode/decode) and the crash-consistent store protocol (temp
+//! write, fsync, rename, directory fsync, GC). The store numbers
+//! bound the per-cadence overhead `SFN_CKPT_EVERY` amortises.
+
+use sfn_bench::timing::Suite;
+use sfn_ckpt::{CheckpointDoc, CheckpointStore, QuarantineEntry, SchedulerState, TrackerState};
+use sfn_grid::CellFlags;
+use sfn_sim::{ExactProjector, SimConfig, Simulation};
+use sfn_solver::{MicPreconditioner, PcgSolver};
+use std::path::PathBuf;
+
+/// A checkpoint the size the scheduler actually writes: a stepped
+/// paper-sized simulation plus tracker series and scheduler state.
+fn sample_doc(n: usize) -> CheckpointDoc {
+    let mut sim = Simulation::new(SimConfig::plume(n), CellFlags::smoke_box(n, n));
+    let mut pcg =
+        ExactProjector::labelled(PcgSolver::new(MicPreconditioner::default(), 1e-5, 10_000), "pcg");
+    for _ in 0..4 {
+        sim.step(&mut pcg);
+    }
+    CheckpointDoc {
+        step: 4,
+        snapshot: sim.snapshot(),
+        tracker: TrackerState {
+            series: (0..256).map(|i| 1.0 + 0.01 * i as f64).collect(),
+            warmup_steps: 5,
+            skip_per_interval: 2,
+        },
+        scheduler: Some(SchedulerState {
+            current: 1,
+            model_names: vec!["M3".into(), "M7".into(), "M9".into()],
+            quarantine: vec![QuarantineEntry { strikes: 0, until_interval: 0, ejected: false }; 3],
+            rollbacks: 2,
+        }),
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sfn-bench-ckpt-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn main() {
+    // The recovery bench rejects a torn checkpoint every iteration;
+    // keep those expected warnings out of the report unless asked for.
+    sfn_obs::init();
+    if std::env::var("SFN_LOG").is_err() {
+        sfn_obs::set_log_level(sfn_obs::Level::Error);
+    }
+    let mut suite = Suite::new("checkpoint");
+    let doc = sample_doc(64);
+    let bytes = sfn_ckpt::encode(&doc).unwrap();
+    println!("checkpoint payload: {} bytes (64x64 grid)", bytes.len());
+
+    suite.bench("ckpt_encode_64", || {
+        sfn_ckpt::encode(&doc).unwrap();
+    });
+    suite.bench("ckpt_decode_64", || {
+        sfn_ckpt::decode(&bytes).unwrap();
+    });
+
+    // The full durable protocol per write, steady-state (retain-3 GC
+    // active, so each write also removes one old checkpoint).
+    let dir = temp_dir("write");
+    let store = CheckpointStore::open(&dir).unwrap().with_keep(3);
+    let mut step = 0u64;
+    let mut write_doc = doc.clone();
+    suite.bench("ckpt_store_write_fsync_64", || {
+        step += 1;
+        write_doc.step = step;
+        store.write(&write_doc).unwrap();
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Recovery over a populated directory (3 checkpoints + 1 torn
+    // newest the manager must reject before settling on the fallback).
+    let dir = temp_dir("recover");
+    let store = CheckpointStore::open(&dir).unwrap().with_keep(4);
+    let mut rec_doc = doc.clone();
+    for s in [5u64, 10, 15, 20] {
+        rec_doc.step = s;
+        store.write(&rec_doc).unwrap();
+    }
+    let newest = dir.join("ckpt-00000020.sfnc");
+    let full = std::fs::read(&newest).unwrap();
+    std::fs::write(&newest, &full[..full.len() / 2]).unwrap();
+    suite.bench("ckpt_recover_latest_64", || {
+        sfn_ckpt::recover_latest(&dir).unwrap().unwrap();
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+
+    suite.finish();
+}

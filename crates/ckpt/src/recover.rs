@@ -1,0 +1,193 @@
+//! Startup recovery: scan the checkpoint directory, pick the newest
+//! *valid* checkpoint, report what was skipped.
+//!
+//! Selection is purely file-driven — the manifest is never trusted,
+//! because a crash can leave it behind or ahead of the directory. Every
+//! candidate file is fully decoded (file checksum, section checksums,
+//! geometry bounds) before it is eligible; a file that fails decoding
+//! is skipped with a `ckpt.rejected` event and recovery falls back to
+//! the next-newest, so one torn or bit-rotted checkpoint costs at most
+//! one checkpoint interval of recompute, never the run.
+
+use crate::format::{decode, CheckpointDoc};
+use sfn_obs::Level;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The outcome of a successful recovery scan.
+#[derive(Debug, Clone)]
+pub struct Recovery {
+    /// The newest valid checkpoint.
+    pub doc: CheckpointDoc,
+    /// The file it was loaded from.
+    pub path: PathBuf,
+    /// Newer checkpoints that were rejected (path, decode error) —
+    /// newest first. Non-empty means torn/corrupt files were skipped.
+    pub rejected: Vec<(PathBuf, String)>,
+}
+
+/// Scans `dir` and returns the newest valid checkpoint, or `None` when
+/// the directory is absent, empty, or holds no decodable checkpoint.
+/// Stale temp files from crashed writes are swept as a side effect.
+pub fn recover_latest(dir: &Path) -> io::Result<Option<Recovery>> {
+    let t0 = std::time::Instant::now();
+    if !dir.exists() {
+        return Ok(None);
+    }
+    let store = crate::CheckpointStore::open(dir)?;
+    let mut candidates = store.list()?;
+    candidates.reverse(); // newest first
+
+    // Sweep torn temp files so they cannot accumulate across crashes.
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let is_tmp = name
+            .to_str()
+            .is_some_and(|n| n.starts_with(".ckpt-") && n.ends_with(".tmp"));
+        if is_tmp {
+            let _ = fs::remove_file(entry.path());
+        }
+    }
+
+    let mut rejected = Vec::new();
+    for (step, path) in candidates {
+        let verdict = fs::read(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|bytes| decode(&bytes).map_err(|e| e.0).map(|doc| (doc, bytes.len())));
+        match verdict {
+            Ok((doc, bytes)) if doc.step == step => {
+                sfn_obs::counter_add("ckpt.recovers", 1);
+                sfn_obs::event(Level::Info, "ckpt.recover")
+                    .field_u64("step", doc.step)
+                    .field_u64("bytes", bytes as u64)
+                    .field_u64("rejected", rejected.len() as u64)
+                    .field_f64("secs", t0.elapsed().as_secs_f64())
+                    .field_str("path", &path.display().to_string())
+                    .emit();
+                return Ok(Some(Recovery { doc, path, rejected }));
+            }
+            Ok((doc, _)) => reject(
+                &mut rejected,
+                path,
+                format!("file name claims step {step} but payload holds step {}", doc.step),
+            ),
+            Err(why) => reject(&mut rejected, path, why),
+        }
+    }
+    Ok(None)
+}
+
+fn reject(rejected: &mut Vec<(PathBuf, String)>, path: PathBuf, why: String) {
+    sfn_obs::counter_add("ckpt.rejected", 1);
+    sfn_obs::event(Level::Warn, "ckpt.rejected")
+        .field_str("boundary", "sfn_ckpt")
+        .field_str("path", &path.display().to_string())
+        .field_str("error", &why)
+        .emit();
+    rejected.push((path, why));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::encode;
+    use crate::testutil::sample_doc;
+    use crate::CheckpointStore;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("sfn-ckpt-recover")
+            .join(format!("{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn write_steps(store: &CheckpointStore, steps: &[u64]) {
+        for &step in steps {
+            let mut doc = sample_doc(8, 2);
+            doc.step = step;
+            store.write(&doc).unwrap();
+        }
+    }
+
+    #[test]
+    fn absent_or_empty_directory_recovers_nothing() {
+        let dir = temp_dir("empty");
+        assert!(recover_latest(&dir).unwrap().is_none(), "absent dir");
+        fs::create_dir_all(&dir).unwrap();
+        assert!(recover_latest(&dir).unwrap().is_none(), "empty dir");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn newest_valid_checkpoint_wins() {
+        let dir = temp_dir("newest");
+        let store = CheckpointStore::open(&dir).unwrap().with_keep(10);
+        write_steps(&store, &[5, 10, 15]);
+        let r = recover_latest(&dir).unwrap().expect("recovery");
+        assert_eq!(r.doc.step, 15);
+        assert!(r.rejected.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_newest_falls_back_to_previous_valid() {
+        let dir = temp_dir("torn");
+        let store = CheckpointStore::open(&dir).unwrap().with_keep(10);
+        write_steps(&store, &[5, 10, 15]);
+        // Tear the newest file: truncate to half its length.
+        let newest = dir.join(crate::store::file_name(15));
+        let bytes = fs::read(&newest).unwrap();
+        fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
+
+        let r = recover_latest(&dir).unwrap().expect("fallback recovery");
+        assert_eq!(r.doc.step, 10, "must fall back past the torn file");
+        assert_eq!(r.rejected.len(), 1);
+        assert!(r.rejected[0].0.ends_with("ckpt-00000015.sfnc"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn all_checkpoints_corrupt_recovers_nothing() {
+        let dir = temp_dir("allbad");
+        let store = CheckpointStore::open(&dir).unwrap().with_keep(10);
+        write_steps(&store, &[1, 2]);
+        for step in [1u64, 2] {
+            let p = dir.join(crate::store::file_name(step));
+            let mut b = fs::read(&p).unwrap();
+            let mid = b.len() / 2;
+            b[mid] ^= 0xFF;
+            fs::write(&p, &b).unwrap();
+        }
+        assert!(recover_latest(&dir).unwrap().is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn misnamed_checkpoint_is_rejected() {
+        // A file whose name claims a different step than its payload is
+        // suspect (manual copy, lineage confusion) — skip it.
+        let dir = temp_dir("misnamed");
+        fs::create_dir_all(&dir).unwrap();
+        let mut doc = sample_doc(8, 2);
+        doc.step = 7;
+        fs::write(dir.join(crate::store::file_name(9)), encode(&doc).unwrap()).unwrap();
+        assert!(recover_latest(&dir).unwrap().is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_temp_files_are_swept() {
+        let dir = temp_dir("sweep");
+        let store = CheckpointStore::open(&dir).unwrap();
+        write_steps(&store, &[4]);
+        let tmp = dir.join(".ckpt-00000008.sfnc.tmp");
+        fs::write(&tmp, b"torn half-write").unwrap();
+        let r = recover_latest(&dir).unwrap().expect("recovery");
+        assert_eq!(r.doc.step, 4);
+        assert!(!tmp.exists(), "recovery must sweep stale temp files");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -12,7 +12,7 @@
 //!
 //! * `seed` — base seed of every injection decision (default 0).
 //! * `kind` — one of `nan_output`, `inf_output`, `solver_starvation`,
-//!   `artifact_corruption`, `latency_spike`.
+//!   `artifact_corruption`, `latency_spike`, `crash`.
 //! * `p` — per-eligible-event injection probability (default 1.0).
 //! * `start` / `end` — the eligible half-open step window `[start, end)`
 //!   in the site's own step/invocation counter (defaults: whole run).
@@ -41,6 +41,9 @@ pub enum FaultKind {
     ArtifactCorruption,
     /// Inject extra latency into an inference call.
     LatencySpike,
+    /// Kill the process (SIGKILL) at a named crash point — the
+    /// worst-case process failure for the crash-recovery harness.
+    Crash,
 }
 
 impl FaultKind {
@@ -52,6 +55,7 @@ impl FaultKind {
             "solver_starvation" => Some(Self::SolverStarvation),
             "artifact_corruption" => Some(Self::ArtifactCorruption),
             "latency_spike" => Some(Self::LatencySpike),
+            "crash" => Some(Self::Crash),
             _ => None,
         }
     }
@@ -64,6 +68,7 @@ impl FaultKind {
             Self::SolverStarvation => "solver_starvation",
             Self::ArtifactCorruption => "artifact_corruption",
             Self::LatencySpike => "latency_spike",
+            Self::Crash => "crash",
         }
     }
 
@@ -74,6 +79,7 @@ impl FaultKind {
             Self::SolverStarvation => 0.5,             // residual error scale
             Self::ArtifactCorruption => 0.25,          // fraction of bytes
             Self::LatencySpike => 10.0,                // milliseconds
+            Self::Crash => 1.0,                        // unused
         }
     }
 }
@@ -272,6 +278,24 @@ mod tests {
         assert_eq!(l.probability, 1.0);
         assert_eq!(l.magnitude, 20.0);
         assert_eq!(l.target, None);
+    }
+
+    #[test]
+    fn crash_kind_parses_with_window_and_target() {
+        let plan = parse_plan(
+            r#"{"seed": 3, "faults": [
+                {"kind": "crash", "start": 12, "end": 13, "target": "ckpt/pre_rename"}
+            ]}"#,
+        )
+        .unwrap();
+        let s = &plan.specs[0];
+        assert_eq!(s.kind, FaultKind::Crash);
+        assert_eq!((s.start, s.end), (12, Some(13)));
+        assert_eq!(s.target.as_deref(), Some("ckpt/pre_rename"));
+        assert_eq!(s.probability, 1.0);
+        assert_eq!(FaultKind::parse(FaultKind::Crash.as_str()), Some(FaultKind::Crash));
+        assert!(s.covers("ckpt/pre_rename", 12));
+        assert!(!s.covers("ckpt/pre_rename", 13));
     }
 
     #[test]

@@ -13,7 +13,9 @@
 //!   report non-convergence ([`starve_solver`]);
 //! * **`artifact_corruption`** — flip or truncate artifact bytes on
 //!   read ([`corrupt_bytes`]);
-//! * **`latency_spike`** — stretch an inference call ([`latency_spike`]).
+//! * **`latency_spike`** — stretch an inference call ([`latency_spike`]);
+//! * **`crash`** — kill the process (SIGKILL) at a named boundary
+//!   ([`crash_point`]), for the crash-recovery harness.
 //!
 //! # Configuration
 //!
@@ -49,6 +51,6 @@ pub mod rng;
 
 pub use config::{parse_plan, FaultKind, FaultPlan, FaultSpec, ParseError};
 pub use inject::{
-    active, corrupt_bytes, corrupt_field, current_plan, init_from_env, injected_count, install,
-    latency_spike, note_recovery, recovered_count, starve_solver,
+    active, corrupt_bytes, corrupt_field, crash_point, current_plan, init_from_env,
+    injected_count, install, latency_spike, note_recovery, recovered_count, starve_solver,
 };

@@ -69,6 +69,34 @@ impl SimSnapshot {
     pub fn steps_done(&self) -> usize {
         self.steps_done
     }
+
+    /// The captured velocity field.
+    pub fn vel(&self) -> &MacGrid {
+        &self.vel
+    }
+
+    /// The captured density field.
+    pub fn density(&self) -> &Field2 {
+        &self.density
+    }
+
+    /// Whether the blow-up guard had already fired when the snapshot
+    /// was taken.
+    pub fn blowup_reported(&self) -> bool {
+        self.blowup_reported
+    }
+
+    /// Rebuilds a snapshot from its parts — the deserialisation path of
+    /// durable checkpointing (`sfn-ckpt`). The parts are taken verbatim;
+    /// geometry is validated when the snapshot is [`Simulation::restore`]d.
+    pub fn from_parts(
+        vel: MacGrid,
+        density: Field2,
+        steps_done: usize,
+        blowup_reported: bool,
+    ) -> Self {
+        Self { vel, density, steps_done, blowup_reported }
+    }
 }
 
 /// One running smoke simulation.
@@ -157,14 +185,30 @@ impl Simulation {
         }
     }
 
-    /// Rolls the mutable state back to a snapshot taken from *this*
-    /// simulation (same geometry). Restoration is bit-identical; the
-    /// immutable geometry, weights and config are untouched.
-    pub fn restore(&mut self, snap: &SimSnapshot) {
+    /// Rolls the mutable state back to a snapshot with the same
+    /// geometry. Restoration is bit-identical; the immutable geometry,
+    /// weights and config are untouched.
+    ///
+    /// A snapshot whose grid does not match the live simulation (a
+    /// checkpoint from a different problem, a corrupted file that
+    /// decoded to the wrong shape) is rejected with
+    /// [`SimError::GeometryMismatch`] and the state is left untouched —
+    /// silently adopting mismatched fields would corrupt every later
+    /// step.
+    pub fn restore(&mut self, snap: &SimSnapshot) -> Result<(), SimError> {
+        let expected = (self.config.nx, self.config.ny);
+        let vel_dims = (snap.vel.nx(), snap.vel.ny());
+        let density_dims = (snap.density.w(), snap.density.h());
+        for got in [vel_dims, density_dims] {
+            if got != expected {
+                return Err(SimError::GeometryMismatch { expected, got });
+            }
+        }
         self.vel = snap.vel.clone();
         self.density = snap.density.clone();
         self.steps_done = snap.steps_done;
         self.blowup_reported = snap.blowup_reported;
+        Ok(())
     }
 
     /// Replaces non-finite velocity components with `0.0` and clamps
@@ -481,7 +525,7 @@ mod tests {
         // Run ahead, then roll back.
         sim.run(5, &mut proj);
         let ahead = sim.density().clone();
-        sim.restore(&snap);
+        sim.restore(&snap).unwrap();
         assert_eq!(sim.steps_done(), 6);
         assert_eq!(sim.snapshot(), snap, "restore must be bit-identical");
 
@@ -489,6 +533,57 @@ mod tests {
         // the exact same trajectory.
         sim.run(5, &mut proj);
         assert_eq!(*sim.density(), ahead);
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_geometry() {
+        // A snapshot from a 24² run must not be adoptable by a 16² run:
+        // the doc promises "same geometry" and silently cloning the
+        // wrong-shaped fields would corrupt every later step.
+        let mut small = Simulation::new(SimConfig::plume(16), CellFlags::smoke_box(16, 16));
+        let mut big = Simulation::new(SimConfig::plume(24), CellFlags::smoke_box(24, 24));
+        let mut proj = pcg_projector();
+        small.run(3, &mut proj);
+        big.run(3, &mut proj);
+
+        let before = small.snapshot();
+        let err = small.restore(&big.snapshot()).unwrap_err();
+        assert_eq!(
+            err,
+            crate::error::SimError::GeometryMismatch { expected: (16, 16), got: (24, 24) }
+        );
+        // The failed restore must leave the state untouched.
+        assert_eq!(small.snapshot(), before);
+
+        // A hand-built snapshot whose density alone is mismatched is
+        // rejected too (a decoder bug could produce exactly this).
+        let forged = SimSnapshot::from_parts(
+            small.velocity().clone(),
+            Field2::new(16, 8),
+            3,
+            false,
+        );
+        assert!(matches!(
+            small.restore(&forged),
+            Err(crate::error::SimError::GeometryMismatch { got: (16, 8), .. })
+        ));
+        assert_eq!(small.snapshot(), before);
+    }
+
+    #[test]
+    fn snapshot_from_parts_round_trips() {
+        let n = 16;
+        let mut sim = Simulation::new(SimConfig::plume(n), CellFlags::smoke_box(n, n));
+        let mut proj = pcg_projector();
+        sim.run(4, &mut proj);
+        let snap = sim.snapshot();
+        let rebuilt = SimSnapshot::from_parts(
+            snap.vel().clone(),
+            snap.density().clone(),
+            snap.steps_done(),
+            snap.blowup_reported(),
+        );
+        assert_eq!(rebuilt, snap, "part-wise reconstruction must be bit-identical");
     }
 
     #[test]

@@ -70,6 +70,13 @@ pub fn all() -> Vec<Target> {
             seeds: |rng| (0..6).map(|_| crate::gen::kernel_summary_doc(rng)).collect(),
             dict: KERNEL_SUMMARY_DICT,
         },
+        Target {
+            name: "ckpt",
+            about: "sfn_ckpt::decode — checksummed SFNC durable-checkpoint files",
+            run: run_ckpt,
+            seeds: |rng| (0..6).map(|_| crate::gen::ckpt_blob(rng)).collect(),
+            dict: CKPT_DICT,
+        },
     ]
 }
 
@@ -160,6 +167,19 @@ const KERNEL_SUMMARY_DICT: &[&[u8]] = &[
     b"\"memory\"",
     b"18446744073709551615",
     b"1e999",
+];
+
+const CKPT_DICT: &[&[u8]] = &[
+    b"SFNC",
+    b"META",
+    b"SNAP",
+    b"CDNT",
+    b"SCHD",
+    &[0x01, 0x00, 0x00, 0x00],
+    &[0xff, 0xff, 0xff, 0xff],
+    &[0x03, 0x00, 0x00, 0x00],
+    &[0x04, 0x00, 0x00, 0x00],
+    &[0x18, 0x00, 0x00, 0x00],
 ];
 
 const MODEL_JSON_DICT: &[&[u8]] = &[
@@ -428,6 +448,32 @@ fn run_kernel_summary(input: &[u8]) -> Outcome {
     Outcome::Accepted
 }
 
+/// `decode → encode` must be the *byte-exact* fixed point: the SFNC
+/// codec is strict (fixed section order, 0/1 bools, no trailing bytes,
+/// bit-transparent f64 payloads), so any accepted file must re-encode
+/// to exactly the bytes that were decoded — and decode again.
+fn run_ckpt(input: &[u8]) -> Outcome {
+    let d1 = match sfn_ckpt::decode(input) {
+        Ok(d) => d,
+        Err(e) => return Outcome::Rejected(e.0),
+    };
+    let bytes = match sfn_ckpt::encode(&d1) {
+        Ok(b) => b,
+        Err(e) => return Outcome::OracleFailure(format!("decoded checkpoint does not re-encode: {e}")),
+    };
+    if bytes != input {
+        return Outcome::OracleFailure(format!(
+            "SFNC round-trip is not a byte fixed point ({} in, {} out)",
+            input.len(),
+            bytes.len()
+        ));
+    }
+    if let Err(e) = sfn_ckpt::decode(&bytes) {
+        return Outcome::OracleFailure(format!("re-encoded checkpoint does not decode: {e}"));
+    }
+    Outcome::Accepted
+}
+
 /// A deterministic seed pool for one target (used by the runner and by
 /// `gen-corpus`).
 pub fn seed_pool(target: &Target, seed: u64) -> Vec<Vec<u8>> {
@@ -453,7 +499,8 @@ mod tests {
                 "trace",
                 "config_env",
                 "model_json",
-                "kernel_summary"
+                "kernel_summary",
+                "ckpt"
             ]
         );
         assert!(by_name("model_io").is_some());

@@ -34,6 +34,24 @@ impl CumDivNormTracker {
         }
     }
 
+    /// Rebuilds a tracker from a previously captured cumulative series
+    /// and its parameters — the durable-checkpoint resume path. The
+    /// series is adopted verbatim so predictions after resume are
+    /// bit-identical to the uninterrupted run.
+    pub fn from_parts(series: Vec<f64>, warmup_steps: usize, skip_per_interval: usize) -> Self {
+        Self { cum: series, warmup_steps, skip_per_interval }
+    }
+
+    /// The configured warm-up length.
+    pub fn warmup_steps(&self) -> usize {
+        self.warmup_steps
+    }
+
+    /// The configured per-interval skip count.
+    pub fn skip_per_interval(&self) -> usize {
+        self.skip_per_interval
+    }
+
     /// Records the `DivNorm` of a completed step (Eq. 9 accumulation).
     pub fn push(&mut self, div_norm: f64) {
         let prev = self.cum.last().copied().unwrap_or(0.0);
@@ -204,6 +222,26 @@ mod tests {
         }
         let p = t.predict_final(5, 64).expect("prediction");
         assert!(p.is_finite(), "prediction {p} not finite");
+    }
+
+    #[test]
+    fn from_parts_resumes_bit_identically() {
+        let mut live = CumDivNormTracker::with_params(4, 1);
+        for v in [2.0, 1.5, 0.25, 3.0, 1.0, 1.0, 1.0] {
+            live.push(v);
+        }
+        let mut resumed = CumDivNormTracker::from_parts(
+            live.series().to_vec(),
+            live.warmup_steps(),
+            live.skip_per_interval(),
+        );
+        assert_eq!(resumed.series(), live.series());
+        // Predictions after further pushes stay bit-identical.
+        for v in [0.5, 0.5, 0.5] {
+            live.push(v);
+            resumed.push(v);
+        }
+        assert_eq!(live.predict_final(5, 64), resumed.predict_final(5, 64));
     }
 
     #[test]

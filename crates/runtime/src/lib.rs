@@ -20,12 +20,18 @@
 //! and when nothing is left the run degrades gracefully to the exact
 //! PCG solver. Failures on the construction paths surface as typed
 //! [`RuntimeError`]s instead of panics ([`error`]).
+//!
+//! State can additionally survive *process* failure: [`persist`]
+//! threads `sfn-ckpt`'s durable checkpoint store through the scheduler
+//! loop, and a killed run resumes bit-identically from the newest valid
+//! checkpoint.
 
 #![warn(missing_docs)]
 
 pub mod cumdiv;
 pub mod error;
 pub mod knn;
+pub mod persist;
 pub mod quarantine;
 pub mod scheduler;
 pub mod telemetry;
@@ -33,6 +39,7 @@ pub mod telemetry;
 pub use cumdiv::CumDivNormTracker;
 pub use error::RuntimeError;
 pub use knn::KnnDatabase;
-pub use quarantine::{QuarantineDecision, QuarantineTable, MAX_STRIKES};
+pub use persist::DurableCheckpointer;
+pub use quarantine::{QuarantineDecision, QuarantineEntryState, QuarantineTable, MAX_STRIKES};
 pub use scheduler::{CandidateModel, RunOutcome, RuntimeConfig, SchedulerEvent, SmartRuntime};
 pub use telemetry::RunSummary;

@@ -78,6 +78,17 @@ struct Entry {
     ejected: bool,
 }
 
+/// One model's quarantine state, as exported for durable checkpointing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QuarantineEntryState {
+    /// Strikes accumulated so far.
+    pub strikes: u32,
+    /// First check interval at which the model is eligible again.
+    pub until_interval: u64,
+    /// True when the model was permanently ejected.
+    pub ejected: bool,
+}
+
 /// Strike bookkeeping for an indexed model set.
 #[derive(Debug, Clone)]
 pub struct QuarantineTable {
@@ -140,6 +151,34 @@ impl QuarantineTable {
     /// Models barred at `now` (quarantined or ejected), by index.
     pub fn unavailable(&self, now: u64) -> Vec<usize> {
         (0..self.entries.len()).filter(|&m| !self.is_available(m, now)).collect()
+    }
+
+    /// Exports the per-model state for durable checkpointing.
+    pub fn export_state(&self) -> Vec<QuarantineEntryState> {
+        self.entries
+            .iter()
+            .map(|e| QuarantineEntryState {
+                strikes: e.strikes,
+                until_interval: e.until_interval,
+                ejected: e.ejected,
+            })
+            .collect()
+    }
+
+    /// Rebuilds a table from exported state — the resume path. Strikes,
+    /// backoff deadlines and ejections carry over so a crash cannot
+    /// launder a misbehaving model back into rotation.
+    pub fn from_state(entries: &[QuarantineEntryState]) -> Self {
+        Self {
+            entries: entries
+                .iter()
+                .map(|s| Entry {
+                    strikes: s.strikes,
+                    until_interval: s.until_interval,
+                    ejected: s.ejected,
+                })
+                .collect(),
+        }
     }
 
     /// The nearest available model to `from`, preferring more accurate
@@ -215,6 +254,28 @@ mod tests {
         assert_eq!(q.next_available(1, 0), Some(0));
         q.strike(0, 0);
         assert_eq!(q.next_available(1, 0), None);
+    }
+
+    #[test]
+    fn export_import_round_trips_strikes_and_ejections() {
+        let mut q = QuarantineTable::new(3);
+        q.strike(0, 4);
+        q.strike(1, 4);
+        q.strike(1, 10);
+        q.strike(2, 0);
+        q.strike(2, 0);
+        q.strike(2, 0); // ejected
+        let state = q.export_state();
+        let mut back = QuarantineTable::from_state(&state);
+        assert_eq!(back.export_state(), state);
+        for now in [0u64, 4, 6, 11, 14, 100] {
+            for m in 0..3 {
+                assert_eq!(back.is_available(m, now), q.is_available(m, now), "model {m} at {now}");
+            }
+        }
+        assert!(back.is_ejected(2));
+        // A strike after resume continues the escalation, not a reset.
+        assert_eq!(back.strike(1, 20), QuarantineDecision::Ejected { strikes: 3 });
     }
 
     #[test]

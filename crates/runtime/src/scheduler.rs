@@ -27,7 +27,9 @@
 use crate::cumdiv::CumDivNormTracker;
 use crate::error::RuntimeError;
 use crate::knn::KnnDatabase;
+use crate::persist::{self, DurableCheckpointer};
 use crate::quarantine::{QuarantineDecision, QuarantineTable};
+use sfn_ckpt::{CheckpointDoc, SchedulerState};
 use sfn_grid::Field2;
 use sfn_nn::network::SavedModel;
 use sfn_nn::Network;
@@ -323,6 +325,10 @@ pub struct RunOutcome {
     /// `(model, strikes)` for every candidate that was struck at least
     /// once during the run.
     pub quarantined: Vec<(String, u32)>,
+    /// Step a durable checkpoint resumed the run from, or `None` for a
+    /// fresh start. The per-model accounting above covers only the
+    /// resumed portion of the run.
+    pub resumed_from: Option<usize>,
 }
 
 /// The Algorithm 2 scheduler.
@@ -418,7 +424,79 @@ impl SmartRuntime {
     }
 
     /// Runs one simulation under the scheduler.
-    pub fn run(&mut self, mut sim: Simulation) -> RunOutcome {
+    pub fn run(&mut self, sim: Simulation) -> RunOutcome {
+        self.run_with_checkpoints(sim, None).0
+    }
+
+    /// Attempts to resume scheduler state from `ckpt`'s newest valid
+    /// durable checkpoint. Returns the resume step, or `None` when
+    /// there is nothing (valid) to resume from.
+    #[allow(clippy::too_many_arguments)]
+    fn try_resume(
+        &self,
+        ckpt: &mut DurableCheckpointer,
+        roster: &[String],
+        sim: &mut Simulation,
+        tracker: &mut CumDivNormTracker,
+        quarantine: &mut QuarantineTable,
+        current: &mut usize,
+        rollbacks: &mut usize,
+    ) -> Option<usize> {
+        let recovery = match ckpt.recover() {
+            Ok(Some(r)) => r,
+            Ok(None) => return None,
+            Err(e) => {
+                sfn_obs::event(Level::Warn, "ckpt.recover_failed")
+                    .field_str("dir", &ckpt.dir().display().to_string())
+                    .field_str("error", &e.to_string())
+                    .emit();
+                return None;
+            }
+        };
+        let doc = recovery.doc;
+        // A checkpoint from a different candidate roster would resume
+        // quarantine strikes and the model index against the wrong
+        // models — refuse it and run fresh.
+        let Some(sched) = doc.scheduler.as_ref().filter(|s| s.model_names == roster) else {
+            sfn_obs::event(Level::Warn, "ckpt.roster_mismatch")
+                .field_str("path", &recovery.path.display().to_string())
+                .emit();
+            return None;
+        };
+        if let Err(e) = sim.restore(&doc.snapshot) {
+            sfn_obs::event(Level::Warn, "ckpt.geometry_mismatch")
+                .field_str("path", &recovery.path.display().to_string())
+                .field_str("error", &e.to_string())
+                .emit();
+            return None;
+        }
+        *tracker = persist::tracker_from_state(&doc.tracker);
+        *quarantine = persist::quarantine_from_state(&sched.quarantine);
+        *current = sched.current as usize;
+        *rollbacks = sched.rollbacks as usize;
+        sfn_obs::event(Level::Info, "runtime.resume")
+            .field_u64("step", doc.step)
+            .field_str("model", &roster[*current])
+            .field_u64("skipped", recovery.rejected.len() as u64)
+            .field_str("path", &recovery.path.display().to_string())
+            .emit();
+        Some(doc.step as usize)
+    }
+
+    /// Runs one simulation under the scheduler with optional durable
+    /// checkpointing, returning the outcome *and* the final simulation
+    /// state (the bit-identity oracle of the crash-recovery harness).
+    ///
+    /// With a checkpointer the run first resumes from the newest valid
+    /// checkpoint in its directory (if any), then writes a durable
+    /// checkpoint at every healthy check interval that honours the
+    /// cadence. Durable writes are best-effort: an I/O failure warns
+    /// (`ckpt.write_failed`) and the run continues on the in-RAM anchor.
+    pub fn run_with_checkpoints(
+        &mut self,
+        mut sim: Simulation,
+        ckpt: Option<&mut DurableCheckpointer>,
+    ) -> (RunOutcome, Simulation) {
         let cfg = self.config;
         let n_models = self.candidates.len();
         let timer = ScopedTimer::start("runtime/run");
@@ -433,6 +511,23 @@ impl SmartRuntime {
         let mut degraded = false;
         let mut rollbacks = 0usize;
         let mut quarantine = QuarantineTable::new(n_models);
+        let roster: Vec<String> = self.candidates.iter().map(|c| c.name.clone()).collect();
+
+        let mut durable = ckpt;
+        let mut step = 0usize;
+        let mut resumed_from = None;
+        if let Some(d) = durable.as_deref_mut() {
+            resumed_from = self.try_resume(
+                d,
+                &roster,
+                &mut sim,
+                &mut tracker,
+                &mut quarantine,
+                &mut current,
+                &mut rollbacks,
+            );
+            step = resumed_from.unwrap_or(0);
+        }
 
         // DivNorm (Eq. 5) is an un-normalised sum over cells; dividing
         // by the cell count makes the KNN database — built offline on
@@ -443,9 +538,8 @@ impl SmartRuntime {
         // at every healthy check interval. Quarantine time is measured
         // in check-interval indices derived from the step counter, so a
         // rollback rewinds the backoff clock too.
-        let mut checkpoint = (sim.snapshot(), tracker.clone(), 0usize);
+        let mut checkpoint = (sim.snapshot(), tracker.clone(), step);
 
-        let mut step = 0usize;
         while step < cfg.total_steps {
             // Per-step timeline record (Trace level): the raw material
             // for `sfn-trace analyze` / `export` — timing is only taken
@@ -467,6 +561,9 @@ impl SmartRuntime {
                     .field_f64("div_norm", div_norm)
                     .emit();
             }
+            // Crash-harness boundary: a scheduled `crash` fault SIGKILLs
+            // the process here, mid-run between durable checkpoints.
+            sfn_faults::crash_point("runtime/mid_step", step as u64);
 
             // Corruption guard: a surrogate that produced NaNs or blew
             // the simulation up is struck and the state rolled back.
@@ -494,8 +591,11 @@ impl SmartRuntime {
                     until_interval,
                 });
 
-                // Roll back to the last healthy checkpoint.
-                sim.restore(&checkpoint.0);
+                // Roll back to the last healthy checkpoint. The anchor
+                // was snapshotted from this very simulation, so its
+                // geometry always matches.
+                sim.restore(&checkpoint.0)
+                    .expect("rollback anchor geometry matches the live simulation");
                 tracker = checkpoint.1.clone();
                 step = checkpoint.2;
                 rollbacks += 1;
@@ -546,6 +646,30 @@ impl SmartRuntime {
             // Healthy check interval: refresh the rollback anchor even
             // when the static policy skips the quality check.
             checkpoint = (sim.snapshot(), tracker.clone(), step);
+            // ...and persist it when the durable cadence is due. The
+            // snapshot was just taken, so the checkpoint document is
+            // exactly the in-RAM anchor.
+            if let Some(d) = durable.as_deref_mut() {
+                if d.due(step as u64) {
+                    let doc = CheckpointDoc {
+                        step: step as u64,
+                        snapshot: checkpoint.0.clone(),
+                        tracker: persist::tracker_state(&tracker),
+                        scheduler: Some(SchedulerState {
+                            current: current as u32,
+                            model_names: roster.clone(),
+                            quarantine: persist::quarantine_state(&quarantine),
+                            rollbacks: rollbacks as u64,
+                        }),
+                    };
+                    if let Err(e) = d.write(&doc) {
+                        sfn_obs::event(Level::Warn, "ckpt.write_failed")
+                            .field_u64("step", step as u64)
+                            .field_str("error", &e.to_string())
+                            .emit();
+                    }
+                }
+            }
             if !cfg.adaptive {
                 continue;
             }
@@ -669,7 +793,7 @@ impl SmartRuntime {
 
         let (density, cum) = if restarted {
             let _span = sfn_obs::span!("runtime/restart");
-            let mut sim = fresh_sim;
+            sim = fresh_sim;
             let mut pcg = ExactProjector::labelled(
                 PcgSolver::new(MicPreconditioner::default(), 1e-7, 200_000),
                 "pcg",
@@ -703,10 +827,10 @@ impl SmartRuntime {
             .map(|(i, c)| (c.name.clone(), quarantine.strikes(i)))
             .collect();
 
-        RunOutcome {
+        let outcome = RunOutcome {
             density,
             events,
-            model_names: self.candidates.iter().map(|c| c.name.clone()).collect(),
+            model_names: roster,
             time_per_model,
             steps_per_model,
             predictions,
@@ -717,7 +841,9 @@ impl SmartRuntime {
             rollbacks,
             degraded,
             quarantined,
-        }
+            resumed_from,
+        };
+        (outcome, sim)
     }
 }
 
@@ -967,6 +1093,124 @@ mod tests {
         // The healthy model carried the whole surviving run.
         let healthy = out.model_names.iter().position(|n| n == "healthy").unwrap();
         assert_eq!(out.steps_per_model[healthy], 20);
+    }
+
+    fn temp_ckpt_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir()
+            .join("sfn-runtime-scheduler")
+            .join(format!("{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn bits(f: &Field2) -> Vec<u64> {
+        f.data().iter().map(|v| v.to_bits()).collect()
+    }
+
+    fn ckpt_candidates() -> Vec<CandidateModel> {
+        vec![
+            candidate("a", &yang_spec(2), 1, 0.8, 0.05, 0.1),
+            candidate("b", &yang_spec(4), 2, 0.7, 0.02, 0.2),
+        ]
+    }
+
+    fn ckpt_config() -> RuntimeConfig {
+        RuntimeConfig {
+            total_steps: 20,
+            quality_target: 1.0, // always satisfied -> no restart
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn durable_checkpoints_are_written_at_cadence() {
+        let dir = temp_ckpt_dir("cadence");
+        let mut rt = SmartRuntime::new(ckpt_candidates(), knn(), ckpt_config());
+        let mut d = DurableCheckpointer::new(&dir, 5, 10).unwrap();
+        let (out, _) = rt.run_with_checkpoints(simulation(16), Some(&mut d));
+        assert_eq!(out.resumed_from, None);
+        // Anchors at steps 5, 10, 15 (20 = total is not an anchor).
+        let steps: Vec<u64> = sfn_ckpt::CheckpointStore::open(&dir)
+            .unwrap()
+            .list()
+            .unwrap()
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect();
+        assert_eq!(steps, vec![5, 10, 15]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn killed_run_resumes_bit_identically() {
+        // Reference: one uninterrupted run.
+        let mut rt = SmartRuntime::new(ckpt_candidates(), knn(), ckpt_config());
+        let (reference, ref_sim) = rt.run_with_checkpoints(simulation(16), None);
+
+        // "Crashed" run: same schedule, but stop consuming it after the
+        // step-10 checkpoint by running a copy only up to the durable
+        // write, then resume from disk with a fresh runtime + sim.
+        let dir = temp_ckpt_dir("resume");
+        let mut rt1 = SmartRuntime::new(ckpt_candidates(), knn(), ckpt_config());
+        let mut d1 = DurableCheckpointer::new(&dir, 5, 10).unwrap();
+        let _ = rt1.run_with_checkpoints(simulation(16), Some(&mut d1));
+        // Drop the newest checkpoints so the resume really recomputes
+        // steps 10..20 instead of starting at 15 (simulates a kill at
+        // step ~12: only checkpoints 5 and 10 had been written).
+        std::fs::remove_file(dir.join("ckpt-00000015.sfnc")).unwrap();
+
+        let mut rt2 = SmartRuntime::new(ckpt_candidates(), knn(), ckpt_config());
+        let mut d2 = DurableCheckpointer::new(&dir, 5, 10).unwrap();
+        let (resumed, resumed_sim) = rt2.run_with_checkpoints(simulation(16), Some(&mut d2));
+        assert_eq!(resumed.resumed_from, Some(10));
+        assert_eq!(resumed.steps_per_model.iter().sum::<usize>(), 10, "only the tail re-ran");
+
+        // The oracle: final state is bit-identical to the uninterrupted run.
+        assert_eq!(bits(&resumed.density), bits(&reference.density));
+        let (a, b) = (ref_sim.snapshot(), resumed_sim.snapshot());
+        assert_eq!(bits(&a.vel().u), bits(&b.vel().u));
+        assert_eq!(bits(&a.vel().v), bits(&b.vel().v));
+        assert_eq!(bits(a.density()), bits(b.density()));
+        assert_eq!(a.steps_done(), b.steps_done());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn roster_mismatch_refuses_resume() {
+        let dir = temp_ckpt_dir("roster");
+        let mut rt = SmartRuntime::new(ckpt_candidates(), knn(), ckpt_config());
+        let mut d = DurableCheckpointer::new(&dir, 5, 10).unwrap();
+        let _ = rt.run_with_checkpoints(simulation(16), Some(&mut d));
+
+        // A runtime over a *different* candidate set must not adopt the
+        // old quarantine/current state.
+        let other = vec![
+            candidate("x", &yang_spec(2), 7, 0.8, 0.05, 0.1),
+            candidate("y", &yang_spec(4), 8, 0.7, 0.02, 0.2),
+        ];
+        let mut rt2 = SmartRuntime::new(other, knn(), ckpt_config());
+        let mut d2 = DurableCheckpointer::new(&dir, 5, 10).unwrap();
+        let (out, _) = rt2.run_with_checkpoints(simulation(16), Some(&mut d2));
+        assert_eq!(out.resumed_from, None, "mismatched roster must run fresh");
+        assert_eq!(out.steps_per_model.iter().sum::<usize>(), 20);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn geometry_mismatch_refuses_resume() {
+        let dir = temp_ckpt_dir("geom");
+        let mut rt = SmartRuntime::new(ckpt_candidates(), knn(), ckpt_config());
+        let mut d = DurableCheckpointer::new(&dir, 5, 10).unwrap();
+        let _ = rt.run_with_checkpoints(simulation(16), Some(&mut d));
+
+        // Same roster, different grid: the snapshot must be refused and
+        // the run started fresh on the new geometry.
+        let mut rt2 = SmartRuntime::new(ckpt_candidates(), knn(), ckpt_config());
+        let mut d2 = DurableCheckpointer::new(&dir, 5, 10).unwrap();
+        let (out, sim) = rt2.run_with_checkpoints(simulation(24), Some(&mut d2));
+        assert_eq!(out.resumed_from, None);
+        assert_eq!(sim.snapshot().density().w(), 24);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

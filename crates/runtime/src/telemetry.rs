@@ -147,6 +147,7 @@ mod tests {
             rollbacks: 0,
             degraded: false,
             quarantined: Vec::new(),
+            resumed_from: None,
         }
     }
 

@@ -106,6 +106,23 @@ pub struct RecoverySummary {
     pub max_secs: f64,
 }
 
+/// Durable-checkpoint activity (`ckpt.write` / `ckpt.recover` /
+/// `ckpt.rejected` records). All-zero when checkpointing was off; the
+/// latency fields use `0.0` (not NaN) so summaries stay comparable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CkptSummary {
+    /// Durable checkpoint writes.
+    pub writes: u64,
+    /// Successful recoveries from a checkpoint.
+    pub recovers: u64,
+    /// Checkpoints rejected as torn/corrupt during recovery.
+    pub rejected: u64,
+    /// Summed write seconds.
+    pub write_secs: f64,
+    /// Worst recovery latency in seconds.
+    pub recover_max_secs: f64,
+}
+
 /// The reconstructed run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Analysis {
@@ -145,6 +162,8 @@ pub struct Analysis {
     pub degraded: u64,
     /// Fault-recovery latency summary.
     pub recovery: RecoverySummary,
+    /// Durable-checkpoint write/recovery summary.
+    pub ckpt: CkptSummary,
 }
 
 /// Event kinds that count as "the runtime reacted" for recovery
@@ -240,6 +259,24 @@ pub fn analyze(trace: &Trace) -> Analysis {
         max_secs: rq.map_or(f64::NAN, |q| q.max),
     };
 
+    let ckpt = CkptSummary {
+        writes: trace.count("ckpt.write"),
+        recovers: trace.count("ckpt.recover"),
+        rejected: trace.count("ckpt.rejected"),
+        // fold from +0.0 (an empty `sum()` would yield -0.0, which
+        // serialises as "-0" and needlessly diffs against baselines).
+        write_secs: trace
+            .of_kind("ckpt.write")
+            .filter_map(|e| e.f64("secs"))
+            .filter(|s| s.is_finite())
+            .fold(0.0, |a, s| a + s),
+        recover_max_secs: trace
+            .of_kind("ckpt.recover")
+            .filter_map(|e| e.f64("secs"))
+            .filter(|s| s.is_finite())
+            .fold(0.0, f64::max),
+    };
+
     Analysis {
         events: trace.events.len() as u64,
         skipped: trace.skipped as u64,
@@ -258,6 +295,7 @@ pub fn analyze(trace: &Trace) -> Analysis {
         rollbacks: trace.count("runtime.rollback"),
         degraded: trace.count("runtime.degraded"),
         recovery,
+        ckpt,
     }
 }
 
@@ -360,6 +398,14 @@ impl Analysis {
         push_kv_f64(&mut s, "p50_secs", self.recovery.p50_secs);
         s.push(',');
         push_kv_f64(&mut s, "max_secs", self.recovery.max_secs);
+        let _ = write!(
+            s,
+            "}},\"ckpt\":{{\"writes\":{},\"recovers\":{},\"rejected\":{},",
+            self.ckpt.writes, self.ckpt.recovers, self.ckpt.rejected
+        );
+        push_kv_f64(&mut s, "write_secs", self.ckpt.write_secs);
+        s.push(',');
+        push_kv_f64(&mut s, "recover_max_secs", self.ckpt.recover_max_secs);
         s.push_str("}}");
         s
     }
@@ -438,6 +484,20 @@ impl Analysis {
             },
             None => RecoverySummary { injected: 0, resolved: 0, p50_secs: f64::NAN, max_secs: f64::NAN },
         };
+        // Summaries written before the checkpoint subsystem existed have
+        // no `ckpt` object: default to an all-zero (inactive) summary so
+        // old baselines keep parsing.
+        let zero = |r: &Value, key: &str| r.get(key).and_then(Value::as_f64).unwrap_or(0.0);
+        let ckpt = match v.get("ckpt") {
+            Some(c) => CkptSummary {
+                writes: c.get("writes").and_then(Value::as_u64).unwrap_or(0),
+                recovers: c.get("recovers").and_then(Value::as_u64).unwrap_or(0),
+                rejected: c.get("rejected").and_then(Value::as_u64).unwrap_or(0),
+                write_secs: zero(c, "write_secs"),
+                recover_max_secs: zero(c, "recover_max_secs"),
+            },
+            None => CkptSummary { writes: 0, recovers: 0, rejected: 0, write_secs: 0.0, recover_max_secs: 0.0 },
+        };
         Ok(Analysis {
             events: int("events"),
             skipped: int("skipped"),
@@ -456,6 +516,7 @@ impl Analysis {
             rollbacks: int("rollbacks"),
             degraded: int("degraded"),
             recovery,
+            ckpt,
         })
     }
 
@@ -534,6 +595,18 @@ impl Analysis {
                 1e3 * r.max_secs
             );
         }
+        let c = &self.ckpt;
+        if c.writes + c.recovers + c.rejected > 0 {
+            let _ = writeln!(
+                out,
+                "checkpoints: writes={} recovers={} rejected={} write_total={:.3}ms recover_max={:.3}ms",
+                c.writes,
+                c.recovers,
+                c.rejected,
+                1e3 * c.write_secs,
+                1e3 * c.recover_max_secs
+            );
+        }
         out
     }
 }
@@ -608,6 +681,43 @@ mod tests {
         let text = a.to_json();
         assert!(text.contains(SUMMARY_SCHEMA), "{text}");
         let back = Analysis::from_json(&text).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn ckpt_events_are_summarised() {
+        let t = parse_trace(concat!(
+            "{\"ts\":0.1,\"level\":\"info\",\"kind\":\"ckpt.write\",\"step\":5,\"bytes\":9000,\"gc_removed\":0,\"secs\":0.002,\"path\":\"/x/ckpt-00000005.sfnc\"}\n",
+            "{\"ts\":0.2,\"level\":\"info\",\"kind\":\"ckpt.write\",\"step\":10,\"bytes\":9000,\"gc_removed\":1,\"secs\":0.003,\"path\":\"/x/ckpt-00000010.sfnc\"}\n",
+            "{\"ts\":0.3,\"level\":\"warn\",\"kind\":\"ckpt.rejected\",\"boundary\":\"sfn_ckpt\",\"path\":\"/x/ckpt-00000010.sfnc\",\"error\":\"torn\"}\n",
+            "{\"ts\":0.4,\"level\":\"info\",\"kind\":\"ckpt.recover\",\"step\":5,\"bytes\":9000,\"rejected\":1,\"secs\":0.004,\"path\":\"/x/ckpt-00000005.sfnc\"}\n",
+        ));
+        let a = analyze(&t);
+        assert_eq!(a.ckpt.writes, 2);
+        assert_eq!(a.ckpt.recovers, 1);
+        assert_eq!(a.ckpt.rejected, 1);
+        assert!((a.ckpt.write_secs - 0.005).abs() < 1e-12);
+        assert!((a.ckpt.recover_max_secs - 0.004).abs() < 1e-12);
+        assert!(a.render().contains("checkpoints: writes=2"), "{}", a.render());
+        // A checkpoint-free trace keeps the report quiet but comparable.
+        let quiet = analyze(&sample_trace());
+        assert_eq!(quiet.ckpt.writes, 0);
+        assert_eq!(quiet.ckpt.write_secs, 0.0);
+        assert!(!quiet.render().contains("checkpoints:"), "{}", quiet.render());
+    }
+
+    #[test]
+    fn pre_ckpt_summaries_still_parse() {
+        // A baseline serialised before the `ckpt` section existed must
+        // load as an all-zero (inactive) checkpoint summary.
+        let a = analyze(&sample_trace());
+        let text = a.to_json();
+        let legacy = text.replace(
+            ",\"ckpt\":{\"writes\":0,\"recovers\":0,\"rejected\":0,\"write_secs\":0,\"recover_max_secs\":0}",
+            "",
+        );
+        assert_ne!(legacy, text, "the ckpt object must have been stripped: {text}");
+        let back = Analysis::from_json(&legacy).unwrap();
         assert_eq!(back, a);
     }
 

@@ -223,7 +223,7 @@ pub fn diff(baseline: &Analysis, current: &Analysis, thresholds: &Thresholds) ->
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::analyze::{KernelStat, ModelShare, Quantiles, RecoverySummary, StageQuantiles};
+    use crate::analyze::{CkptSummary, KernelStat, ModelShare, Quantiles, RecoverySummary, StageQuantiles};
 
     fn base() -> Analysis {
         Analysis {
@@ -254,6 +254,7 @@ mod tests {
             rollbacks: 0,
             degraded: 0,
             recovery: RecoverySummary { injected: 0, resolved: 0, p50_secs: f64::NAN, max_secs: f64::NAN },
+            ckpt: CkptSummary { writes: 0, recovers: 0, rejected: 0, write_secs: 0.0, recover_max_secs: 0.0 },
         }
     }
 

@@ -254,7 +254,7 @@ fn snapshot_restore_is_bit_identical_under_active_faults() {
     }
     let ahead = sim.snapshot();
     assert_ne!(ahead, snap, "five further faulty steps must change state");
-    sim.restore(&snap);
+    sim.restore(&snap).expect("snapshot from the same sim always restores");
     assert_eq!(sim.snapshot(), snap, "restore under active faults must be bit-identical");
     assert!(faults::injected_count() > 0, "the p=0.5 schedule must have fired");
     for _ in 0..5 {
@@ -373,6 +373,69 @@ fn blowup_dumps_a_flight_recorder_crash_report() {
         assert!(obs::json::parse(line).is_ok(), "unparseable crash line: {line}");
     }
     let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn kill_restart_matrix_recovers_with_a_clean_audit() {
+    use smart_fluidnet::trace;
+    use std::process::Command;
+    // Crash-site × checkpoint-cadence matrix, run out of process so the
+    // SIGKILL is real: every combination must die when scheduled, come
+    // back via the recovery manager, and leave a trace whose replay
+    // audit is contradiction-free (resumption must not fabricate or
+    // lose decisions).
+    let child = env!("CARGO_BIN_EXE_sfn_crash_child");
+    let base = std::env::temp_dir()
+        .join("sfn-chaos-kill-matrix")
+        .join(std::process::id().to_string());
+    let _ = std::fs::remove_dir_all(&base);
+    // Step 15 sees a checkpoint write under both cadences (5 ⇒ writes
+    // at 5,10,15,20; 10 ⇒ first-opportunity at 5, then 15).
+    for (site, at) in [("runtime/mid_step", 9u64), ("ckpt/mid_temp_write", 15)] {
+        for every in [5usize, 10] {
+            let tag = format!("{}-{every}", site.replace('/', "-"));
+            let dir = base.join(&tag);
+            std::fs::create_dir_all(&dir).unwrap();
+            let run = |faults: Option<String>, trace_to: Option<&std::path::Path>| {
+                let mut cmd = Command::new(child);
+                cmd.env("SFN_CKPT_DIR", dir.join("ckpts"))
+                    .env("SFN_CKPT_EVERY", every.to_string())
+                    .env("SFN_CKPT_KEEP", "3")
+                    .env("SFN_CRASH_STEPS", "24")
+                    .env("SFN_THREADS", "1")
+                    .env("SFN_LOG", "off")
+                    .env_remove("SFN_FAULTS")
+                    .env_remove("SFN_TRACE_FILE")
+                    .env_remove("SFN_CRASH_OUT");
+                if let Some(f) = faults {
+                    cmd.env("SFN_FAULTS", f);
+                }
+                if let Some(t) = trace_to {
+                    cmd.env("SFN_TRACE_FILE", t);
+                }
+                cmd.output().expect("spawn sfn_crash_child")
+            };
+
+            let plan = format!(
+                r#"{{"seed": 7, "faults": [{{"kind": "crash", "p": 1.0, "target": "{site}", "start": {at}, "end": {}}}]}}"#,
+                at + 1
+            );
+            let killed = run(Some(plan), None);
+            assert!(!killed.status.success(), "{tag}: child must die: {killed:?}");
+
+            let trace_file = dir.join("trace.jsonl");
+            let resumed = run(None, Some(&trace_file));
+            assert!(resumed.status.success(), "{tag}: restart failed: {resumed:?}");
+
+            let text = std::fs::read_to_string(&trace_file).expect("resumed trace");
+            let parsed = trace::parse_trace(&text);
+            assert_eq!(parsed.skipped, 0, "{tag}: resumed trace must parse");
+            assert_eq!(parsed.count("ckpt.recover"), 1, "{tag}: recovery must be traced");
+            let audit = trace::audit(&parsed);
+            assert!(audit.clean(), "{tag}: {}", audit.render());
+        }
+    }
+    let _ = std::fs::remove_dir_all(&base);
 }
 
 #[test]

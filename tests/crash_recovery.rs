@@ -1,0 +1,196 @@
+//! Kill-9 crash-recovery harness: spawns `sfn_crash_child`, SIGKILLs
+//! it at seeded crash points via the `crash` fault kind, restarts it,
+//! and asserts the resumed run's final state is **bit-identical** to an
+//! uninterrupted run.
+//!
+//! The child runs a deterministic checkpointed scheduler run and writes
+//! its final `SimSnapshot` (SFNC-encoded) to `SFN_CRASH_OUT`; byte
+//! equality of that file is the whole oracle. `SFN_THREADS=1` pins the
+//! reduction order so determinism holds across processes.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+/// The child binary, built by cargo alongside this test.
+const CHILD: &str = env!("CARGO_BIN_EXE_sfn_crash_child");
+const STEPS: &str = "24";
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("sfn-crash-recovery")
+        .join(format!("{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Runs the child once. `faults` installs a kill schedule; `trace`
+/// collects the child's JSONL event trace.
+fn run_child(ckpt_dir: &Path, out: &Path, every: usize, faults: Option<&str>, trace: Option<&Path>) -> Output {
+    let mut cmd = Command::new(CHILD);
+    cmd.env("SFN_CKPT_DIR", ckpt_dir)
+        .env("SFN_CKPT_EVERY", every.to_string())
+        .env("SFN_CKPT_KEEP", "10")
+        .env("SFN_CRASH_STEPS", STEPS)
+        .env("SFN_CRASH_OUT", out)
+        .env("SFN_THREADS", "1")
+        .env("SFN_LOG", "off")
+        .env_remove("SFN_FAULTS")
+        .env_remove("SFN_TRACE_FILE");
+    if let Some(f) = faults {
+        cmd.env("SFN_FAULTS", f);
+    }
+    if let Some(t) = trace {
+        cmd.env("SFN_TRACE_FILE", t);
+    }
+    cmd.output().expect("spawn sfn_crash_child")
+}
+
+/// A p=1 `crash` schedule that SIGKILLs the child the first time
+/// `site` is reached at step `at`. `SFN_CRASH_SEED` (CI seed matrix)
+/// varies the schedule's RNG stream; the oracle must hold for any seed.
+fn kill_plan(site: &str, at: u64) -> String {
+    let seed: u64 = std::env::var("SFN_CRASH_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7);
+    format!(
+        r#"{{"seed": {seed}, "faults": [{{"kind": "crash", "p": 1.0, "target": "{site}", "start": {at}, "end": {}}}]}}"#,
+        at + 1
+    )
+}
+
+/// The uninterrupted run's final-state bytes — the bit-identity oracle.
+fn reference_bytes(tag: &str) -> Vec<u8> {
+    let dir = temp_dir(&format!("{tag}-ref"));
+    let out = dir.join("final.sfnc");
+    let res = run_child(&dir.join("ckpts"), &out, 5, None, None);
+    assert!(res.status.success(), "reference run failed: {res:?}");
+    let stdout = String::from_utf8_lossy(&res.stdout).to_string();
+    assert!(stdout.contains("resumed_from=-1"), "reference must start fresh: {stdout}");
+    let bytes = fs::read(&out).expect("reference final state");
+    let _ = fs::remove_dir_all(&dir);
+    bytes
+}
+
+fn stdout_of(res: &Output) -> String {
+    String::from_utf8_lossy(&res.stdout).to_string()
+}
+
+#[test]
+fn sigkill_at_each_boundary_resumes_bit_identically() {
+    let reference = reference_bytes("boundaries");
+
+    // (crash site, step it fires at, checkpoint the restart resumes
+    // from). Cadence 5 ⇒ durable checkpoints at steps 5, 10, 15, 20.
+    let matrix = [
+        // Mid-run, between checkpoints: resume from the newest (10).
+        ("runtime/mid_step", 12, 10),
+        // Mid-checkpoint-write at step 10: the temp file is torn, the
+        // rename never happened — resume falls back to step 5.
+        ("ckpt/mid_temp_write", 10, 5),
+        // Temp fully written and fsynced but not yet renamed: still
+        // invisible to recovery — resume from step 5.
+        ("ckpt/pre_rename", 10, 5),
+        // Killed right after the atomic rename: checkpoint 10 is
+        // durable and recovery must use it.
+        ("ckpt/post_rename", 10, 10),
+    ];
+
+    for (site, at, resume_step) in matrix {
+        let tag = site.replace('/', "-");
+        let dir = temp_dir(&format!("kill-{tag}"));
+        let ckpts = dir.join("ckpts");
+        let out = dir.join("final.sfnc");
+
+        // First attempt: the schedule SIGKILLs the child at the site.
+        let killed = run_child(&ckpts, &out, 5, Some(&kill_plan(site, at)), None);
+        assert!(!killed.status.success(), "{site}: child must die, got {killed:?}");
+        assert!(!out.exists(), "{site}: a killed run must not produce a final state");
+
+        // Restart without the schedule: recover, finish, compare bits.
+        let resumed = run_child(&ckpts, &out, 5, None, None);
+        assert!(resumed.status.success(), "{site}: restart failed: {resumed:?}");
+        let stdout = stdout_of(&resumed);
+        assert!(
+            stdout.contains(&format!("resumed_from={resume_step}")),
+            "{site}: expected resume from {resume_step}: {stdout}"
+        );
+        let bytes = fs::read(&out).expect("final state after recovery");
+        assert_eq!(
+            bytes, reference,
+            "{site}: resumed final state must be bit-identical to the uninterrupted run"
+        );
+        // The oracle file itself decodes as a valid checkpoint document.
+        let doc = smart_fluidnet::ckpt::decode(&bytes).expect("final state decodes");
+        assert_eq!(doc.step, 24);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn repeated_kills_still_converge_to_the_reference() {
+    let reference = reference_bytes("repeat");
+    let dir = temp_dir("repeat");
+    let ckpts = dir.join("ckpts");
+    let out = dir.join("final.sfnc");
+
+    // Kill #1 at step 8 (only checkpoint 5 exists)...
+    let k1 = run_child(&ckpts, &out, 5, Some(&kill_plan("runtime/mid_step", 8)), None);
+    assert!(!k1.status.success(), "first kill: {k1:?}");
+    // ...kill #2 at step 16 of the *resumed* run (checkpoints 10 and 15
+    // get written on the way)...
+    let k2 = run_child(&ckpts, &out, 5, Some(&kill_plan("runtime/mid_step", 16)), None);
+    assert!(!k2.status.success(), "second kill: {k2:?}");
+    assert!(!out.exists());
+
+    // ...and the third attempt runs clean from checkpoint 15.
+    let final_run = run_child(&ckpts, &out, 5, None, None);
+    assert!(final_run.status.success(), "{final_run:?}");
+    let stdout = stdout_of(&final_run);
+    assert!(stdout.contains("resumed_from=15"), "{stdout}");
+    assert_eq!(fs::read(&out).unwrap(), reference);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_checkpoint_is_rejected_and_recovery_falls_back() {
+    let reference = reference_bytes("torn");
+    let dir = temp_dir("torn");
+    let ckpts = dir.join("ckpts");
+    let out = dir.join("final.sfnc");
+
+    // A full clean run leaves checkpoints 5, 10, 15, 20 behind.
+    let seed_run = run_child(&ckpts, &out, 5, None, None);
+    assert!(seed_run.status.success(), "{seed_run:?}");
+
+    // Deliberately tear the newest checkpoint (truncate to half), as a
+    // crash mid-write would after a rename-less filesystem hiccup.
+    let newest = ckpts.join("ckpt-00000020.sfnc");
+    let bytes = fs::read(&newest).expect("newest checkpoint");
+    fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
+    fs::remove_file(&out).unwrap();
+
+    // Recovery must skip it with a `ckpt.rejected` event, fall back to
+    // checkpoint 15, and still reproduce the reference bit-for-bit.
+    let trace_file = dir.join("trace.jsonl");
+    let rerun = run_child(&ckpts, &out, 5, None, Some(&trace_file));
+    assert!(rerun.status.success(), "{rerun:?}");
+    let stdout = stdout_of(&rerun);
+    assert!(stdout.contains("resumed_from=15"), "{stdout}");
+    assert_eq!(fs::read(&out).unwrap(), reference);
+
+    let trace = fs::read_to_string(&trace_file).expect("child trace");
+    let parsed = smart_fluidnet::trace::parse_trace(&trace);
+    assert_eq!(parsed.skipped, 0, "child trace must parse cleanly");
+    assert_eq!(parsed.count("ckpt.rejected"), 1, "the torn file is rejected exactly once");
+    assert_eq!(parsed.count("ckpt.recover"), 1);
+    let rejected = parsed.of_kind("ckpt.rejected").next().unwrap();
+    assert!(
+        rejected.str("path").unwrap_or("").ends_with("ckpt-00000020.sfnc"),
+        "{:?}",
+        rejected.fields
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
