@@ -359,6 +359,9 @@ fn main() {
     // SFN_CRASH_FILE) even though `section` also catches the panic.
     sfn_obs::install_crash_handler();
     sfn_faults::init_from_env();
+    // Live observability: `SFN_METRICS_ADDR=127.0.0.1:9900` exposes
+    // /metrics, /healthz and /snapshot.json for the whole evaluation.
+    let _metrics = sfn_metrics::serve_from_env();
     let total = sfn_obs::ScopedTimer::start("bench/total");
     let env = sfn_bench::bench_env();
     use sfn_bench::experiments as ex;

@@ -248,6 +248,27 @@ pub fn regressions(target_name: &str) -> Vec<(&'static str, Vec<u8>)> {
             ("regression-forged-section-count", forged_ckpt_section_count_blob(u32::MAX)),
             ("regression-forged-geometry", forged_ckpt_geometry_blob()),
         ],
+        // The hostile request shapes the metrics listener must keep
+        // refusing: smuggled bare-LF line endings, a header flood past
+        // MAX_HEADERS, and a head past MAX_REQUEST_BYTES (rejected on
+        // length alone, before any parsing).
+        "http" => vec![
+            ("regression-bare-lf-terminator", b"GET /metrics HTTP/1.1\n\n".to_vec()),
+            ("regression-bare-lf-header", b"GET /metrics HTTP/1.1\nHost: a\r\n\r\n".to_vec()),
+            ("regression-header-flood", {
+                let mut flood = b"GET /metrics HTTP/1.1\r\n".to_vec();
+                for i in 0..sfn_metrics::http::MAX_HEADERS + 1 {
+                    flood.extend_from_slice(format!("H{i}: v\r\n").as_bytes());
+                }
+                flood.extend_from_slice(b"\r\n");
+                flood
+            }),
+            ("regression-oversize-head", {
+                let mut huge = b"GET /".to_vec();
+                huge.resize(sfn_metrics::http::MAX_REQUEST_BYTES + 1, b'a');
+                huge
+            }),
+        ],
         "model_json" => vec![
             // Overflows f32 on the way in; serializing the inf back out
             // would render `null` and break the round-trip.

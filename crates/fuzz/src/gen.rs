@@ -379,6 +379,52 @@ pub fn kernel_summary_doc(rng: &mut StdRng) -> Vec<u8> {
     report.to_json().into_bytes()
 }
 
+/// A valid-by-construction HTTP/1.x request head for the metrics
+/// endpoint parser: CRLF line endings, uppercase token method,
+/// /-rooted visible-ASCII target, tchar header names — everything
+/// `sfn_metrics::parse_request` demands, so every seed is accepted
+/// before mutation starts breaking it. Sometimes trailed by body bytes
+/// the bodiless-GET parser must ignore.
+pub fn http_request(rng: &mut StdRng) -> Vec<u8> {
+    const METHODS: &[&str] = &["GET", "HEAD", "POST", "PUT", "DELETE", "OPTIONS"];
+    const PATHS: &[&str] = &["/metrics", "/healthz", "/snapshot.json", "/", "/nope/deeper"];
+    const NAMES: &[&str] =
+        &["Host", "Accept", "User-Agent", "Connection", "Cache-Control", "X-Forwarded-For"];
+    const VALUE_POOL: &[char] = &[
+        'l', 'o', 'c', 'a', 'h', 's', 't', '0', '9', '.', ':', '*', '/', '-', '_', '=', ';',
+        ',', '(', ')', ' ', '\t',
+    ];
+    let mut out = String::new();
+    out.push_str(METHODS[rng.random_range(0..METHODS.len())]);
+    out.push(' ');
+    out.push_str(PATHS[rng.random_range(0..PATHS.len())]);
+    if rng.random_unit() < 0.4 {
+        out.push_str(&format!("?q={}", rng.random_range(0..1000u32)));
+    }
+    out.push_str(if rng.random_unit() < 0.2 { " HTTP/1.0\r\n" } else { " HTTP/1.1\r\n" });
+    for _ in 0..rng.random_range(0..6usize) {
+        out.push_str(NAMES[rng.random_range(0..NAMES.len())]);
+        // Both `Name:value` and `Name:  value  ` parse; OWS trims.
+        out.push(':');
+        if rng.random_unit() < 0.7 {
+            out.push(' ');
+        }
+        let value: String = (0..rng.random_range(0..20usize))
+            .map(|_| VALUE_POOL[rng.random_range(0..VALUE_POOL.len())])
+            .collect();
+        out.push_str(&value);
+        if rng.random_unit() < 0.2 {
+            out.push(' ');
+        }
+        out.push_str("\r\n");
+    }
+    out.push_str("\r\n");
+    if rng.random_unit() < 0.2 {
+        out.push_str("ignored body bytes");
+    }
+    out.into_bytes()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -404,6 +450,9 @@ mod tests {
             let ck = ckpt_blob(&mut rng);
             let doc = sfn_ckpt::decode(&ck).expect("valid SFNC checkpoint");
             assert_eq!(sfn_ckpt::encode(&doc).unwrap(), ck, "SFNC fixed point");
+
+            let req = http_request(&mut rng);
+            sfn_metrics::parse_request(&req).expect("valid request head");
 
             let art = artifacts_doc(&mut rng);
             let parsed: OfflineArtifacts =

@@ -77,6 +77,13 @@ pub fn all() -> Vec<Target> {
             seeds: |rng| (0..6).map(|_| crate::gen::ckpt_blob(rng)).collect(),
             dict: CKPT_DICT,
         },
+        Target {
+            name: "http",
+            about: "sfn_metrics::parse_request — raw request heads off the metrics socket",
+            run: run_http,
+            seeds: |rng| (0..8).map(|_| crate::gen::http_request(rng)).collect(),
+            dict: HTTP_DICT,
+        },
     ]
 }
 
@@ -180,6 +187,25 @@ const CKPT_DICT: &[&[u8]] = &[
     &[0x03, 0x00, 0x00, 0x00],
     &[0x04, 0x00, 0x00, 0x00],
     &[0x18, 0x00, 0x00, 0x00],
+];
+
+const HTTP_DICT: &[&[u8]] = &[
+    b"GET ",
+    b"HEAD ",
+    b"POST ",
+    b"/metrics",
+    b"/healthz",
+    b"/snapshot.json",
+    b" HTTP/1.1",
+    b" HTTP/1.0",
+    b" HTTP/2",
+    b"\r\n",
+    b"\r\n\r\n",
+    b"\n\n",
+    b"Host: ",
+    b"Content-Length: ",
+    b":",
+    b"?",
 ];
 
 const MODEL_JSON_DICT: &[&[u8]] = &[
@@ -474,6 +500,68 @@ fn run_ckpt(input: &[u8]) -> Outcome {
     Outcome::Accepted
 }
 
+/// The metrics endpoint treats every byte off the socket as hostile:
+/// `parse_request` must reject with a typed error or accept a head that
+/// honours every documented bound and whose canonical rendering
+/// re-parses to the same request (`parse ∘ render` fixed point).
+fn run_http(input: &[u8]) -> Outcome {
+    use sfn_metrics::http::{
+        MAX_HEADERS, MAX_HEADER_NAME_BYTES, MAX_HEADER_VALUE_BYTES, MAX_REQUEST_BYTES,
+        MAX_TARGET_BYTES,
+    };
+    let req = match sfn_metrics::parse_request(input) {
+        Ok(r) => r,
+        Err(e) => return Outcome::Rejected(e.to_string()),
+    };
+    // Accepted heads must honour the bounds the router trusts.
+    if req.method.is_empty()
+        || req.method.len() > 16
+        || !req.method.bytes().all(|b| b.is_ascii_uppercase())
+    {
+        return Outcome::OracleFailure(format!(
+            "accepted method {:?} is not a short uppercase token",
+            req.method
+        ));
+    }
+    if !req.target.starts_with('/') || req.target.len() > MAX_TARGET_BYTES {
+        return Outcome::OracleFailure(format!("accepted target breaks bounds: {:?}", req.target));
+    }
+    if req.headers.len() > MAX_HEADERS {
+        return Outcome::OracleFailure(format!("accepted {} headers", req.headers.len()));
+    }
+    for (name, value) in &req.headers {
+        if name.is_empty() || name.len() > MAX_HEADER_NAME_BYTES {
+            return Outcome::OracleFailure(format!("accepted header name {name:?} breaks bounds"));
+        }
+        if value.len() > MAX_HEADER_VALUE_BYTES
+            || value.starts_with([' ', '\t'])
+            || value.ends_with([' ', '\t'])
+        {
+            return Outcome::OracleFailure(format!(
+                "accepted header value {value:?} is not OWS-trimmed within bounds"
+            ));
+        }
+    }
+    // Rendering normalises `Name:value` to `Name: value`, which can
+    // push a head that parsed right at the size cap past it — the
+    // fixed point is asserted for everything under the cap.
+    let rendered = req.render();
+    if rendered.len() <= MAX_REQUEST_BYTES {
+        match sfn_metrics::parse_request(&rendered) {
+            Ok(r2) if r2 == req => {}
+            Ok(r2) => {
+                return Outcome::OracleFailure(format!(
+                    "canonical rendering re-parses differently: {r2:?} vs {req:?}"
+                ))
+            }
+            Err(e) => {
+                return Outcome::OracleFailure(format!("canonical rendering does not re-parse: {e}"))
+            }
+        }
+    }
+    Outcome::Accepted
+}
+
 /// A deterministic seed pool for one target (used by the runner and by
 /// `gen-corpus`).
 pub fn seed_pool(target: &Target, seed: u64) -> Vec<Vec<u8>> {
@@ -500,7 +588,8 @@ mod tests {
                 "config_env",
                 "model_json",
                 "kernel_summary",
-                "ckpt"
+                "ckpt",
+                "http"
             ]
         );
         assert!(by_name("model_io").is_some());

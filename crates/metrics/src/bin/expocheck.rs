@@ -1,0 +1,45 @@
+//! `expocheck` — validates a Prometheus text exposition payload.
+//!
+//! Reads the payload from the file named on the command line (or from
+//! stdin when no argument / `-` is given), runs
+//! [`sfn_metrics::validate_exposition`], and exits 0 with a series
+//! count on success or 1 with the first violation. CI uses it to
+//! assert that a mid-chaos `/metrics` scrape is well-formed.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let arg = std::env::args().nth(1);
+    let (source, text) = match arg.as_deref() {
+        None | Some("-") => {
+            let mut buf = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                eprintln!("expocheck: reading stdin: {e}");
+                return ExitCode::FAILURE;
+            }
+            ("<stdin>".to_string(), buf)
+        }
+        Some("--help" | "-h") => {
+            eprintln!("usage: expocheck [FILE|-]  (validates Prometheus text exposition)");
+            return ExitCode::SUCCESS;
+        }
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(buf) => (path.to_string(), buf),
+            Err(e) => {
+                eprintln!("expocheck: reading {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    match sfn_metrics::validate_exposition(&text) {
+        Ok(series) => {
+            println!("{source}: ok ({series} series)");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{source}: invalid exposition: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! sfn-metrics — live in-process metrics for smart-fluidnet.
+//!
+//! The crate turns the aggregates the codebase already maintains
+//! (sfn-obs lock-free counters and histograms, the structured event
+//! stream) into a live, scrapeable surface:
+//!
+//! * a [`hub::Hub`] holding sliding-window quantile series (last-60s /
+//!   last-10m by default), windowed counter rates, gauges, and the
+//!   roster/kernel/fault tallies;
+//! * an obs→metrics [`bridge`] observing every emitted event —
+//!   `runtime.step`, `scheduler.decision`, `fault.injected`,
+//!   `ckpt.write`, `prof.kernel` — with **zero new instrumentation
+//!   call sites** in the emitting crates;
+//! * a declarative [`slo`] engine computing multi-window error-budget
+//!   burn rates and flipping `/healthz` to degraded;
+//! * a hand-rolled [`http`] server (on `std::net::TcpListener`)
+//!   exposing `/metrics` (Prometheus text exposition, rendered by
+//!   [`expo`]), `/healthz`, and `/snapshot.json` (the
+//!   `sfn-metrics/live@1` document rendered by [`snapshot`], which
+//!   `sfn-trace top` consumes).
+//!
+//! Hot-path cost model: simulation threads only touch sfn-obs's
+//! lock-free atomics (and only when metrics are live — see
+//! [`record_step`]); the hub's mutex is taken by the once-a-second
+//! collector tick, by event-rate bridge updates, and by scrapes.
+//!
+//! Enable by setting `SFN_METRICS_ADDR` (e.g. `127.0.0.1:9900`) and
+//! calling [`serve_from_env`], which the runtime does at run start.
+
+#![warn(missing_docs)]
+
+pub mod bridge;
+pub mod expo;
+pub mod http;
+pub mod hub;
+pub mod slo;
+pub mod snapshot;
+
+pub use expo::validate_exposition;
+pub use http::{parse_request, serve, Request, RequestError, ServerHandle};
+pub use hub::{Config, Health, Hub, KernelStat, ModelStat, Window};
+pub use slo::{SloConfig, SloKind, SloSpec, SloState};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+
+static GLOBAL: OnceLock<Arc<Hub>> = OnceLock::new();
+static LIVE: AtomicBool = AtomicBool::new(false);
+
+/// The process-wide hub, created from [`Config::from_env`] on first
+/// use (or by an earlier [`init_global`] call).
+pub fn global() -> Arc<Hub> {
+    Arc::clone(GLOBAL.get_or_init(|| Arc::new(Hub::new(Config::from_env()))))
+}
+
+/// Installs `cfg` as the global hub's configuration. Returns `false`
+/// if the global hub already existed (the configuration is kept and
+/// `cfg` is dropped) — call this before anything touches [`global`].
+pub fn init_global(cfg: Config) -> bool {
+    let mut installed = false;
+    GLOBAL.get_or_init(|| {
+        installed = true;
+        Arc::new(Hub::new(cfg))
+    });
+    installed
+}
+
+/// True once a metrics endpoint is serving in this process. Gates the
+/// direct-registration hot paths ([`record_step`] and the runtime's
+/// step timers) so a run without metrics pays nothing.
+#[inline]
+pub fn live() -> bool {
+    LIVE.load(Ordering::Relaxed)
+}
+
+/// Starts serving the global hub on `addr`: installs the event
+/// bridge, binds the listener, spawns the collector, and flips
+/// [`live`]. The returned handle's threads are detached — dropping it
+/// keeps the endpoint alive; call [`ServerHandle::stop`] to shut down.
+pub fn start_global(addr: &str) -> std::io::Result<ServerHandle> {
+    let hub = global();
+    bridge::install(Arc::clone(&hub));
+    let handle = http::serve(hub, addr)?;
+    LIVE.store(true, Ordering::Relaxed);
+    sfn_obs::event(sfn_obs::Level::Info, "metrics.serving")
+        .field_str("addr", &handle.addr.to_string())
+        .emit();
+    Ok(handle)
+}
+
+/// Starts the metrics endpoint if `SFN_METRICS_ADDR` is set (e.g.
+/// `127.0.0.1:9900`). Idempotent — the first call wins; later calls
+/// (and calls with the variable unset) return `None`. A bind failure
+/// is logged, not fatal: simulations must not die because a metrics
+/// port is taken.
+pub fn serve_from_env() -> Option<ServerHandle> {
+    static STARTED: AtomicBool = AtomicBool::new(false);
+    let addr = match std::env::var("SFN_METRICS_ADDR") {
+        Ok(a) if !a.trim().is_empty() => a.trim().to_string(),
+        _ => return None,
+    };
+    if STARTED.swap(true, Ordering::SeqCst) {
+        return None;
+    }
+    match start_global(&addr) {
+        Ok(handle) => Some(handle),
+        Err(e) => {
+            sfn_obs::log(
+                sfn_obs::Level::Warn,
+                &format!("SFN_METRICS_ADDR={addr}: bind failed ({e}); metrics endpoint disabled"),
+            );
+            None
+        }
+    }
+}
+
+/// Direct registration of one simulation step: feeds the
+/// `runtime.step_secs` latency series, the `runtime.steps` rate
+/// counter, and the model roster. No-op unless [`live`] — callers
+/// gate their `Instant::now()` on `live()` too, so a metrics-off run
+/// pays a single relaxed atomic load per step.
+///
+/// This is the **only** feeder of the step-latency series: the event
+/// bridge deliberately does not histogram `runtime.step` durations, so
+/// latency samples are never double-counted.
+pub fn record_step(model: &str, secs: f64) {
+    if !live() {
+        return;
+    }
+    struct Handles {
+        step_secs: &'static sfn_obs::Histogram,
+        steps: &'static sfn_obs::Counter,
+    }
+    static HANDLES: OnceLock<Handles> = OnceLock::new();
+    let handles = HANDLES.get_or_init(|| Handles {
+        step_secs: sfn_obs::histogram("runtime.step_secs"),
+        steps: sfn_obs::counter("runtime.steps"),
+    });
+    handles.step_secs.record(secs);
+    handles.steps.add(1);
+    let hub = global();
+    hub.note_model_step(model, hub.now_ms());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_step_is_inert_until_live() {
+        // LIVE is process-global; this test only checks the off state
+        // (endpoint tests flip it in their own process).
+        if live() {
+            return;
+        }
+        let before = sfn_obs::counter_value("runtime.steps");
+        record_step("mlp-a", 0.001);
+        assert_eq!(sfn_obs::counter_value("runtime.steps"), before);
+    }
+
+    #[test]
+    fn init_global_first_call_wins() {
+        let custom = Config { slot_millis: 123, ..Config::default() };
+        let first = init_global(custom);
+        if first {
+            assert_eq!(global().config().slot_millis, 123);
+        }
+        // Whether or not another test beat us to the first init, a
+        // second call must report "already installed".
+        assert!(!init_global(Config::default()));
+    }
+}

@@ -76,6 +76,63 @@ fn write_trace_line(line: &str) {
     }
 }
 
+// ------------------------------------------------------------ observers
+//
+// A fanout of in-process sinks receiving every finished event JSON
+// line (in addition to the trace file / flight recorder). sfn-metrics
+// bridges events into live series through this hook, which is why
+// installing an observer makes `event_enabled` true at every level:
+// call sites that gate payload construction on it must keep firing
+// when only an observer is listening.
+
+static OBSERVING: AtomicBool = AtomicBool::new(false);
+
+type Observer = Box<dyn Fn(&str) + Send + Sync>;
+
+fn observers() -> &'static Mutex<Vec<Observer>> {
+    static OBSERVERS: OnceLock<Mutex<Vec<Observer>>> = OnceLock::new();
+    OBSERVERS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn lock_observers() -> MutexGuard<'static, Vec<Observer>> {
+    observers().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// True if at least one in-process event observer is installed.
+pub fn observing() -> bool {
+    crate::init();
+    observing_raw()
+}
+
+pub(crate) fn observing_raw() -> bool {
+    OBSERVING.load(Ordering::Relaxed)
+}
+
+/// Installs an in-process fanout observer; `f` is called with every
+/// finished event JSON line (same schema as the trace file, without
+/// the trailing newline). Observers run on the emitting thread and
+/// must be fast and must never emit events themselves (re-entry would
+/// recurse) or block on locks held across event emission.
+pub fn add_event_observer(f: Box<dyn Fn(&str) + Send + Sync>) {
+    crate::init();
+    let mut obs = lock_observers();
+    obs.push(f);
+    OBSERVING.store(true, Ordering::Relaxed);
+}
+
+/// Removes every installed observer (tests, shutdown).
+pub fn clear_event_observers() {
+    let mut obs = lock_observers();
+    obs.clear();
+    OBSERVING.store(false, Ordering::Relaxed);
+}
+
+fn notify_observers(line: &str) {
+    for f in lock_observers().iter() {
+        f(line);
+    }
+}
+
 /// Builder for one structured event; construct via [`event`]. When
 /// neither the trace sink, the flight recorder, nor the stderr logger
 /// would take the event, every method is a no-op on an empty builder
@@ -86,6 +143,7 @@ pub struct EventBuilder {
     text: Option<String>,
     to_trace: bool,
     to_flight: bool,
+    to_obs: bool,
 }
 
 /// Starts an event of `kind` at `level`.
@@ -102,8 +160,9 @@ pub fn event(level: Level, kind: &str) -> EventBuilder {
     crate::init();
     let to_trace = tracing_enabled_raw() && level != Level::Off;
     let to_flight = flight::capture_raw(level);
+    let to_obs = observing_raw() && level != Level::Off;
     let to_log = crate::log_enabled_raw(level);
-    let json = (to_trace || to_flight).then(|| {
+    let json = (to_trace || to_flight || to_obs).then(|| {
         let mut s = String::with_capacity(160);
         s.push_str("{\"ts\":");
         json::push_f64(&mut s, crate::uptime());
@@ -115,7 +174,7 @@ pub fn event(level: Level, kind: &str) -> EventBuilder {
         s
     });
     let text = to_log.then(|| format!("[sfn {}] {}", level.as_str(), kind));
-    EventBuilder { json, text, to_trace, to_flight }
+    EventBuilder { json, text, to_trace, to_flight, to_obs }
 }
 
 impl EventBuilder {
@@ -196,6 +255,9 @@ impl EventBuilder {
             if self.to_trace {
                 write_trace_line(&j);
             }
+            if self.to_obs {
+                notify_observers(&j);
+            }
             if self.to_flight {
                 flight::record(j);
             }
@@ -215,7 +277,8 @@ pub fn log(level: Level, msg: &str) {
     }
     let to_trace = tracing_enabled_raw() && level != Level::Off;
     let to_flight = flight::capture_raw(level);
-    if to_trace || to_flight {
+    let to_obs = observing_raw() && level != Level::Off;
+    if to_trace || to_flight || to_obs {
         let mut s = String::with_capacity(96);
         s.push_str("{\"ts\":");
         json::push_f64(&mut s, crate::uptime());
@@ -226,6 +289,9 @@ pub fn log(level: Level, msg: &str) {
         s.push_str("\"}");
         if to_trace {
             write_trace_line(&s);
+        }
+        if to_obs {
+            notify_observers(&s);
         }
         if to_flight {
             flight::record(s);
@@ -306,6 +372,31 @@ mod tests {
         let b = event(Level::Trace, "test.invisible").field_u64("x", 1);
         assert!(b.json.is_none() && b.text.is_none());
         b.emit();
+    }
+
+    #[test]
+    fn observers_receive_every_event_line() {
+        let _guard = test_lock::hold();
+        set_trace_writer(None);
+        let seen = Arc::new(Mutex::new(Vec::<String>::new()));
+        let sink = seen.clone();
+        add_event_observer(Box::new(move |line| {
+            sink.lock().unwrap().push(line.to_string());
+        }));
+        // With only an observer installed, even Trace-level events must
+        // be built and fanned out (the pre-flight check agrees).
+        assert!(crate::event_enabled(Level::Trace));
+        event(Level::Trace, "test.observer").field_u64("x", 7).emit();
+        log(Level::Error, "observed log line");
+        clear_event_observers();
+        assert!(!observing());
+        // After clearing, emissions no longer reach the old observer.
+        event(Level::Error, "test.unobserved").emit();
+
+        let lines = seen.lock().unwrap().clone();
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        assert!(lines[0].contains("\"kind\":\"test.observer\"") && lines[0].contains("\"x\":7"));
+        assert!(lines[1].contains("\"kind\":\"log\"") && lines[1].contains("observed log line"));
     }
 
     #[test]

@@ -51,14 +51,18 @@ pub mod metrics;
 pub mod report;
 pub mod span;
 
-pub use events::{event, flush_trace, log, set_trace_file, set_trace_writer, EventBuilder};
+pub use events::{
+    add_event_observer, clear_event_observers, event, flush_trace, log, observing, set_trace_file,
+    set_trace_writer, EventBuilder,
+};
 pub use flight::{
     crash_report, flight_enabled, incident_count, install_crash_handler, note_incident,
     set_crash_file, set_flight_enabled,
 };
 pub use metrics::{
-    counter, counter_add, counter_value, histogram, histogram_record, histogram_snapshot, Counter,
-    Histogram, HistogramSnapshot,
+    bucket_floor, bucket_index, counter, counter_add, counter_value, counters_snapshot, histogram,
+    histogram_record, histogram_snapshot, histograms_snapshot, Counter, Histogram,
+    HistogramSnapshot, BUCKETS,
 };
 pub use report::{render_report, reset, stage_percentiles, stage_snapshot, StageStats};
 pub use span::{current_path as current_span_path, ScopedTimer, SpanGuard};
@@ -205,12 +209,13 @@ pub fn enable_metrics(on: bool) {
     METRICS.store(on, Ordering::Relaxed);
 }
 
-/// True if an event at `level` would be recorded anywhere (trace sink
-/// or stderr) — the cheap pre-flight check before computing expensive
-/// event payloads such as physical diagnostics.
+/// True if an event at `level` would be recorded anywhere (trace sink,
+/// an in-process observer, or stderr) — the cheap pre-flight check
+/// before computing expensive event payloads such as physical
+/// diagnostics.
 pub fn event_enabled(level: Level) -> bool {
     init();
-    events::tracing_enabled_raw() || log_enabled_raw(level)
+    events::tracing_enabled_raw() || events::observing_raw() || log_enabled_raw(level)
 }
 
 #[cfg(test)]

@@ -40,7 +40,9 @@ impl Counter {
     }
 }
 
-const BUCKETS: usize = 64;
+/// Number of log2 buckets in a [`Histogram`] (and in the bucket array
+/// carried by every [`HistogramSnapshot`]).
+pub const BUCKETS: usize = 64;
 
 /// A lock-free histogram over f64 samples with power-of-two buckets
 /// (bucket 0 collects values ≤ 0; bucket `i ≥ 1` collects
@@ -53,7 +55,10 @@ pub struct Histogram {
     buckets: [AtomicU64; BUCKETS],
 }
 
-fn bucket_index(v: f64) -> usize {
+/// Bucket index of sample `v` (bucket 0 for `v ≤ 0`, else the clamped
+/// power-of-two bucket). Public so downstream aggregators (sfn-metrics
+/// window rings) bucket with identical math.
+pub fn bucket_index(v: f64) -> usize {
     if v <= 0.0 {
         return 0;
     }
@@ -62,7 +67,7 @@ fn bucket_index(v: f64) -> usize {
 }
 
 /// Lower bound of bucket `i ≥ 1` (used for quantile estimates).
-fn bucket_floor(i: usize) -> f64 {
+pub fn bucket_floor(i: usize) -> f64 {
     if i == 0 {
         0.0
     } else {
@@ -157,6 +162,10 @@ fn snapshot_from(count: u64, sum: f64, min: f64, max: f64, counts: &[u64]) -> Hi
         }
         max
     };
+    let mut buckets = [0u64; BUCKETS];
+    for (dst, &src) in buckets.iter_mut().zip(counts) {
+        *dst = src;
+    }
     HistogramSnapshot {
         count,
         sum,
@@ -166,6 +175,7 @@ fn snapshot_from(count: u64, sum: f64, min: f64, max: f64, counts: &[u64]) -> Hi
         p90: quantile(0.90),
         p95: quantile(0.95),
         p99: quantile(0.99),
+        buckets,
     }
 }
 
@@ -189,9 +199,25 @@ pub struct HistogramSnapshot {
     pub p95: f64,
     /// 99th-percentile estimate at bucket resolution.
     pub p99: f64,
+    /// Raw per-bucket tallies of the finite samples ([`bucket_index`]
+    /// layout) — what [`HistogramSnapshot::merge`] and downstream
+    /// window rings operate on.
+    pub buckets: [u64; BUCKETS],
 }
 
 impl HistogramSnapshot {
+    /// A snapshot of an empty histogram (NaN min/max/percentiles).
+    pub fn empty() -> Self {
+        snapshot_from(0, 0.0, f64::NAN, f64::NAN, &[])
+    }
+
+    /// Builds a snapshot from raw aggregates, recomputing the
+    /// percentile estimates from `buckets`. The constructor downstream
+    /// delta/window code uses after bucket arithmetic.
+    pub fn from_parts(count: u64, sum: f64, min: f64, max: f64, buckets: &[u64; BUCKETS]) -> Self {
+        snapshot_from(count, sum, min, max, buckets)
+    }
+
     /// Mean of the finite samples (NaN when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -199,6 +225,37 @@ impl HistogramSnapshot {
         } else {
             self.sum / self.count as f64
         }
+    }
+
+    /// Merges two snapshots into the summary of their combined samples:
+    /// counts and bucket tallies add (saturating — two near-overflow
+    /// halves must degrade resolution, never wrap), sums add, min/max
+    /// combine NaN-safely, and the percentile estimates are recomputed
+    /// from the merged buckets. The building block of sliding-window
+    /// rings: a window is the merge of its per-slot snapshots.
+    pub fn merge(&self, other: &Self) -> Self {
+        let mut buckets = self.buckets;
+        for (dst, &src) in buckets.iter_mut().zip(&other.buckets) {
+            *dst = dst.saturating_add(src);
+        }
+        // NaN-safe: an empty side contributes nothing to min/max.
+        let min = match (self.min.is_nan(), other.min.is_nan()) {
+            (true, _) => other.min,
+            (_, true) => self.min,
+            _ => self.min.min(other.min),
+        };
+        let max = match (self.max.is_nan(), other.max.is_nan()) {
+            (true, _) => other.max,
+            (_, true) => self.max,
+            _ => self.max.max(other.max),
+        };
+        snapshot_from(
+            self.count.saturating_add(other.count),
+            self.sum + other.sum,
+            min,
+            max,
+            &buckets,
+        )
     }
 }
 
@@ -447,6 +504,76 @@ mod tests {
         tail[BUCKETS - 1] = u64::MAX;
         let s = snapshot_from(u64::MAX, 0.0, 0.0, 0.0, &tail);
         assert_eq!(s.p99, bucket_floor(BUCKETS - 1));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let h = Histogram::new();
+        for v in [0.5, 1.0, 3.0, 700.0] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let e = HistogramSnapshot::empty();
+        assert_eq!(e.merge(&e).count, 0);
+        assert!(e.merge(&e).p50.is_nan());
+        for merged in [s.merge(&e), e.merge(&s)] {
+            assert_eq!(merged, s, "merging with empty must be an identity");
+        }
+    }
+
+    #[test]
+    fn merge_disjoint_buckets_combines_ranges() {
+        // Left histogram entirely in [1, 2), right entirely in
+        // [1024, 2048): no bucket overlaps.
+        let (a, b) = (Histogram::new(), Histogram::new());
+        for _ in 0..90 {
+            a.record(1.5);
+        }
+        for _ in 0..10 {
+            b.record(1500.0);
+        }
+        let m = a.snapshot().merge(&b.snapshot());
+        assert_eq!(m.count, 100);
+        assert_eq!((m.min, m.max), (1.5, 1500.0));
+        assert_eq!(m.buckets[bucket_index(1.5)], 90);
+        assert_eq!(m.buckets[bucket_index(1500.0)], 10);
+        // 90% of the mass sits in the low bucket: the median stays
+        // there and the p99 jumps to the high one.
+        assert_eq!(m.p50, bucket_floor(bucket_index(1.5)));
+        assert_eq!(m.p99, bucket_floor(bucket_index(1500.0)));
+    }
+
+    #[test]
+    fn merge_overlapping_buckets_adds_tallies() {
+        let (a, b) = (Histogram::new(), Histogram::new());
+        for _ in 0..50 {
+            a.record(1.0);
+            b.record(1.0);
+        }
+        for _ in 0..25 {
+            b.record(2.5);
+        }
+        let m = a.snapshot().merge(&b.snapshot());
+        assert_eq!(m.count, 125);
+        assert_eq!(m.buckets[bucket_index(1.0)], 100);
+        assert_eq!(m.buckets[bucket_index(2.5)], 25);
+        assert_eq!(m.sum, 50.0 + 50.0 + 62.5);
+        // 100 of 125 samples in [1, 2): p50 there, p90 in [2, 4).
+        assert_eq!(m.p50, 1.0);
+        assert_eq!(m.p90, 2.0);
+        // Merge is symmetric.
+        assert_eq!(b.snapshot().merge(&a.snapshot()), m);
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_wrapping() {
+        let mut counts = [0u64; BUCKETS];
+        counts[10] = u64::MAX - 1;
+        let a = HistogramSnapshot::from_parts(u64::MAX - 1, 1.0, 1e-6, 1e-6, &counts);
+        let m = a.merge(&a);
+        assert_eq!(m.count, u64::MAX);
+        assert_eq!(m.buckets[10], u64::MAX);
+        assert_eq!(m.p99, bucket_floor(10));
     }
 
     #[test]

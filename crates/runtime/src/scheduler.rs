@@ -499,6 +499,10 @@ impl SmartRuntime {
     ) -> (RunOutcome, Simulation) {
         let cfg = self.config;
         let n_models = self.candidates.len();
+        // Live observability: if `SFN_METRICS_ADDR` is set, the first
+        // run in the process brings up the /metrics endpoint (listener
+        // + collector stay alive for the process lifetime).
+        let _metrics = sfn_metrics::serve_from_env();
         let timer = ScopedTimer::start("runtime/run");
         let mut tracker = CumDivNormTracker::new();
         let mut events = Vec::new();
@@ -544,7 +548,8 @@ impl SmartRuntime {
             // Per-step timeline record (Trace level): the raw material
             // for `sfn-trace analyze` / `export` — timing is only taken
             // when something would record the event.
-            let step_t0 = sfn_obs::event_enabled(Level::Trace).then(std::time::Instant::now);
+            let step_t0 = (sfn_obs::event_enabled(Level::Trace) || sfn_metrics::live())
+                .then(std::time::Instant::now);
             let stats = sim.step(&mut self.projectors[current]);
             let div_norm = stats.div_norm * inv_cells;
             tracker.push(div_norm);
@@ -553,10 +558,12 @@ impl SmartRuntime {
             steps_per_model[current] += 1;
             step += 1;
             if let Some(t0) = step_t0 {
+                let secs = t0.elapsed().as_secs_f64();
+                sfn_metrics::record_step(&self.candidates[current].name, secs);
                 sfn_obs::event(Level::Trace, "runtime.step")
                     .field_u64("step", step as u64)
                     .field_str("model", &self.candidates[current].name)
-                    .field_f64("secs", t0.elapsed().as_secs_f64())
+                    .field_f64("secs", secs)
                     .field_f64("proj_secs", stats.projection_time.as_secs_f64())
                     .field_f64("div_norm", div_norm)
                     .emit();
@@ -774,16 +781,19 @@ impl SmartRuntime {
                 "pcg-degraded",
             );
             while step < cfg.total_steps {
-                let step_t0 = sfn_obs::event_enabled(Level::Trace).then(std::time::Instant::now);
+                let step_t0 = (sfn_obs::event_enabled(Level::Trace) || sfn_metrics::live())
+                    .then(std::time::Instant::now);
                 let s = sim.step(&mut pcg);
                 tracker.push(s.div_norm * inv_cells);
                 restart_time += s.projection_time.as_secs_f64();
                 step += 1;
                 if let Some(t0) = step_t0 {
+                    let secs = t0.elapsed().as_secs_f64();
+                    sfn_metrics::record_step("pcg-degraded", secs);
                     sfn_obs::event(Level::Trace, "runtime.step")
                         .field_u64("step", step as u64)
                         .field_str("model", "pcg-degraded")
-                        .field_f64("secs", t0.elapsed().as_secs_f64())
+                        .field_f64("secs", secs)
                         .field_f64("proj_secs", s.projection_time.as_secs_f64())
                         .field_f64("div_norm", s.div_norm * inv_cells)
                         .emit();
@@ -800,15 +810,18 @@ impl SmartRuntime {
             );
             let mut restart_tracker = CumDivNormTracker::new();
             for restart_step in 0..cfg.total_steps {
-                let step_t0 = sfn_obs::event_enabled(Level::Trace).then(std::time::Instant::now);
+                let step_t0 = (sfn_obs::event_enabled(Level::Trace) || sfn_metrics::live())
+                    .then(std::time::Instant::now);
                 let s = sim.step(&mut pcg);
                 restart_tracker.push(s.div_norm * inv_cells);
                 restart_time += s.projection_time.as_secs_f64();
                 if let Some(t0) = step_t0 {
+                    let secs = t0.elapsed().as_secs_f64();
+                    sfn_metrics::record_step("pcg", secs);
                     sfn_obs::event(Level::Trace, "runtime.step")
                         .field_u64("step", restart_step as u64 + 1)
                         .field_str("model", "pcg")
-                        .field_f64("secs", t0.elapsed().as_secs_f64())
+                        .field_f64("secs", secs)
                         .field_f64("proj_secs", s.projection_time.as_secs_f64())
                         .field_f64("div_norm", s.div_norm * inv_cells)
                         .emit();

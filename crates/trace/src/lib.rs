@@ -40,6 +40,7 @@ pub mod diff;
 pub mod event;
 pub mod flame;
 pub mod profile;
+pub mod top;
 
 pub use analyze::{
     analyze, Analysis, KernelStat, ModelShare, Quantiles, RecoverySummary, StageQuantiles,
@@ -50,3 +51,4 @@ pub use diff::{diff, Regression, Thresholds, Verdict};
 pub use event::{load_trace, parse_trace, Trace, TraceEvent};
 pub use flame::{fold, FlameFrame, FlameGraph};
 pub use profile::{KernelRow, ProfileReport, PROFILE_SCHEMA};
+pub use top::{fetch_snapshot, render_top};

@@ -11,6 +11,7 @@
 //!           [--latency-ratio R] [--latency-floor-ms MS]
 //!           [--share-abs S] [--max-contradictions N]
 //!           [--kernel-ratio R] [--kernel-floor-ms MS]
+//! sfn-trace top     [ADDR] [--once] [--interval-ms MS]
 //! ```
 //!
 //! `diff` inputs may each be a raw JSONL trace or a summary produced by
@@ -21,7 +22,7 @@
 use sfn_trace::{analyze, audit, diff, export_chrome, Analysis, ProfileReport, Thresholds};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: sfn-trace <analyze|audit|export|profile|flame|diff> <trace...> [options]
+const USAGE: &str = "usage: sfn-trace <analyze|audit|export|profile|flame|diff|top> <trace...> [options]
   analyze <trace.jsonl> [--json] [-o FILE]   run report (latency, shares, faults)
   audit   <trace.jsonl> [--json]             replay scheduler decisions (exit 1 on contradictions)
   export  <trace.jsonl> [-o FILE]            Chrome trace-event JSON (chrome://tracing, Perfetto)
@@ -31,7 +32,9 @@ const USAGE: &str = "usage: sfn-trace <analyze|audit|export|profile|flame|diff> 
                                              collapsed stacks (default) or speedscope JSON
   diff    <baseline> <current> [--json]      regression gate (exit 1 on regression)
           [--latency-ratio R] [--latency-floor-ms MS] [--share-abs S] [--max-contradictions N]
-          [--kernel-ratio R] [--kernel-floor-ms MS]";
+          [--kernel-ratio R] [--kernel-floor-ms MS]
+  top     [ADDR] [--once] [--interval-ms MS] live dashboard over a running sfn-metrics
+                                             endpoint (ADDR defaults to $SFN_METRICS_ADDR)";
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("sfn-trace: {msg}");
@@ -66,6 +69,8 @@ struct Opts {
     paths: Vec<String>,
     json: bool,
     speedscope: bool,
+    once: bool,
+    interval_ms: u64,
     out: Option<String>,
     thresholds: Thresholds,
 }
@@ -97,6 +102,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         paths: Vec::new(),
         json: false,
         speedscope: false,
+        once: false,
+        interval_ms: 1000,
         out: None,
         thresholds: Thresholds::default(),
     };
@@ -105,6 +112,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         match a.as_str() {
             "--json" => opts.json = true,
             "--speedscope" => opts.speedscope = true,
+            "--once" => opts.once = true,
+            "--interval-ms" => {
+                opts.interval_ms = num_arg(&mut it, "--interval-ms")?.max(50.0) as u64
+            }
             "-o" | "--out" => {
                 opts.out = Some(
                     it.next().ok_or_else(|| "-o needs a path".to_string())?.clone(),
@@ -259,6 +270,21 @@ fn main() -> ExitCode {
                 ExitCode::SUCCESS
             } else {
                 ExitCode::from(1)
+            }
+        }
+        "top" => {
+            let addr = match opts.paths.as_slice() {
+                [] => std::env::var("SFN_METRICS_ADDR")
+                    .ok()
+                    .filter(|a| !a.trim().is_empty())
+                    .unwrap_or_else(|| sfn_trace::top::DEFAULT_ADDR.to_string()),
+                [addr] => addr.clone(),
+                _ => return fail("top takes at most one endpoint address"),
+            };
+            let interval = std::time::Duration::from_millis(opts.interval_ms);
+            match sfn_trace::top::run(addr.trim(), opts.once, interval) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => fail(&e),
             }
         }
         _ => {

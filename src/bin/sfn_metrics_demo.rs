@@ -1,0 +1,111 @@
+//! `sfn_metrics_demo` — a scriptable two-phase run for exercising the
+//! live metrics endpoint end to end (CI's chaos scrape step drives it).
+//!
+//! Phase 1 (incident): with the `SFN_FAULTS` schedule armed, chaos
+//! runs are repeated until an SLO burns and `/healthz` turns degraded,
+//! then the process holds there for `SFN_METRICS_PHASE_HOLD_SECS`
+//! (default 10) so an external scraper can observe the incident.
+//!
+//! Phase 2 (recovery): faults are disarmed and healthy runs continue
+//! until the burn drains out of the fast window and `/healthz` is ok
+//! again, followed by a second hold for the final scrape. Exit code 0
+//! means both transitions were observed; 1 means a phase timed out;
+//! 2 means setup failed (no `SFN_METRICS_ADDR`, bad bind…).
+
+use smart_fluidnet::grid::CellFlags;
+use smart_fluidnet::nn::Network;
+use smart_fluidnet::runtime::{CandidateModel, KnnDatabase, RuntimeConfig, SmartRuntime};
+use smart_fluidnet::sim::{SimConfig, Simulation};
+use smart_fluidnet::surrogate::yang_spec;
+use smart_fluidnet::{faults, metrics};
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+fn env_secs(var: &str, default: u64) -> Duration {
+    Duration::from_secs(
+        std::env::var(var).ok().and_then(|v| v.trim().parse().ok()).unwrap_or(default),
+    )
+}
+
+fn candidate(name: &str, width: usize, seed: u64, prob: f64, q: f64) -> CandidateModel {
+    let mut net = Network::from_spec(&yang_spec(width), seed).expect("buildable spec");
+    CandidateModel {
+        name: name.into(),
+        saved: net.save(),
+        probability: prob,
+        exec_time: 0.1,
+        quality_loss: q,
+    }
+}
+
+/// One short run on the chaos model family (names match the `chaos`
+/// target substring CI's `SFN_FAULTS` schedules use).
+fn one_run(total_steps: usize) {
+    let candidates = vec![
+        candidate("chaos-a", 2, 1, 0.9, 0.05),
+        candidate("chaos-b", 3, 2, 0.7, 0.03),
+        candidate("chaos-c", 4, 3, 0.5, 0.01),
+    ];
+    let knn = KnnDatabase::new((0..64).map(|i| (i as f64 * 10.0, i as f64 * 0.001)).collect())
+        .expect("valid KNN pairs");
+    let mut rt = SmartRuntime::try_new(
+        candidates,
+        knn,
+        RuntimeConfig { total_steps, quality_target: 1.0, ..Default::default() },
+    )
+    .expect("loadable candidates");
+    let out = rt.run(Simulation::new(SimConfig::plume(16), CellFlags::smoke_box(16, 16)));
+    assert!(out.density.all_finite(), "chaos run must survive");
+}
+
+/// Runs until `hub` health matches `want_degraded` (forcing a collector
+/// tick between runs) or `timeout` passes.
+fn drive_until(want_degraded: bool, timeout: Duration) -> bool {
+    let hub = metrics::global();
+    let deadline = Instant::now() + timeout;
+    loop {
+        hub.collect_now();
+        if hub.health().degraded == want_degraded {
+            return true;
+        }
+        if Instant::now() > deadline {
+            return false;
+        }
+        one_run(10);
+        std::thread::sleep(Duration::from_millis(200));
+    }
+}
+
+fn main() -> ExitCode {
+    sfn_obs::init();
+    faults::init_from_env();
+    let Some(server) = metrics::serve_from_env() else {
+        eprintln!(
+            "sfn_metrics_demo: SFN_METRICS_ADDR must name a bindable address (e.g. 127.0.0.1:9900)"
+        );
+        return ExitCode::from(2);
+    };
+    let hold = env_secs("SFN_METRICS_PHASE_HOLD_SECS", 10);
+    println!("serving http://{} (hold {}s per phase)", server.addr, hold.as_secs());
+
+    println!("phase 1: chaos runs until an SLO burns…");
+    if !drive_until(true, env_secs("SFN_METRICS_DEGRADE_TIMEOUT_SECS", 60)) {
+        eprintln!("sfn_metrics_demo: no SLO burned — is SFN_FAULTS armed?");
+        return ExitCode::FAILURE;
+    }
+    for reason in metrics::global().health().reasons {
+        println!("degraded: {reason}");
+    }
+    std::thread::sleep(hold);
+
+    println!("phase 2: faults disarmed, running until /healthz recovers…");
+    faults::install(None);
+    if !drive_until(false, env_secs("SFN_METRICS_RECOVERY_TIMEOUT_SECS", 120)) {
+        eprintln!("sfn_metrics_demo: burn never drained out of the fast window");
+        return ExitCode::FAILURE;
+    }
+    println!("recovered; holding for the final scrape");
+    std::thread::sleep(hold);
+    server.stop();
+    ExitCode::SUCCESS
+}

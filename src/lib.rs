@@ -18,6 +18,7 @@
 //! * [`workload`] — seeded input-problem generation
 //! * [`stats`] — statistics utilities
 //! * [`obs`] — observability: spans, metrics, JSONL event tracing
+//! * [`metrics`] — live metrics endpoint: /metrics, SLOs, sfn-top
 //! * [`prof`] — kernel-level work accounting, roofline, alloc tracking
 //! * [`trace`] — trace analysis: timelines, decision audit, perf diff
 //! * [`faults`] — deterministic fault injection (chaos testing)
@@ -25,6 +26,7 @@
 
 pub use sfn_faults as faults;
 pub use sfn_grid as grid;
+pub use sfn_metrics as metrics;
 pub use sfn_obs as obs;
 pub use sfn_prof as prof;
 pub use sfn_trace as trace;

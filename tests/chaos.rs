@@ -438,6 +438,106 @@ fn kill_restart_matrix_recovers_with_a_clean_audit() {
     let _ = std::fs::remove_dir_all(&base);
 }
 
+/// One raw HTTP GET against the in-process metrics endpoint, returning
+/// `(status line, body)`.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect to metrics endpoint");
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: chaos\r\n\r\n").as_bytes())
+        .expect("send request");
+    let mut buf = String::new();
+    stream.read_to_string(&mut buf).expect("read response");
+    let (head, body) = buf.split_once("\r\n\r\n").expect("response has a head");
+    let status = head.lines().next().unwrap_or_default().to_string();
+    (status, body.to_string())
+}
+
+#[test]
+fn live_metrics_observe_a_chaos_incident_end_to_end() {
+    use smart_fluidnet::metrics;
+    let _g = hold();
+
+    // Short windows so the burn drains within the test, and an
+    // effectively-infinite collector tick so the test's own
+    // `collect_now` calls are the only live collector (keeps window
+    // contents deterministic).
+    metrics::init_global(metrics::Config {
+        slot_millis: 250,
+        slots: 40,
+        fast_slots: 4,
+        tick_millis: 600_000,
+        ..Default::default()
+    });
+    let server = metrics::start_global("127.0.0.1:0").expect("bind ephemeral endpoint");
+    let hub = metrics::global();
+
+    // Incident: every model in the family corrupts on every inference.
+    // The runtime quarantines the whole roster and finishes on the
+    // degraded exact-solver tail — and the divergence-guard SLO must
+    // burn through its 1% budget.
+    faults::install(Some(
+        faults::parse_plan(
+            r#"{"seed": 5, "faults": [{"kind": "nan_output", "p": 1.0, "target": "chaos"}]}"#,
+        )
+        .expect("valid chaos plan"),
+    ));
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    loop {
+        let out = runtime(12).run(simulation());
+        assert_survived(&out, 12);
+        hub.collect_now();
+        if hub.health().degraded {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "SLOs never burned under a p=1 whole-family NaN storm: {:?}",
+            hub.slo_states()
+        );
+    }
+
+    // Mid-incident, with faults still armed: /metrics must serve a
+    // valid exposition carrying the step-latency quantiles and the SLO
+    // burn rates, /healthz must refuse, and the dashboard must render.
+    let (status, body) = http_get(server.addr, "/metrics");
+    assert!(status.contains(" 200 "), "{status}");
+    let series = metrics::validate_exposition(&body).expect("valid exposition mid-incident");
+    assert!(series >= 20, "only {series} series mid-incident:\n{body}");
+    for needle in ["sfn_runtime_step_secs{window=", "sfn_slo_burn_rate{", "sfn_health_degraded 1"] {
+        assert!(body.contains(needle), "missing {needle:?} in:\n{body}");
+    }
+    let (status, body) = http_get(server.addr, "/healthz");
+    assert!(status.contains(" 503 "), "healthz must refuse mid-incident: {status}");
+    assert!(body.starts_with("degraded\n"), "{body}");
+    let frame = smart_fluidnet::trace::top::frame(&server.addr.to_string(), false)
+        .expect("sfn-top frame renders from the live endpoint");
+    assert!(frame.contains("DEGRADED"), "dashboard must show the incident:\n{frame}");
+
+    // Recovery: disarm and keep running healthy steps until the burn
+    // leaves the fast window and /healthz serves 200 again.
+    faults::install(None);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    loop {
+        let out = runtime(12).run(simulation());
+        assert_survived(&out, 12);
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        hub.collect_now();
+        if !hub.health().degraded {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "burn never drained after disarming: {:?}",
+            hub.slo_states()
+        );
+    }
+    let (status, body) = http_get(server.addr, "/healthz");
+    assert!(status.contains(" 200 "), "healthz must recover: {status} {body}");
+    assert_eq!(body, "ok\n");
+    server.stop();
+}
+
 #[test]
 fn env_schedule_from_sfn_faults_survives() {
     // The CI chaos job sets SFN_FAULTS to a seeded schedule; without

@@ -1,7 +1,10 @@
 //! The profiling layer's hot-path contract: with `SFN_TRACE_FILE`
 //! unset and profiling disabled (the default), the `KernelScope` /
 //! `record_work` instrumentation threaded through every kernel must
-//! cost under 2% of a 64² reference run.
+//! cost under 2% of a 64² reference run. The live-metrics layer gets
+//! the same treatment: with an endpoint serving, the per-step
+//! [`sfn_metrics::record_step`] path must stay under 2% of a step —
+//! with no scraper attached and while `/metrics` is being hammered.
 //!
 //! Measured directly rather than by diffing two builds: the per-call
 //! cost of a *disabled* scope times the number of instrumented calls a
@@ -79,4 +82,98 @@ fn disabled_instrumentation_costs_under_two_percent() {
         step * 1e3,
         ratio * 100.0
     );
+}
+
+/// One `/metrics` scrape against a serving endpoint; panics unless the
+/// response is a 200 and returns the exposition body.
+fn scrape_metrics(addr: std::net::SocketAddr) -> String {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect to metrics endpoint");
+    stream.write_all(b"GET /metrics HTTP/1.1\r\nHost: overhead\r\n\r\n").expect("send scrape");
+    let mut buf = String::new();
+    stream.read_to_string(&mut buf).expect("read scrape response");
+    let (head, body) = buf.split_once("\r\n\r\n").expect("response has a head");
+    assert!(head.starts_with("HTTP/1.1 200"), "scrape refused: {head}");
+    body.to_string()
+}
+
+/// Measures the per-call cost of the whole per-step metrics hot path
+/// ([`sfn_metrics::record_step`]: histogram + counter atomics plus the
+/// roster update) over `calls` iterations.
+fn record_step_cost(calls: u32) -> f64 {
+    let t = Instant::now();
+    for i in 0..calls {
+        sfn_metrics::record_step("overhead-guard", 1e-3 + f64::from(i % 7) * 1e-4);
+    }
+    t.elapsed().as_secs_f64() / f64::from(calls)
+}
+
+#[test]
+fn live_metrics_hot_path_costs_under_two_percent() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let server = sfn_metrics::start_global("127.0.0.1:0").expect("bind ephemeral endpoint");
+    assert!(sfn_metrics::live());
+
+    // Wall time of a reference step in the metrics-live world (median
+    // of 5) — the event bridge is installed, as in a real run.
+    let (mut sim, mut proj) = reference_sim();
+    sim.step(&mut proj); // warm-up
+    let mut step_secs: Vec<f64> = (0..5)
+        .map(|_| {
+            let t = Instant::now();
+            sim.step(&mut proj);
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    step_secs.sort_by(f64::total_cmp);
+    let step = step_secs[step_secs.len() / 2];
+
+    // Phase 1: endpoint live, no scraper attached. One record_step per
+    // simulation step is the entire direct-registration hot path.
+    let per_call = record_step_cost(100_000);
+    let ratio = per_call / step;
+    assert!(
+        ratio < 0.02,
+        "live metrics hot path too hot with no scraper: {:.1} ns/step against a {:.3} ms step \
+         ({:.2}% > 2%)",
+        per_call * 1e9,
+        step * 1e3,
+        ratio * 100.0
+    );
+
+    // Phase 2: scrape under load. A scraper hammers /metrics (every
+    // response must stay a valid exposition) while the hot path is
+    // re-measured; rendering holds the hub lock, so this is the
+    // worst-case contention a real deployment sees.
+    let stop = Arc::new(AtomicBool::new(false));
+    let scraper = {
+        let stop = Arc::clone(&stop);
+        let addr = server.addr;
+        std::thread::spawn(move || {
+            let mut scrapes = 0u32;
+            while !stop.load(Ordering::Relaxed) {
+                let body = scrape_metrics(addr);
+                sfn_metrics::validate_exposition(&body).expect("exposition stays valid under load");
+                scrapes += 1;
+            }
+            scrapes
+        })
+    };
+    let per_call_scraped = record_step_cost(100_000);
+    stop.store(true, Ordering::Relaxed);
+    let scrapes = scraper.join().expect("scraper thread");
+    assert!(scrapes > 0, "scraper never completed a scrape during the load window");
+
+    let ratio = per_call_scraped / step;
+    assert!(
+        ratio < 0.02,
+        "metrics hot path too hot while scraped ({scrapes} scrapes): {:.1} ns/step against a \
+         {:.3} ms step ({:.2}% > 2%)",
+        per_call_scraped * 1e9,
+        step * 1e3,
+        ratio * 100.0
+    );
+    server.stop();
 }
