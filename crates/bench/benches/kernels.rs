@@ -1,10 +1,12 @@
 //! Per-kernel micro-benchmarks — the primitives `sfn-prof` accounts
-//! for, timed in isolation at a fixed 64² working size.
+//! for, timed in isolation at a 64² working size, plus a 128² tier for
+//! the SIMD-dispatched kernels (conv2d, gemm, pcg_mic0, spmv, advect)
+//! where cache blocking starts to matter.
 //!
-//! This suite seeds the committed `BENCH_0001.json` perf trajectory
-//! (min/median/p90 per kernel) that the upcoming SIMD work will be
-//! judged against: run with `SFN_BENCH_JSON=BENCH_0001.json` to refresh
-//! the file after an intentional perf change.
+//! This suite seeds the committed `BENCH_000N.json` perf trajectory
+//! (min/median/p90 per kernel) that the SIMD work is judged against:
+//! run with `SFN_BENCH_JSON=BENCH_000N.json` to refresh the file after
+//! an intentional perf change.
 
 use sfn_bench::runners::representative_divergence;
 use sfn_bench::timing::Suite;
@@ -86,5 +88,53 @@ fn main() {
         sfn_nn::layers::gemm::matmul(&am, m, m, &bm, m, &mut cm);
     });
 
+    simd_kernels_at(&mut suite, 128);
+
     suite.finish();
+}
+
+/// The 128² tier: only the kernels the SIMD dispatch touches, where
+/// the padded-pitch / cache-blocked layouts start to pay off.
+fn simd_kernels_at(suite: &mut Suite, grid: usize) {
+    let (flags, div) = representative_divergence(grid);
+    let problem = PoissonProblem::new(&flags, 1.0);
+    let b = sfn_solver::divergence_rhs(&div, &flags, 0.5);
+
+    let pcg = PcgSolver::new(MicPreconditioner::default(), 1e-6, 2_000);
+    suite.bench(&format!("pcg_mic0/{grid}"), || {
+        let _ = pcg.solve(&problem, &b);
+    });
+
+    let a = CsrMatrix::assemble(&problem);
+    let x = a.pack(&b);
+    let mut y = vec![0.0; a.rows()];
+    suite.bench(&format!("spmv/{grid}"), || {
+        a.spmv(&x, &mut y);
+    });
+
+    let vel = {
+        let mut vel = sfn_grid::MacGrid::new(grid, grid, 1.0);
+        vel.enforce_solid_boundaries(&flags);
+        vel
+    };
+    suite.bench(&format!("advect/{grid}"), || {
+        let _ = advect::advect_scalar(&vel, &div, &flags, 0.5);
+    });
+
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut conv = Conv2d::new(4, 4, 3, false, &mut rng);
+    let img = Tensor::from_fn(1, 4, grid, grid, |_, c, h, w| {
+        ((c * 31 + h * 5 + w) % 13) as f32 / 6.0
+    });
+    suite.bench(&format!("conv2d/{grid}"), || {
+        let _ = conv.forward(&img, false);
+    });
+
+    let m = grid;
+    let am: Vec<f32> = (0..m * m).map(|i| ((i * 31) % 11) as f32 - 5.0).collect();
+    let bm: Vec<f32> = (0..m * m).map(|i| ((i * 17) % 7) as f32 - 3.0).collect();
+    let mut cm = vec![0.0f32; m * m];
+    suite.bench(&format!("gemm/{grid}"), || {
+        sfn_nn::layers::gemm::matmul(&am, m, m, &bm, m, &mut cm);
+    });
 }

@@ -23,6 +23,7 @@ pub mod field;
 pub mod flags;
 pub mod io;
 pub mod mac;
+pub mod simd;
 
 pub use field::Field2;
 pub use flags::{CellFlags, CellType};

@@ -17,6 +17,14 @@ pub struct CsrMatrix {
     row_ptr: Vec<usize>,
     col_idx: Vec<usize>,
     values: Vec<f64>,
+    /// ELL (tap-major) mirror of the matrix for the vector SpMV path:
+    /// tap `t` of row `r` lives at `t·rows + r`. Rows shorter than
+    /// [`ELL_TAPS`] are padded with value 0.0 / column 0, so the padded
+    /// taps contribute an exact ±0 and the vector product matches the
+    /// CSR scalar product bit-for-bit (modulo the sign of zero).
+    ell_values: Vec<f64>,
+    /// Tap-major column indices (i32 so four fit an XMM gather index).
+    ell_cols: Vec<i32>,
     /// Flat grid index (j·nx + i) of each row's cell.
     cell_of_row: Vec<usize>,
     /// Row of each flat grid index (usize::MAX for non-fluid cells).
@@ -24,6 +32,10 @@ pub struct CsrMatrix {
     nx: usize,
     ny: usize,
 }
+
+/// Width of the ELL format: the 5-point stencil has at most 5 entries
+/// per row.
+pub const ELL_TAPS: usize = 5;
 
 impl CsrMatrix {
     /// Assembles the pressure operator of `problem` (the same matrix
@@ -61,10 +73,22 @@ impl CsrMatrix {
             }
             row_ptr.push(col_idx.len());
         }
+        // ELL mirror, tap-major. Tap t of row r is the row's t-th CSR
+        // entry (so the vector path accumulates in the same order).
+        let mut ell_values = vec![0.0; ELL_TAPS * n];
+        let mut ell_cols = vec![0i32; ELL_TAPS * n];
+        for r in 0..n {
+            for (t, k) in (row_ptr[r]..row_ptr[r + 1]).enumerate() {
+                ell_values[t * n + r] = values[k];
+                ell_cols[t * n + r] = col_idx[k] as i32;
+            }
+        }
         Self {
             row_ptr,
             col_idx,
             values,
+            ell_values,
+            ell_cols,
             cell_of_row,
             row_of_cell,
             nx,
@@ -84,25 +108,85 @@ impl CsrMatrix {
 
     /// Sparse matrix-vector product `y = A x` on packed fluid vectors.
     ///
+    /// Dispatches between the scalar CSR reference and a gathered
+    /// tap-major ELL kernel (AVX2); the two accumulate each row's taps
+    /// in the same order and agree bit-for-bit (modulo the sign of
+    /// zero, from padded taps).
+    ///
     /// # Panics
     /// Panics if the vector lengths differ from [`CsrMatrix::rows`].
     pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
         let n = self.rows();
         assert_eq!(x.len(), n, "x length");
         assert_eq!(y.len(), n, "y length");
-        let scope = sfn_prof::KernelScope::enter("spmv");
+        #[cfg(target_arch = "x86_64")]
+        let use_ell = sfn_par::simd::level() == sfn_par::simd::SimdLevel::Avx2;
+        #[cfg(not(target_arch = "x86_64"))]
+        let use_ell = false;
+        let scope =
+            sfn_prof::KernelScope::enter(if use_ell { "spmv.ell.avx2" } else { "spmv.csr" });
         if scope.active() {
-            // Per non-zero: value + column index + gathered x element
-            // (24 bytes); per row: two row pointers and one y write.
+            // Useful FLOPs are per stored non-zero on both paths.
             let nnz = self.nnz() as u64;
-            scope.record(2 * nnz, nnz * 24 + n as u64 * 16, n as u64 * 8);
+            let read = if use_ell {
+                // ELL: 5 taps/row of value (8 B) + column (4 B) +
+                // gathered x element (8 B).
+                (ELL_TAPS * n) as u64 * 20
+            } else {
+                // CSR: value + column + gathered x per non-zero, two
+                // row pointers per row.
+                nnz * 24 + n as u64 * 16
+            };
+            scope.record(2 * nnz, read, n as u64 * 8);
         }
+        if use_ell {
+            #[cfg(target_arch = "x86_64")]
+            unsafe {
+                self.spmv_ell_avx2(x, y)
+            }
+        } else {
+            self.spmv_csr(x, y);
+        }
+    }
+
+    /// Scalar CSR reference — the differential oracle for the ELL path.
+    fn spmv_csr(&self, x: &[f64], y: &mut [f64]) {
         for (r, out) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
             for k in self.row_ptr[r]..self.row_ptr[r + 1] {
                 acc += self.values[k] * x[self.col_idx[k]];
             }
             *out = acc;
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn spmv_ell_avx2(&self, x: &[f64], y: &mut [f64]) {
+        use std::arch::x86_64::*;
+        let n = self.rows();
+        let xp = x.as_ptr();
+        let vp = self.ell_values.as_ptr();
+        let cp = self.ell_cols.as_ptr();
+        let mut r = 0;
+        while r + 4 <= n {
+            let mut acc = _mm256_setzero_pd();
+            for t in 0..ELL_TAPS {
+                let vals = _mm256_loadu_pd(vp.add(t * n + r));
+                let cols = _mm_loadu_si128(cp.add(t * n + r) as *const __m128i);
+                let xs = _mm256_i32gather_pd::<8>(xp, cols);
+                acc = _mm256_add_pd(acc, _mm256_mul_pd(vals, xs));
+            }
+            _mm256_storeu_pd(y.as_mut_ptr().add(r), acc);
+            r += 4;
+        }
+        // Tail rows: same tap-major accumulation, scalar.
+        for row in r..n {
+            let mut acc = 0.0;
+            for t in 0..ELL_TAPS {
+                acc += self.ell_values[t * n + row] * x[self.ell_cols[t * n + row] as usize];
+            }
+            y[row] = acc;
         }
     }
 
@@ -203,6 +287,23 @@ mod tests {
                     "mismatch at ({i},{j})"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn ell_vector_path_matches_csr_scalar_bitwise() {
+        use sfn_par::simd::{with_level, SimdLevel};
+        let flags = problem_flags();
+        let p = PoissonProblem::new(&flags, 0.5);
+        let a = CsrMatrix::assemble(&p);
+        let x: Vec<f64> = (0..a.rows()).map(|r| ((r * 17) % 29) as f64 / 3.0 - 4.0).collect();
+        let mut scalar = vec![0.0; a.rows()];
+        let mut auto = vec![0.0; a.rows()];
+        with_level(SimdLevel::Scalar, || a.spmv(&x, &mut scalar));
+        a.spmv(&x, &mut auto);
+        for (s, v) in scalar.iter().zip(&auto) {
+            // ±0 from padded taps is the only tolerated divergence.
+            assert!(s.to_bits() == v.to_bits() || (*s == 0.0 && *v == 0.0), "{s} vs {v}");
         }
     }
 

@@ -48,10 +48,33 @@ impl Preconditioner for MicPreconditioner {
     }
 }
 
-/// The prepared MIC(0) factor: `precon(i,j) = 1/L_diag(i,j)`.
+/// The prepared MIC(0) factor: `precon(i,j) = 1/L_diag(i,j)`, plus
+/// precomputed substitution coefficients.
+///
+/// The triangular sweeps used to re-derive each cell's neighbour links
+/// from the flags on every application. The link arrays below bake the
+/// `a_plus · precon` products in once at build time — zero wherever a
+/// link is absent — so both sweeps become straight multiply-subtract
+/// chains over a fluid-cell index list with no flag queries. The sweeps
+/// run on padded work buffers (offset `nx + 1`) so neighbour indexing
+/// needs no bounds checks: out-of-range neighbours land in the zero
+/// padding and are multiplied by a zero link.
 #[derive(Debug, Clone)]
 pub struct MicFactor {
     precon: Field2,
+    /// Flat indices of fluid cells in lexicographic order.
+    fluid: Vec<usize>,
+    /// Forward coefficient on `q(i-1, j)`: `a_plus_i(i-1,j)·precon(i-1,j)`.
+    li: Vec<f64>,
+    /// Forward coefficient on `q(i, j-1)`: `a_plus_j(i,j-1)·precon(i,j-1)`.
+    lj: Vec<f64>,
+    /// Backward coefficient on `z(i+1, j)`: `a_plus_i(i,j)·precon(i,j)`.
+    ui: Vec<f64>,
+    /// Backward coefficient on `z(i, j+1)`: `a_plus_j(i,j)·precon(i,j)`.
+    uj: Vec<f64>,
+    /// Flattened `precon` (diagonal scaling for both sweeps).
+    pc: Vec<f64>,
+    nx: usize,
 }
 
 impl MicFactor {
@@ -115,7 +138,41 @@ impl MicFactor {
                 precon.set(i, j, 1.0 / e.sqrt());
             }
         }
-        Self { precon }
+        // Bake the substitution coefficients (same `(a_plus · precon)`
+        // grouping as the naive sweep, so rounding is unchanged).
+        let len = nx * ny;
+        let mut fluid = Vec::with_capacity(problem.unknowns());
+        let (mut li, mut lj) = (vec![0.0; len], vec![0.0; len]);
+        let (mut ui, mut uj) = (vec![0.0; len], vec![0.0; len]);
+        for j in 0..ny {
+            for i in 0..nx {
+                if !problem.flags.is_fluid(i, j) {
+                    continue;
+                }
+                let c = j * nx + i;
+                fluid.push(c);
+                let (ii, jj) = (i as isize, j as isize);
+                if i > 0 {
+                    li[c] = Self::a_plus_i(problem, ii - 1, jj) * precon.at(i - 1, j);
+                }
+                if j > 0 {
+                    lj[c] = Self::a_plus_j(problem, ii, jj - 1) * precon.at(i, j - 1);
+                }
+                ui[c] = Self::a_plus_i(problem, ii, jj) * precon.at(i, j);
+                uj[c] = Self::a_plus_j(problem, ii, jj) * precon.at(i, j);
+            }
+        }
+        let pc = precon.data().to_vec();
+        Self {
+            precon,
+            fluid,
+            li,
+            lj,
+            ui,
+            uj,
+            pc,
+            nx,
+        }
     }
 
     /// Read-only access to the diagonal factor (for tests).
@@ -126,62 +183,51 @@ impl MicFactor {
 
 impl PreparedPreconditioner for MicFactor {
     /// `z = M⁻¹ r` via forward substitution `L q = r` followed by
-    /// backward substitution `Lᵀ z = q`.
+    /// backward substitution `Lᵀ z = q`, both over the precomputed link
+    /// arrays. Each sweep is a loop-carried recurrence (cell `c`
+    /// depends on the just-written neighbour), so it stays scalar by
+    /// construction; the win over the naive form is dropping the flag
+    /// queries and bounds checks from the inner loop.
     fn apply(&self, problem: &PoissonProblem<'_>, r: &Field2, z: &mut Field2) {
         let scope = sfn_prof::KernelScope::enter("mic0");
         if scope.active() {
-            // Two triangular sweeps, each reading the source vector,
-            // the factor and two neighbours (~5 doubles) and writing 1.
+            // Per fluid cell and sweep: source + diagonal + two links +
+            // two neighbour values read, one value written.
             let n = problem.unknowns() as u64;
-            scope.record(self.flops(problem), 10 * n * 8, 2 * n * 8);
+            scope.record(self.flops(problem), 12 * n * 8, 2 * n * 8);
         }
-        let (nx, ny) = (problem.nx(), problem.ny());
-        debug_assert_eq!((r.w(), r.h()), (nx, ny));
-        let mut q = Field2::new(nx, ny);
+        let nx = self.nx;
+        debug_assert_eq!((r.w(), r.h()), (nx, self.precon.h()));
+        let len = self.pc.len();
+        // Padded work buffers: logical cell c lives at off + c, so the
+        // four neighbour offsets (−1, −nx, +1, +nx) always stay in
+        // bounds. Padding is zero and only ever multiplied by zero
+        // links.
+        let off = nx + 1;
+        let mut q = vec![0.0; len + 2 * (nx + 1)];
+        let rd = r.data();
         // Forward: L q = r.
-        for j in 0..ny {
-            for i in 0..nx {
-                if !problem.flags.is_fluid(i, j) {
-                    continue;
-                }
-                let (ii, jj) = (i as isize, j as isize);
-                let mut t = r.at(i, j);
-                if i > 0 {
-                    t -= Self::a_plus_i(problem, ii - 1, jj)
-                        * self.precon.at(i - 1, j)
-                        * q.at(i - 1, j);
-                }
-                if j > 0 {
-                    t -= Self::a_plus_j(problem, ii, jj - 1)
-                        * self.precon.at(i, j - 1)
-                        * q.at(i, j - 1);
-                }
-                q.set(i, j, t * self.precon.at(i, j));
-            }
+        for &c in &self.fluid {
+            let t = rd[c] - self.li[c] * q[off + c - 1] - self.lj[c] * q[off + c - nx];
+            q[off + c] = t * self.pc[c];
         }
-        // Backward: Lᵀ z = q.
+        // Backward: Lᵀ z = q (reverse lexicographic order).
+        let mut zb = vec![0.0; len + 2 * (nx + 1)];
+        for &c in self.fluid.iter().rev() {
+            let t = q[off + c] - self.ui[c] * zb[off + c + 1] - self.uj[c] * zb[off + c + nx];
+            zb[off + c] = t * self.pc[c];
+        }
         z.fill(0.0);
-        for j in (0..ny).rev() {
-            for i in (0..nx).rev() {
-                if !problem.flags.is_fluid(i, j) {
-                    continue;
-                }
-                let (ii, jj) = (i as isize, j as isize);
-                let mut t = q.at(i, j);
-                if i + 1 < nx {
-                    t -= Self::a_plus_i(problem, ii, jj) * self.precon.at(i, j) * z.at(i + 1, j);
-                }
-                if j + 1 < ny {
-                    t -= Self::a_plus_j(problem, ii, jj) * self.precon.at(i, j) * z.at(i, j + 1);
-                }
-                z.set(i, j, t * self.precon.at(i, j));
-            }
+        let zd = z.data_mut();
+        for &c in &self.fluid {
+            zd[c] = zb[off + c];
         }
     }
 
     fn flops(&self, problem: &PoissonProblem<'_>) -> u64 {
-        // Two triangular sweeps at ~8 flops per fluid cell each.
-        16 * problem.unknowns() as u64
+        // Two triangular sweeps: 2 multiply-subtract pairs plus the
+        // diagonal scale = 5 flops per fluid cell each.
+        10 * problem.unknowns() as u64
     }
 }
 

@@ -104,31 +104,39 @@ impl<M: Preconditioner> PcgSolver<M> {
         let (nx, ny) = (problem.nx(), problem.ny());
         assert_eq!((b.w(), b.h()), (nx, ny), "rhs shape");
         let mut x = Field2::new(nx, ny);
-        let b_norm = problem.norm(b);
+
+        // All CG vectors are kept zero on non-fluid cells (the residual
+        // is masked once up front; the stencil plan and preconditioners
+        // preserve the property). Whole-slice SIMD dots/norms then equal
+        // their fluid-masked counterparts exactly — zeros contribute
+        // nothing — so the loop below never touches cell flags.
+        let plan = crate::laplace::StencilPlan::new(problem);
+        let mut r = b.clone();
+        plan.project(&mut r);
+        let b_norm = sfn_grid::simd::norm_sq(r.data()).sqrt();
         if b_norm == 0.0 {
             return (x, SolveStats::trivial());
         }
 
         let prepared = self.preconditioner.prepare(problem);
         let n = problem.unknowns() as u64;
-        let apply_flops = problem.apply_flops();
         let pre_flops = prepared.flops(problem);
-        // Per iteration: 1 A·s, 1 M⁻¹r, 2 dots, 3 axpys ≈ 2 flops/cell each.
-        let iter_flops = apply_flops + pre_flops + 2 * (2 * n) + 3 * (2 * n);
-        let mut flops = 0u64;
+        // Per iteration: 1 A·s (9n), 1 M⁻¹r, and six 2n-flop vector ops
+        // (2 dots, 2 axpys, 1 norm, 1 xpay) = 12n.
+        let iter_flops = plan.flops() + pre_flops + 12 * n;
+        // Setup: initial M⁻¹ apply, ‖b‖ and one dot.
+        let mut flops = pre_flops + 4 * n;
 
-        let mut r = b.clone();
         let mut z = Field2::new(nx, ny);
         prepared.apply(problem, &r, &mut z);
-        flops += pre_flops;
         let mut s = z.clone();
-        let mut rz = problem.dot(&r, &z);
+        let mut rz = sfn_grid::simd::dot(r.data(), z.data());
         let mut as_ = Field2::new(nx, ny);
 
         let mut rel = 1.0;
         for it in 1..=self.max_iterations {
-            problem.apply(&s, &mut as_);
-            let s_as = problem.dot(&s, &as_);
+            plan.apply(&s, &mut as_);
+            let s_as = sfn_grid::simd::dot(s.data(), as_.data());
             if s_as <= 0.0 || !s_as.is_finite() {
                 // Hit the null-space or a numerical breakdown; stop with
                 // the current iterate.
@@ -143,10 +151,11 @@ impl<M: Preconditioner> PcgSolver<M> {
                 );
             }
             let alpha = rz / s_as;
-            x.add_scaled(&s, alpha);
-            r.add_scaled(&as_, -alpha);
+            sfn_grid::simd::axpy(x.data_mut(), s.data(), alpha);
+            // Fused: r += −α·(A s) and ‖r‖² in one pass.
+            let r2 = sfn_grid::simd::axpy_norm_sq(r.data_mut(), as_.data(), -alpha);
             flops += iter_flops;
-            rel = problem.norm(&r) / b_norm;
+            rel = r2.sqrt() / b_norm;
             if rel <= self.tolerance {
                 return (
                     x,
@@ -159,13 +168,10 @@ impl<M: Preconditioner> PcgSolver<M> {
                 );
             }
             prepared.apply(problem, &r, &mut z);
-            let rz_new = problem.dot(&r, &z);
+            let rz_new = sfn_grid::simd::dot(r.data(), z.data());
             let beta = rz_new / rz;
             rz = rz_new;
-            // s = z + beta * s
-            for (sv, &zv) in s.data_mut().iter_mut().zip(z.data()) {
-                *sv = zv + beta * *sv;
-            }
+            sfn_grid::simd::xpay(s.data_mut(), z.data(), beta);
         }
         (
             x,

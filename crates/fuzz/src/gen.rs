@@ -425,6 +425,20 @@ pub fn http_request(rng: &mut StdRng) -> Vec<u8> {
     out.into_bytes()
 }
 
+/// A structured `simd_diff` case: one kernel-selector byte, five
+/// parameter bytes (shape/geometry, clamped by the target) and eight
+/// data-seed bytes. The target derives every tensor deterministically
+/// from these 14 bytes, so a finding reproduces from the case alone.
+pub fn simd_diff_case(rng: &mut StdRng) -> Vec<u8> {
+    let mut out = Vec::with_capacity(14);
+    out.push(rng.random_range(0..4u32) as u8);
+    for _ in 0..5 {
+        out.push(rng.random_range(0..256u32) as u8);
+    }
+    out.extend_from_slice(&rng.next_u64().to_le_bytes());
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

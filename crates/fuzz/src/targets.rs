@@ -84,6 +84,13 @@ pub fn all() -> Vec<Target> {
             seeds: |rng| (0..8).map(|_| crate::gen::http_request(rng)).collect(),
             dict: HTTP_DICT,
         },
+        Target {
+            name: "simd_diff",
+            about: "vector-vs-scalar differential oracle over conv/GEMM/SpMV/advect (≤4 ULP)",
+            run: run_simd_diff,
+            seeds: |rng| (0..12).map(|_| crate::gen::simd_diff_case(rng)).collect(),
+            dict: SIMD_DIFF_DICT,
+        },
     ]
 }
 
@@ -206,6 +213,17 @@ const HTTP_DICT: &[&[u8]] = &[
     b"Content-Length: ",
     b":",
     b"?",
+];
+
+const SIMD_DIFF_DICT: &[&[u8]] = &[
+    // Kernel selectors (byte 0) and shape-byte extremes.
+    &[0x00],
+    &[0x01],
+    &[0x02],
+    &[0x03],
+    &[0xff],
+    &[0x00, 0x00, 0x00, 0x00],
+    &[0xff, 0xff, 0xff, 0xff],
 ];
 
 const MODEL_JSON_DICT: &[&[u8]] = &[
@@ -562,6 +580,154 @@ fn run_http(input: &[u8]) -> Outcome {
     Outcome::Accepted
 }
 
+/// The vector-vs-scalar differential oracle (the `simd_diff` target).
+///
+/// A case is 14 structured bytes — kernel selector, clamped shape
+/// parameters, data seed (see [`crate::gen::simd_diff_case`]). The
+/// selected kernel runs once pinned to the scalar reference path and
+/// once at the ambient SIMD level; every output element must agree
+/// within `MAX_ULP` units-in-the-last-place. The element-wise kernels
+/// (conv, GEMM, SpMV, advect) are in fact *bit-identical* by
+/// construction — the vector paths repeat the scalar operation order —
+/// so the 4-ULP budget is headroom for future kernels that reassociate.
+fn run_simd_diff(input: &[u8]) -> Outcome {
+    use sfn_par::simd::{with_level, SimdLevel};
+    use sfn_rng::{RngExt, SeedableRng};
+
+    if input.len() < 6 {
+        return Outcome::Rejected("simd_diff case needs at least 6 bytes".into());
+    }
+    let mut b = [0u8; 14];
+    for (slot, &v) in b.iter_mut().zip(input) {
+        *slot = v;
+    }
+    let seed = crate::fnv1a(input);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    const MAX_ULP: u64 = 4;
+    let check_f32 = |scalar: &[f32], vector: &[f32], kernel: &str| -> Option<Outcome> {
+        for (i, (s, v)) in scalar.iter().zip(vector).enumerate() {
+            let ulp = sfn_nn::simd::ulp_distance(*s, *v) as u64;
+            if ulp > MAX_ULP {
+                return Some(Outcome::OracleFailure(format!(
+                    "{kernel}: element {i} diverges by {ulp} ULP ({s} vs {v})"
+                )));
+            }
+        }
+        None
+    };
+    let check_f64 = |scalar: &[f64], vector: &[f64], kernel: &str| -> Option<Outcome> {
+        for (i, (s, v)) in scalar.iter().zip(vector).enumerate() {
+            let ulp = ulp_distance_f64(*s, *v);
+            if ulp > MAX_ULP {
+                return Some(Outcome::OracleFailure(format!(
+                    "{kernel}: element {i} diverges by {ulp} ULP ({s} vs {v})"
+                )));
+            }
+        }
+        None
+    };
+
+    let failure = match b[0] % 4 {
+        0 => {
+            // Conv2d, both the direct and the im2col+GEMM path
+            // depending on ic·k² (the path choice is level-independent,
+            // so both runs take the same one).
+            let in_ch = b[1] as usize % 3 + 1;
+            let out_ch = b[2] as usize % 4 + 1;
+            let k = [1, 3, 5][b[3] as usize % 3];
+            let h = b[4] as usize % 12 + 1;
+            let w = b[5] as usize % 12 + 1;
+            let weight: Vec<f32> =
+                (0..out_ch * in_ch * k * k).map(|_| rng.random_range(-2.0..2.0) as f32).collect();
+            let bias: Vec<f32> = (0..out_ch).map(|_| rng.random_range(-1.0..1.0) as f32).collect();
+            let mut layer =
+                sfn_nn::layers::Conv2d::from_weights(in_ch, out_ch, k, false, weight, bias);
+            let input = sfn_nn::Tensor::from_fn(1, in_ch, h, w, |_, _, _, _| {
+                rng.random_range(-2.0..2.0) as f32
+            });
+            use sfn_nn::layers::Layer;
+            let scalar = with_level(SimdLevel::Scalar, || layer.forward(&input, false));
+            let vector = layer.forward(&input, false);
+            check_f32(scalar.data(), vector.data(), "conv2d")
+        }
+        1 => {
+            // Raw blocked GEMM.
+            let m = b[1] as usize % 24 + 1;
+            let k = b[2] as usize % 48 + 1;
+            let n = b[3] as usize % 24 + 1;
+            let a: Vec<f32> = (0..m * k).map(|_| rng.random_range(-2.0..2.0) as f32).collect();
+            let bm: Vec<f32> = (0..k * n).map(|_| rng.random_range(-2.0..2.0) as f32).collect();
+            let mut scalar = vec![0.0f32; m * n];
+            let mut vector = vec![0.0f32; m * n];
+            with_level(SimdLevel::Scalar, || {
+                sfn_nn::layers::gemm::matmul(&a, m, k, &bm, n, &mut scalar)
+            });
+            sfn_nn::layers::gemm::matmul(&a, m, k, &bm, n, &mut vector);
+            check_f32(&scalar, &vector, "gemm")
+        }
+        2 => {
+            // Assembled SpMV (ELL gather vs CSR scalar).
+            let nx = b[1] as usize % 24 + 4;
+            let ny = b[2] as usize % 24 + 4;
+            let mut flags = sfn_grid::CellFlags::smoke_box(nx, ny);
+            if b[3] & 1 == 1 {
+                flags.add_solid_disc(
+                    nx as f64 / 2.0,
+                    ny as f64 / 2.0,
+                    (nx.min(ny) as f64 / 4.0).max(1.0),
+                );
+            }
+            let problem = sfn_solver::PoissonProblem::new(&flags, 0.5);
+            let a = sfn_solver::CsrMatrix::assemble(&problem);
+            let x: Vec<f64> = (0..a.rows()).map(|_| rng.random_range(-3.0..3.0)).collect();
+            let mut scalar = vec![0.0; a.rows()];
+            let mut vector = vec![0.0; a.rows()];
+            with_level(SimdLevel::Scalar, || a.spmv(&x, &mut scalar));
+            a.spmv(&x, &mut vector);
+            check_f64(&scalar, &vector, "spmv")
+        }
+        _ => {
+            // Semi-Lagrangian advection (gathered bilinear vs scalar).
+            let nx = b[1] as usize % 24 + 4;
+            let ny = b[2] as usize % 24 + 4;
+            let mut vel = sfn_grid::MacGrid::new(nx, ny, 0.5);
+            for v in vel.u.data_mut() {
+                *v = rng.random_range(-2.0..2.0);
+            }
+            for v in vel.v.data_mut() {
+                *v = rng.random_range(-2.0..2.0);
+            }
+            let mut flags = sfn_grid::CellFlags::all_fluid(nx, ny);
+            if b[3] & 1 == 1 {
+                flags.set(nx / 2, ny / 2, sfn_grid::CellType::Solid);
+            }
+            let q = sfn_grid::Field2::from_fn(nx, ny, |_, _| rng.random_range(-3.0..3.0));
+            let dt = rng.random_range(-1.5..1.5);
+            let scalar =
+                with_level(SimdLevel::Scalar, || sfn_sim::advect::advect_scalar(&vel, &q, &flags, dt));
+            let vector = sfn_sim::advect::advect_scalar(&vel, &q, &flags, dt);
+            check_f64(scalar.data(), vector.data(), "advect")
+        }
+    };
+    match failure {
+        Some(outcome) => outcome,
+        None => Outcome::Accepted,
+    }
+}
+
+/// f64 twin of [`sfn_nn::simd::ulp_distance`] (±0 counts as equal,
+/// NaN or a sign change is `u64::MAX`).
+fn ulp_distance_f64(a: f64, b: f64) -> u64 {
+    if a == b {
+        return 0;
+    }
+    if a.is_nan() || b.is_nan() || a.is_sign_positive() != b.is_sign_positive() {
+        return u64::MAX;
+    }
+    a.to_bits().abs_diff(b.to_bits())
+}
+
 /// A deterministic seed pool for one target (used by the runner and by
 /// `gen-corpus`).
 pub fn seed_pool(target: &Target, seed: u64) -> Vec<Vec<u8>> {
@@ -589,7 +755,8 @@ mod tests {
                 "model_json",
                 "kernel_summary",
                 "ckpt",
-                "http"
+                "http",
+                "simd_diff"
             ]
         );
         assert!(by_name("model_io").is_some());

@@ -1,0 +1,169 @@
+//! 64-byte-aligned tensor storage.
+//!
+//! [`AlignedBuf`] is the single backing arena for every [`crate::Tensor`]:
+//! one allocation, aligned to a cache line (which also satisfies the
+//! 32-byte AVX2 vector alignment), so plane slices handed to the SIMD
+//! kernels start on deterministic boundaries and never split a cache
+//! line. The buffer's *capacity* is additionally rounded up to a whole
+//! number of [`LANE_F32`] lanes so vector loops may load the final
+//! partial vector of a tensor without running off the allocation
+//! (`len` still reports the logical element count).
+
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::ptr::NonNull;
+
+/// Alignment of every tensor allocation, in bytes.
+pub const TENSOR_ALIGN: usize = 64;
+
+/// f32 lanes per AVX2 vector; capacities are rounded to this so tail
+/// loads of a full vector stay in bounds.
+pub const LANE_F32: usize = 8;
+
+/// Rounds a row length (in f32 elements) up to a full cache line, the
+/// pitch used by the padded-halo convolution scratch buffers.
+#[inline]
+pub fn padded_pitch(w: usize) -> usize {
+    let lanes_per_line = TENSOR_ALIGN / std::mem::size_of::<f32>();
+    w.div_ceil(lanes_per_line) * lanes_per_line
+}
+
+/// A heap buffer of `f32` with [`TENSOR_ALIGN`]-byte alignment and
+/// lane-rounded capacity.
+pub struct AlignedBuf {
+    ptr: NonNull<f32>,
+    len: usize,
+    cap: usize,
+}
+
+// The buffer exclusively owns its allocation; f32 is Send + Sync.
+unsafe impl Send for AlignedBuf {}
+unsafe impl Sync for AlignedBuf {}
+
+impl AlignedBuf {
+    /// Allocates `len` zeroed elements (capacity rounded up to a full
+    /// vector so kernels may load one whole lane past `len`).
+    ///
+    /// # Panics
+    /// Panics if `len` is zero.
+    pub fn zeroed(len: usize) -> Self {
+        assert!(len > 0, "AlignedBuf must be non-empty");
+        let cap = len.div_ceil(LANE_F32) * LANE_F32;
+        let layout = Layout::from_size_align(cap * std::mem::size_of::<f32>(), TENSOR_ALIGN)
+            .expect("valid tensor layout");
+        // Zeroed allocation: the lane-rounding tail must be defined so
+        // full-vector tail loads never read uninitialised memory.
+        let raw = unsafe { alloc_zeroed(layout) };
+        let Some(ptr) = NonNull::new(raw.cast::<f32>()) else {
+            handle_alloc_error(layout)
+        };
+        Self { ptr, len, cap }
+    }
+
+    /// Allocates and copies `src`.
+    pub fn from_slice(src: &[f32]) -> Self {
+        let mut buf = Self::zeroed(src.len());
+        buf.as_mut_slice().copy_from_slice(src);
+        buf
+    }
+
+    /// Logical length in elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Always false (buffers are non-empty by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The elements as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+
+    /// The elements as a mutable slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl Drop for AlignedBuf {
+    fn drop(&mut self) {
+        let layout =
+            Layout::from_size_align(self.cap * std::mem::size_of::<f32>(), TENSOR_ALIGN)
+                .expect("valid tensor layout");
+        unsafe { dealloc(self.ptr.as_ptr().cast(), layout) };
+    }
+}
+
+impl Clone for AlignedBuf {
+    fn clone(&self) -> Self {
+        Self::from_slice(self.as_slice())
+    }
+}
+
+impl std::fmt::Debug for AlignedBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AlignedBuf").field("len", &self.len).finish()
+    }
+}
+
+impl PartialEq for AlignedBuf {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl std::ops::Deref for AlignedBuf {
+    type Target = [f32];
+    #[inline]
+    fn deref(&self) -> &[f32] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::DerefMut for AlignedBuf {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [f32] {
+        self.as_mut_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_is_cache_line_aligned() {
+        for len in [1, 7, 8, 63, 4096] {
+            let buf = AlignedBuf::zeroed(len);
+            assert_eq!(buf.as_slice().as_ptr() as usize % TENSOR_ALIGN, 0);
+            assert_eq!(buf.len(), len);
+            assert!(buf.iter().all(|&v| v == 0.0));
+        }
+    }
+
+    #[test]
+    fn clone_and_eq_round_trip() {
+        let mut a = AlignedBuf::zeroed(19);
+        for (i, v) in a.as_mut_slice().iter_mut().enumerate() {
+            *v = i as f32;
+        }
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(b.as_slice()[18], 18.0);
+    }
+
+    #[test]
+    fn padded_pitch_rounds_to_cache_line() {
+        assert_eq!(padded_pitch(1), 16);
+        assert_eq!(padded_pitch(16), 16);
+        assert_eq!(padded_pitch(17), 32);
+        assert_eq!(padded_pitch(64), 64);
+        assert_eq!(padded_pitch(65), 80);
+    }
+}

@@ -18,8 +18,10 @@ impl ReLU {
 }
 
 impl Layer for ReLU {
-    fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
-        self.cached_input = Some(input.clone());
+    fn forward(&mut self, input: &Tensor, training: bool) -> Tensor {
+        if training {
+            self.cached_input = Some(input.clone());
+        }
         input.map(|v| v.max(0.0))
     }
 
@@ -63,9 +65,11 @@ impl Sigmoid {
 }
 
 impl Layer for Sigmoid {
-    fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
+    fn forward(&mut self, input: &Tensor, training: bool) -> Tensor {
         let out = input.map(|v| 1.0 / (1.0 + (-v).exp()));
-        self.cached_output = Some(out.clone());
+        if training {
+            self.cached_output = Some(out.clone());
+        }
         out
     }
 
@@ -107,9 +111,11 @@ impl Tanh {
 }
 
 impl Layer for Tanh {
-    fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
+    fn forward(&mut self, input: &Tensor, training: bool) -> Tensor {
         let out = input.map(f32::tanh);
-        self.cached_output = Some(out.clone());
+        if training {
+            self.cached_output = Some(out.clone());
+        }
         out
     }
 

@@ -61,7 +61,7 @@ impl Dense {
 }
 
 impl Layer for Dense {
-    fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
+    fn forward(&mut self, input: &Tensor, training: bool) -> Tensor {
         let (n, c, h, w) = input.shape();
         assert_eq!(c * h * w, self.inputs, "dense input features");
         let mut out = Tensor::zeros(n, self.outputs, 1, 1);
@@ -78,7 +78,9 @@ impl Layer for Dense {
                     *out_v = acc;
                 }
             });
-        self.cached_input = Some(input.clone());
+        if training {
+            self.cached_input = Some(input.clone());
+        }
         out
     }
 

@@ -23,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod flops;
 pub mod init;
 pub mod layers;
@@ -30,6 +31,7 @@ pub mod loss;
 pub mod model_io;
 pub mod network;
 pub mod optim;
+pub mod simd;
 pub mod spec;
 pub mod tensor;
 

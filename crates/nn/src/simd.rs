@@ -1,0 +1,234 @@
+//! Vectorised f32 primitives for the conv/GEMM hot paths.
+//!
+//! Same contract as `sfn_grid::simd`: an always-compiled scalar
+//! reference defines the semantics, `std::arch` variants dispatch on
+//! [`sfn_par::simd::level`]. The element-wise kernel ([`row_axpy`])
+//! performs plain mul+add in the exact scalar term order —
+//! vectorisation runs across independent output pixels, so results are
+//! *bit-identical* to the scalar reference (comfortably inside the
+//! ≤4-ULP `simd_diff` oracle policy). Only the reduction ([`row_dot`])
+//! reassociates across lanes and is compared with a tolerance.
+
+use sfn_par::simd::{level, SimdLevel};
+
+/// Scalar reference: `out[i] += a · x[i]` over a row.
+pub fn row_axpy_scalar(out: &mut [f32], x: &[f32], a: f32) {
+    debug_assert_eq!(out.len(), x.len());
+    for (o, &v) in out.iter_mut().zip(x) {
+        *o += a * v;
+    }
+}
+
+/// `out += a·x`, vector-dispatched; bit-identical to the scalar
+/// reference. The conv inner loop: one weight tap broadcast against a
+/// shifted input row.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn row_axpy(out: &mut [f32], x: &[f32], a: f32) {
+    assert_eq!(out.len(), x.len(), "row_axpy length mismatch");
+    match level() {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { row_axpy_avx2(out, x, a) },
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => unsafe { row_axpy_neon(out, x, a) },
+        _ => row_axpy_scalar(out, x, a),
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn row_axpy_avx2(out: &mut [f32], x: &[f32], a: f32) {
+    use std::arch::x86_64::*;
+    let n = out.len();
+    let av = _mm256_set1_ps(a);
+    let mut i = 0;
+    // mul + add (not FMA) to match the scalar rounding exactly.
+    while i + 16 <= n {
+        let x0 = _mm256_loadu_ps(x.as_ptr().add(i));
+        let x1 = _mm256_loadu_ps(x.as_ptr().add(i + 8));
+        let o0 = _mm256_loadu_ps(out.as_ptr().add(i));
+        let o1 = _mm256_loadu_ps(out.as_ptr().add(i + 8));
+        _mm256_storeu_ps(out.as_mut_ptr().add(i), _mm256_add_ps(o0, _mm256_mul_ps(av, x0)));
+        _mm256_storeu_ps(
+            out.as_mut_ptr().add(i + 8),
+            _mm256_add_ps(o1, _mm256_mul_ps(av, x1)),
+        );
+        i += 16;
+    }
+    while i + 8 <= n {
+        let xv = _mm256_loadu_ps(x.as_ptr().add(i));
+        let ov = _mm256_loadu_ps(out.as_ptr().add(i));
+        _mm256_storeu_ps(out.as_mut_ptr().add(i), _mm256_add_ps(ov, _mm256_mul_ps(av, xv)));
+        i += 8;
+    }
+    while i < n {
+        out[i] += a * x[i];
+        i += 1;
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn row_axpy_neon(out: &mut [f32], x: &[f32], a: f32) {
+    use std::arch::aarch64::*;
+    let n = out.len();
+    let av = vdupq_n_f32(a);
+    let mut i = 0;
+    while i + 4 <= n {
+        let xv = vld1q_f32(x.as_ptr().add(i));
+        let ov = vld1q_f32(out.as_ptr().add(i));
+        vst1q_f32(out.as_mut_ptr().add(i), vaddq_f32(ov, vmulq_f32(av, xv)));
+        i += 4;
+    }
+    while i < n {
+        out[i] += a * x[i];
+        i += 1;
+    }
+}
+
+/// Scalar reference: dot product of two rows (FMA accumulation to
+/// match the vector paths' per-step rounding).
+pub fn row_dot_scalar(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut s = 0.0f32;
+    for (&x, &y) in a.iter().zip(b) {
+        s = x.mul_add(y, s);
+    }
+    s
+}
+
+/// Row dot product, vector-dispatched (lane-reassociated sum).
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn row_dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "row_dot length mismatch");
+    match level() {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { row_dot_avx2(a, b) },
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => unsafe { row_dot_neon(a, b) },
+        _ => row_dot_scalar(a, b),
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn row_dot_avx2(a: &[f32], b: &[f32]) -> f32 {
+    use std::arch::x86_64::*;
+    let n = a.len();
+    let mut acc = _mm256_setzero_ps();
+    let mut i = 0;
+    while i + 8 <= n {
+        let av = _mm256_loadu_ps(a.as_ptr().add(i));
+        let bv = _mm256_loadu_ps(b.as_ptr().add(i));
+        acc = _mm256_fmadd_ps(av, bv, acc);
+        i += 8;
+    }
+    let lo = _mm256_castps256_ps128(acc);
+    let hi = _mm256_extractf128_ps::<1>(acc);
+    let s4 = _mm_add_ps(lo, hi);
+    let s2 = _mm_add_ps(s4, _mm_movehl_ps(s4, s4));
+    let s1 = _mm_add_ss(s2, _mm_shuffle_ps::<1>(s2, s2));
+    let mut s = _mm_cvtss_f32(s1);
+    while i < n {
+        s = a[i].mul_add(b[i], s);
+        i += 1;
+    }
+    s
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn row_dot_neon(a: &[f32], b: &[f32]) -> f32 {
+    use std::arch::aarch64::*;
+    let n = a.len();
+    let mut acc = vdupq_n_f32(0.0);
+    let mut i = 0;
+    while i + 4 <= n {
+        let av = vld1q_f32(a.as_ptr().add(i));
+        let bv = vld1q_f32(b.as_ptr().add(i));
+        acc = vfmaq_f32(acc, av, bv);
+        i += 4;
+    }
+    let mut s = vaddvq_f32(acc);
+    while i < n {
+        s = a[i].mul_add(b[i], s);
+        i += 1;
+    }
+    s
+}
+
+/// Distance in units-in-the-last-place between two finite f32 values
+/// (`u32::MAX` across signs unless both are zero). The oracle metric
+/// for the vector-vs-scalar differential tests.
+pub fn ulp_distance(a: f32, b: f32) -> u32 {
+    if a == b {
+        return 0; // covers +0 vs -0
+    }
+    if a.is_nan() || b.is_nan() {
+        return u32::MAX;
+    }
+    if a.is_sign_positive() != b.is_sign_positive() {
+        return u32::MAX;
+    }
+    let (ia, ib) = (a.to_bits(), b.to_bits());
+    ia.abs_diff(ib)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfn_par::simd::with_level;
+
+    fn ramp(n: usize) -> Vec<f32> {
+        (0..n).map(|i| ((i * 29) % 97) as f32 / 7.0 - 6.0).collect()
+    }
+
+    #[test]
+    fn row_axpy_bit_identical_to_scalar() {
+        for n in [1, 7, 8, 16, 33, 255] {
+            let x = ramp(n);
+            let mut o1 = ramp(n);
+            o1.reverse();
+            let mut o2 = o1.clone();
+            row_axpy_scalar(&mut o1, &x, 1.37);
+            row_axpy(&mut o2, &x, 1.37);
+            for (a, b) in o1.iter().zip(&o2) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn row_dot_close_to_scalar() {
+        for n in [1, 5, 8, 64, 301] {
+            let a = ramp(n);
+            let b: Vec<f32> = a.iter().map(|v| v * 0.3 + 0.5).collect();
+            let want = row_dot_scalar(&a, &b);
+            let got = row_dot(&a, &b);
+            assert!(
+                (want - got).abs() <= 1e-4 * want.abs().max(1.0),
+                "n={n}: {want} vs {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn scalar_dispatch_is_exact() {
+        let a = ramp(40);
+        let b = ramp(40);
+        let forced = with_level(SimdLevel::Scalar, || row_dot(&a, &b));
+        assert_eq!(forced.to_bits(), row_dot_scalar(&a, &b).to_bits());
+    }
+
+    #[test]
+    fn ulp_distance_basics() {
+        assert_eq!(ulp_distance(1.0, 1.0), 0);
+        assert_eq!(ulp_distance(0.0, -0.0), 0);
+        assert_eq!(ulp_distance(1.0, f32::from_bits(1.0f32.to_bits() + 3)), 3);
+        assert_eq!(ulp_distance(1.0, -1.0), u32::MAX);
+        assert_eq!(ulp_distance(f32::NAN, 1.0), u32::MAX);
+    }
+}

@@ -1,17 +1,22 @@
 //! Dense `N×C×H×W` tensors.
 
+use crate::arena::AlignedBuf;
+
 /// A dense 4-D tensor in NCHW layout.
 ///
 /// All activations and convolution weights in the framework use this
 /// type; convolution weights are stored as `OC×IC×KH×KW` (re-using the
-/// same four axes).
+/// same four axes). Storage is one contiguous
+/// [`crate::arena::AlignedBuf`] arena — 64-byte aligned, capacity
+/// rounded to a whole AVX2 lane — so plane slices handed to the SIMD
+/// kernels start on cache-line boundaries.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Tensor {
     n: usize,
     c: usize,
     h: usize,
     w: usize,
-    data: Vec<f32>,
+    data: AlignedBuf,
 }
 
 impl Tensor {
@@ -23,7 +28,7 @@ impl Tensor {
             c,
             h,
             w,
-            data: vec![0.0; n * c * h * w],
+            data: AlignedBuf::zeroed(n * c * h * w),
         }
     }
 
@@ -34,7 +39,13 @@ impl Tensor {
     pub fn from_vec(n: usize, c: usize, h: usize, w: usize, data: Vec<f32>) -> Self {
         assert_eq!(data.len(), n * c * h * w, "data length mismatch");
         assert!(!data.is_empty(), "tensor must be non-empty");
-        Self { n, c, h, w, data }
+        Self {
+            n,
+            c,
+            h,
+            w,
+            data: AlignedBuf::from_slice(&data),
+        }
     }
 
     /// Builds a tensor by evaluating `f(n, c, h, w)` at every element.
@@ -124,13 +135,13 @@ impl Tensor {
     /// Raw data (NCHW order).
     #[inline]
     pub fn data(&self) -> &[f32] {
-        &self.data
+        self.data.as_slice()
     }
 
     /// Mutable raw data.
     #[inline]
     pub fn data_mut(&mut self) -> &mut [f32] {
-        &mut self.data
+        self.data.as_mut_slice()
     }
 
     /// The `(n, c)` image plane as a slice of length `h·w`.
@@ -163,13 +174,11 @@ impl Tensor {
 
     /// Element-wise map into a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
-        Self {
-            n: self.n,
-            c: self.c,
-            h: self.h,
-            w: self.w,
-            data: self.data.iter().map(|&v| f(v)).collect(),
+        let mut out = Self::zeros(self.n, self.c, self.h, self.w);
+        for (o, &v) in out.data.iter_mut().zip(self.data.iter()) {
+            *o = f(v);
         }
+        out
     }
 
     /// `self += scale · other` element-wise.
@@ -178,7 +187,7 @@ impl Tensor {
     /// Panics on shape mismatch.
     pub fn add_scaled(&mut self, other: &Tensor, scale: f32) {
         assert_eq!(self.shape(), other.shape(), "shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
             *a += scale * b;
         }
     }

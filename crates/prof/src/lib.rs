@@ -21,6 +21,15 @@
 //!   peak FLOP/s and stream bandwidth, so each kernel can be classified
 //!   compute- or memory-bound against the machine balance.
 //!
+//! # Kernel naming
+//!
+//! Kernel names are dotted paths: the first segment is the logical
+//! kernel, later segments name the dispatched implementation —
+//! `conv2d.direct`, `conv2d.gemm.avx2`, `spmv.ell.avx2`, `advect.avx2`.
+//! Aggregating tools sum by first-segment prefix to compare logical
+//! kernels across SIMD levels (`SFN_SIMD=scalar` vs `auto` profiles),
+//! and keep the full name to attribute work to one code path.
+//!
 //! # Configuration
 //!
 //! | variable | effect |
@@ -438,6 +447,35 @@ mod tests {
         assert_eq!(t.bytes_read, 80);
         assert_eq!(t.bytes_written, 40);
         assert!(t.ns > 0);
+        reset();
+    }
+
+    #[test]
+    fn dotted_per_path_names_stay_distinct_and_prefix_aggregable() {
+        // The SIMD dispatchers record one entry per code path
+        // (`conv2d.direct` vs `conv2d.gemm.avx2`); consumers sum by
+        // first-segment prefix to compare logical kernels.
+        let _g = hold();
+        set_enabled(true);
+        reset();
+        {
+            let s = KernelScope::enter("test_k.direct");
+            s.record(100, 0, 0);
+        }
+        {
+            let s = KernelScope::enter("test_k.gemm.avx2");
+            s.record(40, 0, 0);
+        }
+        set_enabled(false);
+        let snap = snapshot();
+        assert!(snap.iter().any(|(n, t)| *n == "test_k.direct" && t.flops == 100));
+        assert!(snap.iter().any(|(n, t)| *n == "test_k.gemm.avx2" && t.flops == 40));
+        let total: u64 = snap
+            .iter()
+            .filter(|(n, _)| *n == "test_k" || n.starts_with("test_k."))
+            .map(|(_, t)| t.flops)
+            .sum();
+        assert_eq!(total, 140);
         reset();
     }
 

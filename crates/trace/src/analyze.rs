@@ -217,14 +217,27 @@ pub fn analyze(trace: &Trace) -> Analysis {
         .collect();
 
     // Kernel throughput from the profiler's end-of-run emission.
-    let kernels = crate::profile::ProfileReport::from_trace(trace)
-        .kernels
-        .iter()
-        .map(|k| KernelStat {
-            name: k.name.clone(),
-            calls: k.calls,
-            secs: k.secs(),
-            gflops: k.gflops(),
+    // Dotted per-path names (`conv2d.direct`, `spmv.ell.avx2`)
+    // aggregate into their first segment: the diff gate compares
+    // logical kernels, so a dispatch-path difference between the
+    // baseline machine and the current one cannot silently skip the
+    // comparison via the skip-if-absent rule.
+    let mut kernel_agg: BTreeMap<String, (u64, u64, u64)> = BTreeMap::new();
+    for k in crate::profile::ProfileReport::from_trace(trace).kernels {
+        let base = k.name.split('.').next().unwrap_or(&k.name);
+        let e = kernel_agg.entry(base.to_string()).or_insert((0, 0, 0));
+        e.0 += k.calls;
+        e.1 += k.ns;
+        e.2 += k.flops;
+    }
+    let kernels = kernel_agg
+        .into_iter()
+        .map(|(name, (calls, ns, flops))| KernelStat {
+            name,
+            calls,
+            secs: ns as f64 / 1e9,
+            // flops/ns ≡ GFLOP/s (the 1e9 factors cancel).
+            gflops: if ns == 0 { 0.0 } else { flops as f64 / ns as f64 },
         })
         .collect();
 
@@ -615,6 +628,23 @@ impl Analysis {
 mod tests {
     use super::*;
     use crate::event::parse_trace;
+
+    #[test]
+    fn dotted_kernel_paths_aggregate_into_first_segment() {
+        let trace = parse_trace(concat!(
+            "{\"ts\":0.1,\"level\":\"info\",\"kind\":\"prof.kernel\",\"kernel\":\"conv2d.direct\",\"calls\":3,\"ns\":1000,\"flops\":2000}\n",
+            "{\"ts\":0.2,\"level\":\"info\",\"kind\":\"prof.kernel\",\"kernel\":\"conv2d.gemm.avx2\",\"calls\":1,\"ns\":3000,\"flops\":6000}\n",
+            "{\"ts\":0.3,\"level\":\"info\",\"kind\":\"prof.kernel\",\"kernel\":\"pcg\",\"calls\":2,\"ns\":500,\"flops\":500}\n",
+        ));
+        let a = analyze(&trace);
+        assert_eq!(a.kernels.len(), 2, "{:?}", a.kernels);
+        let conv = a.kernels.iter().find(|k| k.name == "conv2d").unwrap();
+        assert_eq!(conv.calls, 4);
+        assert!((conv.secs - 4e-6).abs() < 1e-12);
+        // (2000 + 6000) flops / 4000 ns = 2 GFLOP/s.
+        assert!((conv.gflops - 2.0).abs() < 1e-12);
+        assert!(a.kernels.iter().any(|k| k.name == "pcg" && k.calls == 2));
+    }
 
     fn sample_trace() -> Trace {
         parse_trace(concat!(
