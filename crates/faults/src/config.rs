@@ -12,7 +12,8 @@
 //!
 //! * `seed` — base seed of every injection decision (default 0).
 //! * `kind` — one of `nan_output`, `inf_output`, `solver_starvation`,
-//!   `artifact_corruption`, `latency_spike`, `crash`.
+//!   `artifact_corruption`, `latency_spike`, `crash`, `slow_client`,
+//!   `conn_reset`, `queue_stall`.
 //! * `p` — per-eligible-event injection probability (default 1.0).
 //! * `start` / `end` — the eligible half-open step window `[start, end)`
 //!   in the site's own step/invocation counter (defaults: whole run).
@@ -44,6 +45,15 @@ pub enum FaultKind {
     /// Kill the process (SIGKILL) at a named crash point — the
     /// worst-case process failure for the crash-recovery harness.
     Crash,
+    /// Drip-feed a client's request/response bytes (serving path):
+    /// the socket loop sleeps between chunks, tying up a connection.
+    SlowClient,
+    /// Reset a connection mid-exchange (serving path): the socket is
+    /// dropped without a response.
+    ConnReset,
+    /// Stall a work queue hand-off (serving path): the dequeue sleeps,
+    /// simulating a wedged worker.
+    QueueStall,
 }
 
 impl FaultKind {
@@ -56,6 +66,9 @@ impl FaultKind {
             "artifact_corruption" => Some(Self::ArtifactCorruption),
             "latency_spike" => Some(Self::LatencySpike),
             "crash" => Some(Self::Crash),
+            "slow_client" => Some(Self::SlowClient),
+            "conn_reset" => Some(Self::ConnReset),
+            "queue_stall" => Some(Self::QueueStall),
             _ => None,
         }
     }
@@ -69,6 +82,9 @@ impl FaultKind {
             Self::ArtifactCorruption => "artifact_corruption",
             Self::LatencySpike => "latency_spike",
             Self::Crash => "crash",
+            Self::SlowClient => "slow_client",
+            Self::ConnReset => "conn_reset",
+            Self::QueueStall => "queue_stall",
         }
     }
 
@@ -80,6 +96,9 @@ impl FaultKind {
             Self::ArtifactCorruption => 0.25,          // fraction of bytes
             Self::LatencySpike => 10.0,                // milliseconds
             Self::Crash => 1.0,                        // unused
+            Self::SlowClient => 25.0,                  // ms between chunks
+            Self::ConnReset => 1.0,                    // unused
+            Self::QueueStall => 50.0,                  // milliseconds
         }
     }
 }
@@ -296,6 +315,25 @@ mod tests {
         assert_eq!(FaultKind::parse(FaultKind::Crash.as_str()), Some(FaultKind::Crash));
         assert!(s.covers("ckpt/pre_rename", 12));
         assert!(!s.covers("ckpt/pre_rename", 13));
+    }
+
+    #[test]
+    fn serving_fault_kinds_round_trip() {
+        for kind in [FaultKind::SlowClient, FaultKind::ConnReset, FaultKind::QueueStall] {
+            assert_eq!(FaultKind::parse(kind.as_str()), Some(kind));
+        }
+        let plan = parse_plan(
+            r#"{"faults": [
+                {"kind": "slow_client", "mag": 5},
+                {"kind": "conn_reset", "p": 0.5},
+                {"kind": "queue_stall"}
+            ]}"#,
+        )
+        .unwrap();
+        assert_eq!(plan.specs[0].kind, FaultKind::SlowClient);
+        assert_eq!(plan.specs[0].magnitude, 5.0);
+        assert_eq!(plan.specs[1].probability, 0.5);
+        assert_eq!(plan.specs[2].magnitude, FaultKind::QueueStall.default_magnitude());
     }
 
     #[test]

@@ -228,6 +228,44 @@ pub fn crash_point(site: &str, step: u64) {
     std::process::abort();
 }
 
+/// Serving-path fault: drip-feed pacing for a client's socket bytes.
+/// Returns the delay to sleep between chunks when a `slow_client` spec
+/// fires for `(site, step)` (magnitude = milliseconds), else `None`.
+pub fn slow_client(site: &str, step: u64) -> Option<Duration> {
+    if !active() {
+        return None;
+    }
+    let f = firings(&[FaultKind::SlowClient], site, step).into_iter().next()?;
+    record_injection(&f, site, step, f.magnitude as u64);
+    Some(Duration::from_micros((f.magnitude * 1000.0) as u64))
+}
+
+/// Serving-path fault: abrupt connection reset. Returns true when a
+/// `conn_reset` spec fires for `(site, step)` — the caller drops the
+/// socket without responding.
+pub fn conn_reset(site: &str, step: u64) -> bool {
+    if !active() {
+        return false;
+    }
+    let Some(f) = firings(&[FaultKind::ConnReset], site, step).into_iter().next() else {
+        return false;
+    };
+    record_injection(&f, site, step, 0);
+    true
+}
+
+/// Serving-path fault: a wedged queue hand-off. Returns the stall to
+/// sleep before dequeuing when a `queue_stall` spec fires for
+/// `(site, step)` (magnitude = milliseconds), else `None`.
+pub fn queue_stall(site: &str, step: u64) -> Option<Duration> {
+    if !active() {
+        return None;
+    }
+    let f = firings(&[FaultKind::QueueStall], site, step).into_iter().next()?;
+    record_injection(&f, site, step, f.magnitude as u64);
+    Some(Duration::from_micros((f.magnitude * 1000.0) as u64))
+}
+
 /// Corrupts a just-read artifact byte buffer if an artifact-corruption
 /// spec fires for this site's next invocation: magnitude < 1 flips that
 /// fraction of bytes, magnitude ≥ 1 truncates the buffer to half.
@@ -294,7 +332,36 @@ mod tests {
         let mut bytes = vec![1u8, 2, 3];
         assert!(!corrupt_bytes("any", &mut bytes));
         assert_eq!(bytes, vec![1, 2, 3]);
+        assert!(slow_client("any", 0).is_none());
+        assert!(!conn_reset("any", 0));
+        assert!(queue_stall("any", 0).is_none());
         assert_eq!(injected_count(), 0);
+    }
+
+    #[test]
+    fn serving_path_hooks_fire_under_their_specs() {
+        let _g = hold();
+        install(Some(
+            plan_with(FaultSpec::new(FaultKind::SlowClient))
+                .with(FaultSpec::new(FaultKind::ConnReset))
+                .with(FaultSpec::new(FaultKind::QueueStall)),
+        ));
+        let pace = slow_client("serve/conn", 0).expect("slow_client fires at p=1");
+        assert_eq!(pace, Duration::from_millis(FaultKind::SlowClient.default_magnitude() as u64));
+        assert!(conn_reset("serve/conn", 0));
+        let stall = queue_stall("serve/queue", 0).expect("queue_stall fires at p=1");
+        assert_eq!(stall, Duration::from_millis(FaultKind::QueueStall.default_magnitude() as u64));
+        assert_eq!(injected_count(), 3);
+
+        // A windowed spec stays quiet outside its step window.
+        let mut spec = FaultSpec::new(FaultKind::ConnReset);
+        spec.start = 10;
+        spec.end = Some(11);
+        install(Some(plan_with(spec)));
+        assert!(!conn_reset("serve/conn", 9));
+        assert!(conn_reset("serve/conn", 10));
+        assert!(!conn_reset("serve/conn", 11));
+        install(None);
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub mod rng;
 
 pub use config::{parse_plan, FaultKind, FaultPlan, FaultSpec, ParseError};
 pub use inject::{
-    active, corrupt_bytes, corrupt_field, crash_point, current_plan, init_from_env,
-    injected_count, install, latency_spike, note_recovery, recovered_count, starve_solver,
+    active, conn_reset, corrupt_bytes, corrupt_field, crash_point, current_plan, init_from_env,
+    injected_count, install, latency_spike, note_recovery, queue_stall, recovered_count,
+    slow_client, starve_solver,
 };

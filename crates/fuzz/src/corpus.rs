@@ -274,6 +274,45 @@ pub fn regressions(target_name: &str) -> Vec<(&'static str, Vec<u8>)> {
             // would render `null` and break the round-trip.
             ("regression-f32-overflow", b"{\"spec\":{\"layers\":[]},\"weights\":[[1e300]]}".to_vec()),
         ],
+        "serve_req" => vec![
+            // Duplicate Content-Length headers must not let the second
+            // value smuggle a different body length past validation.
+            (
+                "regression-conflicting-content-length",
+                b"POST /simulate HTTP/1.1\r\nX-Tenant: t0\r\nContent-Length: 20\r\nContent-Length: 2\r\n\r\n{\"grid\":8,\"steps\":1}".to_vec(),
+            ),
+            // Declared body far past the cap: refuse from the header
+            // alone, never allocate or wait for the bytes.
+            (
+                "regression-oversize-declared-body",
+                b"POST /simulate HTTP/1.1\r\nX-Tenant: t0\r\nContent-Length: 999999999\r\n\r\n".to_vec(),
+            ),
+            // One byte past MAX_TENANT_BYTES.
+            (
+                "regression-overlong-tenant",
+                format!(
+                    "POST /simulate HTTP/1.1\r\nX-Tenant: {}\r\nContent-Length: 20\r\n\r\n{{\"grid\":8,\"steps\":1}}",
+                    "a".repeat(sfn_serve::api::MAX_TENANT_BYTES + 1)
+                )
+                .into_bytes(),
+            ),
+            // Fractional grid size: numeric but not an integer cell count.
+            (
+                "regression-fractional-grid",
+                b"POST /simulate HTTP/1.1\r\nX-Tenant: t0\r\nContent-Length: 22\r\n\r\n{\"grid\":8.5,\"steps\":1}".to_vec(),
+            ),
+            // 2^32 — first seed not exactly representable per the contract.
+            (
+                "regression-oversize-seed",
+                b"POST /simulate HTTP/1.1\r\nX-Tenant: t0\r\nContent-Length: 38\r\n\r\n{\"grid\":8,\"steps\":1,\"seed\":4294967296}".to_vec(),
+            ),
+            // Trailing bytes after the declared body length (request
+            // smuggling shape) must be a BodyMismatch, not silently eaten.
+            (
+                "regression-body-smuggle",
+                b"POST /simulate HTTP/1.1\r\nX-Tenant: t0\r\nContent-Length: 20\r\n\r\n{\"grid\":8,\"steps\":1}GET /x HTTP/1.1\r\n\r\n".to_vec(),
+            ),
+        ],
         _ => Vec::new(),
     }
 }

@@ -425,6 +425,58 @@ pub fn http_request(rng: &mut StdRng) -> Vec<u8> {
     out.into_bytes()
 }
 
+/// A valid-by-construction serve-API request (`POST /simulate` with
+/// tenant/priority/deadline headers and a JSON scene body), hand-
+/// rendered rather than via `SimRequest::to_http` so the seeds also
+/// exercise the parser's tolerances: shuffled-case header names, query
+/// strings, benign extra headers, whitespace and key order in the
+/// body. Every seed must be accepted by `run_serve_req` before
+/// mutation starts breaking it.
+pub fn serve_request(rng: &mut StdRng) -> Vec<u8> {
+    const TENANTS: &[&str] = &["acme", "acme-eu", "t0", "lab_42", "a", "plume-farm-7"];
+    const QUALITIES: &[&str] = &["0.013", "0.5", "2", "100", "0.0001"];
+    let tenant = TENANTS[rng.random_range(0..TENANTS.len())];
+    let grid = rng.random_range(8..65u32);
+    let steps = rng.random_range(1..257u32);
+
+    let mut body = String::from("{");
+    let mut fields = vec![format!("\"grid\":{grid}"), format!("\"steps\":{steps}")];
+    if rng.random_unit() < 0.5 {
+        fields.push(format!("\"quality\":{}", QUALITIES[rng.random_range(0..QUALITIES.len())]));
+    }
+    if rng.random_unit() < 0.5 {
+        fields.push(format!("\"seed\":{}", rng.random_range(0..u32::MAX)));
+    }
+    // Key order is free; the canonical rendering sorts, the parser
+    // must not care.
+    if rng.random_unit() < 0.5 {
+        fields.reverse();
+    }
+    let sep = if rng.random_unit() < 0.3 { ", " } else { "," };
+    body.push_str(&fields.join(sep));
+    body.push('}');
+
+    let mut out = String::from("POST /simulate");
+    if rng.random_unit() < 0.3 {
+        out.push_str(&format!("?trace={}", rng.random_range(0..100u32)));
+    }
+    out.push_str(" HTTP/1.1\r\n");
+    let tenant_name = if rng.random_unit() < 0.3 { "x-tenant" } else { "X-Tenant" };
+    out.push_str(&format!("{tenant_name}: {tenant}\r\n"));
+    if rng.random_unit() < 0.7 {
+        out.push_str(&format!("X-Priority: {}\r\n", rng.random_range(0..3u32)));
+    }
+    if rng.random_unit() < 0.5 {
+        out.push_str(&format!("X-Deadline-Ms: {}\r\n", rng.random_range(1..60_001u32)));
+    }
+    if rng.random_unit() < 0.4 {
+        out.push_str("User-Agent: sfn-loadgen/1\r\n");
+    }
+    out.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+    out.push_str(&body);
+    out.into_bytes()
+}
+
 /// A structured `simd_diff` case: one kernel-selector byte, five
 /// parameter bytes (shape/geometry, clamped by the target) and eight
 /// data-seed bytes. The target derives every tensor deterministically

@@ -91,6 +91,13 @@ pub fn all() -> Vec<Target> {
             seeds: |rng| (0..12).map(|_| crate::gen::simd_diff_case(rng)).collect(),
             dict: SIMD_DIFF_DICT,
         },
+        Target {
+            name: "serve_req",
+            about: "sfn_serve::SimRequest::parse_wire — full serve-API requests off the socket",
+            run: run_serve_req,
+            seeds: |rng| (0..10).map(|_| crate::gen::serve_request(rng)).collect(),
+            dict: SERVE_REQ_DICT,
+        },
     ]
 }
 
@@ -224,6 +231,24 @@ const SIMD_DIFF_DICT: &[&[u8]] = &[
     &[0xff],
     &[0x00, 0x00, 0x00, 0x00],
     &[0xff, 0xff, 0xff, 0xff],
+];
+
+const SERVE_REQ_DICT: &[&[u8]] = &[
+    b"POST /simulate HTTP/1.1",
+    b"GET ",
+    b"X-Tenant: ",
+    b"X-Priority: ",
+    b"X-Deadline-Ms: ",
+    b"Content-Length: ",
+    b"\r\n",
+    b"\r\n\r\n",
+    b"{\"grid\":",
+    b"\"steps\":",
+    b"\"quality\":",
+    b"\"seed\":",
+    b"4294967295",
+    b"4294967296",
+    b"60000",
 ];
 
 const MODEL_JSON_DICT: &[&[u8]] = &[
@@ -716,6 +741,62 @@ fn run_simd_diff(input: &[u8]) -> Outcome {
     }
 }
 
+/// The serve-API boundary (the `serve_req` target): full wire
+/// requests — head and body — through [`sfn_serve::SimRequest::parse_wire`].
+///
+/// Refusals must be typed [`sfn_serve::ApiError`]s (surfaced here as
+/// `Rejected`). An accepted request must honour every bound the server
+/// trusts downstream (tenant token rules, priority/grid/steps/deadline/
+/// quality/seed ranges), and must survive a *semantic* round-trip: its
+/// canonical wire rendering (`to_http`) re-parses to an equal request.
+/// Byte equality with the input is not required — header order, casing
+/// and body-key order normalise.
+fn run_serve_req(input: &[u8]) -> Outcome {
+    use sfn_serve::api::{MAX_DEADLINE_MS, MAX_GRID, MAX_SEED, MAX_STEPS, MAX_TENANT_BYTES, MIN_GRID};
+    let req = match sfn_serve::SimRequest::parse_wire(input) {
+        Ok(r) => r,
+        Err(e) => return Outcome::Rejected(e.to_string()),
+    };
+    let t = req.tenant.as_bytes();
+    if t.is_empty()
+        || t.len() > MAX_TENANT_BYTES
+        || !t[0].is_ascii_alphanumeric()
+        || !t.iter().all(|&b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-' || b == b'_')
+    {
+        return Outcome::OracleFailure(format!(
+            "accepted tenant {:?} breaks the token rules",
+            req.tenant
+        ));
+    }
+    if req.priority > 2 {
+        return Outcome::OracleFailure(format!("accepted priority {}", req.priority));
+    }
+    if !(MIN_GRID..=MAX_GRID).contains(&req.grid) {
+        return Outcome::OracleFailure(format!("accepted grid {} outside bounds", req.grid));
+    }
+    if req.steps == 0 || req.steps > MAX_STEPS {
+        return Outcome::OracleFailure(format!("accepted steps {} outside bounds", req.steps));
+    }
+    if let Some(ms) = req.deadline_ms {
+        if ms == 0 || ms > MAX_DEADLINE_MS {
+            return Outcome::OracleFailure(format!("accepted deadline {ms}ms outside bounds"));
+        }
+    }
+    if !(req.quality.is_finite() && req.quality > 0.0 && req.quality <= 100.0) {
+        return Outcome::OracleFailure(format!("accepted quality {} outside (0, 100]", req.quality));
+    }
+    if req.seed > MAX_SEED {
+        return Outcome::OracleFailure(format!("accepted seed {} above 2^32-1", req.seed));
+    }
+    match sfn_serve::SimRequest::parse_wire(&req.to_http()) {
+        Ok(r2) if r2 == req => Outcome::Accepted,
+        Ok(r2) => Outcome::OracleFailure(format!(
+            "canonical rendering re-parses differently: {r2:?} vs {req:?}"
+        )),
+        Err(e) => Outcome::OracleFailure(format!("canonical rendering does not re-parse: {e}")),
+    }
+}
+
 /// f64 twin of [`sfn_nn::simd::ulp_distance`] (±0 counts as equal,
 /// NaN or a sign change is `u64::MAX`).
 fn ulp_distance_f64(a: f64, b: f64) -> u64 {
@@ -756,7 +837,8 @@ mod tests {
                 "kernel_summary",
                 "ckpt",
                 "http",
-                "simd_diff"
+                "simd_diff",
+                "serve_req"
             ]
         );
         assert!(by_name("model_io").is_some());

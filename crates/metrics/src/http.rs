@@ -3,206 +3,29 @@
 //!
 //! Security posture: the listener is meant for `127.0.0.1` (or an
 //! otherwise firewalled address) and treats every byte off the socket
-//! as hostile. [`parse_request`] is the single entry point for raw
-//! request bytes — strict, allocation-bounded, and fuzzed as the
-//! `http` target — and the server itself enforces a hard request-size
-//! cap, a read deadline, a bounded connection count (excess
-//! connections get `503` and are closed, never queued), and
+//! as hostile. [`parse_request`] — shared with `sfn-serve` via
+//! `sfn-httpcore`, and fuzzed as the `http` target — is the single
+//! entry point for raw request bytes, and the server itself enforces a
+//! hard request-size cap, a read deadline, a bounded connection count
+//! (excess connections get `503` and are closed, never queued), and
 //! `Connection: close` semantics (one request per connection, no
 //! keep-alive state machine to get wrong).
 
 use crate::hub::Hub;
 use crate::{expo, snapshot};
-use std::io::{Read, Write};
+use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Hard cap on the bytes of one request head (request line + headers
-/// + terminator). Larger requests are rejected before parsing.
-pub const MAX_REQUEST_BYTES: usize = 8 * 1024;
-
-/// Maximum number of headers accepted in one request.
-pub const MAX_HEADERS: usize = 32;
-
-/// Maximum length of the request target (path + query).
-pub const MAX_TARGET_BYTES: usize = 1024;
-
-/// Maximum length of one header name / value.
-pub const MAX_HEADER_NAME_BYTES: usize = 128;
-/// Maximum length of one header value.
-pub const MAX_HEADER_VALUE_BYTES: usize = 1024;
-
-/// A parsed, validated HTTP/1.x request head.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Request {
-    /// Uppercase method token (`GET`, `HEAD`, …). Parsing accepts any
-    /// token; routing decides what is allowed.
-    pub method: String,
-    /// Request target, always starting with `/`.
-    pub target: String,
-    /// Minor HTTP version: 0 for `HTTP/1.0`, 1 for `HTTP/1.1`.
-    pub minor_version: u8,
-    /// Header `(name, trimmed value)` pairs in request order.
-    pub headers: Vec<(String, String)>,
-}
-
-impl Request {
-    /// Canonical wire rendering of the head (used by the fuzz oracle:
-    /// `parse ∘ render` must be a fixed point).
-    pub fn render(&self) -> Vec<u8> {
-        let mut out = String::with_capacity(64);
-        out.push_str(&self.method);
-        out.push(' ');
-        out.push_str(&self.target);
-        out.push_str(" HTTP/1.");
-        out.push(if self.minor_version == 0 { '0' } else { '1' });
-        out.push_str("\r\n");
-        for (name, value) in &self.headers {
-            out.push_str(name);
-            out.push_str(": ");
-            out.push_str(value);
-            out.push_str("\r\n");
-        }
-        out.push_str("\r\n");
-        out.into_bytes()
-    }
-}
-
-/// Why a request was refused. Every variant maps to a 4xx response;
-/// none of them may panic, allocate unboundedly, or loop.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum RequestError {
-    /// Head exceeds [`MAX_REQUEST_BYTES`].
-    TooLarge,
-    /// Structurally invalid head (missing terminator, bad request
-    /// line, illegal characters…). The payload names the first check
-    /// that failed.
-    Malformed(&'static str),
-    /// Not an `HTTP/1.0` / `HTTP/1.1` request.
-    UnsupportedVersion,
-    /// More than [`MAX_HEADERS`] header lines.
-    TooManyHeaders,
-}
-
-impl std::fmt::Display for RequestError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            RequestError::TooLarge => write!(f, "request head exceeds {MAX_REQUEST_BYTES} bytes"),
-            RequestError::Malformed(why) => write!(f, "malformed request: {why}"),
-            RequestError::UnsupportedVersion => write!(f, "only HTTP/1.0 and HTTP/1.1 are served"),
-            RequestError::TooManyHeaders => write!(f, "more than {MAX_HEADERS} headers"),
-        }
-    }
-}
-
-fn is_tchar(b: u8) -> bool {
-    // RFC 9110 token characters.
-    b.is_ascii_alphanumeric() || b"!#$%&'*+-.^_`|~".contains(&b)
-}
-
-/// Strictly parses one request head from raw socket bytes. Bytes after
-/// the `\r\n\r\n` terminator (a body) are ignored — every served
-/// endpoint is a bodiless GET.
-pub fn parse_request(raw: &[u8]) -> Result<Request, RequestError> {
-    if raw.len() > MAX_REQUEST_BYTES {
-        return Err(RequestError::TooLarge);
-    }
-    let head_end = raw
-        .windows(4)
-        .position(|w| w == b"\r\n\r\n")
-        .ok_or(RequestError::Malformed("missing \\r\\n\\r\\n terminator"))?;
-    // Include the first `\r\n` of the terminator so every line in the
-    // head carries its CRLF and bare-LF lines are detectable.
-    let head = &raw[..head_end + 2];
-    let mut lines: Vec<&[u8]> = head.split(|&b| b == b'\n').collect();
-    // `head` ends with `\n`, so the final split piece is always empty.
-    lines.pop();
-    let mut lines = lines.into_iter();
-
-    let request_line = lines.next().unwrap_or_default();
-    let request_line = request_line
-        .strip_suffix(b"\r")
-        .ok_or(RequestError::Malformed("bare LF in request line"))?;
-    let mut parts = request_line.split(|&b| b == b' ');
-    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
-        (Some(m), Some(t), Some(v), None) => (m, t, v),
-        _ => return Err(RequestError::Malformed("request line is not `METHOD SP target SP version`")),
-    };
-
-    if method.is_empty() || method.len() > 16 || !method.iter().all(|&b| b.is_ascii_uppercase()) {
-        return Err(RequestError::Malformed("method is not an uppercase token"));
-    }
-    if target.len() > MAX_TARGET_BYTES {
-        return Err(RequestError::Malformed("target too long"));
-    }
-    if target.first() != Some(&b'/') || !target.iter().all(|&b| (0x21..=0x7e).contains(&b)) {
-        return Err(RequestError::Malformed("target must be /-rooted visible ASCII"));
-    }
-    let minor_version = match version {
-        b"HTTP/1.0" => 0,
-        b"HTTP/1.1" => 1,
-        _ => return Err(RequestError::UnsupportedVersion),
-    };
-
-    let mut headers = Vec::new();
-    for line in lines {
-        let line = line
-            .strip_suffix(b"\r")
-            .ok_or(RequestError::Malformed("bare LF in header line"))?;
-        if headers.len() >= MAX_HEADERS {
-            return Err(RequestError::TooManyHeaders);
-        }
-        let colon = line
-            .iter()
-            .position(|&b| b == b':')
-            .ok_or(RequestError::Malformed("header line without colon"))?;
-        let (name, value) = (&line[..colon], &line[colon + 1..]);
-        if name.is_empty() || name.len() > MAX_HEADER_NAME_BYTES || !name.iter().all(|&b| is_tchar(b)) {
-            return Err(RequestError::Malformed("header name is not a token"));
-        }
-        // Obsolete line folding (a header line starting with
-        // whitespace) never reaches here: it would parse as a header
-        // name with illegal characters and be rejected above.
-        let value = trim_ows(value);
-        if value.len() > MAX_HEADER_VALUE_BYTES {
-            return Err(RequestError::Malformed("header value too long"));
-        }
-        if !value.iter().all(|&b| b == b'\t' || (0x20..=0x7e).contains(&b)) {
-            return Err(RequestError::Malformed("header value has control bytes"));
-        }
-        headers.push((
-            String::from_utf8_lossy(name).into_owned(),
-            String::from_utf8_lossy(value).into_owned(),
-        ));
-    }
-
-    Ok(Request {
-        method: String::from_utf8_lossy(method).into_owned(),
-        target: String::from_utf8_lossy(target).into_owned(),
-        minor_version,
-        headers,
-    })
-}
-
-fn trim_ows(mut v: &[u8]) -> &[u8] {
-    while let Some((first, rest)) = v.split_first() {
-        if *first == b' ' || *first == b'\t' {
-            v = rest;
-        } else {
-            break;
-        }
-    }
-    while let Some((last, rest)) = v.split_last() {
-        if *last == b' ' || *last == b'\t' {
-            v = rest;
-        } else {
-            break;
-        }
-    }
-    v
-}
+// The byte-level request contract lives in `sfn-httpcore`; these
+// re-exports keep the long-standing `sfn_metrics::http::*` paths (and
+// the `http` fuzz target) stable.
+pub use sfn_httpcore::{
+    parse_request, Request, RequestError, MAX_HEADERS, MAX_HEADER_NAME_BYTES,
+    MAX_HEADER_VALUE_BYTES, MAX_REQUEST_BYTES, MAX_TARGET_BYTES,
+};
 
 // -------------------------------------------------------------- server
 
@@ -285,8 +108,12 @@ pub fn serve(hub: Arc<Hub>, addr: &str) -> std::io::Result<ServerHandle> {
 }
 
 fn respond_overloaded(mut stream: TcpStream) {
-    let _ = stream.write_all(
-        b"HTTP/1.1 503 Service Unavailable\r\nConnection: close\r\nContent-Length: 9\r\n\r\noverload\n",
+    sfn_httpcore::write_response(
+        &mut stream,
+        503,
+        "text/plain; charset=utf-8",
+        &[],
+        b"overload\n",
     );
 }
 
@@ -325,7 +152,7 @@ fn handle_connection(hub: &Hub, mut stream: TcpStream) {
             }
         }
     };
-    write_response(&mut stream, status, content_type, &body);
+    sfn_httpcore::write_response(&mut stream, status, content_type, &[], &body);
 }
 
 fn status_page(status: u16, body: &str) -> (u16, &'static str, Vec<u8>) {
@@ -366,90 +193,25 @@ fn route(hub: &Hub, req: &Request) -> (u16, &'static str, Vec<u8>) {
     }
 }
 
-fn write_response(stream: &mut TcpStream, status: u16, content_type: &str, body: &[u8]) {
-    let reason = match status {
-        200 => "OK",
-        400 => "Bad Request",
-        404 => "Not Found",
-        405 => "Method Not Allowed",
-        431 => "Request Header Fields Too Large",
-        503 => "Service Unavailable",
-        _ => "Error",
-    };
-    let head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    let _ = stream.write_all(head.as_bytes());
-    let _ = stream.write_all(body);
-    let _ = stream.flush();
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn ok(raw: &[u8]) -> Request {
-        parse_request(raw).expect("parses")
-    }
-
+    // The parser's own behavioural tests live in `sfn-httpcore`; these
+    // pin the re-exported paths this crate has always offered.
     #[test]
-    fn parses_minimal_get() {
-        let r = ok(b"GET /metrics HTTP/1.1\r\n\r\n");
+    fn reexported_parser_paths_still_work() {
+        let r = parse_request(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").expect("parses");
         assert_eq!(r.method, "GET");
         assert_eq!(r.target, "/metrics");
-        assert_eq!(r.minor_version, 1);
-        assert!(r.headers.is_empty());
+        assert_eq!(crate::parse_request(&r.render()).expect("fixed point"), r);
+        const { assert!(MAX_REQUEST_BYTES >= MAX_TARGET_BYTES) };
+        const { assert!(MAX_HEADER_NAME_BYTES < MAX_HEADER_VALUE_BYTES || MAX_HEADERS > 0) };
     }
 
     #[test]
-    fn parses_headers_and_trims_optional_whitespace() {
-        let r = ok(b"GET / HTTP/1.0\r\nHost:  localhost:9090 \r\nAccept: */*\r\n\r\nignored body");
-        assert_eq!(r.minor_version, 0);
-        assert_eq!(r.headers[0], ("Host".into(), "localhost:9090".into()));
-        assert_eq!(r.headers[1], ("Accept".into(), "*/*".into()));
-    }
-
-    #[test]
-    fn render_parse_is_a_fixed_point() {
-        let r = ok(b"HEAD /snapshot.json?x=1 HTTP/1.1\r\nHost: a\r\nX-B: c\t d\r\n\r\n");
-        assert_eq!(ok(&r.render()), r);
-    }
-
-    #[test]
-    fn rejects_malformed_heads() {
-        for (raw, why) in [
-            (&b"GET /metrics HTTP/1.1"[..], "no terminator"),
-            (b"GET /metrics HTTP/1.1\n\n", "LF-only terminator"),
-            (b"GET /metrics HTTP/1.1\nX: y\r\n\r\n", "bare LF line ending"),
-            (b"get /metrics HTTP/1.1\r\n\r\n", "lowercase method"),
-            (b"GET metrics HTTP/1.1\r\n\r\n", "target not /-rooted"),
-            (b"GET /me trics HTTP/1.1\r\n\r\n", "space in target"),
-            (b"GET /metrics HTTP/2\r\n\r\n", "unsupported version"),
-            (b"GET /metrics HTTP/1.1 extra\r\n\r\n", "four request-line parts"),
-            (b"GET /metrics HTTP/1.1\r\nNoColonHere\r\n\r\n", "header without colon"),
-            (b"GET /metrics HTTP/1.1\r\n: empty-name\r\n\r\n", "empty header name"),
-            (b"GET /metrics HTTP/1.1\r\nX: a\x01b\r\n\r\n", "control byte in value"),
-            (b"\r\n\r\n", "empty request line"),
-        ] {
-            assert!(parse_request(raw).is_err(), "should reject: {why}");
-        }
-    }
-
-    #[test]
-    fn rejects_oversize_and_header_floods() {
+    fn oversize_heads_still_reject_through_reexport() {
         let huge = vec![b'A'; MAX_REQUEST_BYTES + 1];
         assert_eq!(parse_request(&huge), Err(RequestError::TooLarge));
-
-        let mut flood = b"GET / HTTP/1.1\r\n".to_vec();
-        for i in 0..MAX_HEADERS + 1 {
-            flood.extend_from_slice(format!("H{i}: v\r\n").as_bytes());
-        }
-        flood.extend_from_slice(b"\r\n");
-        assert_eq!(parse_request(&flood), Err(RequestError::TooManyHeaders));
-
-        let long_target = [b"GET /".to_vec(), vec![b'a'; MAX_TARGET_BYTES], b" HTTP/1.1\r\n\r\n".to_vec()]
-            .concat();
-        assert!(matches!(parse_request(&long_target), Err(RequestError::Malformed(_))));
     }
 }

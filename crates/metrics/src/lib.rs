@@ -114,6 +114,51 @@ pub fn serve_from_env() -> Option<ServerHandle> {
     }
 }
 
+/// One objective's burn-rate reading, flattened from [`SloState`] for
+/// overload controllers (sfn-serve's brownout loop polls this once a
+/// tick and maps sustained burn onto degradation rungs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BurnReading {
+    /// Objective name (e.g. `step-latency`).
+    pub name: String,
+    /// Burn rate over the fast window.
+    pub fast_burn: f64,
+    /// Burn rate over the slow window.
+    pub slow_burn: f64,
+    /// True while the objective's multi-window rule holds.
+    pub burning: bool,
+}
+
+/// Burn-rate snapshot of every objective on the global hub, as of the
+/// last collector tick (call [`Hub::collect_now`] first for a fresh
+/// evaluation). Works whether or not an HTTP endpoint is serving —
+/// reading burn rates must not require opening a port.
+pub fn burn_rates() -> Vec<BurnReading> {
+    global()
+        .slo_states()
+        .into_iter()
+        .map(|s| BurnReading {
+            name: s.spec.name.clone(),
+            fast_burn: s.fast_burn,
+            slow_burn: s.slow_burn,
+            burning: s.burning,
+        })
+        .collect()
+}
+
+/// The highest fast-window burn rate across objectives and whether any
+/// objective is currently burning — the two numbers an overload
+/// controller actually branches on.
+pub fn worst_burn() -> (f64, bool) {
+    let mut worst = 0.0f64;
+    let mut burning = false;
+    for r in burn_rates() {
+        worst = worst.max(r.fast_burn);
+        burning |= r.burning;
+    }
+    (worst, burning)
+}
+
 /// Direct registration of one simulation step: feeds the
 /// `runtime.step_secs` latency series, the `runtime.steps` rate
 /// counter, and the model roster. No-op unless [`live`] — callers
@@ -168,5 +213,20 @@ mod tests {
         // Whether or not another test beat us to the first init, a
         // second call must report "already installed".
         assert!(!init_global(Config::default()));
+    }
+
+    #[test]
+    fn burn_rates_read_every_objective_without_an_endpoint() {
+        // No HTTP listener, no collector thread: the read API alone
+        // must surface one reading per configured objective.
+        let readings = burn_rates();
+        assert_eq!(readings.len(), global().config().slo.objectives.len());
+        assert!(!readings.is_empty(), "stock SLO config has objectives");
+        for r in &readings {
+            assert!(!r.name.is_empty());
+            assert!(r.fast_burn >= 0.0 && r.slow_burn >= 0.0);
+        }
+        let (worst, _burning) = worst_burn();
+        assert!(worst >= 0.0);
     }
 }

@@ -41,5 +41,7 @@ pub use error::RuntimeError;
 pub use knn::KnnDatabase;
 pub use persist::DurableCheckpointer;
 pub use quarantine::{QuarantineDecision, QuarantineEntryState, QuarantineTable, MAX_STRIKES};
-pub use scheduler::{CandidateModel, RunOutcome, RuntimeConfig, SchedulerEvent, SmartRuntime};
+pub use scheduler::{
+    CandidateModel, RunLimits, RunOutcome, RuntimeConfig, SchedulerEvent, SmartRuntime, Truncation,
+};
 pub use telemetry::RunSummary;

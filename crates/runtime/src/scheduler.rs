@@ -91,6 +91,106 @@ impl Default for RuntimeConfig {
     }
 }
 
+/// External bounds on one run, checked at step boundaries. The serving
+/// layer attaches a request's deadline budget and (under brownout) a
+/// reduced step budget; a run that hits either sheds the remaining
+/// work instead of running to completion.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunLimits {
+    /// Wall-clock deadline. Checked after every step (including the
+    /// PCG restart/degraded tails), so a run overshoots its budget by
+    /// at most one step.
+    pub deadline: Option<std::time::Instant>,
+    /// Hard cap on executed steps, overriding `total_steps` when
+    /// smaller. Rolled-back steps count: the budget bounds work done,
+    /// not progress achieved.
+    pub max_steps: Option<usize>,
+}
+
+impl RunLimits {
+    /// No bounds — the behaviour of [`SmartRuntime::run`].
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Which bound (if any) the run has hit at `step` after `executed`
+    /// total executed steps.
+    fn exceeded(&self, step: usize, executed: usize) -> Option<Truncation> {
+        if let Some(max) = self.max_steps {
+            if executed >= max {
+                return Some(Truncation::StepBudget { step });
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if std::time::Instant::now() >= deadline {
+                return Some(Truncation::DeadlineExpired { step });
+            }
+        }
+        None
+    }
+}
+
+/// Why a bounded run stopped before `total_steps`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Truncation {
+    /// The [`RunLimits::deadline`] passed; work past `step` was shed.
+    DeadlineExpired {
+        /// Last completed simulation step.
+        step: usize,
+    },
+    /// The [`RunLimits::max_steps`] budget was consumed at `step`.
+    StepBudget {
+        /// Last completed simulation step.
+        step: usize,
+    },
+}
+
+impl Truncation {
+    /// Stable label used in `runtime.shed` events.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            Truncation::DeadlineExpired { .. } => "deadline",
+            Truncation::StepBudget { .. } => "step_budget",
+        }
+    }
+
+    /// Last completed step before the shed.
+    pub fn step(&self) -> usize {
+        match self {
+            Truncation::DeadlineExpired { step } | Truncation::StepBudget { step } => *step,
+        }
+    }
+}
+
+/// The Algorithm 2 line 8-16 verdict at one check interval, carrying
+/// the switch target with it so acting on the decision can never
+/// dereference an empty candidate neighbourhood (the verdict is typed,
+/// not a string to re-interpret).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Action {
+    /// Escalate to the (available) candidate at this index.
+    SwitchUp(usize),
+    /// Relax to the (available) candidate at this index.
+    SwitchDown(usize),
+    /// No available candidate can meet the target: restart on PCG.
+    Restart,
+    /// Prediction inside the band (or nowhere better to go).
+    Keep,
+}
+
+impl Action {
+    /// Stable label for `scheduler.decision` events (the audit replay
+    /// contract).
+    fn as_str(&self) -> &'static str {
+        match self {
+            Action::SwitchUp(_) => "switch_up",
+            Action::SwitchDown(_) => "switch_down",
+            Action::Restart => "restart",
+            Action::Keep => "keep",
+        }
+    }
+}
+
 /// A scheduling event, for telemetry and tests.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SchedulerEvent {
@@ -329,6 +429,10 @@ pub struct RunOutcome {
     /// fresh start. The per-model accounting above covers only the
     /// resumed portion of the run.
     pub resumed_from: Option<usize>,
+    /// `Some` when a [`RunLimits`] bound stopped the run early (the
+    /// density is the state at the shed boundary, still finite and
+    /// renderable); `None` for a run-to-completion.
+    pub truncation: Option<Truncation>,
 }
 
 /// The Algorithm 2 scheduler.
@@ -428,6 +532,15 @@ impl SmartRuntime {
         self.run_with_checkpoints(sim, None).0
     }
 
+    /// Runs one simulation under the scheduler with external bounds
+    /// (deadline / step budget) checked at every step boundary — the
+    /// serving entry point. A bounded run never panics on expiry; it
+    /// sheds the remaining steps and reports the cut in
+    /// [`RunOutcome::truncation`].
+    pub fn run_bounded(&mut self, sim: Simulation, limits: RunLimits) -> RunOutcome {
+        self.run_inner(sim, None, limits).0
+    }
+
     /// Attempts to resume scheduler state from `ckpt`'s newest valid
     /// durable checkpoint. Returns the resume step, or `None` when
     /// there is nothing (valid) to resume from.
@@ -494,8 +607,17 @@ impl SmartRuntime {
     /// (`ckpt.write_failed`) and the run continues on the in-RAM anchor.
     pub fn run_with_checkpoints(
         &mut self,
+        sim: Simulation,
+        ckpt: Option<&mut DurableCheckpointer>,
+    ) -> (RunOutcome, Simulation) {
+        self.run_inner(sim, ckpt, RunLimits::none())
+    }
+
+    fn run_inner(
+        &mut self,
         mut sim: Simulation,
         ckpt: Option<&mut DurableCheckpointer>,
+        limits: RunLimits,
     ) -> (RunOutcome, Simulation) {
         let cfg = self.config;
         let n_models = self.candidates.len();
@@ -544,7 +666,21 @@ impl SmartRuntime {
         // rollback rewinds the backoff clock too.
         let mut checkpoint = (sim.snapshot(), tracker.clone(), step);
 
+        // Executed-step counter for `RunLimits::max_steps`: unlike
+        // `step` it never rewinds on rollback, so a corruption storm
+        // cannot stretch a bounded run past its work budget.
+        let mut executed = 0usize;
+        let mut truncation: Option<Truncation> = None;
+
         while step < cfg.total_steps {
+            // Bound check first: `sim` here is always the newest healthy
+            // state (the corruption guard restores before looping), so a
+            // shed result is degraded-but-valid, never NaN soup.
+            if let Some(t) = limits.exceeded(step, executed) {
+                emit_shed(&t, executed);
+                truncation = Some(t);
+                break;
+            }
             // Per-step timeline record (Trace level): the raw material
             // for `sfn-trace analyze` / `export` — timing is only taken
             // when something would record the event.
@@ -557,6 +693,7 @@ impl SmartRuntime {
             time_per_model[current] += stats.projection_time.as_secs_f64();
             steps_per_model[current] += 1;
             step += 1;
+            executed += 1;
             if let Some(t0) = step_t0 {
                 let secs = t0.elapsed().as_secs_f64();
                 sfn_metrics::record_step(&self.candidates[current].name, secs);
@@ -700,16 +837,17 @@ impl SmartRuntime {
             // Decide first, mutate after: the whole Algorithm 2 check is
             // reported as exactly one structured event either way.
             let action = if predicted_loss > hi {
-                if up.is_some() {
-                    "switch_up"
-                } else {
-                    "restart" // Algorithm 2 line 16: fall back to PCG.
+                match up {
+                    Some(to) => Action::SwitchUp(to),
+                    None => Action::Restart, // Algorithm 2 line 16: fall back to PCG.
                 }
-            } else if predicted_loss < lo && cfg.use_mlp && down.is_some() {
-                // Comfortable slack: move to a faster model.
-                "switch_down"
+            } else if predicted_loss < lo && cfg.use_mlp {
+                // Comfortable slack: move to a faster model — unless
+                // quarantine emptied the neighbourhood below, in which
+                // case there is nowhere to relax to and we keep.
+                down.map_or(Action::Keep, Action::SwitchDown)
             } else {
-                "keep"
+                Action::Keep
             };
             sfn_obs::counter_add("scheduler.checks", 1);
             // The decision record carries everything `sfn-trace audit`
@@ -730,11 +868,13 @@ impl SmartRuntime {
                 .field_u64("barred", quarantine.unavailable(interval_now).len() as u64)
                 .field_u64("rank", current as u64)
                 .field_u64("candidates", n_models as u64)
-                .field_str("action", action)
+                .field_str("action", action.as_str())
                 .emit();
             match action {
-                "switch_up" => {
-                    let to = up.unwrap();
+                // The switch target rides inside the verdict, so a
+                // depleted neighbourhood can no longer panic here: it
+                // was already folded into Restart/Keep above.
+                Action::SwitchUp(to) | Action::SwitchDown(to) => {
                     sfn_obs::counter_add("scheduler.switches", 1);
                     events.push(SchedulerEvent::Switch {
                         step,
@@ -744,18 +884,7 @@ impl SmartRuntime {
                     });
                     current = to;
                 }
-                "switch_down" => {
-                    let to = down.unwrap();
-                    sfn_obs::counter_add("scheduler.switches", 1);
-                    events.push(SchedulerEvent::Switch {
-                        step,
-                        from: self.candidates[current].name.clone(),
-                        to: self.candidates[to].name.clone(),
-                        predicted_loss,
-                    });
-                    current = to;
-                }
-                "restart" => {
+                Action::Restart => {
                     sfn_obs::counter_add("scheduler.restarts", 1);
                     events.push(SchedulerEvent::Restart {
                         step,
@@ -763,7 +892,7 @@ impl SmartRuntime {
                     });
                     restarted = true;
                 }
-                _ => {}
+                Action::Keep => {}
             }
             if restarted {
                 break;
@@ -781,12 +910,18 @@ impl SmartRuntime {
                 "pcg-degraded",
             );
             while step < cfg.total_steps {
+                if let Some(t) = limits.exceeded(step, executed) {
+                    emit_shed(&t, executed);
+                    truncation = Some(t);
+                    break;
+                }
                 let step_t0 = (sfn_obs::event_enabled(Level::Trace) || sfn_metrics::live())
                     .then(std::time::Instant::now);
                 let s = sim.step(&mut pcg);
                 tracker.push(s.div_norm * inv_cells);
                 restart_time += s.projection_time.as_secs_f64();
                 step += 1;
+                executed += 1;
                 if let Some(t0) = step_t0 {
                     let secs = t0.elapsed().as_secs_f64();
                     sfn_metrics::record_step("pcg-degraded", secs);
@@ -810,11 +945,17 @@ impl SmartRuntime {
             );
             let mut restart_tracker = CumDivNormTracker::new();
             for restart_step in 0..cfg.total_steps {
+                if let Some(t) = limits.exceeded(restart_step, executed) {
+                    emit_shed(&t, executed);
+                    truncation = Some(t);
+                    break;
+                }
                 let step_t0 = (sfn_obs::event_enabled(Level::Trace) || sfn_metrics::live())
                     .then(std::time::Instant::now);
                 let s = sim.step(&mut pcg);
                 restart_tracker.push(s.div_norm * inv_cells);
                 restart_time += s.projection_time.as_secs_f64();
+                executed += 1;
                 if let Some(t0) = step_t0 {
                     let secs = t0.elapsed().as_secs_f64();
                     sfn_metrics::record_step("pcg", secs);
@@ -855,9 +996,22 @@ impl SmartRuntime {
             degraded,
             quarantined,
             resumed_from,
+            truncation,
         };
         (outcome, sim)
     }
+}
+
+/// One `runtime.shed` record per truncated run: the serving layer and
+/// `sfn-trace` both key off this to distinguish a deadline shed from a
+/// completed run.
+fn emit_shed(t: &Truncation, executed: usize) {
+    sfn_obs::counter_add("runtime.sheds", 1);
+    sfn_obs::event(Level::Warn, "runtime.shed")
+        .field_u64("step", t.step() as u64)
+        .field_str("reason", t.reason())
+        .field_u64("executed", executed as u64)
+        .emit();
 }
 
 #[cfg(test)]
@@ -1106,6 +1260,75 @@ mod tests {
         // The healthy model carried the whole surviving run.
         let healthy = out.model_names.iter().position(|n| n == "healthy").unwrap();
         assert_eq!(out.steps_per_model[healthy], 20);
+    }
+
+    #[test]
+    fn single_candidate_band_exits_never_panic() {
+        // Regression: acting on a band exit used to `unwrap()` the
+        // switch target, so a roster with no neighbour in the switch
+        // direction was a latent panic. Drive both exits over a
+        // one-model roster: the upward exit must fold into a restart
+        // and the downward one into a keep.
+        let c = vec![candidate("only", &yang_spec(2), 1, 0.8, 0.05, 0.1)];
+        let mut rt = SmartRuntime::new(
+            c.clone(),
+            knn(),
+            RuntimeConfig {
+                total_steps: 30,
+                quality_target: 1e-9, // always above the band: wants up
+                ..Default::default()
+            },
+        );
+        let out = rt.run(simulation(16));
+        assert!(out.restarted, "no up-neighbour must restart: {:?}", out.events);
+
+        let mut rt = SmartRuntime::new(
+            c,
+            knn(),
+            RuntimeConfig {
+                total_steps: 30,
+                quality_target: 1e9, // always below the band: wants down
+                use_mlp: true,
+                ..Default::default()
+            },
+        );
+        let out = rt.run(simulation(16));
+        assert!(!out.restarted && out.events.is_empty(), "no down-neighbour must keep");
+        assert_eq!(out.cum_div_norm.len(), 30);
+    }
+
+    #[test]
+    fn expired_deadline_sheds_immediately_with_valid_state() {
+        let c = vec![candidate("a", &yang_spec(2), 1, 0.8, 0.05, 0.1)];
+        let mut rt = SmartRuntime::new(
+            c,
+            knn(),
+            RuntimeConfig { total_steps: 20, quality_target: 1.0, ..Default::default() },
+        );
+        let limits = RunLimits {
+            deadline: Some(std::time::Instant::now() - std::time::Duration::from_millis(1)),
+            max_steps: None,
+        };
+        let out = rt.run_bounded(simulation(16), limits);
+        assert_eq!(out.truncation, Some(Truncation::DeadlineExpired { step: 0 }));
+        assert!(out.cum_div_norm.is_empty());
+        assert!(out.density.all_finite(), "a shed run still returns renderable state");
+    }
+
+    #[test]
+    fn step_budget_truncates_at_the_boundary() {
+        let c = vec![candidate("a", &yang_spec(2), 1, 0.8, 0.05, 0.1)];
+        let mut rt = SmartRuntime::new(
+            c,
+            knn(),
+            RuntimeConfig { total_steps: 20, quality_target: 1.0, ..Default::default() },
+        );
+        let limits = RunLimits { deadline: None, max_steps: Some(7) };
+        let out = rt.run_bounded(simulation(16), limits);
+        assert_eq!(out.truncation, Some(Truncation::StepBudget { step: 7 }));
+        assert_eq!(out.cum_div_norm.len(), 7);
+        assert_eq!(out.steps_per_model.iter().sum::<usize>(), 7);
+        assert!(out.density.all_finite());
     }
 
     fn temp_ckpt_dir(tag: &str) -> std::path::PathBuf {

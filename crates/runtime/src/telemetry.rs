@@ -148,6 +148,7 @@ mod tests {
             degraded: false,
             quarantined: Vec::new(),
             resumed_from: None,
+            truncation: None,
         }
     }
 

@@ -1,0 +1,177 @@
+//! Admission control: per-tenant token buckets plus a global
+//! in-flight limit. Every refusal is immediate (429/503 with a
+//! Retry-After hint) — an overloaded server answers cheaply and
+//! instantly rather than queueing unboundedly.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A refill-on-read token bucket (one per tenant).
+#[derive(Debug)]
+pub struct TokenBucket {
+    /// Sustained refill rate, tokens per second.
+    rate: f64,
+    /// Bucket capacity (burst size).
+    burst: f64,
+    tokens: f64,
+    last: Instant,
+}
+
+impl TokenBucket {
+    /// A full bucket refilling at `rate` tokens/s up to `burst`.
+    pub fn new(rate: f64, burst: f64, now: Instant) -> Self {
+        let rate = rate.max(1e-6);
+        let burst = burst.max(1.0);
+        Self { rate, burst, tokens: burst, last: now }
+    }
+
+    /// Takes one token, or reports how many seconds until one refills.
+    pub fn try_take(&mut self, now: Instant) -> Result<(), f64> {
+        let dt = now.saturating_duration_since(self.last).as_secs_f64();
+        self.last = now;
+        self.tokens = (self.tokens + dt * self.rate).min(self.burst);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            Ok(())
+        } else {
+            Err((1.0 - self.tokens) / self.rate)
+        }
+    }
+}
+
+/// Why admission refused a request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdmitError {
+    /// The tenant's token bucket is empty → 429 + Retry-After.
+    RateLimited {
+        /// Seconds until a token refills.
+        retry_after_secs: f64,
+    },
+    /// The global in-flight limit is reached → 503 + Retry-After.
+    Overloaded,
+    /// The tenant's bounded queue is full → 503 (backpressure).
+    QueueFull,
+    /// The tenant's circuit breaker is open → 503 + Retry-After.
+    BreakerOpen {
+        /// Seconds until the breaker half-opens.
+        retry_after_secs: f64,
+    },
+    /// Brownout rung 4: lowest-priority traffic is shed at the door.
+    BrownoutShed,
+}
+
+impl AdmitError {
+    /// Stable label used in `serve.admit` events and `/stats.json`.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            AdmitError::RateLimited { .. } => "rate_limited",
+            AdmitError::Overloaded => "overloaded",
+            AdmitError::QueueFull => "queue_full",
+            AdmitError::BreakerOpen { .. } => "breaker_open",
+            AdmitError::BrownoutShed => "brownout_shed",
+        }
+    }
+
+    /// The response status the refusal maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            AdmitError::RateLimited { .. } => 429,
+            _ => 503,
+        }
+    }
+
+    /// Retry-After hint in whole seconds (minimum 1).
+    pub fn retry_after_secs(&self) -> u64 {
+        match self {
+            AdmitError::RateLimited { retry_after_secs }
+            | AdmitError::BreakerOpen { retry_after_secs } => {
+                (retry_after_secs.ceil() as u64).max(1)
+            }
+            _ => 1,
+        }
+    }
+}
+
+/// The per-tenant rate-limit table.
+pub struct RateTable {
+    rate: f64,
+    burst: f64,
+    buckets: Mutex<HashMap<String, TokenBucket>>,
+}
+
+impl RateTable {
+    /// A table handing each new tenant a full `rate`/`burst` bucket.
+    pub fn new(rate: f64, burst: f64) -> Self {
+        Self { rate, burst, buckets: Mutex::new(HashMap::new()) }
+    }
+
+    /// Takes one token from `tenant`'s bucket (creating it on first
+    /// sight), or reports the refill wait.
+    pub fn try_take(&self, tenant: &str, now: Instant) -> Result<(), AdmitError> {
+        let mut buckets = self.buckets.lock().unwrap_or_else(|e| e.into_inner());
+        let bucket = buckets
+            .entry(tenant.to_string())
+            .or_insert_with(|| TokenBucket::new(self.rate, self.burst, now));
+        bucket.try_take(now).map_err(|retry_after_secs| AdmitError::RateLimited {
+            retry_after_secs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn bucket_spends_burst_then_refills_at_rate() {
+        let t0 = Instant::now();
+        let mut b = TokenBucket::new(10.0, 3.0, t0);
+        assert!(b.try_take(t0).is_ok());
+        assert!(b.try_take(t0).is_ok());
+        assert!(b.try_take(t0).is_ok());
+        let wait = b.try_take(t0).expect_err("burst spent");
+        assert!(wait > 0.0 && wait <= 0.1 + 1e-9, "{wait}");
+        // 100 ms at 10 tokens/s refills exactly the one token needed.
+        assert!(b.try_take(t0 + Duration::from_millis(100)).is_ok());
+        assert!(b.try_take(t0 + Duration::from_millis(100)).is_err());
+    }
+
+    #[test]
+    fn bucket_never_exceeds_burst() {
+        let t0 = Instant::now();
+        let mut b = TokenBucket::new(1000.0, 2.0, t0);
+        // A long idle period must cap at burst, not accumulate.
+        let later = t0 + Duration::from_secs(60);
+        assert!(b.try_take(later).is_ok());
+        assert!(b.try_take(later).is_ok());
+        assert!(b.try_take(later).is_err());
+    }
+
+    #[test]
+    fn tenants_get_independent_buckets() {
+        let table = RateTable::new(0.001, 1.0);
+        let now = Instant::now();
+        assert!(table.try_take("a", now).is_ok());
+        assert!(matches!(
+            table.try_take("a", now),
+            Err(AdmitError::RateLimited { .. })
+        ));
+        // Tenant B is untouched by A's exhaustion.
+        assert!(table.try_take("b", now).is_ok());
+    }
+
+    #[test]
+    fn refusals_map_to_statuses_and_hints() {
+        let e = AdmitError::RateLimited { retry_after_secs: 2.3 };
+        assert_eq!((e.status(), e.retry_after_secs(), e.reason()), (429, 3, "rate_limited"));
+        assert_eq!(AdmitError::Overloaded.status(), 503);
+        assert_eq!(AdmitError::QueueFull.status(), 503);
+        assert_eq!(
+            AdmitError::BreakerOpen { retry_after_secs: 0.2 }.retry_after_secs(),
+            1
+        );
+        assert_eq!(AdmitError::BrownoutShed.reason(), "brownout_shed");
+    }
+}

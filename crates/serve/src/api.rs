@@ -1,0 +1,319 @@
+//! The serve-API request contract: one `POST /simulate` per
+//! connection, tenant/priority/deadline carried in headers, the scene
+//! in a small JSON body.
+//!
+//! This is an untrusted-input boundary (fuzzed as the `serve_req`
+//! target): parsing is strict, every refusal is a typed [`ApiError`]
+//! mapping to a 4xx, and an accepted request round-trips through its
+//! canonical wire rendering ([`SimRequest::to_http`]) bit-for-bit.
+
+use sfn_httpcore::{parse_request, Request, RequestError};
+use sfn_obs::json::{self, Value};
+
+/// Longest accepted tenant identifier.
+pub const MAX_TENANT_BYTES: usize = 32;
+/// Grid-size bounds accepted from clients (cells per side).
+pub const MIN_GRID: usize = 8;
+/// Upper grid bound — serving is for interactive scenes, not batch HPC.
+pub const MAX_GRID: usize = 64;
+/// Most simulation steps one request may ask for.
+pub const MAX_STEPS: usize = 256;
+/// Deadline ceiling; larger declared budgets are refused, not clamped.
+pub const MAX_DEADLINE_MS: u64 = 60_000;
+/// Seeds must stay exactly representable in a JSON number.
+pub const MAX_SEED: u64 = (1 << 32) - 1;
+
+/// A validated simulation request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimRequest {
+    /// Tenant identifier (token of `[a-z0-9_-]`, starts alphanumeric).
+    pub tenant: String,
+    /// 0 = batch, 1 = standard, 2 = interactive. Brownout rung 4 sheds
+    /// priority 0 first.
+    pub priority: u8,
+    /// Declared deadline budget in milliseconds (`None` = server
+    /// default).
+    pub deadline_ms: Option<u64>,
+    /// Grid cells per side.
+    pub grid: usize,
+    /// Requested simulation steps.
+    pub steps: usize,
+    /// Quality-loss target fed to the Algorithm 2 scheduler.
+    pub quality: f64,
+    /// Scene seed (plume layout perturbation / model roster seed).
+    pub seed: u64,
+}
+
+/// Why a serve-API request was refused. Every variant maps to one
+/// 4xx status; none may panic or allocate unboundedly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApiError {
+    /// The HTTP head itself did not parse.
+    Http(RequestError),
+    /// Not `/simulate`.
+    NotFound,
+    /// Not a `POST`.
+    MethodNotAllowed,
+    /// No `X-Tenant` header.
+    MissingTenant,
+    /// Tenant id violates the token rules.
+    BadTenant(&'static str),
+    /// `X-Priority` outside `0..=2` (or not a number).
+    BadPriority,
+    /// `X-Deadline-Ms` not in `1..=`[`MAX_DEADLINE_MS`].
+    BadDeadline,
+    /// Body length disagrees with `Content-Length`.
+    BodyMismatch,
+    /// Body JSON violates the scene schema; the payload names the
+    /// first check that failed.
+    BadBody(&'static str),
+}
+
+impl ApiError {
+    /// The response status this refusal maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            ApiError::Http(RequestError::TooLarge) => 431,
+            ApiError::Http(RequestError::BodyTooLarge) => 413,
+            ApiError::Http(_) => 400,
+            ApiError::NotFound => 404,
+            ApiError::MethodNotAllowed => 405,
+            ApiError::MissingTenant | ApiError::BadTenant(_) => 400,
+            ApiError::BadPriority | ApiError::BadDeadline => 400,
+            ApiError::BodyMismatch => 400,
+            ApiError::BadBody(_) => 422,
+        }
+    }
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApiError::Http(e) => write!(f, "{e}"),
+            ApiError::NotFound => write!(f, "unknown path; POST /simulate"),
+            ApiError::MethodNotAllowed => write!(f, "only POST is served on /simulate"),
+            ApiError::MissingTenant => write!(f, "X-Tenant header is required"),
+            ApiError::BadTenant(why) => write!(f, "bad tenant id: {why}"),
+            ApiError::BadPriority => write!(f, "X-Priority must be 0, 1 or 2"),
+            ApiError::BadDeadline => {
+                write!(f, "X-Deadline-Ms must be within 1..={MAX_DEADLINE_MS}")
+            }
+            ApiError::BodyMismatch => write!(f, "body length disagrees with Content-Length"),
+            ApiError::BadBody(why) => write!(f, "bad scene body: {why}"),
+        }
+    }
+}
+
+fn valid_tenant(t: &str) -> Result<(), ApiError> {
+    if t.is_empty() {
+        return Err(ApiError::BadTenant("empty"));
+    }
+    if t.len() > MAX_TENANT_BYTES {
+        return Err(ApiError::BadTenant("too long"));
+    }
+    let bytes = t.as_bytes();
+    if !bytes[0].is_ascii_alphanumeric() {
+        return Err(ApiError::BadTenant("must start alphanumeric"));
+    }
+    if !bytes
+        .iter()
+        .all(|&b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-' || b == b'_')
+    {
+        return Err(ApiError::BadTenant("allowed characters are [a-z0-9_-]"));
+    }
+    Ok(())
+}
+
+fn num_u64(v: &Value, key: &str, max: u64) -> Result<Option<u64>, ApiError> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Num(n)) if *n >= 0.0 && n.fract() == 0.0 && *n <= max as f64 => {
+            Ok(Some(*n as u64))
+        }
+        Some(_) => Err(ApiError::BadBody("numeric field out of range")),
+    }
+}
+
+impl SimRequest {
+    /// Parses and validates a full wire request (head + body bytes).
+    /// The single entry point for untrusted serve-API bytes.
+    pub fn parse_wire(raw: &[u8]) -> Result<Self, ApiError> {
+        let head = parse_request(raw).map_err(ApiError::Http)?;
+        let body_start = sfn_httpcore::head_len(raw).unwrap_or(raw.len());
+        Self::from_http(&head, &raw[body_start..])
+    }
+
+    /// Validates a parsed head plus its body bytes. `body` must be
+    /// exactly the declared `Content-Length` bytes.
+    pub fn from_http(head: &Request, body: &[u8]) -> Result<Self, ApiError> {
+        let path = head.target.split('?').next().unwrap_or("");
+        if path != "/simulate" {
+            return Err(ApiError::NotFound);
+        }
+        if head.method != "POST" {
+            return Err(ApiError::MethodNotAllowed);
+        }
+        let declared = head.content_length().map_err(ApiError::Http)?;
+        if body.len() != declared {
+            return Err(ApiError::BodyMismatch);
+        }
+
+        let tenant = head.header("x-tenant").ok_or(ApiError::MissingTenant)?.to_string();
+        valid_tenant(&tenant)?;
+
+        let priority = match head.header("x-priority") {
+            None => 1,
+            Some(v) => match v.parse::<u8>() {
+                Ok(p) if p <= 2 => p,
+                _ => return Err(ApiError::BadPriority),
+            },
+        };
+        let deadline_ms = match head.header("x-deadline-ms") {
+            None => None,
+            Some(v) => match v.parse::<u64>() {
+                Ok(ms) if (1..=MAX_DEADLINE_MS).contains(&ms) => Some(ms),
+                _ => return Err(ApiError::BadDeadline),
+            },
+        };
+
+        let text = std::str::from_utf8(body).map_err(|_| ApiError::BadBody("not UTF-8"))?;
+        let value = json::parse(text).map_err(|_| ApiError::BadBody("not valid JSON"))?;
+        if !matches!(value, Value::Obj(_)) {
+            return Err(ApiError::BadBody("scene must be a JSON object"));
+        }
+        let grid = num_u64(&value, "grid", MAX_GRID as u64)?
+            .ok_or(ApiError::BadBody("\"grid\" is required"))? as usize;
+        if grid < MIN_GRID {
+            return Err(ApiError::BadBody("grid below minimum"));
+        }
+        let steps = num_u64(&value, "steps", MAX_STEPS as u64)?
+            .ok_or(ApiError::BadBody("\"steps\" is required"))? as usize;
+        if steps == 0 {
+            return Err(ApiError::BadBody("steps must be positive"));
+        }
+        let quality = match value.get("quality") {
+            None | Some(Value::Null) => 0.013, // the paper's default target
+            Some(Value::Num(q)) if q.is_finite() && *q > 0.0 && *q <= 100.0 => *q,
+            Some(_) => return Err(ApiError::BadBody("quality must be in (0, 100]")),
+        };
+        let seed = num_u64(&value, "seed", MAX_SEED)?.unwrap_or(0);
+
+        Ok(Self { tenant, priority, deadline_ms, grid, steps, quality, seed })
+    }
+
+    /// Canonical scene body (sorted, no whitespace) — what
+    /// [`SimRequest::to_http`] sends and the fuzz oracle round-trips.
+    pub fn body_json(&self) -> String {
+        format!(
+            "{{\"grid\":{},\"quality\":{},\"seed\":{},\"steps\":{}}}",
+            self.grid, self.quality, self.seed, self.steps
+        )
+    }
+
+    /// Canonical wire rendering (head + body). `parse_wire ∘ to_http`
+    /// must be the identity on validated requests.
+    pub fn to_http(&self) -> Vec<u8> {
+        let body = self.body_json();
+        let mut out = String::with_capacity(128 + body.len());
+        out.push_str("POST /simulate HTTP/1.1\r\n");
+        out.push_str(&format!("X-Tenant: {}\r\n", self.tenant));
+        out.push_str(&format!("X-Priority: {}\r\n", self.priority));
+        if let Some(ms) = self.deadline_ms {
+            out.push_str(&format!("X-Deadline-Ms: {ms}\r\n"));
+        }
+        out.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+        out.push_str(&body);
+        out.into_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request() -> SimRequest {
+        SimRequest {
+            tenant: "acme-1".into(),
+            priority: 2,
+            deadline_ms: Some(250),
+            grid: 16,
+            steps: 8,
+            quality: 0.013,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn wire_round_trip_is_identity() {
+        let r = request();
+        assert_eq!(SimRequest::parse_wire(&r.to_http()).expect("round-trips"), r);
+        let no_deadline = SimRequest { deadline_ms: None, ..request() };
+        assert_eq!(
+            SimRequest::parse_wire(&no_deadline.to_http()).expect("round-trips"),
+            no_deadline
+        );
+    }
+
+    #[test]
+    fn defaults_fill_optional_fields() {
+        let raw = b"POST /simulate HTTP/1.1\r\nX-Tenant: t0\r\nContent-Length: 20\r\n\r\n{\"grid\":8,\"steps\":1}";
+        let r = SimRequest::parse_wire(raw).expect("parses");
+        assert_eq!(r.priority, 1);
+        assert_eq!(r.deadline_ms, None);
+        assert_eq!(r.quality, 0.013);
+        assert_eq!(r.seed, 0);
+    }
+
+    #[test]
+    fn refusals_are_typed_with_statuses() {
+        let cases: Vec<(Vec<u8>, u16)> = vec![
+            (b"GET /simulate HTTP/1.1\r\nX-Tenant: t\r\n\r\n".to_vec(), 405),
+            (b"POST /other HTTP/1.1\r\nX-Tenant: t\r\n\r\n".to_vec(), 404),
+            (b"POST /simulate HTTP/1.1\r\n\r\n".to_vec(), 400), // no tenant
+            (b"POST /simulate HTTP/1.1\r\nX-Tenant: UPPER\r\n\r\n".to_vec(), 400),
+            (b"POST /simulate HTTP/1.1\r\nX-Tenant: t\r\nX-Priority: 9\r\n\r\n".to_vec(), 400),
+            (b"POST /simulate HTTP/1.1\r\nX-Tenant: t\r\nX-Deadline-Ms: 0\r\n\r\n".to_vec(), 400),
+            (b"POST /simulate HTTP/1.1\r\nX-Tenant: t\r\nContent-Length: 5\r\n\r\nab".to_vec(), 400),
+            (
+                b"POST /simulate HTTP/1.1\r\nX-Tenant: t\r\nContent-Length: 2\r\n\r\n{}".to_vec(),
+                422,
+            ),
+            (b"bogus\r\n\r\n".to_vec(), 400),
+        ];
+        for (raw, want) in cases {
+            let err = SimRequest::parse_wire(&raw).expect_err("must refuse");
+            assert_eq!(err.status(), want, "raw: {:?} -> {err}", String::from_utf8_lossy(&raw));
+        }
+    }
+
+    #[test]
+    fn scene_bounds_are_enforced() {
+        for body in [
+            r#"{"grid":4,"steps":8}"#,
+            r#"{"grid":9999,"steps":8}"#,
+            r#"{"grid":16,"steps":0}"#,
+            r#"{"grid":16,"steps":99999}"#,
+            r#"{"grid":16,"steps":8,"quality":-1}"#,
+            r#"{"grid":16,"steps":8,"seed":1e30}"#,
+            r#"[1,2,3]"#,
+            "not json",
+        ] {
+            let raw = format!(
+                "POST /simulate HTTP/1.1\r\nX-Tenant: t\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            );
+            let err = SimRequest::parse_wire(raw.as_bytes()).expect_err(body);
+            assert!(matches!(err, ApiError::BadBody(_)), "{body}: {err:?}");
+        }
+    }
+
+    #[test]
+    fn oversize_declared_body_maps_to_413() {
+        let raw = format!(
+            "POST /simulate HTTP/1.1\r\nX-Tenant: t\r\nContent-Length: {}\r\n\r\n",
+            sfn_httpcore::MAX_BODY_BYTES + 1
+        );
+        let err = SimRequest::parse_wire(raw.as_bytes()).expect_err("must refuse");
+        assert_eq!(err.status(), 413);
+    }
+}

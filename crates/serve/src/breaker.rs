@@ -1,0 +1,185 @@
+//! Per-tenant circuit breakers, reusing the quarantine backoff shape
+//! from `crates/runtime/src/quarantine.rs`: each consecutive failure
+//! doubles the open interval (`base << strikes`), and a success in the
+//! half-open probe closes the breaker and clears the strikes.
+//!
+//! The breaker is the tenant-isolation backstop: a tenant whose models
+//! keep NaN-storming (degraded runs, ejected rosters) stops consuming
+//! simulation workers at the door instead of burning global capacity.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Strikes at which the doubling stops (caps the open interval at
+/// `base << MAX_BACKOFF_EXP`).
+pub const MAX_BACKOFF_EXP: u32 = 6;
+
+#[derive(Debug, Clone)]
+struct BreakerEntry {
+    /// Consecutive failures.
+    strikes: u32,
+    /// Open until this instant (`None` = closed).
+    open_until: Option<Instant>,
+    /// One probe is in flight while half-open.
+    probing: bool,
+}
+
+/// The per-tenant breaker table.
+pub struct BreakerTable {
+    base: Duration,
+    entries: Mutex<HashMap<String, BreakerEntry>>,
+}
+
+/// The breaker's verdict for one arriving request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BreakerState {
+    /// Requests pass (includes the single half-open probe).
+    Closed,
+    /// Requests are refused for another `retry_after_secs`.
+    Open {
+        /// Seconds until the breaker half-opens.
+        retry_after_secs: f64,
+    },
+}
+
+impl BreakerTable {
+    /// A table whose first strike opens a breaker for `base`.
+    pub fn new(base: Duration) -> Self {
+        Self { base: base.max(Duration::from_millis(1)), entries: Mutex::new(HashMap::new()) }
+    }
+
+    /// The verdict for `tenant` at `now`. While open, refuses with the
+    /// remaining hold; when the hold expires, admits exactly one probe
+    /// at a time (half-open) until a success or failure lands.
+    pub fn check(&self, tenant: &str, now: Instant) -> BreakerState {
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(e) = entries.get_mut(tenant) else { return BreakerState::Closed };
+        match e.open_until {
+            Some(until) if now < until => BreakerState::Open {
+                retry_after_secs: until.saturating_duration_since(now).as_secs_f64(),
+            },
+            Some(_) => {
+                if e.probing {
+                    // A probe is already out; hold the rest back briefly.
+                    BreakerState::Open { retry_after_secs: self.base.as_secs_f64() }
+                } else {
+                    e.probing = true;
+                    BreakerState::Closed
+                }
+            }
+            None => BreakerState::Closed,
+        }
+    }
+
+    /// Records a failed request: one more strike, breaker opens for
+    /// `base << min(strikes, MAX_BACKOFF_EXP)`.
+    pub fn record_failure(&self, tenant: &str, now: Instant) -> u32 {
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        let e = entries
+            .entry(tenant.to_string())
+            .or_insert(BreakerEntry { strikes: 0, open_until: None, probing: false });
+        e.strikes = e.strikes.saturating_add(1);
+        let hold = self.base * (1u32 << e.strikes.min(MAX_BACKOFF_EXP));
+        e.open_until = Some(now + hold);
+        e.probing = false;
+        e.strikes
+    }
+
+    /// Records a successful request: closes the breaker and clears the
+    /// strikes (the half-open probe succeeded, or the tenant was fine
+    /// all along).
+    pub fn record_success(&self, tenant: &str) {
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(e) = entries.get_mut(tenant) {
+            e.strikes = 0;
+            e.open_until = None;
+            e.probing = false;
+        }
+    }
+
+    /// Current strike count (0 for unknown tenants).
+    pub fn strikes(&self, tenant: &str) -> u32 {
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        entries.get(tenant).map_or(0, |e| e.strikes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_tenants_are_closed() {
+        let t = BreakerTable::new(Duration::from_millis(10));
+        assert_eq!(t.check("fresh", Instant::now()), BreakerState::Closed);
+    }
+
+    #[test]
+    fn failures_open_with_doubling_backoff() {
+        let base = Duration::from_millis(10);
+        let t = BreakerTable::new(base);
+        let now = Instant::now();
+        assert_eq!(t.record_failure("x", now), 1);
+        match t.check("x", now) {
+            BreakerState::Open { retry_after_secs } => {
+                // First strike: base << 1 = 20 ms.
+                assert!((retry_after_secs - 0.020).abs() < 0.005, "{retry_after_secs}");
+            }
+            s => panic!("expected open, got {s:?}"),
+        }
+        assert_eq!(t.record_failure("x", now), 2);
+        match t.check("x", now) {
+            BreakerState::Open { retry_after_secs } => {
+                assert!((retry_after_secs - 0.040).abs() < 0.005, "{retry_after_secs}");
+            }
+            s => panic!("expected open, got {s:?}"),
+        }
+        // The exponent caps: strike 40 holds base << 6, not overflow.
+        for _ in 0..38 {
+            t.record_failure("x", now);
+        }
+        match t.check("x", now) {
+            BreakerState::Open { retry_after_secs } => {
+                assert!(retry_after_secs <= (base * 64).as_secs_f64() + 1e-6);
+            }
+            s => panic!("expected open, got {s:?}"),
+        }
+    }
+
+    #[test]
+    fn half_open_admits_one_probe_then_closes_on_success() {
+        let t = BreakerTable::new(Duration::from_millis(10));
+        let now = Instant::now();
+        t.record_failure("x", now);
+        let after_hold = now + Duration::from_millis(25);
+        // First check after the hold: the probe passes…
+        assert_eq!(t.check("x", after_hold), BreakerState::Closed);
+        // …but a second concurrent request is still held back.
+        assert!(matches!(t.check("x", after_hold), BreakerState::Open { .. }));
+        t.record_success("x");
+        assert_eq!(t.strikes("x"), 0);
+        assert_eq!(t.check("x", after_hold), BreakerState::Closed);
+    }
+
+    #[test]
+    fn probe_failure_reopens_longer() {
+        let t = BreakerTable::new(Duration::from_millis(10));
+        let now = Instant::now();
+        t.record_failure("x", now);
+        let after = now + Duration::from_millis(25);
+        assert_eq!(t.check("x", after), BreakerState::Closed); // probe out
+        t.record_failure("x", after); // probe failed
+        assert_eq!(t.strikes("x"), 2);
+        assert!(matches!(t.check("x", after), BreakerState::Open { .. }));
+    }
+
+    #[test]
+    fn tenants_do_not_share_breakers() {
+        let t = BreakerTable::new(Duration::from_millis(10));
+        let now = Instant::now();
+        t.record_failure("bad", now);
+        assert!(matches!(t.check("bad", now), BreakerState::Open { .. }));
+        assert_eq!(t.check("good", now), BreakerState::Closed);
+    }
+}

@@ -1,0 +1,316 @@
+//! The brownout controller: maps sustained overload onto explicit
+//! degradation rungs, and recovers hysteretically (fast to degrade,
+//! deliberately slow to un-degrade, one rung at a time in both
+//! directions — transitions are always adjacent).
+//!
+//! Rung effects compose cumulatively; each rung keeps everything the
+//! previous one gave up and surrenders one more axis:
+//!
+//! | rung | name               | effect on admitted work              |
+//! |------|--------------------|--------------------------------------|
+//! | 0    | `normal`           | requested quality, full scheduler    |
+//! | 1    | `relax_quality`    | quality target × 4 (cheaper models)  |
+//! | 2    | `surrogate_only`   | static cheapest surrogate, no checks |
+//! | 3    | `reduced_steps`    | step budget halved                   |
+//! | 4    | `shed_low_priority`| priority-0 requests shed             |
+
+use sfn_obs::Level;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+
+/// One degradation rung. Ordered: higher = more degraded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rung {
+    /// Serve exactly what was asked.
+    Normal,
+    /// Relax per-tenant quality targets (Algorithm 2 picks cheaper
+    /// models on its own).
+    RelaxQuality,
+    /// Pin the cheapest surrogate statically — no checks, no switches.
+    SurrogateOnly,
+    /// Halve the step budget on top of surrogate-only stepping.
+    ReducedSteps,
+    /// Shed priority-0 work at admission and dequeue.
+    ShedLowPriority,
+}
+
+impl Rung {
+    /// Numeric level, 0..=4.
+    pub fn level(self) -> u8 {
+        match self {
+            Rung::Normal => 0,
+            Rung::RelaxQuality => 1,
+            Rung::SurrogateOnly => 2,
+            Rung::ReducedSteps => 3,
+            Rung::ShedLowPriority => 4,
+        }
+    }
+
+    /// Inverse of [`Rung::level`] (clamps above 4).
+    pub fn from_level(level: u8) -> Self {
+        match level {
+            0 => Rung::Normal,
+            1 => Rung::RelaxQuality,
+            2 => Rung::SurrogateOnly,
+            3 => Rung::ReducedSteps,
+            _ => Rung::ShedLowPriority,
+        }
+    }
+
+    /// Stable name used in `serve.brownout` events and `/stats.json`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rung::Normal => "normal",
+            Rung::RelaxQuality => "relax_quality",
+            Rung::SurrogateOnly => "surrogate_only",
+            Rung::ReducedSteps => "reduced_steps",
+            Rung::ShedLowPriority => "shed_low_priority",
+        }
+    }
+
+    /// Multiplier applied to the tenant's quality-loss target (a
+    /// larger target admits cheaper models).
+    pub fn quality_multiplier(self) -> f64 {
+        if self.level() >= 1 {
+            4.0
+        } else {
+            1.0
+        }
+    }
+
+    /// True when the Algorithm 2 scheduler is bypassed for static
+    /// cheapest-surrogate stepping.
+    pub fn surrogate_only(self) -> bool {
+        self.level() >= 2
+    }
+
+    /// The step budget under this rung for a request asking `steps`.
+    pub fn step_budget(self, steps: usize) -> usize {
+        if self.level() >= 3 {
+            steps.div_ceil(2)
+        } else {
+            steps
+        }
+    }
+
+    /// True when priority-0 work is shed.
+    pub fn sheds_low_priority(self) -> bool {
+        self.level() >= 4
+    }
+}
+
+/// One tick's worth of overload evidence.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Signals {
+    /// Worst per-tenant queue fill, 0..=1.
+    pub queue_fill: f64,
+    /// In-flight requests over the global concurrency limit, 0..=1+.
+    pub inflight_fill: f64,
+    /// Highest fast-window SLO burn rate (from sfn-metrics).
+    pub fast_burn: f64,
+    /// True while any SLO's multi-window rule holds.
+    pub burning: bool,
+    /// p99 of recent accepted-request service latency, milliseconds.
+    pub p99_ms: Option<f64>,
+}
+
+/// Controller thresholds and hysteresis.
+#[derive(Debug, Clone, Copy)]
+pub struct BrownoutConfig {
+    /// Service-latency objective for [`Signals::p99_ms`].
+    pub p99_target_ms: f64,
+    /// Consecutive overloaded ticks before escalating one rung.
+    pub escalate_after: u32,
+    /// Consecutive healthy ticks before recovering one rung (the
+    /// hysteresis: must exceed `escalate_after`).
+    pub recover_after: u32,
+}
+
+impl Default for BrownoutConfig {
+    fn default() -> Self {
+        Self { p99_target_ms: 250.0, escalate_after: 2, recover_after: 6 }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Streaks {
+    overloaded: u32,
+    healthy: u32,
+}
+
+/// The shared controller: workers read [`BrownoutController::rung`]
+/// per request; a single control thread calls
+/// [`BrownoutController::tick`].
+pub struct BrownoutController {
+    cfg: BrownoutConfig,
+    level: AtomicU8,
+    streaks: Mutex<Streaks>,
+}
+
+impl BrownoutController {
+    /// A controller starting at [`Rung::Normal`].
+    pub fn new(cfg: BrownoutConfig) -> Self {
+        Self { cfg, level: AtomicU8::new(0), streaks: Mutex::new(Streaks::default()) }
+    }
+
+    /// The rung in force right now (lock-free read).
+    pub fn rung(&self) -> Rung {
+        Rung::from_level(self.level.load(Ordering::Relaxed))
+    }
+
+    fn overloaded(&self, s: &Signals) -> bool {
+        s.burning
+            || s.queue_fill >= 0.7
+            || s.inflight_fill >= 1.0
+            || s.p99_ms.is_some_and(|p| p > self.cfg.p99_target_ms)
+    }
+
+    fn healthy(&self, s: &Signals) -> bool {
+        !s.burning
+            && s.queue_fill <= 0.25
+            && s.inflight_fill < 0.75
+            && s.p99_ms.is_none_or(|p| p < 0.8 * self.cfg.p99_target_ms)
+    }
+
+    /// Feeds one tick of evidence; returns the `(from, to)` transition
+    /// when the rung moved (always adjacent rungs). Emits one
+    /// `serve.brownout` event per transition.
+    pub fn tick(&self, s: Signals) -> Option<(Rung, Rung)> {
+        let mut streaks = self.streaks.lock().unwrap_or_else(|e| e.into_inner());
+        if self.overloaded(&s) {
+            streaks.overloaded += 1;
+            streaks.healthy = 0;
+        } else if self.healthy(&s) {
+            streaks.healthy += 1;
+            streaks.overloaded = 0;
+        } else {
+            // Grey zone: neither streak grows — the rung holds.
+            streaks.overloaded = 0;
+            streaks.healthy = 0;
+        }
+
+        let from = self.rung();
+        let to = if streaks.overloaded >= self.cfg.escalate_after && from.level() < 4 {
+            streaks.overloaded = 0;
+            Rung::from_level(from.level() + 1)
+        } else if streaks.healthy >= self.cfg.recover_after && from.level() > 0 {
+            streaks.healthy = 0;
+            Rung::from_level(from.level() - 1)
+        } else {
+            return None;
+        };
+        self.level.store(to.level(), Ordering::Relaxed);
+        sfn_obs::counter_add("serve.brownout_transitions", 1);
+        sfn_obs::event(Level::Warn, "serve.brownout")
+            .field_str("from", from.name())
+            .field_str("to", to.name())
+            .field_u64("from_level", u64::from(from.level()))
+            .field_u64("to_level", u64::from(to.level()))
+            .field_f64("queue_fill", s.queue_fill)
+            .field_f64("inflight_fill", s.inflight_fill)
+            .field_f64("fast_burn", s.fast_burn)
+            .field_bool("burning", s.burning)
+            .field_f64("p99_ms", s.p99_ms.unwrap_or(0.0))
+            .emit();
+        Some((from, to))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn overloaded() -> Signals {
+        Signals { queue_fill: 1.0, inflight_fill: 1.0, burning: true, ..Default::default() }
+    }
+
+    fn idle() -> Signals {
+        Signals::default()
+    }
+
+    #[test]
+    fn rung_effects_compose_cumulatively() {
+        assert_eq!(Rung::Normal.quality_multiplier(), 1.0);
+        assert_eq!(Rung::RelaxQuality.quality_multiplier(), 4.0);
+        assert!(!Rung::RelaxQuality.surrogate_only());
+        assert!(Rung::SurrogateOnly.surrogate_only());
+        assert_eq!(Rung::SurrogateOnly.step_budget(9), 9);
+        assert_eq!(Rung::ReducedSteps.step_budget(9), 5);
+        assert!(!Rung::ReducedSteps.sheds_low_priority());
+        assert!(Rung::ShedLowPriority.sheds_low_priority());
+        for l in 0..=5u8 {
+            assert_eq!(Rung::from_level(l).level(), l.min(4));
+        }
+    }
+
+    #[test]
+    fn escalates_one_rung_per_sustained_overload() {
+        let c = BrownoutController::new(BrownoutConfig {
+            escalate_after: 2,
+            recover_after: 3,
+            ..Default::default()
+        });
+        assert_eq!(c.tick(overloaded()), None); // streak 1 of 2
+        assert_eq!(c.tick(overloaded()), Some((Rung::Normal, Rung::RelaxQuality)));
+        assert_eq!(c.tick(overloaded()), None);
+        assert_eq!(c.tick(overloaded()), Some((Rung::RelaxQuality, Rung::SurrogateOnly)));
+        // Saturates at the top rung without panicking.
+        for _ in 0..10 {
+            if let Some((from, to)) = c.tick(overloaded()) {
+                assert_eq!(to.level(), from.level() + 1);
+            }
+        }
+        assert_eq!(c.rung(), Rung::ShedLowPriority);
+        assert_eq!(c.tick(overloaded()), None);
+    }
+
+    #[test]
+    fn recovery_is_hysteretic_and_stepwise() {
+        let c = BrownoutController::new(BrownoutConfig {
+            escalate_after: 1,
+            recover_after: 3,
+            ..Default::default()
+        });
+        c.tick(overloaded());
+        c.tick(overloaded());
+        assert_eq!(c.rung(), Rung::SurrogateOnly);
+        // Two healthy ticks are not enough (hysteresis)…
+        assert_eq!(c.tick(idle()), None);
+        assert_eq!(c.tick(idle()), None);
+        // …the third recovers exactly one rung, then the streak resets.
+        assert_eq!(c.tick(idle()), Some((Rung::SurrogateOnly, Rung::RelaxQuality)));
+        assert_eq!(c.tick(idle()), None);
+        assert_eq!(c.tick(idle()), None);
+        assert_eq!(c.tick(idle()), Some((Rung::RelaxQuality, Rung::Normal)));
+        assert_eq!(c.rung(), Rung::Normal);
+        assert_eq!(c.tick(idle()), None);
+    }
+
+    #[test]
+    fn grey_zone_holds_the_rung() {
+        let c = BrownoutController::new(BrownoutConfig {
+            escalate_after: 1,
+            recover_after: 1,
+            ..Default::default()
+        });
+        c.tick(overloaded());
+        assert_eq!(c.rung(), Rung::RelaxQuality);
+        // Neither overloaded nor healthy: queue half full.
+        let grey = Signals { queue_fill: 0.5, ..Default::default() };
+        for _ in 0..20 {
+            assert_eq!(c.tick(grey), None);
+        }
+        assert_eq!(c.rung(), Rung::RelaxQuality);
+    }
+
+    #[test]
+    fn p99_breach_alone_escalates() {
+        let c = BrownoutController::new(BrownoutConfig {
+            p99_target_ms: 100.0,
+            escalate_after: 1,
+            recover_after: 1,
+        });
+        let slow = Signals { p99_ms: Some(150.0), ..Default::default() };
+        assert_eq!(c.tick(slow), Some((Rung::Normal, Rung::RelaxQuality)));
+    }
+}

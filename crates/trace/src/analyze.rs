@@ -123,6 +123,51 @@ pub struct CkptSummary {
     pub recover_max_secs: f64,
 }
 
+/// Serving-layer activity (`serve.admit` / `serve.shed` /
+/// `serve.request` / `serve.brownout` records). All-zero when the
+/// trace has no serving in it; `latency_p99_ms` uses `0.0` (not NaN)
+/// so summaries stay comparable as baselines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeSummary {
+    /// Requests that passed admission (`serve.admit` with
+    /// `decision=admitted`).
+    pub admitted: u64,
+    /// Requests refused at admission (`decision=refused`).
+    pub refused: u64,
+    /// Admitted requests shed at dequeue (`serve.shed`).
+    pub shed: u64,
+    /// Completed requests (`serve.request`).
+    pub requests: u64,
+    /// Completed requests whose run was truncated by a deadline or
+    /// step budget.
+    pub truncated: u64,
+    /// Brownout rung transitions (`serve.brownout`).
+    pub brownout_transitions: u64,
+    /// Highest rung level reached.
+    pub max_rung_level: u64,
+    /// p99 of served-request latency in milliseconds.
+    pub latency_p99_ms: f64,
+}
+
+impl ServeSummary {
+    fn zero() -> ServeSummary {
+        ServeSummary {
+            admitted: 0,
+            refused: 0,
+            shed: 0,
+            requests: 0,
+            truncated: 0,
+            brownout_transitions: 0,
+            max_rung_level: 0,
+            latency_p99_ms: 0.0,
+        }
+    }
+
+    fn any(&self) -> bool {
+        self.admitted + self.refused + self.shed + self.requests + self.brownout_transitions > 0
+    }
+}
+
 /// The reconstructed run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Analysis {
@@ -164,6 +209,8 @@ pub struct Analysis {
     pub recovery: RecoverySummary,
     /// Durable-checkpoint write/recovery summary.
     pub ckpt: CkptSummary,
+    /// Serving-layer (sfn-serve) admission/shed/brownout summary.
+    pub serve: ServeSummary,
 }
 
 /// Event kinds that count as "the runtime reacted" for recovery
@@ -290,6 +337,31 @@ pub fn analyze(trace: &Trace) -> Analysis {
             .fold(0.0, f64::max),
     };
 
+    let mut serve = ServeSummary::zero();
+    for e in trace.of_kind("serve.admit") {
+        match e.str("decision") {
+            Some("refused") => serve.refused += 1,
+            _ => serve.admitted += 1,
+        }
+    }
+    serve.shed = trace.count("serve.shed");
+    let mut serve_latencies = Vec::new();
+    for e in trace.of_kind("serve.request") {
+        serve.requests += 1;
+        if e.str("truncated").is_some_and(|t| t != "none") {
+            serve.truncated += 1;
+        }
+        if let Some(ms) = e.f64("latency_ms") {
+            serve_latencies.push(ms);
+        }
+    }
+    for e in trace.of_kind("serve.brownout") {
+        serve.brownout_transitions += 1;
+        serve.max_rung_level = serve.max_rung_level.max(e.u64("to_level").unwrap_or(0));
+    }
+    serve.latency_p99_ms =
+        Quantiles::from_samples(&serve_latencies).map_or(0.0, |q| q.p99);
+
     Analysis {
         events: trace.events.len() as u64,
         skipped: trace.skipped as u64,
@@ -309,6 +381,7 @@ pub fn analyze(trace: &Trace) -> Analysis {
         degraded: trace.count("runtime.degraded"),
         recovery,
         ckpt,
+        serve,
     }
 }
 
@@ -419,6 +492,18 @@ impl Analysis {
         push_kv_f64(&mut s, "write_secs", self.ckpt.write_secs);
         s.push(',');
         push_kv_f64(&mut s, "recover_max_secs", self.ckpt.recover_max_secs);
+        let _ = write!(
+            s,
+            "}},\"serve\":{{\"admitted\":{},\"refused\":{},\"shed\":{},\"requests\":{},\"truncated\":{},\"brownout_transitions\":{},\"max_rung_level\":{},",
+            self.serve.admitted,
+            self.serve.refused,
+            self.serve.shed,
+            self.serve.requests,
+            self.serve.truncated,
+            self.serve.brownout_transitions,
+            self.serve.max_rung_level
+        );
+        push_kv_f64(&mut s, "latency_p99_ms", self.serve.latency_p99_ms);
         s.push_str("}}");
         s
     }
@@ -511,6 +596,24 @@ impl Analysis {
             },
             None => CkptSummary { writes: 0, recovers: 0, rejected: 0, write_secs: 0.0, recover_max_secs: 0.0 },
         };
+        // Summaries written before the serving subsystem existed have
+        // no `serve` object: default to all-zero (inactive).
+        let serve = match v.get("serve") {
+            Some(sv) => ServeSummary {
+                admitted: sv.get("admitted").and_then(Value::as_u64).unwrap_or(0),
+                refused: sv.get("refused").and_then(Value::as_u64).unwrap_or(0),
+                shed: sv.get("shed").and_then(Value::as_u64).unwrap_or(0),
+                requests: sv.get("requests").and_then(Value::as_u64).unwrap_or(0),
+                truncated: sv.get("truncated").and_then(Value::as_u64).unwrap_or(0),
+                brownout_transitions: sv
+                    .get("brownout_transitions")
+                    .and_then(Value::as_u64)
+                    .unwrap_or(0),
+                max_rung_level: sv.get("max_rung_level").and_then(Value::as_u64).unwrap_or(0),
+                latency_p99_ms: zero(sv, "latency_p99_ms"),
+            },
+            None => ServeSummary::zero(),
+        };
         Ok(Analysis {
             events: int("events"),
             skipped: int("skipped"),
@@ -530,6 +633,7 @@ impl Analysis {
             degraded: int("degraded"),
             recovery,
             ckpt,
+            serve,
         })
     }
 
@@ -618,6 +722,21 @@ impl Analysis {
                 c.rejected,
                 1e3 * c.write_secs,
                 1e3 * c.recover_max_secs
+            );
+        }
+        let sv = &self.serve;
+        if sv.any() {
+            let _ = writeln!(
+                out,
+                "serving: admitted={} refused={} shed={} requests={} truncated={} brownout_transitions={} max_rung={} p99={:.3}ms",
+                sv.admitted,
+                sv.refused,
+                sv.shed,
+                sv.requests,
+                sv.truncated,
+                sv.brownout_transitions,
+                sv.max_rung_level,
+                sv.latency_p99_ms
             );
         }
         out
@@ -734,6 +853,50 @@ mod tests {
         assert_eq!(quiet.ckpt.writes, 0);
         assert_eq!(quiet.ckpt.write_secs, 0.0);
         assert!(!quiet.render().contains("checkpoints:"), "{}", quiet.render());
+    }
+
+    #[test]
+    fn serve_events_are_summarised() {
+        let t = parse_trace(concat!(
+            "{\"ts\":0.1,\"level\":\"info\",\"kind\":\"serve.admit\",\"tenant\":\"acme\",\"decision\":\"admitted\",\"priority\":1}\n",
+            "{\"ts\":0.2,\"level\":\"info\",\"kind\":\"serve.admit\",\"tenant\":\"acme\",\"decision\":\"refused\",\"reason\":\"rate_limited\",\"priority\":1}\n",
+            "{\"ts\":0.3,\"level\":\"warn\",\"kind\":\"serve.shed\",\"tenant\":\"acme\",\"reason\":\"queue_deadline\"}\n",
+            "{\"ts\":0.4,\"level\":\"info\",\"kind\":\"serve.request\",\"tenant\":\"acme\",\"latency_ms\":12.0,\"steps_done\":8,\"requested\":8,\"truncated\":\"none\",\"rung\":\"normal\",\"degraded\":false}\n",
+            "{\"ts\":0.5,\"level\":\"info\",\"kind\":\"serve.request\",\"tenant\":\"acme\",\"latency_ms\":80.0,\"steps_done\":3,\"requested\":8,\"truncated\":\"deadline\",\"rung\":\"relax_quality\",\"degraded\":false}\n",
+            "{\"ts\":0.6,\"level\":\"warn\",\"kind\":\"serve.brownout\",\"from\":\"normal\",\"to\":\"relax_quality\",\"from_level\":0,\"to_level\":1}\n",
+            "{\"ts\":0.7,\"level\":\"warn\",\"kind\":\"serve.brownout\",\"from\":\"relax_quality\",\"to\":\"surrogate_only\",\"from_level\":1,\"to_level\":2}\n",
+        ));
+        let a = analyze(&t);
+        assert_eq!(a.serve.admitted, 1);
+        assert_eq!(a.serve.refused, 1);
+        assert_eq!(a.serve.shed, 1);
+        assert_eq!(a.serve.requests, 2);
+        assert_eq!(a.serve.truncated, 1);
+        assert_eq!(a.serve.brownout_transitions, 2);
+        assert_eq!(a.serve.max_rung_level, 2);
+        assert_eq!(a.serve.latency_p99_ms, 80.0);
+        assert!(a.render().contains("serving: admitted=1"), "{}", a.render());
+        let back = Analysis::from_json(&a.to_json()).unwrap();
+        assert_eq!(back.serve, a.serve);
+        // A serve-free trace keeps the report quiet but comparable.
+        let quiet = analyze(&sample_trace());
+        assert_eq!(quiet.serve, ServeSummary::zero());
+        assert!(!quiet.render().contains("serving:"), "{}", quiet.render());
+    }
+
+    #[test]
+    fn pre_serve_summaries_still_parse() {
+        // A baseline serialised before sfn-serve existed must load as
+        // an all-zero (inactive) serving summary.
+        let a = analyze(&sample_trace());
+        let text = a.to_json();
+        let legacy = text.replace(
+            ",\"serve\":{\"admitted\":0,\"refused\":0,\"shed\":0,\"requests\":0,\"truncated\":0,\"brownout_transitions\":0,\"max_rung_level\":0,\"latency_p99_ms\":0}",
+            "",
+        );
+        assert_ne!(legacy, text, "the serve object must have been stripped: {text}");
+        let back = Analysis::from_json(&legacy).unwrap();
+        assert_eq!(back, a);
     }
 
     #[test]

@@ -58,6 +58,16 @@ pub struct AuditReport {
     /// `ckpt.rejected` records — torn/corrupt checkpoints skipped by
     /// the recovery manager (visibility, not contradictions).
     pub ckpt_rejected: u64,
+    /// `serve.admit` records with `decision=admitted`.
+    pub serve_admitted: u64,
+    /// `serve.admit` records with `decision=refused`.
+    pub serve_refused: u64,
+    /// `serve.shed` records — admitted work shed at dequeue.
+    pub serve_sheds: u64,
+    /// `serve.brownout` records — rung transitions, each checked for
+    /// chain consistency (adjacent levels, `from` matching the
+    /// previous `to`).
+    pub brownout_transitions: u64,
     /// The contradictions found.
     pub contradictions: Vec<Contradiction>,
 }
@@ -91,6 +101,15 @@ impl AuditReport {
                 out,
                 "durability: ckpt_writes={} ckpt_recovers={} ckpt_rejected={}",
                 self.ckpt_writes, self.ckpt_recovers, self.ckpt_rejected
+            );
+        }
+        if self.serve_admitted + self.serve_refused + self.serve_sheds + self.brownout_transitions
+            > 0
+        {
+            let _ = writeln!(
+                out,
+                "serving: admitted={} refused={} sheds={} brownout_transitions={}",
+                self.serve_admitted, self.serve_refused, self.serve_sheds, self.brownout_transitions
             );
         }
         for c in &self.contradictions {
@@ -167,19 +186,67 @@ fn audit_one(e: &TraceEvent, report: &mut AuditReport) {
     }
 }
 
-/// Replays every `scheduler.decision` in the trace and tallies the
-/// hardened-boundary events (`parser.rejected`, `fuzz.finding`).
+/// Replays the brownout rung chain: transitions must move one level
+/// at a time, and each must start where the previous one ended. A
+/// violated chain means the controller (or the trace) lies about how
+/// degradation progressed — exactly what the overload proof leans on.
+fn audit_brownout(trace: &Trace, report: &mut AuditReport) {
+    let mut prev_to: Option<u64> = None;
+    for (seq, e) in trace.of_kind("serve.brownout").enumerate() {
+        report.brownout_transitions += 1;
+        let (Some(from), Some(to)) = (e.u64("from_level"), e.u64("to_level")) else {
+            report.skipped += 1;
+            continue;
+        };
+        let mut push = |expected: String, reason: String| {
+            report.contradictions.push(Contradiction {
+                step: seq as u64,
+                model: "brownout".to_string(),
+                expected,
+                actual: format!("{from}->{to}"),
+                reason,
+            });
+        };
+        if from.abs_diff(to) != 1 {
+            push(
+                "adjacent levels".to_string(),
+                format!("rung jumped {from}->{to}; transitions must move one level"),
+            );
+        }
+        if let Some(prev) = prev_to {
+            if from != prev {
+                push(
+                    format!("from_level {prev}"),
+                    format!("chain broken: previous transition ended at level {prev}"),
+                );
+            }
+        }
+        prev_to = Some(to);
+    }
+}
+
+/// Replays every `scheduler.decision` in the trace, checks the
+/// brownout rung chain, and tallies the hardened-boundary events
+/// (`parser.rejected`, `fuzz.finding`) plus serving activity.
 pub fn audit(trace: &Trace) -> AuditReport {
     let mut report = AuditReport::default();
     for e in trace.of_kind("scheduler.decision") {
         report.decisions += 1;
         audit_one(e, &mut report);
     }
+    audit_brownout(trace, &mut report);
     report.parser_rejected = trace.count("parser.rejected");
     report.fuzz_findings = trace.count("fuzz.finding");
     report.ckpt_writes = trace.count("ckpt.write");
     report.ckpt_recovers = trace.count("ckpt.recover");
     report.ckpt_rejected = trace.count("ckpt.rejected");
+    for e in trace.of_kind("serve.admit") {
+        match e.str("decision") {
+            Some("refused") => report.serve_refused += 1,
+            _ => report.serve_admitted += 1,
+        }
+    }
+    report.serve_sheds = trace.count("serve.shed");
     report
 }
 
@@ -264,6 +331,54 @@ mod tests {
         // Checkpoint-free traces keep the audit summary unchanged.
         let quiet = audit(&parse_trace(&decision("0.010", "keep", true)));
         assert!(!quiet.render().contains("durability"), "{}", quiet.render());
+    }
+
+    fn brownout(from: u64, to: u64) -> String {
+        let names = ["normal", "relax_quality", "surrogate_only", "reduced_steps", "shed_low_priority"];
+        format!(
+            "{{\"ts\":1.0,\"level\":\"warn\",\"kind\":\"serve.brownout\",\"from\":\"{}\",\"to\":\"{}\",\"from_level\":{from},\"to_level\":{to}}}",
+            names[from as usize], names[to as usize]
+        )
+    }
+
+    #[test]
+    fn consistent_brownout_chains_audit_clean() {
+        let t = parse_trace(
+            &[brownout(0, 1), brownout(1, 2), brownout(2, 1), brownout(1, 0)].join("\n"),
+        );
+        let r = audit(&t);
+        assert_eq!(r.brownout_transitions, 4);
+        assert!(r.clean(), "{:?}", r.contradictions);
+        assert!(r.render().contains("brownout_transitions=4"), "{}", r.render());
+    }
+
+    #[test]
+    fn rung_jumps_and_broken_chains_are_contradictions() {
+        // 0->2 is a two-level jump.
+        let jump = audit(&parse_trace(&brownout(0, 2)));
+        assert_eq!(jump.contradictions.len(), 1);
+        assert!(jump.contradictions[0].reason.contains("one level"), "{:?}", jump.contradictions);
+        // 0->1 then 2->3: the second transition starts where nothing ended.
+        let broken = audit(&parse_trace(&[brownout(0, 1), brownout(2, 3)].join("\n")));
+        assert_eq!(broken.contradictions.len(), 1);
+        assert!(broken.contradictions[0].reason.contains("chain broken"), "{:?}", broken.contradictions);
+        assert_eq!(broken.contradictions[0].actual, "2->3");
+    }
+
+    #[test]
+    fn serve_activity_is_tallied_not_flagged() {
+        let t = parse_trace(
+            "{\"ts\":0.1,\"level\":\"info\",\"kind\":\"serve.admit\",\"tenant\":\"a\",\"decision\":\"admitted\",\"priority\":1}\n\
+             {\"ts\":0.2,\"level\":\"info\",\"kind\":\"serve.admit\",\"tenant\":\"a\",\"decision\":\"refused\",\"reason\":\"queue_full\",\"priority\":1}\n\
+             {\"ts\":0.3,\"level\":\"warn\",\"kind\":\"serve.shed\",\"tenant\":\"a\",\"reason\":\"queue_deadline\"}\n",
+        );
+        let r = audit(&t);
+        assert_eq!((r.serve_admitted, r.serve_refused, r.serve_sheds), (1, 1, 1));
+        assert!(r.clean(), "serving activity is visibility, not contradictions");
+        assert!(r.render().contains("serving: admitted=1"), "{}", r.render());
+        // A serve-free trace keeps the summary line quiet.
+        let quiet = audit(&parse_trace(&decision("0.010", "keep", true)));
+        assert!(!quiet.render().contains("serving:"), "{}", quiet.render());
     }
 
     #[test]

@@ -167,6 +167,19 @@ pub fn diff(baseline: &Analysis, current: &Analysis, thresholds: &Thresholds) ->
         1e3 * current.duration_secs,
     );
 
+    // Served-request tail latency: only comparable when both runs
+    // actually served traffic (an all-zero serve summary is a run from
+    // before sfn-serve existed, or one without serving in it).
+    if baseline.serve.requests > 0 && current.serve.requests > 0 {
+        check_latency(
+            &mut verdict,
+            t,
+            "serve.p99_ms",
+            baseline.serve.latency_p99_ms,
+            current.serve.latency_p99_ms,
+        );
+    }
+
     for cs in &current.stages {
         if let Some(bs) = baseline.stages.iter().find(|s| s.name == cs.name) {
             check_latency(
@@ -223,7 +236,7 @@ pub fn diff(baseline: &Analysis, current: &Analysis, thresholds: &Thresholds) ->
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::analyze::{CkptSummary, KernelStat, ModelShare, Quantiles, RecoverySummary, StageQuantiles};
+    use crate::analyze::{CkptSummary, KernelStat, ModelShare, Quantiles, RecoverySummary, ServeSummary, StageQuantiles};
 
     fn base() -> Analysis {
         Analysis {
@@ -255,6 +268,16 @@ mod tests {
             degraded: 0,
             recovery: RecoverySummary { injected: 0, resolved: 0, p50_secs: f64::NAN, max_secs: f64::NAN },
             ckpt: CkptSummary { writes: 0, recovers: 0, rejected: 0, write_secs: 0.0, recover_max_secs: 0.0 },
+            serve: ServeSummary {
+                admitted: 20,
+                refused: 2,
+                shed: 1,
+                requests: 20,
+                truncated: 3,
+                brownout_transitions: 4,
+                max_rung_level: 2,
+                latency_p99_ms: 40.0,
+            },
         }
     }
 
@@ -263,6 +286,29 @@ mod tests {
         let v = diff(&base(), &base(), &Thresholds::default());
         assert!(v.ok(), "{}", v.render());
         assert!(v.to_json().contains("\"ok\":true"));
+    }
+
+    #[test]
+    fn served_p99_regressions_fail_the_gate() {
+        let mut cur = base();
+        cur.serve.latency_p99_ms = 200.0; // 5× the 40 ms baseline
+        let v = diff(&base(), &cur, &Thresholds::default());
+        assert!(!v.ok());
+        assert!(v.regressions.iter().any(|r| r.metric == "serve.p99_ms"), "{:?}", v.regressions);
+        // A serve-free baseline (pre-serve summary) never gates on it.
+        let mut old = base();
+        old.serve = ServeSummary {
+            admitted: 0,
+            refused: 0,
+            shed: 0,
+            requests: 0,
+            truncated: 0,
+            brownout_transitions: 0,
+            max_rung_level: 0,
+            latency_p99_ms: 0.0,
+        };
+        let v = diff(&old, &cur, &Thresholds::default());
+        assert!(v.ok(), "{}", v.render());
     }
 
     #[test]

@@ -18,7 +18,9 @@
 //! * [`workload`] — seeded input-problem generation
 //! * [`stats`] — statistics utilities
 //! * [`obs`] — observability: spans, metrics, JSONL event tracing
+//! * [`httpcore`] — bounded HTTP/1.1 request parsing (shared boundary)
 //! * [`metrics`] — live metrics endpoint: /metrics, SLOs, sfn-top
+//! * [`serve`] — overload-robust multi-tenant simulation serving
 //! * [`prof`] — kernel-level work accounting, roofline, alloc tracking
 //! * [`trace`] — trace analysis: timelines, decision audit, perf diff
 //! * [`faults`] — deterministic fault injection (chaos testing)
@@ -26,7 +28,9 @@
 
 pub use sfn_faults as faults;
 pub use sfn_grid as grid;
+pub use sfn_httpcore as httpcore;
 pub use sfn_metrics as metrics;
+pub use sfn_serve as serve;
 pub use sfn_obs as obs;
 pub use sfn_prof as prof;
 pub use sfn_trace as trace;
