@@ -117,6 +117,29 @@ impl RateTable {
             retry_after_secs,
         })
     }
+
+    /// Drops every bucket that has refilled back to `burst` — such a
+    /// bucket is bit-for-bit what the tenant would get on first sight,
+    /// so eviction is lossless. This is the memory bound against
+    /// attacker-chosen tenant ids: a bucket lives at most
+    /// `burst / rate` seconds past its last take.
+    pub fn sweep(&self, now: Instant) {
+        let mut buckets = self.buckets.lock().unwrap_or_else(|e| e.into_inner());
+        buckets.retain(|_, b| {
+            let dt = now.saturating_duration_since(b.last).as_secs_f64();
+            b.tokens + dt * b.rate < b.burst
+        });
+    }
+
+    /// Tenants currently holding a bucket.
+    pub fn len(&self) -> usize {
+        self.buckets.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// True when no tenant holds a bucket.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 #[cfg(test)]
@@ -160,6 +183,27 @@ mod tests {
         ));
         // Tenant B is untouched by A's exhaustion.
         assert!(table.try_take("b", now).is_ok());
+    }
+
+    #[test]
+    fn sweep_drops_refilled_buckets_losslessly() {
+        let table = RateTable::new(10.0, 2.0);
+        let t0 = Instant::now();
+        for i in 0..50 {
+            assert!(table.try_take(&format!("tenant-{i}"), t0).is_ok());
+        }
+        assert_eq!(table.len(), 50);
+        // Still mid-refill: every bucket carries real state, none drop.
+        table.sweep(t0 + Duration::from_millis(50));
+        assert_eq!(table.len(), 50);
+        // 100 ms at 10 tokens/s refills the spent token: all stateless.
+        table.sweep(t0 + Duration::from_millis(150));
+        assert!(table.is_empty());
+        // Lossless: a swept tenant sees exactly a fresh bucket.
+        let later = t0 + Duration::from_millis(150);
+        assert!(table.try_take("tenant-0", later).is_ok());
+        assert!(table.try_take("tenant-0", later).is_ok());
+        assert!(table.try_take("tenant-0", later).is_err());
     }
 
     #[test]

@@ -137,9 +137,13 @@ fn num_u64(v: &Value, key: &str, max: u64) -> Result<Option<u64>, ApiError> {
 impl SimRequest {
     /// Parses and validates a full wire request (head + body bytes).
     /// The single entry point for untrusted serve-API bytes.
+    ///
+    /// Only the head slice goes through [`parse_request`], so the
+    /// `MAX_REQUEST_BYTES` head cap never counts body bytes — a small
+    /// head with a body up to `MAX_BODY_BYTES` is legal wire.
     pub fn parse_wire(raw: &[u8]) -> Result<Self, ApiError> {
-        let head = parse_request(raw).map_err(ApiError::Http)?;
         let body_start = sfn_httpcore::head_len(raw).unwrap_or(raw.len());
+        let head = parse_request(&raw[..body_start]).map_err(ApiError::Http)?;
         Self::from_http(&head, &raw[body_start..])
     }
 
@@ -305,6 +309,22 @@ mod tests {
             let err = SimRequest::parse_wire(raw.as_bytes()).expect_err(body);
             assert!(matches!(err, ApiError::BadBody(_)), "{body}: {err:?}");
         }
+    }
+
+    #[test]
+    fn large_body_within_body_cap_is_not_refused_as_oversize_head() {
+        // Head + body well past MAX_REQUEST_BYTES (the 8 KB head cap),
+        // body under MAX_BODY_BYTES: the head cap must only see the
+        // head, not refuse the whole request 431.
+        let pad = "x".repeat(sfn_httpcore::MAX_REQUEST_BYTES + 1024);
+        let body = format!("{{\"grid\":16,\"pad\":\"{pad}\",\"steps\":8}}");
+        assert!(body.len() <= sfn_httpcore::MAX_BODY_BYTES);
+        let raw = format!(
+            "POST /simulate HTTP/1.1\r\nX-Tenant: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        let r = SimRequest::parse_wire(raw.as_bytes()).expect("legal wire must parse");
+        assert_eq!((r.grid, r.steps), (16, 8));
     }
 
     #[test]

@@ -34,8 +34,13 @@ pub struct BreakerTable {
 /// The breaker's verdict for one arriving request.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum BreakerState {
-    /// Requests pass (includes the single half-open probe).
+    /// Requests pass.
     Closed,
+    /// This request IS the single half-open probe. It passes, but the
+    /// caller owns the probe slot: it must end in `record_success`,
+    /// `record_failure`, or — if the request is refused or shed before
+    /// it ever runs — `abort_probe`, or the tenant stays locked out.
+    Probe,
     /// Requests are refused for another `retry_after_secs`.
     Open {
         /// Seconds until the breaker half-opens.
@@ -65,10 +70,23 @@ impl BreakerTable {
                     BreakerState::Open { retry_after_secs: self.base.as_secs_f64() }
                 } else {
                     e.probing = true;
-                    BreakerState::Closed
+                    BreakerState::Probe
                 }
             }
             None => BreakerState::Closed,
+        }
+    }
+
+    /// Releases the half-open probe slot without a verdict. Must be
+    /// called when a request admitted as [`BreakerState::Probe`] is
+    /// refused or shed downstream (rate limit, global cap, queue full,
+    /// brownout, dequeue deadline) — the probe never ran, so neither
+    /// `record_success` nor `record_failure` will fire, and without
+    /// this release the tenant would stay half-open-locked forever.
+    pub fn abort_probe(&self, tenant: &str) {
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(e) = entries.get_mut(tenant) {
+            e.probing = false;
         }
     }
 
@@ -88,20 +106,39 @@ impl BreakerTable {
 
     /// Records a successful request: closes the breaker and clears the
     /// strikes (the half-open probe succeeded, or the tenant was fine
-    /// all along).
+    /// all along). A closed zero-strike entry is indistinguishable
+    /// from an absent one, so the entry is dropped outright — healthy
+    /// tenants hold no breaker state at all.
     pub fn record_success(&self, tenant: &str) {
         let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
-        if let Some(e) = entries.get_mut(tenant) {
-            e.strikes = 0;
-            e.open_until = None;
-            e.probing = false;
-        }
+        entries.remove(tenant);
     }
 
     /// Current strike count (0 for unknown tenants).
     pub fn strikes(&self, tenant: &str) -> u32 {
         let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
         entries.get(tenant).map_or(0, |e| e.strikes)
+    }
+
+    /// Drops entries whose open hold expired more than `idle` ago —
+    /// the memory bound against attacker-chosen tenant ids. Forgetting
+    /// a long-idle tenant's strikes is the intended trade: it simply
+    /// gets a fresh breaker on its next failure. A stuck `probing`
+    /// flag is dropped with its entry, so even a probe whose
+    /// connection thread died cannot lock a tenant out past `idle`.
+    pub fn sweep(&self, now: Instant, idle: Duration) {
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        entries.retain(|_, e| e.open_until.is_some_and(|until| now < until + idle));
+    }
+
+    /// Tenants currently holding breaker state.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// True when no tenant holds breaker state.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -154,12 +191,14 @@ mod tests {
         t.record_failure("x", now);
         let after_hold = now + Duration::from_millis(25);
         // First check after the hold: the probe passes…
-        assert_eq!(t.check("x", after_hold), BreakerState::Closed);
+        assert_eq!(t.check("x", after_hold), BreakerState::Probe);
         // …but a second concurrent request is still held back.
         assert!(matches!(t.check("x", after_hold), BreakerState::Open { .. }));
         t.record_success("x");
         assert_eq!(t.strikes("x"), 0);
         assert_eq!(t.check("x", after_hold), BreakerState::Closed);
+        // Success dropped the entry entirely: healthy tenants are free.
+        assert!(t.is_empty());
     }
 
     #[test]
@@ -168,10 +207,46 @@ mod tests {
         let now = Instant::now();
         t.record_failure("x", now);
         let after = now + Duration::from_millis(25);
-        assert_eq!(t.check("x", after), BreakerState::Closed); // probe out
+        assert_eq!(t.check("x", after), BreakerState::Probe); // probe out
         t.record_failure("x", after); // probe failed
         assert_eq!(t.strikes("x"), 2);
         assert!(matches!(t.check("x", after), BreakerState::Open { .. }));
+    }
+
+    #[test]
+    fn aborted_probe_releases_the_half_open_slot() {
+        let t = BreakerTable::new(Duration::from_millis(10));
+        let now = Instant::now();
+        t.record_failure("x", now);
+        let after = now + Duration::from_millis(25);
+        assert_eq!(t.check("x", after), BreakerState::Probe);
+        // The probe request was refused downstream and never ran. If
+        // the slot were not released, every future check would be Open
+        // forever — the reviewer's permanent-lockout case.
+        assert!(matches!(t.check("x", after), BreakerState::Open { .. }));
+        t.abort_probe("x");
+        assert_eq!(t.check("x", after), BreakerState::Probe);
+        t.record_success("x");
+        assert_eq!(t.check("x", after), BreakerState::Closed);
+    }
+
+    #[test]
+    fn sweep_drops_idle_entries_and_stuck_probes() {
+        let t = BreakerTable::new(Duration::from_millis(10));
+        let now = Instant::now();
+        t.record_failure("a", now);
+        t.record_failure("b", now);
+        // Tenant b's probe thread died without reporting back.
+        assert_eq!(t.check("b", now + Duration::from_millis(25)), BreakerState::Probe);
+        assert_eq!(t.len(), 2);
+        // Within the idle window nothing is touched.
+        t.sweep(now + Duration::from_millis(25), Duration::from_secs(1));
+        assert_eq!(t.len(), 2);
+        // Past it, both entries (including the stuck probe) are gone
+        // and the tenants are simply fresh again.
+        t.sweep(now + Duration::from_secs(2), Duration::from_secs(1));
+        assert!(t.is_empty());
+        assert_eq!(t.check("b", now + Duration::from_secs(2)), BreakerState::Closed);
     }
 
     #[test]

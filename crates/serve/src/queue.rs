@@ -26,9 +26,11 @@ pub struct WorkItem<T> {
 }
 
 struct Inner<T> {
+    /// Invariant: a tenant appears in `queues` (and `order`) iff its
+    /// queue is non-empty — drained tenants are evicted on dequeue, so
+    /// state is bounded by queued items, not by tenant ids ever seen.
     queues: HashMap<String, VecDeque<WorkItem<T>>>,
-    /// Tenant rotation for round-robin dequeue (every tenant ever
-    /// seen; empty queues are skipped, and the census stays small).
+    /// Tenant rotation for round-robin dequeue.
     order: Vec<String>,
     cursor: usize,
     open: bool,
@@ -102,16 +104,22 @@ impl<T> TenantQueues<T> {
     }
 
     fn take_round_robin(inner: &mut Inner<T>) -> Option<WorkItem<T>> {
-        let n = inner.order.len();
+        let Inner { queues, order, cursor, .. } = inner;
+        let n = order.len();
         for i in 0..n {
-            let ix = (inner.cursor + i) % n;
-            let tenant = inner.order[ix].clone();
-            if let Some(q) = inner.queues.get_mut(&tenant) {
-                if let Some(item) = q.pop_front() {
-                    inner.cursor = (ix + 1) % n;
-                    return Some(item);
-                }
+            let ix = (*cursor + i) % n;
+            let Some(q) = queues.get_mut(&order[ix]) else { continue };
+            let Some(item) = q.pop_front() else { continue };
+            if q.is_empty() {
+                // Drained: evict so per-tenant state cannot grow with
+                // the number of distinct tenant ids ever offered.
+                queues.remove(&order[ix]);
+                order.remove(ix);
+                *cursor = if order.is_empty() { 0 } else { ix % order.len() };
+            } else {
+                *cursor = (ix + 1) % n;
             }
+            return Some(item);
         }
         None
     }
@@ -129,6 +137,13 @@ impl<T> TenantQueues<T> {
     pub fn total_len(&self) -> usize {
         let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         inner.queues.values().map(VecDeque::len).sum()
+    }
+
+    /// Tenants with at least one queued item (drained tenants are
+    /// evicted, so this is also the whole per-tenant footprint).
+    pub fn tenant_count(&self) -> usize {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.order.len()
     }
 
     /// The fullest tenant queue as a 0..=1 fraction of `depth` (the
@@ -204,6 +219,30 @@ mod tests {
         let t0 = Instant::now();
         assert!(q.pop(Duration::from_secs(5)).is_none());
         assert!(t0.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn drained_tenants_are_evicted_not_remembered() {
+        let q = TenantQueues::new(2);
+        // An attacker cycling fresh tenant ids must not grow state:
+        // each id is evicted as soon as its queue drains.
+        for i in 0..100 {
+            let tenant = format!("tenant-{i}");
+            q.push(item(&tenant, i)).unwrap();
+            assert_eq!(q.tenant_count(), 1);
+            assert_eq!(q.pop(Duration::from_millis(50)).unwrap().payload, i);
+            assert_eq!(q.tenant_count(), 0);
+        }
+        // Eviction keeps round-robin fairness intact for live tenants.
+        q.push(item("a", 1)).unwrap();
+        q.push(item("a", 2)).unwrap();
+        q.push(item("b", 3)).unwrap();
+        let first = q.pop(Duration::from_millis(50)).unwrap();
+        let second = q.pop(Duration::from_millis(50)).unwrap();
+        assert_eq!((first.tenant.as_str(), second.tenant.as_str()), ("a", "b"));
+        assert_eq!(q.tenant_count(), 1);
+        assert_eq!(q.pop(Duration::from_millis(50)).unwrap().payload, 2);
+        assert_eq!(q.tenant_count(), 0);
     }
 
     #[test]

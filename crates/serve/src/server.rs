@@ -45,6 +45,12 @@ use std::time::{Duration, Instant};
 /// Served-latency samples kept for the p99 brownout signal.
 const LATENCY_RING: usize = 512;
 
+/// How long an idle rate bucket or expired breaker entry may linger
+/// before the control loop sweeps it. Bounds per-tenant memory under
+/// attacker-chosen tenant ids without forgetting live backoff state
+/// (the longest breaker hold is `base << 6` = 16 s at the default).
+const SWEEP_IDLE: Duration = Duration::from_secs(30);
+
 /// Server tunables; every field has an `SFN_SERVE_*` environment
 /// override (see [`ServeConfig::from_env`]).
 #[derive(Debug, Clone)]
@@ -152,6 +158,10 @@ pub struct Stats {
 struct Job {
     req: SimRequest,
     stream: TcpStream,
+    /// This request holds its tenant's half-open breaker probe slot;
+    /// if it is shed before running, the slot must be released via
+    /// `abort_probe` or the tenant stays locked out.
+    is_probe: bool,
 }
 
 struct State {
@@ -371,8 +381,10 @@ fn handle_connection(state: &Arc<State>, mut stream: TcpStream) {
     };
 
     // Plain GETs are the observability side door; everything else is
-    // the simulate API.
-    if let Ok(head) = parse_request(&wire) {
+    // the simulate API. Only the head slice is parsed — the 8 KB head
+    // cap must never count body bytes.
+    let head_end = head_len(&wire).unwrap_or(wire.len());
+    if let Ok(head) = parse_request(&wire[..head_end]) {
         if head.method == "GET" && head.target.split('?').next() == Some("/stats.json") {
             let body = state.stats_json();
             write_response(&mut stream, 200, "application/json", &[], body.as_bytes());
@@ -432,40 +444,54 @@ fn read_wire(stream: &mut TcpStream) -> Result<Vec<u8>, (u16, &'static str)> {
 
 // ----------------------------------------------------------- admission
 
+/// Atomically reserves one global in-flight slot. Reserve-then-check
+/// (not load-then-add) so concurrent connection threads cannot all
+/// observe a free slot and overshoot the cap together.
+fn reserve_inflight(state: &State) -> Result<(), AdmitError> {
+    if state.inflight.fetch_add(1, Ordering::Relaxed) >= state.cfg.global_concurrency {
+        state.inflight.fetch_sub(1, Ordering::Relaxed);
+        Err(AdmitError::Overloaded)
+    } else {
+        Ok(())
+    }
+}
+
 fn admit(state: &Arc<State>, req: SimRequest, mut stream: TcpStream) {
     let now = Instant::now();
     let rung = state.brownout.rung();
 
-    let verdict: Result<(), AdmitError> =
-        match state.breakers.check(&req.tenant, now) {
-            BreakerState::Open { retry_after_secs } => {
-                Err(AdmitError::BreakerOpen { retry_after_secs })
-            }
-            BreakerState::Closed if rung.sheds_low_priority() && req.priority == 0 => {
-                Err(AdmitError::BrownoutShed)
-            }
-            BreakerState::Closed => state.rates.try_take(&req.tenant, now).and_then(|()| {
-                if state.inflight.load(Ordering::Relaxed) >= state.cfg.global_concurrency {
-                    Err(AdmitError::Overloaded)
-                } else {
-                    Ok(())
-                }
-            }),
-        };
+    let is_probe = match state.breakers.check(&req.tenant, now) {
+        BreakerState::Open { retry_after_secs } => {
+            refuse(state, &req, &mut stream, &AdmitError::BreakerOpen { retry_after_secs });
+            return;
+        }
+        BreakerState::Probe => true,
+        BreakerState::Closed => false,
+    };
+
+    let verdict: Result<(), AdmitError> = if rung.sheds_low_priority() && req.priority == 0 {
+        Err(AdmitError::BrownoutShed)
+    } else {
+        state.rates.try_take(&req.tenant, now).and_then(|()| reserve_inflight(state))
+    };
 
     if let Err(e) = verdict {
+        if is_probe {
+            // The half-open probe was refused before it could run;
+            // release the slot so the next request can probe.
+            state.breakers.abort_probe(&req.tenant);
+        }
         refuse(state, &req, &mut stream, &e);
         return;
     }
 
-    state.inflight.fetch_add(1, Ordering::Relaxed);
     let deadline_ms = req.deadline_ms.unwrap_or(state.cfg.default_deadline_ms);
     let item = WorkItem {
         tenant: req.tenant.clone(),
         priority: req.priority,
         enqueued: now,
         deadline: now + Duration::from_millis(deadline_ms),
-        payload: Job { req, stream },
+        payload: Job { req, stream, is_probe },
     };
     match state.queues.push(item) {
         Ok(()) => {
@@ -474,7 +500,10 @@ fn admit(state: &Arc<State>, req: SimRequest, mut stream: TcpStream) {
         }
         Err(item) => {
             state.inflight.fetch_sub(1, Ordering::Relaxed);
-            let Job { req, mut stream } = item.payload;
+            let Job { req, mut stream, is_probe } = item.payload;
+            if is_probe {
+                state.breakers.abort_probe(&req.tenant);
+            }
             refuse(state, &req, &mut stream, &AdmitError::QueueFull);
         }
     }
@@ -526,17 +555,25 @@ fn serve_item(state: &Arc<State>, item: WorkItem<Job>) {
     }
 
     let WorkItem { tenant, priority, enqueued, deadline, payload } = item;
-    let Job { req, mut stream } = payload;
+    let Job { req, mut stream, is_probe } = payload;
     let now = Instant::now();
     let rung = state.brownout.rung();
 
     // Deadline and rung are re-checked at dequeue: admission's view may
-    // be stale by a full queue wait.
+    // be stale by a full queue wait. A shed probe never reaches
+    // record_success/record_failure, so it must release its half-open
+    // slot here or the tenant's breaker locks out permanently.
     if now >= deadline {
+        if is_probe {
+            state.breakers.abort_probe(&tenant);
+        }
         shed(state, &tenant, &mut stream, "queue_deadline", 504);
         return;
     }
     if rung.sheds_low_priority() && priority == 0 {
+        if is_probe {
+            state.breakers.abort_probe(&tenant);
+        }
         shed(state, &tenant, &mut stream, "brownout_priority", 503);
         return;
     }
@@ -650,6 +687,12 @@ fn control_loop(state: &Arc<State>, stop: &Arc<AtomicBool>) {
     let tick = Duration::from_millis(state.cfg.tick_ms);
     while !stop.load(Ordering::Relaxed) {
         std::thread::sleep(tick);
+        // Bound per-tenant admission state: refilled rate buckets and
+        // long-expired breaker entries are dropped every tick, so a
+        // client cycling fresh tenant ids cannot grow memory.
+        let now = Instant::now();
+        state.rates.sweep(now);
+        state.breakers.sweep(now, SWEEP_IDLE);
         let (fast_burn, burning) = sfn_metrics::worst_burn();
         let signals = Signals {
             queue_fill: state.queues.max_fill(),

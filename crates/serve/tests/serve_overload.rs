@@ -225,6 +225,65 @@ fn overload_stays_bounded_degrades_monotonically_and_recovers() {
     let _ = resets; // informational only: chaos makes some exchanges vanish
 }
 
+/// Regression: a half-open probe that is refused downstream of the
+/// breaker check (here: by the rate limiter) must release the probe
+/// slot. Before the fix, `probing` stayed set forever and every later
+/// request got 503 breaker_open — a permanent tenant lockout.
+#[test]
+fn refused_probe_does_not_lock_the_tenant_out() {
+    let _guard = global_lock();
+    sfn_obs::clear_event_observers();
+
+    // Poison the flappy tenant's surrogates so its first run degrades
+    // and strikes the breaker.
+    install(Some(FaultPlan::seeded(11).with(FaultSpec {
+        magnitude: 0.5,
+        target: Some("flappy-".into()),
+        ..FaultSpec::new(FaultKind::NanOutput)
+    })));
+
+    let h = serve(ServeConfig {
+        workers: 2,
+        global_concurrency: 8,
+        queue_depth: 4,
+        // One-token bucket refilling at 0.5/s: spent by the first
+        // request, empty again when the half-open probe arrives.
+        tenant_rate: 0.5,
+        tenant_burst: 1.0,
+        default_deadline_ms: 10_000,
+        // First strike holds the breaker for base << 1 = 100 ms.
+        breaker_base_ms: 50,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+
+    let req = |steps: usize, seed: u64| request("flappy", 1, steps, seed).to_http();
+
+    // Strike the breaker: degraded run, valid response.
+    let (resp, _) = exchange(h.addr, &req(3, 1));
+    assert_eq!(status_of(&resp), Some(200), "{resp}");
+    assert!(resp.contains("\"degraded\":true"), "{resp}");
+    install(None); // the tenant is healthy again
+
+    // Past the 100 ms hold, before the 2 s token refill: this request
+    // takes the half-open probe slot, then the rate limiter refuses
+    // it. The probe never runs — the slot must be released.
+    std::thread::sleep(Duration::from_millis(500));
+    let (resp, _) = exchange(h.addr, &req(1, 2));
+    assert_eq!(status_of(&resp), Some(429), "{resp}");
+    assert!(resp.contains("rate_limited"), "{resp}");
+
+    // With a refilled bucket the tenant must recover: the released
+    // slot lets this request probe, run clean, and close the breaker.
+    std::thread::sleep(Duration::from_millis(2_100));
+    let (resp, _) = exchange(h.addr, &req(1, 3));
+    assert_eq!(status_of(&resp), Some(200), "{resp}");
+    assert!(resp.contains("\"degraded\":false"), "{resp}");
+
+    h.stop();
+    install(None);
+}
+
 #[test]
 fn nan_storm_tenant_is_quarantined_and_isolated_without_collateral() {
     let _guard = global_lock();
